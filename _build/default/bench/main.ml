@@ -1,0 +1,309 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (DESIGN.md experiments E1-E8) and times the algorithms
+   with Bechamel (E9).
+
+   Scale knobs (environment):
+     DCN_BENCH_QUICK=1   small network (fat-tree k=4) and small counts
+     DCN_BENCH_SEEDS=n   number of workload seeds per point (default 3;
+                         the paper uses 10)
+
+   The paper's Figure 2 shape to look for: RS/LB low and flattening as
+   the number of flows grows; SP+MCF/LB higher and growing; both
+   effects stronger for alpha = 4. *)
+
+let quick = Sys.getenv_opt "DCN_BENCH_QUICK" = Some "1"
+
+let seeds =
+  match Sys.getenv_opt "DCN_BENCH_SEEDS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 3)
+  | None -> 3
+
+let section title =
+  Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
+
+(* --------------------------- E1 / E2 ------------------------------ *)
+
+let fig2 alpha =
+  section
+    (Printf.sprintf "E%d. Figure 2, alpha = %g (RS vs SP+MCF vs LB, %d seed(s))"
+       (if alpha = 2. then 1 else 2)
+       alpha seeds);
+  let params =
+    if quick then Dcn_experiments.Fig2.quick_params ~alpha
+    else Dcn_experiments.Fig2.default_params ~alpha
+  in
+  let params =
+    { params with Dcn_experiments.Fig2.seeds = List.init seeds (fun i -> 1000 + i) }
+  in
+  let res =
+    Dcn_experiments.Fig2.run
+      ~progress:(fun msg -> Printf.eprintf "  [%s]\n%!" msg)
+      params
+  in
+  print_endline (Dcn_experiments.Fig2.render res)
+
+(* ----------------------------- E3 --------------------------------- *)
+
+let example1 () =
+  section "E3. Example 1 / Figure 1 (closed-form check)";
+  let graph = Dcn_topology.Builders.line 3 in
+  let power = Dcn_power.Model.quadratic in
+  let f1 = Dcn_flow.Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
+  let f2 = Dcn_flow.Flow.make ~id:2 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
+  let inst = Dcn_core.Instance.make ~graph ~power ~flows:[ f1; f2 ] in
+  let res = Dcn_core.Baselines.sp_mcf inst in
+  let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+  Printf.printf "paper optimum : s1 = %.6f, s2 = %.6f\n" (s2 /. sqrt 2.) s2;
+  Printf.printf "computed      : s1 = %.6f, s2 = %.6f\n"
+    (Dcn_core.Most_critical_first.rate_of res 1)
+    (Dcn_core.Most_critical_first.rate_of res 2);
+  Printf.printf "energy        : %.6f (schedule integral %.6f)\n"
+    res.Dcn_core.Most_critical_first.energy
+    (Dcn_sched.Schedule.energy res.Dcn_core.Most_critical_first.schedule)
+
+(* --------------------------- E4 / E5 ------------------------------ *)
+
+let gadgets () =
+  section "E4. Theorem 2 gadget (3-partition)";
+  print_endline
+    (Dcn_experiments.Gadget_runs.render_three_partition
+       (Dcn_experiments.Gadget_runs.three_partition ()));
+  section "E5. Theorem 3 gadget (partition / inapproximability)";
+  print_endline
+    (Dcn_experiments.Gadget_runs.render_partition
+       (Dcn_experiments.Gadget_runs.partition ()))
+
+(* ----------------------------- E6 --------------------------------- *)
+
+let theorem4 () =
+  section "E6. Theorem 4: Random-Schedule deadline guarantee (fluid simulation)";
+  let graph = Dcn_topology.Builders.fat_tree 4 in
+  let power = Dcn_power.Model.quadratic in
+  let rows =
+    List.map
+      (fun seed ->
+        let rng = Dcn_util.Prng.create seed in
+        let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:30 () in
+        let inst = Dcn_core.Instance.make ~graph ~power ~flows in
+        let rs =
+          Dcn_core.Random_schedule.solve
+            ~config:
+              {
+                Dcn_core.Random_schedule.attempts = 20;
+                fw_config = Dcn_experiments.Fig2.experiment_fw_config;
+              }
+            ~rng inst
+        in
+        let report = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+        [
+          string_of_int seed;
+          string_of_int (List.length flows);
+          (if report.Dcn_sim.Fluid.all_deadlines_met then "met" else "MISSED");
+          Printf.sprintf "%.2f" report.Dcn_sim.Fluid.max_rate;
+          Printf.sprintf "%.1f" report.Dcn_sim.Fluid.energy;
+        ])
+      [ 11; 12; 13; 14; 15 ]
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:[ "seed"; "flows"; "deadlines"; "max link rate"; "energy" ]
+       ~rows ())
+
+let packetization () =
+  section "E6b. Packetisation: priority packet switching of DCFS schedules (Section III)";
+  let graph = Dcn_topology.Builders.fat_tree 4 in
+  let power = Dcn_power.Model.quadratic in
+  let rng = Dcn_util.Prng.create 21 in
+  let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:12 () in
+  let inst = Dcn_core.Instance.make ~graph ~power ~flows in
+  let res = Dcn_core.Baselines.sp_mcf inst in
+  let rows =
+    List.map
+      (fun packet_size ->
+        let r =
+          Dcn_sim.Packet.run ~config:{ Dcn_sim.Packet.packet_size }
+            res.Dcn_core.Most_critical_first.schedule
+        in
+        [
+          Printf.sprintf "%.2f" packet_size;
+          (if r.Dcn_sim.Packet.all_delivered then "yes" else "NO");
+          Printf.sprintf "%.4f" r.Dcn_sim.Packet.max_lateness;
+          (if r.Dcn_sim.Packet.within_pipeline_slack then "yes" else "NO");
+          string_of_int r.Dcn_sim.Packet.events;
+          string_of_int r.Dcn_sim.Packet.max_queue;
+        ])
+      [ 2.0; 1.0; 0.5; 0.25; 0.1 ]
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:
+         [ "packet size"; "delivered"; "max lateness"; "within pipeline"; "events"; "max queue" ]
+       ~rows ())
+
+(* ----------------------------- E7 --------------------------------- *)
+
+let ablations () =
+  section "E7a. Ablation: power-down (sigma > 0)";
+  print_endline
+    (Dcn_experiments.Ablation.render_power_down
+       (Dcn_experiments.Ablation.power_down ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
+  section "E7b. Ablation: capacity stress (rounding redraws)";
+  print_endline
+    (Dcn_experiments.Ablation.render_capacity
+       (Dcn_experiments.Ablation.capacity_stress ~caps:[ infinity; 10.; 6.; 4. ] ()));
+  section "E7c. Ablation: Most-Critical-First refinement of RS routes";
+  print_endline
+    (Dcn_experiments.Ablation.render_refinement
+       (Dcn_experiments.Ablation.refinement ~ns:[ 10; 20; 40 ] ()));
+  section "E7d. Ablation: routing policies (SP vs ECMP vs Greedy-EAR vs Random-Schedule)";
+  print_endline
+    (Dcn_experiments.Ablation.render_routing
+       (Dcn_experiments.Ablation.routing_comparison ~ns:[ 10; 20; 40 ] ()));
+  section "E7e. Ablation: lower-bound tightness (paper LB vs joint relaxation)";
+  print_endline
+    (Dcn_experiments.Ablation.render_lb
+       (Dcn_experiments.Ablation.lb_tightness ~ns:[ 10; 20; 40 ] ()));
+  section "E7f. Ablation: flow splitting (Section II-B multi-path emulation)";
+  print_endline
+    (Dcn_experiments.Ablation.render_splitting
+       (Dcn_experiments.Ablation.splitting ~parts:[ 1; 2; 4; 8 ] ()));
+  section "E7g. Ablation: discrete link speeds (rate adaptation)";
+  print_endline
+    (Dcn_experiments.Ablation.render_rate_levels
+       (Dcn_experiments.Ablation.rate_levels ~counts:[ 2; 4; 8; 16 ] ()));
+  section "E7h. Ablation: online admission control under finite capacity";
+  print_endline
+    (Dcn_experiments.Ablation.render_admission
+       (Dcn_experiments.Ablation.admission ~loads:[ 0.5; 1.; 2.; 4.; 8. ] ()));
+  section "E7i. Ablation: failure resilience (random cable failures)";
+  print_endline
+    (Dcn_experiments.Ablation.render_failures
+       (Dcn_experiments.Ablation.failures ~counts:[ 0; 4; 8; 12 ] ()))
+
+(* ----------------------------- E8 --------------------------------- *)
+
+let small_exact () =
+  section "E8. Random-Schedule vs exact optimum (exhaustive routing)";
+  print_endline
+    (Dcn_experiments.Small_exact.render
+       (Dcn_experiments.Small_exact.run ~seeds:[ 1; 2; 3; 4; 5; 6 ] ()))
+
+let bounds_check () =
+  section "E8b. Worst-case bounds vs measured approximation (Theorems 3/6)";
+  print_endline
+    (Dcn_experiments.Bounds_check.render
+       (Dcn_experiments.Bounds_check.run ~ns:[ 10; 20; 40 ] ()))
+
+let trace_eval () =
+  section "E10. Extension: production-like traces (heavy-tailed, Poisson)";
+  print_endline
+    (Dcn_experiments.Trace_eval.render
+       (Dcn_experiments.Trace_eval.run ~loads:[ 0.5; 1.; 2.; 4. ] ()))
+
+(* ----------------------------- E9 --------------------------------- *)
+
+let runtime_benchmarks () =
+  section "E9. Runtime micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let graph4 = Dcn_topology.Builders.fat_tree 4 in
+  let power = Dcn_power.Model.quadratic in
+  let instance_of n seed =
+    let rng = Dcn_util.Prng.create seed in
+    let flows = Dcn_flow.Workload.paper_random ~rng ~graph:graph4 ~n () in
+    Dcn_core.Instance.make ~graph:graph4 ~power ~flows
+  in
+  let inst20 = instance_of 20 5 and inst40 = instance_of 40 5 in
+  let fw_cfg = Dcn_experiments.Fig2.experiment_fw_config in
+  let mk_rs inst () =
+    let rng = Dcn_util.Prng.create 1 in
+    ignore
+      (Dcn_core.Random_schedule.solve
+         ~config:{ Dcn_core.Random_schedule.attempts = 5; fw_config = fw_cfg }
+         ~rng inst)
+  in
+  let mk_mcf inst () = ignore (Dcn_core.Baselines.sp_mcf inst) in
+  let mk_fw n () =
+    let rng = Dcn_util.Prng.create 2 in
+    let hosts = Dcn_topology.Graph.hosts graph4 in
+    let commodities =
+      Array.init n (fun index ->
+          let src = Dcn_util.Prng.pick rng hosts in
+          let rec dst () =
+            let d = Dcn_util.Prng.pick rng hosts in
+            if d = src then dst () else d
+          in
+          Dcn_mcf.Commodity.make ~index ~src ~dst:(dst ())
+            ~demand:(0.5 +. Dcn_util.Prng.float rng 2.))
+    in
+    ignore
+      (Dcn_mcf.Frank_wolfe.solve ~config:fw_cfg
+         {
+           Dcn_mcf.Frank_wolfe.graph = graph4;
+           commodities;
+           cost = (fun x -> x *. x);
+           cost_deriv = (fun x -> 2. *. x);
+           capacity = infinity;
+         })
+  in
+  let mk_yds n () =
+    let rng = Dcn_util.Prng.create 3 in
+    let jobs =
+      List.init n (fun id ->
+          let r = Dcn_util.Prng.uniform rng ~lo:0. ~hi:50. in
+          let d = r +. 1. +. Dcn_util.Prng.uniform rng ~lo:0. ~hi:20. in
+          Dcn_speed_scaling.Job.make ~id ~weight:(1. +. Dcn_util.Prng.float rng 9.)
+            ~release:r ~deadline:d)
+    in
+    ignore (Dcn_speed_scaling.Yds.schedule jobs)
+  in
+  let tests =
+    [
+      Test.make ~name:"yds n=50" (Staged.stage (mk_yds 50));
+      Test.make ~name:"frank-wolfe k=4 n=20" (Staged.stage (mk_fw 20));
+      Test.make ~name:"most-critical-first n=20" (Staged.stage (mk_mcf inst20));
+      Test.make ~name:"most-critical-first n=40" (Staged.stage (mk_mcf inst40));
+      Test.make ~name:"random-schedule n=20" (Staged.stage (mk_rs inst20));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 2.) ~kde:None () in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg instances test in
+        let analyzed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let time_ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ t ] -> t
+              | _ -> nan
+            in
+            [ name; Printf.sprintf "%.3f" (time_ns /. 1e6) ] :: acc)
+          analyzed [])
+      tests
+  in
+  print_endline
+    (Dcn_util.Table.render ~headers:[ "algorithm"; "time (ms/run)" ]
+       ~rows:(List.concat rows) ())
+
+let () =
+  Printf.printf
+    "dcnsched benchmark harness — reproduction of Wang et al., ICDCS 2014\n";
+  Printf.printf "mode: %s, %d seed(s) per Figure-2 point\n"
+    (if quick then "quick (fat-tree k=4)" else "paper scale (fat-tree k=8)")
+    seeds;
+  example1 ();
+  gadgets ();
+  small_exact ();
+  bounds_check ();
+  theorem4 ();
+  packetization ();
+  ablations ();
+  trace_eval ();
+  fig2 2.;
+  fig2 4.;
+  runtime_benchmarks ();
+  Printf.printf "\nDone.\n"

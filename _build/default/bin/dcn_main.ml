@@ -1,0 +1,312 @@
+(* dcn — command-line front end.
+
+   Subcommands map to the experiments of DESIGN.md: `fig2` regenerates
+   the paper's Figure 2 series, `gadgets` runs the Theorem 2/3
+   reductions, `ablation` the extra studies, `small-exact` the
+   approximation-vs-optimum comparison, `example1` the paper's worked
+   example, and `solve` runs the algorithms on a configurable
+   topology/workload. *)
+
+open Cmdliner
+
+let parse_topology s =
+  match String.split_on_char ':' s with
+  | [ "fat-tree"; k ] -> Ok (Dcn_topology.Builders.fat_tree (int_of_string k))
+  | [ "bcube"; n; l ] ->
+    Ok (Dcn_topology.Builders.bcube ~n:(int_of_string n) ~level:(int_of_string l))
+  | [ "dcell"; n; l ] ->
+    Ok (Dcn_topology.Builders.dcell ~n:(int_of_string n) ~level:(int_of_string l))
+  | [ "leaf-spine"; s; l; h ] ->
+    Ok
+      (Dcn_topology.Builders.leaf_spine ~spines:(int_of_string s)
+         ~leaves:(int_of_string l) ~hosts_per_leaf:(int_of_string h))
+  | [ "line"; n ] -> Ok (Dcn_topology.Builders.line (int_of_string n))
+  | [ "parallel"; k ] -> Ok (Dcn_topology.Builders.parallel ~links:(int_of_string k))
+  | [ "star"; n ] -> Ok (Dcn_topology.Builders.star ~leaves:(int_of_string n))
+  | _ ->
+    Error
+      (`Msg
+        "expected fat-tree:K | bcube:N:L | dcell:N:L | leaf-spine:S:L:H | line:N | parallel:K | star:N")
+
+let topology_conv =
+  Arg.conv
+    ( (fun s -> try parse_topology s with Failure _ -> Error (`Msg "bad topology spec")),
+      fun ppf g -> Dcn_topology.Graph.pp ppf g )
+
+let alpha_t =
+  Arg.(value & opt float 2. & info [ "alpha" ] ~doc:"Power exponent $(docv) (> 1)." ~docv:"A")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+(* ----------------------------- fig2 ------------------------------- *)
+
+let fig2_cmd =
+  let quick_t =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Small network (k=4) and fewer seeds.")
+  in
+  let seeds_t =
+    Arg.(value & opt int 0 & info [ "seeds" ] ~doc:"Number of seeds (0 = preset default).")
+  in
+  let counts_t =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "counts" ] ~doc:"Comma-separated flow counts (empty = preset).")
+  in
+  let csv_t =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write the series as CSV to $(docv)." ~docv:"FILE")
+  in
+  let run alpha quick seeds counts csv =
+    let params =
+      if quick then Dcn_experiments.Fig2.quick_params ~alpha
+      else Dcn_experiments.Fig2.default_params ~alpha
+    in
+    let params =
+      { params with
+        Dcn_experiments.Fig2.seeds =
+          (if seeds = 0 then params.Dcn_experiments.Fig2.seeds
+           else List.init seeds (fun i -> 1000 + i));
+        flow_counts = (if counts = [] then params.Dcn_experiments.Fig2.flow_counts else counts);
+      }
+    in
+    let res =
+      Dcn_experiments.Fig2.run ~progress:(fun msg -> Printf.eprintf "[fig2] %s\n%!" msg)
+        params
+    in
+    print_endline (Dcn_experiments.Fig2.render res);
+    match csv with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Dcn_experiments.Fig2.to_csv res);
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" path
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Regenerate Figure 2 of the paper (E1/E2).")
+    Term.(const run $ alpha_t $ quick_t $ seeds_t $ counts_t $ csv_t)
+
+(* ---------------------------- gadgets ----------------------------- *)
+
+let gadgets_cmd =
+  let run alpha seed =
+    let tp = Dcn_experiments.Gadget_runs.three_partition ~seed ~alpha () in
+    print_endline (Dcn_experiments.Gadget_runs.render_three_partition tp);
+    let p = Dcn_experiments.Gadget_runs.partition ~alpha () in
+    print_endline (Dcn_experiments.Gadget_runs.render_partition p)
+  in
+  Cmd.v
+    (Cmd.info "gadgets" ~doc:"Run the Theorem 2/3 hardness gadgets (E4/E5).")
+    Term.(const run $ alpha_t $ seed_t)
+
+(* ---------------------------- ablation ---------------------------- *)
+
+let ablation_cmd =
+  let run alpha =
+    print_endline
+      (Dcn_experiments.Ablation.render_power_down
+         (Dcn_experiments.Ablation.power_down ~alpha
+            ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_capacity
+         (Dcn_experiments.Ablation.capacity_stress ~alpha
+            ~caps:[ infinity; 10.; 6.; 4. ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_refinement
+         (Dcn_experiments.Ablation.refinement ~alpha ~ns:[ 10; 20; 40 ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_routing
+         (Dcn_experiments.Ablation.routing_comparison ~alpha ~ns:[ 10; 20; 40 ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_lb
+         (Dcn_experiments.Ablation.lb_tightness ~alpha ~ns:[ 10; 20; 40 ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_splitting
+         (Dcn_experiments.Ablation.splitting ~alpha ~parts:[ 1; 2; 4; 8 ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_rate_levels
+         (Dcn_experiments.Ablation.rate_levels ~alpha ~counts:[ 2; 4; 8; 16 ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_admission
+         (Dcn_experiments.Ablation.admission ~alpha ~loads:[ 0.5; 1.; 2.; 4. ] ()));
+    print_newline ();
+    print_endline
+      (Dcn_experiments.Ablation.render_failures
+         (Dcn_experiments.Ablation.failures ~alpha ~counts:[ 0; 4; 8; 12 ] ()))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run all the E7 ablations (power-down, capacity, refinement, routing, LB tightness, splitting, discrete rates, admission, failures).")
+    Term.(const run $ alpha_t)
+
+(* --------------------------- small-exact -------------------------- *)
+
+let small_exact_cmd =
+  let run alpha =
+    let rows =
+      Dcn_experiments.Small_exact.run ~alpha ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ] ()
+    in
+    print_endline (Dcn_experiments.Small_exact.render rows)
+  in
+  Cmd.v
+    (Cmd.info "small-exact" ~doc:"Compare Random-Schedule with the exact optimum (E8).")
+    Term.(const run $ alpha_t)
+
+(* ---------------------------- example1 ---------------------------- *)
+
+let example1_cmd =
+  let run () =
+    let graph = Dcn_topology.Builders.line 3 in
+    let power = Dcn_power.Model.quadratic in
+    let f1 = Dcn_flow.Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
+    let f2 = Dcn_flow.Flow.make ~id:2 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
+    let inst = Dcn_core.Instance.make ~graph ~power ~flows:[ f1; f2 ] in
+    let res = Dcn_core.Baselines.sp_mcf inst in
+    let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+    Printf.printf "Example 1 (Figure 1): line A-B-C, f(x) = x^2\n";
+    Printf.printf "  flow 1: A->C, w=6, span [2,4]   flow 2: A->B, w=8, span [1,3]\n";
+    Printf.printf "  computed rates: s1 = %.6f, s2 = %.6f\n"
+      (Dcn_core.Most_critical_first.rate_of res 1)
+      (Dcn_core.Most_critical_first.rate_of res 2);
+    Printf.printf "  paper's optimum: s1 = %.6f, s2 = %.6f (sqrt 2 * s1 = s2 = (8+6*sqrt 2)/3)\n"
+      (s2 /. sqrt 2.) s2;
+    Printf.printf "  energy: %.6f\n" res.Dcn_core.Most_critical_first.energy
+  in
+  Cmd.v
+    (Cmd.info "example1" ~doc:"Run the paper's worked Example 1 (E3).")
+    Term.(const run $ const ())
+
+(* -------------------------- generate / solve ----------------------- *)
+
+let topo_t =
+  Arg.(
+    value
+    & opt topology_conv (Dcn_topology.Builders.fat_tree 4)
+    & info [ "topology" ] ~doc:"Network: fat-tree:K, bcube:N:L, leaf-spine:S:L:H, ...")
+
+let flows_t = Arg.(value & opt int 20 & info [ "flows" ] ~doc:"Number of flows.")
+
+let sigma_t = Arg.(value & opt float 0. & info [ "sigma" ] ~doc:"Idle power per link.")
+
+let pattern_t =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("random", `Random);
+             ("incast", `Incast);
+             ("shuffle", `Shuffle);
+             ("stride", `Stride);
+             ("trace", `Trace);
+           ])
+        `Random
+    & info [ "pattern" ] ~doc:"Workload pattern: random, incast, shuffle, stride, trace.")
+
+let build_instance graph n alpha sigma pattern seed =
+  let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha () in
+  let rng = Dcn_util.Prng.create seed in
+  let flows =
+    match pattern with
+    | `Random -> Dcn_flow.Workload.paper_random ~rng ~graph ~n ()
+    | `Incast -> Dcn_flow.Workload.incast ~rng ~graph ~sources:n ~horizon:(0., 10.) ()
+    | `Shuffle ->
+      Dcn_flow.Workload.shuffle ~rng ~graph ~mappers:(max 1 (n / 4)) ~reducers:4
+        ~horizon:(0., 10.) ()
+    | `Stride -> Dcn_flow.Workload.stride ~graph ~stride:1 ~horizon:(0., 10.) ()
+    | `Trace -> Dcn_flow.Workload.trace ~rng ~graph ~horizon:(0., 50.) ()
+  in
+  Dcn_core.Instance.make ~graph ~power ~flows
+
+let generate_cmd =
+  let out_t =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file (default stdout).")
+  in
+  let run graph n alpha sigma pattern seed out =
+    let inst = build_instance graph n alpha sigma pattern seed in
+    let text = Dcn_core.Serialize.instance_to_string inst in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "wrote %s (%a)@." path Dcn_core.Instance.pp inst
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an instance file (see `solve --instance`).")
+    Term.(const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ out_t)
+
+let solve_cmd =
+  let instance_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "instance" ] ~doc:"Read the instance from a file instead of generating one.")
+  in
+  let gantt_t =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print ASCII Gantt charts of the RS schedule.")
+  in
+  let run graph n alpha sigma pattern seed instance_file gantt =
+    let rng = Dcn_util.Prng.create seed in
+    let inst =
+      match instance_file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        Dcn_core.Serialize.instance_of_string text
+      | None -> build_instance graph n alpha sigma pattern seed
+    in
+    Format.printf "%a@." Dcn_core.Instance.pp inst;
+    let sp = Dcn_core.Baselines.sp_mcf inst in
+    Printf.printf "SP+MCF : energy %.4f (placement %s)\n"
+      sp.Dcn_core.Most_critical_first.energy
+      (if sp.Dcn_core.Most_critical_first.placement_complete then "complete" else "partial");
+    let rs = Dcn_core.Random_schedule.solve ~rng inst in
+    Printf.printf "RS     : energy %.4f (%s, %d attempt(s))\n"
+      rs.Dcn_core.Random_schedule.energy
+      (if rs.Dcn_core.Random_schedule.feasible then "feasible" else "INFEASIBLE")
+      rs.Dcn_core.Random_schedule.attempts_used;
+    let lb = Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation in
+    Printf.printf "LB     : %.4f  =>  RS/LB %.3f, SP+MCF/LB %.3f\n"
+      lb.Dcn_core.Lower_bound.value
+      (rs.Dcn_core.Random_schedule.energy /. lb.Dcn_core.Lower_bound.value)
+      (sp.Dcn_core.Most_critical_first.energy /. lb.Dcn_core.Lower_bound.value);
+    let sim = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+    Format.printf "sim    : %a@." Dcn_sim.Fluid.pp_report sim;
+    if gantt then begin
+      print_newline ();
+      print_string (Dcn_sched.Gantt.render rs.Dcn_core.Random_schedule.schedule);
+      print_newline ();
+      print_string (Dcn_sched.Gantt.render_flows rs.Dcn_core.Random_schedule.schedule)
+    end
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a configurable instance with both algorithms.")
+    Term.(
+      const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ instance_t
+      $ gantt_t)
+
+let () =
+  let doc = "energy-efficient deadline-constrained flow scheduling and routing" in
+  let info = Cmd.info "dcn" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig2_cmd;
+            gadgets_cmd;
+            ablation_cmd;
+            small_exact_cmd;
+            example1_cmd;
+            generate_cmd;
+            solve_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bcube_shuffle.ml: Dcn_core Dcn_flow Dcn_power Dcn_sched Dcn_sim Dcn_topology Dcn_util Format List

@@ -1,0 +1,1 @@
+examples/bcube_shuffle.mli:

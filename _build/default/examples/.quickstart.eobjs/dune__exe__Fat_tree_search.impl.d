@@ -1,0 +1,1 @@
+examples/fat_tree_search.ml: Dcn_core Dcn_flow Dcn_power Dcn_sim Dcn_topology Dcn_util Format List

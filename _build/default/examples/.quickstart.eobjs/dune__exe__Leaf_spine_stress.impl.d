@@ -1,0 +1,1 @@
+examples/leaf_spine_stress.ml: Dcn_core Dcn_flow Dcn_power Dcn_sched Dcn_sim Dcn_topology Dcn_util Format List

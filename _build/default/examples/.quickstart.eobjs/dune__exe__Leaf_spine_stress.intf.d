@@ -1,0 +1,1 @@
+examples/leaf_spine_stress.mli:

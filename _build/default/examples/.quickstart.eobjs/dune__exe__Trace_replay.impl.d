@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Dcn_core Dcn_flow Dcn_power Dcn_sim Dcn_topology Dcn_util Format List

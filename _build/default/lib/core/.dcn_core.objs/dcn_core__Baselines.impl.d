@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Dcn_flow Dcn_topology Dcn_util Hashtbl Instance List Most_critical_first Printf

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Dcn_topology Dcn_util Instance Most_critical_first

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Dcn_flow Dcn_power Float Format Gadgets Instance

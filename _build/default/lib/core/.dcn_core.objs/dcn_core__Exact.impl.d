@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Dcn_flow Dcn_topology Instance Most_critical_first Printf

@@ -1,0 +1,1 @@
+lib/core/exact.mli: Dcn_topology Instance Most_critical_first

@@ -1,0 +1,1 @@
+lib/core/gadgets.ml: Array Dcn_flow Dcn_power Dcn_topology Dcn_util Fun Instance List Printf

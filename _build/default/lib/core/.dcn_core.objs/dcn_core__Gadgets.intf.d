@@ -1,0 +1,1 @@
+lib/core/gadgets.mli: Dcn_util Instance

@@ -1,0 +1,1 @@
+lib/core/greedy_ear.ml: Array Dcn_flow Dcn_power Dcn_sched Dcn_topology Hashtbl Instance List Printf

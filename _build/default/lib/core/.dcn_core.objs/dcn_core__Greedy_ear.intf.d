@@ -1,0 +1,1 @@
+lib/core/greedy_ear.mli: Dcn_sched Dcn_topology Instance

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Dcn_flow Dcn_power Dcn_topology Format List Printf

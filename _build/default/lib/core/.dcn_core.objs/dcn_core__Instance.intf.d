@@ -1,0 +1,1 @@
+lib/core/instance.mli: Dcn_flow Dcn_power Dcn_topology Format

@@ -1,0 +1,1 @@
+lib/core/joint_relaxation.ml: Array Dcn_flow Dcn_power Dcn_topology Float Hashtbl Instance Lazy List Printf

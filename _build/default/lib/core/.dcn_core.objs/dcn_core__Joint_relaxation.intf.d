@@ -1,0 +1,1 @@
+lib/core/joint_relaxation.mli: Instance

@@ -1,0 +1,1 @@
+lib/core/most_critical_first.ml: Array Dcn_flow Dcn_power Dcn_sched Dcn_topology Dcn_util Float Fun Instance List Printf

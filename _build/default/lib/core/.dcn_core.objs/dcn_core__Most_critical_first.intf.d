@@ -1,0 +1,1 @@
+lib/core/most_critical_first.mli: Dcn_sched Dcn_topology Instance

@@ -1,0 +1,1 @@
+lib/core/online.ml: Array Dcn_flow Dcn_power Dcn_sched Dcn_topology Instance List

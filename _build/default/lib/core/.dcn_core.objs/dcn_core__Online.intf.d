@@ -1,0 +1,1 @@
+lib/core/online.mli: Dcn_sched Instance

@@ -1,0 +1,1 @@
+lib/core/random_schedule.ml: Array Dcn_flow Dcn_mcf Dcn_power Dcn_sched Dcn_topology Dcn_util Float Hashtbl Instance List Most_critical_first Printf Relaxation

@@ -1,0 +1,1 @@
+lib/core/random_schedule.mli: Dcn_mcf Dcn_sched Dcn_topology Dcn_util Instance Most_critical_first Relaxation

@@ -1,0 +1,1 @@
+lib/core/relaxation.ml: Array Dcn_flow Dcn_mcf Dcn_power Dcn_topology Instance List

@@ -1,0 +1,1 @@
+lib/core/relaxation.mli: Dcn_flow Dcn_mcf Instance

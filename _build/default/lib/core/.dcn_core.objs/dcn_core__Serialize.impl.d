@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Buffer Dcn_flow Dcn_power Dcn_sched Dcn_topology Instance List Printf String

@@ -1,0 +1,25 @@
+type t = {
+  lambda : float;
+  n : int;
+  max_density : float;
+  theorem6 : float;
+  theorem3 : float;
+}
+
+let compute inst =
+  let tl = Instance.timeline inst in
+  let lambda = Dcn_flow.Timeline.lambda tl in
+  let n = Instance.num_flows inst in
+  let d = Dcn_flow.Flow.max_density inst.Instance.flows in
+  let alpha = inst.Instance.power.Dcn_power.Model.alpha in
+  let log_d = Float.max 1. (Float.log d) in
+  let theorem6 =
+    (lambda ** alpha)
+    *. ((float_of_int (n * n) *. log_d) ** (alpha -. 1.))
+  in
+  { lambda; n; max_density = d; theorem6; theorem3 = Gadgets.inapprox_ratio ~alpha }
+
+let pp ppf b =
+  Format.fprintf ppf
+    "lambda=%.2f n=%d D=%.2f theorem6=%.3g theorem3=%.4f" b.lambda b.n b.max_density
+    b.theorem6 b.theorem3

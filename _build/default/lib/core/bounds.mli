@@ -1,0 +1,24 @@
+(** The paper's analytical bounds, computed for a concrete instance.
+
+    Theorem 6/7 bound Random-Schedule's expected approximation ratio by
+    [O(lambda^alpha (n^2 log D)^(alpha-1))] with [lambda] the
+    interval-skew factor of the timeline, [n] the number of flows and
+    [D] the maximum density.  Theorem 3 lower-bounds every
+    polynomial-time algorithm by [3/2 (1 + ((2/3)^alpha - 1)/alpha)].
+    Comparing these with the ratios measured in the benchmarks shows how
+    loose the worst-case analysis is in practice (the paper's Figure 2
+    makes the same point implicitly). *)
+
+type t = {
+  lambda : float;  (** [(t_K - t_0) / min |I_k|] *)
+  n : int;
+  max_density : float;  (** [D] *)
+  theorem6 : float;
+      (** [lambda^alpha * (n^2 * max 1 (log D))^(alpha - 1)] — the
+          growth term of Theorem 6 with unit constant *)
+  theorem3 : float;  (** the universal lower bound on ratios *)
+}
+
+val compute : Instance.t -> t
+
+val pp : Format.formatter -> t -> unit

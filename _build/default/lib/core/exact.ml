@@ -1,0 +1,80 @@
+module Graph = Dcn_topology.Graph
+module Paths = Dcn_topology.Paths
+module Flow = Dcn_flow.Flow
+
+type result = {
+  energy : float;
+  routing : (int * Graph.link list) list;
+  best : Most_critical_first.result;
+  combinations : int;
+}
+
+let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
+  let g = inst.Instance.graph in
+  let flows = Instance.flow_array inst in
+  let choices =
+    Array.map
+      (fun (f : Flow.t) ->
+        let ps =
+          Paths.all_simple_paths ~max_hops ~limit:max_combinations g ~src:f.src
+            ~dst:f.dst
+        in
+        if ps = [] then
+          invalid_arg
+            (Printf.sprintf "Exact.solve: flow %d has no path within %d hops" f.id
+               max_hops);
+        Array.of_list ps)
+      flows
+  in
+  let total =
+    Array.fold_left
+      (fun acc ps ->
+        let acc = acc * Array.length ps in
+        if acc > max_combinations then
+          invalid_arg
+            (Printf.sprintf "Exact.solve: more than %d routing combinations"
+               max_combinations)
+        else acc)
+      1 choices
+  in
+  let n = Array.length flows in
+  let current = Array.make n 0 in
+  let best = ref None in
+  let explored = ref 0 in
+  let rec enumerate i =
+    if i = n then begin
+      incr explored;
+      let routing id =
+        (* flows are sorted by id; binary search is overkill here *)
+        let rec find k =
+          if flows.(k).Flow.id = id then choices.(k).(current.(k))
+          else find (k + 1)
+        in
+        find 0
+      in
+      let res = Most_critical_first.solve inst ~routing in
+      match !best with
+      | Some (e, _, _) when e <= res.Most_critical_first.energy -> ()
+      | _ -> best := Some (res.Most_critical_first.energy, Array.copy current, res)
+    end
+    else
+      for c = 0 to Array.length choices.(i) - 1 do
+        current.(i) <- c;
+        enumerate (i + 1)
+      done
+  in
+  enumerate 0;
+  ignore total;
+  match !best with
+  | None -> assert false
+  | Some (energy, pick, best_res) ->
+    {
+      energy;
+      routing =
+        Array.to_list
+          (Array.mapi
+             (fun i (f : Flow.t) -> (f.id, choices.(i).(pick.(i))))
+             flows);
+      best = best_res;
+      combinations = !explored;
+    }

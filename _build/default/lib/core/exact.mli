@@ -1,0 +1,21 @@
+(** Exact DCFSR on small instances, by exhaustion over routings.
+
+    Given the routes, optimal scheduling is DCFS, solved exactly by
+    Most-Critical-First (Corollary 1); so the DCFSR optimum under the
+    virtual-circuit model is the minimum of Most-Critical-First over all
+    routing combinations.  Exponential, of course — Theorem 2 says no
+    better is possible — but fine as ground truth for approximation
+    tests on gadget-sized instances. *)
+
+type result = {
+  energy : float;
+  routing : (int * Dcn_topology.Graph.link list) list;  (** flow id -> best path *)
+  best : Most_critical_first.result;
+  combinations : int;  (** routing combinations explored *)
+}
+
+val solve : ?max_hops:int -> ?max_combinations:int -> Instance.t -> result
+(** Enumerates every simple path per flow (up to [max_hops], default 8)
+    and every combination (up to [max_combinations], default 50_000).
+    @raise Invalid_argument if a flow has no path within [max_hops] or
+    the product of path counts exceeds the budget. *)

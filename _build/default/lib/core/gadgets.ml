@@ -1,0 +1,92 @@
+module Model = Dcn_power.Model
+module Flow = Dcn_flow.Flow
+module Builders = Dcn_topology.Builders
+module Prng = Dcn_util.Prng
+
+type three_partition = { integers : int list; m : int; b : int }
+
+let make_three_partition ~integers =
+  let count = List.length integers in
+  if count = 0 || count mod 3 <> 0 then
+    invalid_arg "Gadgets.make_three_partition: need 3m integers";
+  let m = count / 3 in
+  let sum = List.fold_left ( + ) 0 integers in
+  if sum mod m <> 0 then
+    invalid_arg "Gadgets.make_three_partition: sum not divisible by m";
+  let b = sum / m in
+  List.iter
+    (fun a ->
+      if 4 * a <= b || 2 * a >= b then
+        invalid_arg
+          (Printf.sprintf "Gadgets.make_three_partition: %d outside (B/4, B/2) for B=%d" a b))
+    integers;
+  { integers; m; b }
+
+let solvable_three_partition ~m ~b ~rng =
+  if m < 1 then invalid_arg "Gadgets.solvable_three_partition: m < 1";
+  (* A triple (x, y, z) with x + y + z = b and each in (b/4, b/2): pick
+     x near b/3 and split the rest.  b must be large enough for integer
+     wiggle room. *)
+  if b < 16 then invalid_arg "Gadgets.solvable_three_partition: b too small";
+  let lo = (b / 4) + 1 and hi = ((b + 1) / 2) - 1 in
+  let triple () =
+    let rec draw () =
+      let x = lo + Prng.int rng (hi - lo + 1) in
+      let y = lo + Prng.int rng (hi - lo + 1) in
+      let z = b - x - y in
+      if z > b / 4 && 2 * z < b then (x, y, z) else draw ()
+    in
+    draw ()
+  in
+  let integers =
+    List.concat_map (fun _ -> let x, y, z = triple () in [ x; y; z ]) (List.init m Fun.id)
+  in
+  let arr = Array.of_list integers in
+  Prng.shuffle rng arr;
+  make_three_partition ~integers:(Array.to_list arr)
+
+let gadget_power ~mu ~alpha ~r_opt ~cap =
+  Model.make ~sigma:(mu *. (alpha -. 1.) *. (r_opt ** alpha)) ~mu ~alpha ~cap ()
+
+let three_partition_instance ?(mu = 1.) ?(alpha = 2.) ?links tp =
+  let links = match links with Some k -> k | None -> 4 * tp.m in
+  if links < tp.m then invalid_arg "Gadgets.three_partition_instance: links < m";
+  let graph = Builders.parallel ~links in
+  let b = float_of_int tp.b in
+  let power = gadget_power ~mu ~alpha ~r_opt:b ~cap:(2. *. b) in
+  let flows =
+    List.mapi
+      (fun id a ->
+        Flow.make ~id ~src:0 ~dst:1 ~volume:(float_of_int a) ~release:0. ~deadline:1.)
+      tp.integers
+  in
+  Instance.make ~graph ~power ~flows
+
+let three_partition_opt_energy ?(mu = 1.) ?(alpha = 2.) tp =
+  float_of_int tp.m *. alpha *. mu *. (float_of_int tp.b ** alpha)
+
+type partition = { integers : int list; total : int }
+
+let make_partition ~integers =
+  if integers = [] then invalid_arg "Gadgets.make_partition: empty";
+  List.iter (fun a -> if a <= 0 then invalid_arg "Gadgets.make_partition: non-positive") integers;
+  { integers; total = List.fold_left ( + ) 0 integers }
+
+let partition_instance ?(mu = 1.) ?(alpha = 2.) ?(links = 8) p =
+  let graph = Builders.parallel ~links in
+  let c = float_of_int p.total /. 2. in
+  let power = gadget_power ~mu ~alpha ~r_opt:c ~cap:c in
+  let flows =
+    List.mapi
+      (fun id a ->
+        Flow.make ~id ~src:0 ~dst:1 ~volume:(float_of_int a) ~release:0. ~deadline:1.)
+      p.integers
+  in
+  Instance.make ~graph ~power ~flows
+
+let partition_yes_energy ?(mu = 1.) ?(alpha = 2.) p =
+  let c = float_of_int p.total /. 2. in
+  let sigma = mu *. (alpha -. 1.) *. (c ** alpha) in
+  (2. *. sigma) +. (2. *. mu *. (c ** alpha))
+
+let inapprox_ratio ~alpha = 1.5 *. (1. +. ((((2. /. 3.) ** alpha) -. 1.) /. alpha))

@@ -1,0 +1,54 @@
+(** Executable versions of the paper's hardness reductions.
+
+    Theorem 2 reduces 3-partition to DCFSR on a parallel-link network:
+    with [sigma = mu (alpha - 1) B^alpha] (so the optimal operating rate
+    of Lemma 3 is exactly [B]), a yes-instance packs the 3m flows onto m
+    links run at rate [B] for the unit horizon, consuming exactly
+    [m * alpha * mu * B^alpha].  Theorem 3 reduces partition with
+    [C = B/2], giving the inapproximability ratio
+    [3/2 (1 + ((2/3)^alpha - 1)/alpha)].
+
+    These constructors let tests and benches check that the algorithms
+    respect the structures the proofs rely on. *)
+
+type three_partition = {
+  integers : int list;  (** 3m integers, each in (B/4, B/2), summing to m*B *)
+  m : int;
+  b : int;
+}
+
+val make_three_partition : integers:int list -> three_partition
+(** Validates the 3-partition shape.  @raise Invalid_argument if the
+    count is not a multiple of 3, the sum is not divisible by m, or some
+    integer is outside (B/4, B/2). *)
+
+val solvable_three_partition : m:int -> b:int -> rng:Dcn_util.Prng.t -> three_partition
+(** A random yes-instance: m triples each summing to [b], shuffled.
+    [b] must be large enough to admit triples inside (b/4, b/2);
+    @raise Invalid_argument otherwise. *)
+
+val three_partition_instance :
+  ?mu:float -> ?alpha:float -> ?links:int -> three_partition -> Instance.t
+(** The Theorem 2 DCFSR instance: [links >= m] parallel links (default
+    [4 * m]), 3m flows of volume [a_i] with span [\[0, 1\]],
+    [sigma = mu (alpha-1) B^alpha], cap above [B]. *)
+
+val three_partition_opt_energy : ?mu:float -> ?alpha:float -> three_partition -> float
+(** [m * alpha * mu * B^alpha] — the optimum for a yes-instance. *)
+
+type partition = { integers : int list; total : int }
+
+val make_partition : integers:int list -> partition
+
+val partition_instance : ?mu:float -> ?alpha:float -> ?links:int -> partition -> Instance.t
+(** The Theorem 3 instance: parallel links with [C = B/2],
+    [sigma = mu (alpha - 1) C^alpha], one flow per integer, unit
+    horizon. *)
+
+val partition_yes_energy : ?mu:float -> ?alpha:float -> partition -> float
+(** [2 sigma + 2 mu C^alpha]: two links at full rate when an exact split
+    exists. *)
+
+val inapprox_ratio : alpha:float -> float
+(** The Theorem 3 lower bound [3/2 (1 + ((2/3)^alpha - 1)/alpha)] on any
+    polynomial-time approximation ratio. *)

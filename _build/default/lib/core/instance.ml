@@ -1,0 +1,41 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+
+type t = {
+  graph : Graph.t;
+  power : Dcn_power.Model.t;
+  flows : Flow.t list;
+}
+
+let make ~graph ~power ~flows =
+  if flows = [] then invalid_arg "Instance.make: no flows";
+  let ids = List.map (fun f -> f.Flow.id) flows in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Instance.make: duplicate flow ids";
+  let n = Graph.num_nodes graph in
+  List.iter
+    (fun f ->
+      if f.Flow.src < 0 || f.Flow.src >= n || f.Flow.dst < 0 || f.Flow.dst >= n then
+        invalid_arg
+          (Printf.sprintf "Instance.make: flow %d has endpoints outside the graph"
+             f.Flow.id))
+    flows;
+  { graph; power; flows }
+
+let horizon t = Flow.horizon t.flows
+
+let num_flows t = List.length t.flows
+
+let flow_array t =
+  let a = Array.of_list t.flows in
+  Array.sort (fun (f : Flow.t) g -> compare f.id g.Flow.id) a;
+  a
+
+let find_flow t id = List.find (fun f -> f.Flow.id = id) t.flows
+
+let timeline t = Dcn_flow.Timeline.make t.flows
+
+let pp ppf t =
+  let t0, t1 = horizon t in
+  Format.fprintf ppf "instance: %a; %d flows on [%g,%g]; %a" Graph.pp t.graph
+    (num_flows t) t0 t1 Dcn_power.Model.pp t.power

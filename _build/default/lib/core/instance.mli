@@ -1,0 +1,32 @@
+(** A problem instance: network, power model and deadline-constrained
+    flows — the common input of DCFS and DCFSR. *)
+
+type t = private {
+  graph : Dcn_topology.Graph.t;
+  power : Dcn_power.Model.t;
+  flows : Dcn_flow.Flow.t list;
+}
+
+val make :
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  flows:Dcn_flow.Flow.t list ->
+  t
+(** @raise Invalid_argument if the flow list is empty, flow ids are not
+    distinct, or some endpoint is not a node of the graph. *)
+
+val horizon : t -> float * float
+(** [(T0, T1)] = (earliest release, latest deadline). *)
+
+val num_flows : t -> int
+
+val flow_array : t -> Dcn_flow.Flow.t array
+(** Flows sorted by id; ids need not be dense. *)
+
+val find_flow : t -> int -> Dcn_flow.Flow.t
+(** @raise Not_found. *)
+
+val timeline : t -> Dcn_flow.Timeline.t
+(** Interval structure of the instance (computed fresh). *)
+
+val pp : Format.formatter -> t -> unit

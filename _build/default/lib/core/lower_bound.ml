@@ -1,0 +1,10 @@
+type t = {
+  value : float;
+  fractional_cost : float;
+  relaxation : Relaxation.t;
+}
+
+let of_relaxation relaxation =
+  { value = relaxation.Relaxation.lb; fractional_cost = relaxation.Relaxation.cost; relaxation }
+
+let compute ?fw_config inst = of_relaxation (Relaxation.solve ?fw_config inst)

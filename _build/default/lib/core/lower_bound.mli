@@ -1,0 +1,21 @@
+(** The paper's LB normaliser (Section V-C).
+
+    The "lower bound for the optimum (solution given by y*)": the cost
+    of the multi-step fractional relaxation, in which every flow is
+    spread at its density over its span, may use many paths at once and
+    links turn on and off freely.  As in the paper it is used to
+    normalise the energies of Random-Schedule and SP+MCF.  (It fixes
+    per-interval demands to the densities, so it is the paper's
+    normaliser rather than a certified bound over every conceivable
+    schedule — see DESIGN.md.) *)
+
+type t = {
+  value : float;  (** certified lower bound of the relaxation objective *)
+  fractional_cost : float;  (** the relaxation's achieved objective *)
+  relaxation : Relaxation.t;
+}
+
+val compute : ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
+
+val of_relaxation : Relaxation.t -> t
+(** Reuse an already-solved relaxation (Random-Schedule computes one). *)

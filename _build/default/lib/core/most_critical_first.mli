@@ -1,0 +1,55 @@
+(** Algorithm 1 of the paper: {b Most-Critical-First}, the optimal
+    combinatorial algorithm for DCFS (flow scheduling with given
+    routes).
+
+    The algorithm generalises YDS to a network: every flow gets the
+    virtual weight [w'_i = w_i * |P_i|^(1/alpha)]; repeatedly the
+    (interval, link) pair maximising the intensity
+
+    {v delta(I, e) = sum of w'_i over flows living inside I on e
+                     / available time of I on e v}
+
+    is selected (the {e critical interval} / {e critical link}); its
+    flows are scheduled EDF at rates [s_i = delta / |P_i|^(1/alpha)]
+    (Theorem 1), their transmission windows become unavailable on every
+    link of their paths, and the process repeats (Corollary 1:
+    optimality for DCFS under the virtual-circuit assumption of
+    Section III-A).
+
+    Rates are computed by solving program (P1) exactly, in the YDS
+    time-debit formulation: a scheduled flow debits [w_j / s_j] time
+    units from every window of every link of its path that contains its
+    span — precisely the left-hand sides of (P1)'s interval constraints,
+    with no cross-link slot coupling (the paper calls the result "the
+    lower bound of the energy consumption by SP routing").  Concrete
+    transmission slots for the virtual-circuit realisation are packed
+    afterwards, greedily in group/EDF order avoiding busy time on all
+    path links; when heavy congestion admits no consistent placement the
+    result is flagged via [placement_complete] while the energy remains
+    the (P1) objective (Eq. 5 with the computed rates). *)
+
+type group = {
+  link : Dcn_topology.Graph.link;  (** the critical link *)
+  window : float * float;  (** the critical interval *)
+  intensity : float;  (** [delta(I*, e)] in virtual-weight units *)
+  flow_ids : int list;  (** members, ascending *)
+}
+
+type result = {
+  schedule : Dcn_sched.Schedule.t;
+  rates : (int * float) list;  (** flow id -> constant transmission rate *)
+  groups : group list;  (** selection order; intensities non-increasing *)
+  placement_complete : bool;
+  energy : float;
+      (** Eq. (5): [sigma |Ea| (T1-T0) + sum_i |P_i| w_i mu s_i^(alpha-1)];
+          equals [Schedule.energy schedule] when placement is complete *)
+}
+
+val solve :
+  Instance.t -> routing:(int -> Dcn_topology.Graph.link list) -> result
+(** [routing id] is the path of the flow with that id.
+    @raise Invalid_argument if a routing path does not connect the
+    flow's endpoints. *)
+
+val rate_of : result -> int -> float
+(** @raise Not_found for an unknown flow id. *)

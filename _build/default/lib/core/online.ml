@@ -1,0 +1,75 @@
+module Graph = Dcn_topology.Graph
+module Paths = Dcn_topology.Paths
+module Flow = Dcn_flow.Flow
+module Timeline = Dcn_flow.Timeline
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+
+type t = {
+  schedule : Schedule.t;
+  accepted : int list;
+  rejected : int list;
+  energy : float;
+  acceptance_rate : float;
+}
+
+let solve inst =
+  let g = inst.Instance.graph in
+  let power = inst.Instance.power in
+  let cap = power.Model.cap in
+  let tl = Instance.timeline inst in
+  let k = Timeline.num_intervals tl in
+  let m = Graph.num_links g in
+  let loads = Array.make_matrix m k 0. in
+  let ordered =
+    List.sort
+      (fun (f1 : Flow.t) f2 -> compare (f1.release, f1.id) (f2.Flow.release, f2.Flow.id))
+      inst.Instance.flows
+  in
+  let accepted = ref [] and rejected = ref [] in
+  let plans = ref [] in
+  List.iter
+    (fun (f : Flow.t) ->
+      let d = Flow.density f in
+      let my_intervals = Timeline.interval_indices_of tl f in
+      (* A link is admissible if the flow's density fits under the cap
+         throughout the span. *)
+      let banned e =
+        List.exists (fun j -> loads.(e).(j) +. d > cap *. (1. +. 1e-9)) my_intervals
+      in
+      let weight e =
+        List.fold_left
+          (fun acc j ->
+            let x = loads.(e).(j) in
+            acc
+            +. (Timeline.length tl j
+               *. (Model.total power (x +. d) -. Model.total power x)))
+          0. my_intervals
+      in
+      let tree = Paths.shortest_tree ~weight ~banned_links:banned g ~src:f.src in
+      match Paths.extract_path g tree ~dst:f.dst with
+      | None -> rejected := f.id :: !rejected
+      | Some path ->
+        accepted := f.id :: !accepted;
+        List.iter
+          (fun e -> List.iter (fun j -> loads.(e).(j) <- loads.(e).(j) +. d) my_intervals)
+          path;
+        plans :=
+          {
+            Schedule.flow = f;
+            path;
+            slots =
+              [ { Schedule.start = f.release; stop = f.deadline; rate = d } ];
+          }
+          :: !plans)
+    ordered;
+  let t0, t1 = Instance.horizon inst in
+  let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) (List.rev !plans) in
+  let n_acc = List.length !accepted and n_rej = List.length !rejected in
+  {
+    schedule;
+    accepted = List.sort compare !accepted;
+    rejected = List.sort compare !rejected;
+    energy = Schedule.energy schedule;
+    acceptance_rate = float_of_int n_acc /. float_of_int (max 1 (n_acc + n_rej));
+  }

@@ -1,0 +1,25 @@
+(** Online arrival with admission control.
+
+    The deadline-flow systems the paper builds on (D3, D2TCP, PDQ)
+    operate online: a flow reveals itself at its release time and the
+    network must either guarantee its deadline or reject it up front.
+    This module processes flows in release order over a
+    capacity-limited network: each flow is routed on the cheapest
+    marginal-energy path among those that can absorb its density in
+    every interval of its span without breaching the link capacity;
+    if no such path exists the flow is rejected (better never than
+    late).  Accepted flows transmit at their densities, so all accepted
+    deadlines are met (Theorem 4 reasoning) and the capacity constraint
+    holds by construction. *)
+
+type t = {
+  schedule : Dcn_sched.Schedule.t;  (** accepted flows only *)
+  accepted : int list;  (** flow ids, ascending *)
+  rejected : int list;  (** flow ids, ascending *)
+  energy : float;  (** Eq. (5) of the accepted schedule *)
+  acceptance_rate : float;
+}
+
+val solve : Instance.t -> t
+(** Deterministic.  With infinite capacity nothing is rejected and the
+    result coincides with {!Greedy_ear}. *)

@@ -1,0 +1,138 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Timeline = Dcn_flow.Timeline
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+module Decompose = Dcn_mcf.Decompose
+module Prng = Dcn_util.Prng
+
+type config = {
+  attempts : int;
+  fw_config : Dcn_mcf.Frank_wolfe.config;
+}
+
+let default_config = { attempts = 20; fw_config = Dcn_mcf.Frank_wolfe.default_config }
+
+type t = {
+  schedule : Schedule.t;
+  paths : (int * Graph.link list) list;
+  energy : float;
+  feasible : bool;
+  attempts_used : int;
+  candidates : (int * int) list;
+  relaxation : Relaxation.t;
+}
+
+(* Candidate paths of one flow across all intervals, with the paper's
+   combined weights w̄_P (keyed by the link list to merge duplicates). *)
+let candidate_paths relax (f : Flow.t) =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (isol : Relaxation.interval_solution) ->
+      let lo, hi = isol.bounds in
+      let frac = (hi -. lo) /. Flow.span_length f in
+      match List.assoc_opt f.id isol.flow_paths with
+      | None -> ()
+      | Some paths ->
+        List.iter
+          (fun (wp : Decompose.weighted_path) ->
+            let prev = try Hashtbl.find tbl wp.links with Not_found -> 0. in
+            Hashtbl.replace tbl wp.links (prev +. (wp.weight *. frac)))
+          paths)
+    relax.Relaxation.intervals;
+  let all = Hashtbl.fold (fun links w acc -> (links, w) :: acc) tbl [] in
+  (* Deterministic order for reproducible sampling. *)
+  List.sort compare all
+
+let build_schedule inst chosen =
+  let t0, t1 = Instance.horizon inst in
+  let plans =
+    List.map
+      (fun (f : Flow.t) ->
+        let path = List.assoc f.Flow.id chosen in
+        {
+          Schedule.flow = f;
+          path;
+          slots =
+            [
+              {
+                Schedule.start = f.Flow.release;
+                stop = f.Flow.deadline;
+                rate = Flow.density f;
+              };
+            ];
+        })
+      inst.Instance.flows
+  in
+  Schedule.make ~graph:inst.Instance.graph ~power:inst.Instance.power
+    ~horizon:(t0, t1) plans
+
+let solve ?(config = default_config) ?relaxation ~rng inst =
+  let relax =
+    match relaxation with
+    | Some r -> r
+    | None -> Relaxation.solve ~fw_config:config.fw_config inst
+  in
+  let flows = inst.Instance.flows in
+  let candidates =
+    List.map (fun (f : Flow.t) -> (f.id, candidate_paths relax f)) flows
+  in
+  List.iter
+    (fun (id, cands) ->
+      if cands = [] then
+        invalid_arg
+          (Printf.sprintf "Random_schedule.solve: no candidate path for flow %d" id))
+    candidates;
+  let draw () =
+    List.map
+      (fun (id, cands) ->
+        let weights = Array.of_list (List.map snd cands) in
+        let idx = Prng.pick_weighted rng ~weights in
+        (id, fst (List.nth cands idx)))
+      candidates
+  in
+  let cap = inst.Instance.power.Model.cap in
+  let evaluate chosen =
+    let schedule = build_schedule inst chosen in
+    let overload = Schedule.max_link_rate schedule -. cap in
+    let feasible = overload <= 1e-6 *. Float.max 1. cap in
+    (schedule, Schedule.energy schedule, feasible, overload)
+  in
+  let best = ref None in
+  let attempts_used = ref 0 in
+  (try
+     for _ = 1 to Float.to_int (Float.max 1. (float_of_int config.attempts)) do
+       incr attempts_used;
+       let chosen = draw () in
+       let schedule, energy, feasible, overload = evaluate chosen in
+       let better =
+         match !best with
+         | None -> true
+         | Some (_, _, best_energy, best_feasible, best_overload) ->
+           if feasible && not best_feasible then true
+           else if feasible && best_feasible then energy < best_energy
+           else if (not feasible) && not best_feasible then overload < best_overload
+           else false
+       in
+       if better then best := Some (chosen, schedule, energy, feasible, overload);
+       (* A feasible draw is what the paper asks for; keep redrawing only
+          while infeasible. *)
+       if feasible then raise Exit
+     done
+   with Exit -> ());
+  match !best with
+  | None -> assert false (* attempts >= 1 *)
+  | Some (chosen, schedule, energy, feasible, _) ->
+    {
+      schedule;
+      paths = chosen;
+      energy;
+      feasible;
+      attempts_used = !attempts_used;
+      candidates = List.map (fun (id, cands) -> (id, List.length cands)) candidates;
+      relaxation = relax;
+    }
+
+let refine inst t =
+  let routing id = List.assoc id t.paths in
+  Most_critical_first.solve inst ~routing

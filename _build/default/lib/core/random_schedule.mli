@@ -1,0 +1,57 @@
+(** Algorithm 2 of the paper: {b Random-Schedule}, the approximation
+    algorithm for DCFSR (joint flow scheduling and routing).
+
+    Pipeline (Section V-A):
+
+    + relax to a multi-step fractional MCF and solve each interval's
+      convex program ({!Relaxation});
+    + extract candidate paths per flow by Raghavan–Tompson decomposition
+      and weight each path by
+      [w̄_P = sum over k of w_P(k) |I_k| / (d_i - r_i)];
+    + choose one path per flow at random with probability proportional
+      to [w̄_P];
+    + in every interval run each used link at rate
+      [sum of D_i over J_e(k)] with EDF among the flows — realised here
+      by letting each flow transmit at its density [D_i] across its span
+      on the chosen path, which yields exactly those link rates and
+      meets every deadline (Theorem 4).
+
+    The rounding does not guarantee the capacity constraint; as the
+    paper notes, the draw can be repeated.  [solve] redraws up to
+    [attempts] times, returning the first feasible draw (or the
+    least-overloaded draw if none is feasible within the budget) and
+    reporting what happened. *)
+
+type config = {
+  attempts : int;  (** rounding redraws, default 20 *)
+  fw_config : Dcn_mcf.Frank_wolfe.config;
+}
+
+val default_config : config
+
+type t = {
+  schedule : Dcn_sched.Schedule.t;
+  paths : (int * Dcn_topology.Graph.link list) list;  (** flow id -> chosen path *)
+  energy : float;  (** Eq. (5) of the chosen schedule *)
+  feasible : bool;  (** capacity respected by the chosen draw *)
+  attempts_used : int;
+  candidates : (int * int) list;  (** flow id -> number of candidate paths *)
+  relaxation : Relaxation.t;  (** the fractional solution (for LB reuse) *)
+}
+
+val solve :
+  ?config:config ->
+  ?relaxation:Relaxation.t ->
+  rng:Dcn_util.Prng.t ->
+  Instance.t ->
+  t
+(** [relaxation] short-circuits step 1 when the caller already solved it
+    (e.g. to share it with {!Lower_bound}). *)
+
+val refine : Instance.t -> t -> Most_critical_first.result
+(** Ablation (not in the paper): keep Random-Schedule's routing but
+    replace the interval-density rates by the DCFS schedule on those
+    paths (Most-Critical-First).  Wins under light load (one constant
+    rate per flow, Lemma 1); can lose under congestion, where DCFS's
+    virtual-circuit serialisation forces higher rates than RS's fluid
+    link sharing. *)

@@ -1,0 +1,100 @@
+(* The multi-step fractional MCF relaxation of Algorithm 2 (steps 1-5):
+   per interval I_k, route every active flow's density D_i fractionally,
+   minimising the sum of convex link costs.  The convex surrogate for the
+   paper's fixed-charge f is its lower convex envelope (see
+   Dcn_power.Model.envelope and DESIGN.md); capacities are enforced by
+   the Frank-Wolfe penalty.  Shared by Random_schedule (which rounds the
+   fractional paths) and Lower_bound (which just takes the cost). *)
+
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Timeline = Dcn_flow.Timeline
+module Model = Dcn_power.Model
+module Fw = Dcn_mcf.Frank_wolfe
+module Decompose = Dcn_mcf.Decompose
+
+type interval_solution = {
+  index : int;
+  bounds : float * float;
+  cost : float;  (* envelope cost of the fractional loads (per unit time) *)
+  lb : float;  (* certified lower bound on the interval's convex optimum *)
+  max_overload : float;
+  flow_paths : (int * Decompose.weighted_path list) list;
+      (* flow id -> weighted paths, weights summing to the density *)
+}
+
+type t = {
+  timeline : Timeline.t;
+  intervals : interval_solution array;
+  cost : float;  (* sum over k of |I_k| * cost_k *)
+  lb : float;  (* sum over k of |I_k| * lb_k *)
+}
+
+let solve ?(fw_config = Fw.default_config) inst =
+  let g = inst.Instance.graph in
+  let power = inst.Instance.power in
+  let tl = Instance.timeline inst in
+  let flows = inst.Instance.flows in
+  let solve_interval k =
+    let bounds = Timeline.bounds tl k in
+    let active = Timeline.active tl flows k in
+    match active with
+    | [] ->
+      {
+        index = k;
+        bounds;
+        cost = 0.;
+        lb = 0.;
+        max_overload = neg_infinity;
+        flow_paths = [];
+      }
+    | _ ->
+      let commodities =
+        List.mapi
+          (fun index (f : Flow.t) ->
+            Dcn_mcf.Commodity.make ~index ~src:f.src ~dst:f.dst
+              ~demand:(Flow.density f))
+          active
+      in
+      let problem =
+        {
+          Fw.graph = g;
+          commodities = Array.of_list commodities;
+          cost = Model.envelope power;
+          cost_deriv = Model.envelope_deriv power;
+          capacity = power.Model.cap;
+        }
+      in
+      let sol = Fw.solve ~config:fw_config problem in
+      let flow_paths =
+        List.mapi
+          (fun i (f : Flow.t) ->
+            let paths =
+              Decompose.run g ~src:f.src ~dst:f.dst ~flow:sol.Fw.flows.(i)
+            in
+            (f.id, paths))
+          active
+      in
+      {
+        index = k;
+        bounds;
+        cost = sol.Fw.cost;
+        lb = Fw.lower_bound_cost problem sol;
+        max_overload = sol.Fw.max_overload;
+        flow_paths;
+      }
+  in
+  let intervals = Array.init (Timeline.num_intervals tl) solve_interval in
+  let weighted part =
+    Array.fold_left
+      (fun acc s ->
+        let lo, hi = s.bounds in
+        acc +. ((hi -. lo) *. part s))
+      0. intervals
+  in
+  {
+    timeline = tl;
+    intervals;
+    cost = weighted (fun s -> s.cost);
+    lb = weighted (fun s -> s.lb);
+  }

@@ -1,0 +1,31 @@
+(** The multi-step fractional MCF relaxation of Algorithm 2.
+
+    Per interval [I_k] of the instance's timeline, every active flow's
+    density [D_i] is routed fractionally at minimum total convex link
+    cost — the F-MCF subproblem of the paper, solved here by
+    {!Dcn_mcf.Frank_wolfe} with the power model's lower convex envelope
+    as the per-link cost (the convexification of the fixed-charge
+    Eq. 1; see DESIGN.md).  The fractional per-flow link flows are
+    decomposed into weighted paths (Raghavan–Tompson), ready for the
+    randomised rounding of {!Random_schedule}; the certified objective
+    lower bounds feed {!Lower_bound}. *)
+
+type interval_solution = {
+  index : int;
+  bounds : float * float;
+  cost : float;
+      (** envelope cost of the fractional loads, per unit time *)
+  lb : float;  (** certified lower bound on the interval's convex optimum *)
+  max_overload : float;  (** worst link-load excess over capacity *)
+  flow_paths : (int * Dcn_mcf.Decompose.weighted_path list) list;
+      (** flow id → weighted paths; weights sum to the flow's density *)
+}
+
+type t = {
+  timeline : Dcn_flow.Timeline.t;
+  intervals : interval_solution array;
+  cost : float;  (** [sum over k of |I_k| * cost_k] *)
+  lb : float;  (** [sum over k of |I_k| * lb_k] — the paper's LB series *)
+}
+
+val solve : ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t

@@ -1,0 +1,114 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+
+let header = "dcnsched-instance v1"
+
+let float_to_string x = if x = infinity then "inf" else Printf.sprintf "%.17g" x
+
+let instance_to_string (inst : Instance.t) =
+  let g = inst.graph in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "%s" header;
+  for v = 0 to Graph.num_nodes g - 1 do
+    match Graph.node_kind g v with
+    | Graph.Host -> line "node %d host %s" v (Graph.node_name g v)
+    | Graph.Switch { tier } -> line "node %d switch:%d %s" v tier (Graph.node_name g v)
+  done;
+  (* Cables are link pairs (fwd, bwd); emit each once, in id order, so a
+     rebuilt graph assigns identical link ids. *)
+  for l = 0 to Graph.num_links g - 1 do
+    if l mod 2 = 0 then line "cable %d %d" (Graph.link_src g l) (Graph.link_dst g l)
+  done;
+  let p = inst.power in
+  line "power %s %s %s %s" (float_to_string p.Model.sigma) (float_to_string p.Model.mu)
+    (float_to_string p.Model.alpha) (float_to_string p.Model.cap);
+  List.iter
+    (fun (f : Flow.t) ->
+      line "flow %d %d %d %s %s %s" f.id f.src f.dst (float_to_string f.volume)
+        (float_to_string f.release) (float_to_string f.deadline))
+    inst.flows;
+  Buffer.contents buf
+
+let parse_float ~at s =
+  if s = "inf" then infinity
+  else
+    match float_of_string_opt s with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "line %d: bad number %S" at s)
+
+let parse_int ~at s =
+  match int_of_string_opt s with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "line %d: bad integer %S" at s)
+
+let instance_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let builder = Graph.Builder.create () in
+  let next_node = ref 0 in
+  let power = ref None in
+  let flows = ref [] in
+  let seen_header = ref false in
+  List.iteri
+    (fun idx raw ->
+      let at = idx + 1 in
+      let trimmed = String.trim raw in
+      if trimmed = "" || trimmed.[0] = '#' then ()
+      else if not !seen_header then
+        if trimmed = header then seen_header := true
+        else failwith (Printf.sprintf "line %d: expected %S" at header)
+      else
+        match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
+        | "node" :: id :: kind :: rest ->
+          let id = parse_int ~at id in
+          if id <> !next_node then
+            failwith (Printf.sprintf "line %d: node ids must be dense (got %d)" at id);
+          let name = match rest with [] -> None | n :: _ -> Some n in
+          let kind =
+            if kind = "host" then Graph.Host
+            else
+              match String.split_on_char ':' kind with
+              | [ "switch"; tier ] -> Graph.Switch { tier = parse_int ~at tier }
+              | _ -> failwith (Printf.sprintf "line %d: bad node kind %S" at kind)
+          in
+          ignore (Graph.Builder.add_node builder ?name kind);
+          incr next_node
+        | [ "cable"; u; v ] ->
+          ignore (Graph.Builder.add_cable builder (parse_int ~at u) (parse_int ~at v))
+        | [ "power"; sigma; mu; alpha; cap ] ->
+          power :=
+            Some
+              (Model.make ~sigma:(parse_float ~at sigma) ~mu:(parse_float ~at mu)
+                 ~alpha:(parse_float ~at alpha) ~cap:(parse_float ~at cap) ())
+        | [ "flow"; id; src; dst; volume; release; deadline ] ->
+          flows :=
+            Flow.make ~id:(parse_int ~at id) ~src:(parse_int ~at src)
+              ~dst:(parse_int ~at dst) ~volume:(parse_float ~at volume)
+              ~release:(parse_float ~at release) ~deadline:(parse_float ~at deadline)
+            :: !flows
+        | token :: _ -> failwith (Printf.sprintf "line %d: unknown directive %S" at token)
+        | [] -> ())
+    lines;
+  if not !seen_header then failwith "empty input: missing header";
+  let graph = Graph.Builder.finish builder in
+  match !power with
+  | None -> failwith "missing 'power' line"
+  | Some power -> Instance.make ~graph ~power ~flows:(List.rev !flows)
+
+let schedule_to_string (sched : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "dcnsched-schedule v1";
+  List.iter
+    (fun (p : Schedule.plan) ->
+      line "plan %d %s" p.flow.Flow.id
+        (String.concat " " (List.map string_of_int p.path));
+      List.iter
+        (fun (s : Schedule.slot) ->
+          line "slot %s %s %s" (float_to_string s.start) (float_to_string s.stop)
+            (float_to_string s.rate))
+        p.slots)
+    sched.plans;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Plain-text serialisation of instances and schedules.
+
+    A small, versioned, line-oriented format so instances can be
+    generated once, shared, and re-solved (`dcn solve --instance file`),
+    and so schedules can be exported for external plotting.  Graphs are
+    written structurally (nodes and cables), so any topology round-trips
+    regardless of which builder produced it.
+
+    {v
+    dcnsched-instance v1
+    # comment
+    node <id> host|switch:<tier> [name]
+    cable <node> <node>
+    power <sigma> <mu> <alpha> <cap|inf>
+    flow <id> <src> <dst> <volume> <release> <deadline>
+    v} *)
+
+val instance_to_string : Instance.t -> string
+
+val instance_of_string : string -> Instance.t
+(** @raise Failure with a line number on malformed input. *)
+
+val schedule_to_string : Dcn_sched.Schedule.t -> string
+(** One [plan] line per flow (id, path link ids) followed by its
+    [slot] lines (start stop rate).  Export only — re-importing a
+    schedule requires its instance, so no parser is provided.  (CSV
+    export of experiment series lives next to the experiments, see
+    {!Dcn_experiments.Fig2}.) *)

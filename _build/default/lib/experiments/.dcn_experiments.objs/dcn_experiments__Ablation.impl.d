@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Dcn_core Dcn_flow Dcn_power Dcn_sched Dcn_topology Dcn_util Fig2 Fun List

@@ -1,0 +1,1 @@
+lib/experiments/bounds_check.ml: Dcn_core Dcn_flow Dcn_power Dcn_topology Dcn_util Fig2 List Printf

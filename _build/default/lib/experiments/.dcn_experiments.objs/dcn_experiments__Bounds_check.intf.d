@@ -1,0 +1,1 @@
+lib/experiments/bounds_check.mli:

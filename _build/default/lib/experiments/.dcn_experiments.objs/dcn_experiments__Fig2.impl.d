@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Buffer Dcn_core Dcn_flow Dcn_mcf Dcn_power Dcn_sim Dcn_topology Dcn_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/gadget_runs.ml: Dcn_core Dcn_util Fig2

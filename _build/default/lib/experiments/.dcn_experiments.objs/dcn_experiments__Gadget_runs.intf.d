@@ -1,0 +1,1 @@
+lib/experiments/gadget_runs.mli:

@@ -1,0 +1,1 @@
+lib/experiments/small_exact.mli:

@@ -1,0 +1,1 @@
+lib/experiments/trace_eval.ml: Dcn_core Dcn_flow Dcn_power Dcn_sim Dcn_topology Dcn_util Fig2 List

@@ -1,0 +1,144 @@
+(** Ablations beyond the paper's Figure 2 (E7 in DESIGN.md).
+
+    [power_down] turns the idle power on ([sigma > 0], the full Eq. 1
+    model) and reports how Random-Schedule consolidates traffic onto
+    fewer links than shortest-path routing — the power-down half of the
+    paper's model that Figure 2 (with [x^alpha] only) does not
+    exercise.
+
+    [capacity_stress] binds the link capacity and reports how often the
+    randomised rounding needs redraws and whether it ends feasible —
+    the failure mode the paper waves at ("repeat the randomized
+    rounding ... until feasible").
+
+    [refinement] quantifies the gain of re-running Most-Critical-First
+    on Random-Schedule's chosen paths (RS keeps interval-constant link
+    rates; DCFS is rate-optimal for fixed routes). *)
+
+type power_down_row = {
+  sigma : float;
+  rs_energy : float;
+  rs_idle : float;
+  rs_active_links : int;
+  sp_energy : float;
+  sp_idle : float;
+  sp_active_links : int;
+}
+
+val power_down :
+  ?seed:int -> ?n:int -> ?alpha:float -> sigmas:float list -> unit -> power_down_row list
+(** Fixed workload on a k = 4 fat-tree, sweeping [sigma]. *)
+
+val render_power_down : power_down_row list -> string
+
+type capacity_row = {
+  cap : float;
+  feasible : bool;
+  attempts_used : int;
+  max_rate : float;
+}
+
+val capacity_stress :
+  ?seed:int -> ?n:int -> ?alpha:float -> caps:float list -> unit -> capacity_row list
+
+val render_capacity : capacity_row list -> string
+
+type refinement_row = {
+  n : int;
+  rs_over_lb : float;
+  refined_over_lb : float;
+  gain_percent : float;
+}
+
+val refinement :
+  ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> refinement_row list
+
+val render_refinement : refinement_row list -> string
+
+type failure_row = {
+  failed_cables : int;
+  rs_over_lb : float;  (** RS on the degraded fabric, vs its own LB *)
+  sp_over_lb : float;
+  lb : float;  (** absolute LB — rises as redundancy disappears *)
+}
+
+val failures :
+  ?seed:int -> ?n:int -> ?alpha:float -> counts:int list -> unit -> failure_row list
+(** Fail random switch-to-switch cables of a k = 4 fat-tree (resampled
+    until the fabric stays connected) and re-run everything: how the
+    algorithms degrade as path redundancy disappears. *)
+
+val render_failures : failure_row list -> string
+
+type admission_row = {
+  load : float;
+  offered : int;  (** flows offered *)
+  acceptance : float;  (** fraction admitted by the online controller *)
+  energy : float;  (** energy of the admitted schedule *)
+}
+
+val admission :
+  ?seed:int -> ?alpha:float -> ?cap:float -> loads:float list -> unit -> admission_row list
+(** Online arrival with admission control ({!Dcn_core.Online}) on trace
+    workloads at increasing load under a finite link capacity: the
+    better-never-than-late operating mode of the deadline-flow systems
+    the paper builds on. *)
+
+val render_admission : admission_row list -> string
+
+type rate_row = {
+  levels : int;
+  hold_overhead : float;  (** energy factor when links hold quantized levels *)
+  work_overhead : float;  (** factor in the work-preserving model *)
+}
+
+val rate_levels : ?seed:int -> ?n:int -> ?alpha:float -> counts:int list -> unit -> rate_row list
+(** Discrete rate ladders (geometric, topped just above the busiest
+    fluid rate) applied to a Random-Schedule run: the continuous-speed
+    idealisation's hidden cost, shrinking as the ladder gets finer. *)
+
+val render_rate_levels : rate_row list -> string
+
+type split_row = {
+  parts : int;
+  rs_over_lb : float;
+      (** Random-Schedule on the split workload, normalised by the
+          (unchanged) fractional LB of the original instance *)
+  distinct_paths : int;  (** distinct (src, dst, path) routes actually used *)
+}
+
+val splitting : ?seed:int -> ?n:int -> ?alpha:float -> parts:int list -> unit -> split_row list
+(** Section II-B: splitting big flows into sub-flows approximates
+    multi-path routing; the ratio should fall toward 1 as parts grow. *)
+
+val render_splitting : split_row list -> string
+
+type lb_row = {
+  n : int;
+  paper_lb : float;  (** per-interval-density relaxation (the paper's LB) *)
+  joint_lb : float;  (** volume-coupled relaxation (certified, weaker constraints) *)
+  overstatement : float;  (** paper_lb / joint_lb, >= 1 up to solver tolerance *)
+  rs_over_joint : float;  (** RS ratio against the more honest floor *)
+}
+
+val lb_tightness : ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> lb_row list
+(** How much does pinning per-interval densities (the paper's LB)
+    overstate the true fractional floor? *)
+
+val render_lb : lb_row list -> string
+
+type routing_row = {
+  n : int;
+  sp_over_lb : float;  (** deterministic shortest paths *)
+  ecmp_over_lb : float;  (** random minimum-hop paths (oblivious ECMP/VLB) *)
+  ear_over_lb : float;  (** greedy energy-aware routing (online-capable) *)
+  rs_routing_over_lb : float;  (** Random-Schedule's optimised routing *)
+}
+
+val routing_comparison :
+  ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> routing_row list
+(** How much of Random-Schedule's win is just "spread the load" (which
+    ECMP gets for free) versus actually energy-aware routing?  All three
+    normalised by the fractional LB. *)
+
+val render_routing : routing_row list -> string

@@ -1,0 +1,20 @@
+(** Experiment: the worst-case analysis vs practice.
+
+    For random instances, compare the measured approximation ratio of
+    Random-Schedule (against the fractional LB, an over-estimate of the
+    true ratio) with the Theorem 6 growth term and the Theorem 3
+    universal floor.  The point the table makes: the measured ratio sits
+    barely above the floor while the worst-case term is astronomically
+    loose — the algorithm is far better in practice than its guarantee. *)
+
+type row = {
+  n : int;
+  lambda : float;
+  measured : float;  (** RS energy / fractional LB *)
+  theorem3_floor : float;
+  theorem6_term : float;
+}
+
+val run : ?alpha:float -> ?seed:int -> ns:int list -> unit -> row list
+
+val render : row list -> string

@@ -1,0 +1,153 @@
+module Model = Dcn_power.Model
+module Workload = Dcn_flow.Workload
+module Prng = Dcn_util.Prng
+module Stats = Dcn_util.Stats
+module Table = Dcn_util.Table
+
+type params = {
+  alpha : float;
+  sigma : float;
+  fat_tree_k : int;
+  flow_counts : int list;
+  seeds : int list;
+  rs_attempts : int;
+  fw_config : Dcn_mcf.Frank_wolfe.config;
+}
+
+let experiment_fw_config =
+  { Dcn_mcf.Frank_wolfe.default_config with max_iters = 40; gap_tol = 1e-3; line_search_iters = 24 }
+
+let default_params ~alpha =
+  {
+    alpha;
+    sigma = 0.;
+    fat_tree_k = 8;
+    flow_counts = [ 40; 80; 120; 160; 200 ];
+    seeds = List.init 10 (fun i -> 1000 + i);
+    rs_attempts = 20;
+    fw_config = experiment_fw_config;
+  }
+
+let quick_params ~alpha =
+  {
+    (default_params ~alpha) with
+    fat_tree_k = 4;
+    flow_counts = [ 20; 40; 60 ];
+    seeds = [ 1001; 1002; 1003 ];
+  }
+
+type point = {
+  n : int;
+  lb : float;
+  sp_mcf : float;
+  rs : float;
+  rs_refined : float;
+  sp_mcf_sd : float;
+  rs_sd : float;
+  rs_all_feasible : bool;
+  rs_deadlines_met : bool;
+}
+
+type result = { params : params; points : point list }
+
+type run_sample = {
+  s_lb : float;
+  s_sp : float;
+  s_rs : float;
+  s_refined : float;
+  s_feasible : bool;
+  s_deadlines : bool;
+}
+
+let run_one params ~graph ~n ~seed =
+  let power = Model.make ~sigma:params.sigma ~mu:1. ~alpha:params.alpha () in
+  let rng = Prng.create seed in
+  let flows = Workload.paper_random ~rng ~graph ~n () in
+  let inst = Dcn_core.Instance.make ~graph ~power ~flows in
+  let rs_config =
+    { Dcn_core.Random_schedule.attempts = params.rs_attempts; fw_config = params.fw_config }
+  in
+  let rs = Dcn_core.Random_schedule.solve ~config:rs_config ~rng inst in
+  let lb = Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation in
+  let sp = Dcn_core.Baselines.sp_mcf inst in
+  let refined = Dcn_core.Random_schedule.refine inst rs in
+  let sim = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+  {
+    s_lb = lb.Dcn_core.Lower_bound.value;
+    s_sp = sp.Dcn_core.Most_critical_first.energy;
+    s_rs = rs.Dcn_core.Random_schedule.energy;
+    s_refined = refined.Dcn_core.Most_critical_first.energy;
+    s_feasible = rs.Dcn_core.Random_schedule.feasible;
+    s_deadlines = sim.Dcn_sim.Fluid.all_deadlines_met;
+  }
+
+let run ?(progress = fun _ -> ()) params =
+  let graph = Dcn_topology.Builders.fat_tree params.fat_tree_k in
+  let points =
+    List.map
+      (fun n ->
+        let samples =
+          List.map
+            (fun seed ->
+              progress (Printf.sprintf "fig2 alpha=%g n=%d seed=%d" params.alpha n seed);
+              run_one params ~graph ~n ~seed)
+            params.seeds
+        in
+        let arr f = Array.of_list (List.map f samples) in
+        let norm f = arr (fun s -> f s /. s.s_lb) in
+        let sp_norm = norm (fun s -> s.s_sp) in
+        let rs_norm = norm (fun s -> s.s_rs) in
+        let refined_norm = norm (fun s -> s.s_refined) in
+        {
+          n;
+          lb = Stats.mean (arr (fun s -> s.s_lb));
+          sp_mcf = Stats.mean sp_norm;
+          rs = Stats.mean rs_norm;
+          rs_refined = Stats.mean refined_norm;
+          sp_mcf_sd = Stats.stddev sp_norm;
+          rs_sd = Stats.stddev rs_norm;
+          rs_all_feasible = List.for_all (fun s -> s.s_feasible) samples;
+          rs_deadlines_met = List.for_all (fun s -> s.s_deadlines) samples;
+        })
+      params.flow_counts
+  in
+  { params; points }
+
+let render result =
+  let headers =
+    [ "flows"; "LB"; "RS/LB"; "sd"; "SP+MCF/LB"; "sd"; "RS+refine/LB"; "feasible"; "deadlines" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.n;
+          Table.cell_f ~decimals:1 p.lb;
+          Table.cell_f p.rs;
+          Table.cell_f p.rs_sd;
+          Table.cell_f p.sp_mcf;
+          Table.cell_f p.sp_mcf_sd;
+          Table.cell_f p.rs_refined;
+          (if p.rs_all_feasible then "yes" else "NO");
+          (if p.rs_deadlines_met then "met" else "MISSED");
+        ])
+      result.points
+  in
+  Printf.sprintf
+    "Figure 2 (alpha = %g, sigma = %g, fat-tree k = %d, %d seeds)\nEnergies normalised by the fractional lower bound.\n%s"
+    result.params.alpha result.params.sigma result.params.fat_tree_k
+    (List.length result.params.seeds)
+    (Table.render ~headers ~rows ())
+
+let to_csv result =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "alpha,sigma,k,seeds,n,lb,rs,rs_sd,sp_mcf,sp_mcf_sd,rs_refined\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%g,%g,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n"
+           result.params.alpha result.params.sigma result.params.fat_tree_k
+           (List.length result.params.seeds)
+           p.n p.lb p.rs p.rs_sd p.sp_mcf p.sp_mcf_sd p.rs_refined))
+    result.points;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Experiments E4/E5: the hardness gadgets, executed.
+
+    [three_partition] builds a solvable Theorem 2 instance, solves it
+    exactly (path enumeration × Most-Critical-First) and with
+    Random-Schedule, and compares both to the closed-form optimum
+    [m * alpha * mu * B^alpha].  [partition] reports the Theorem 3
+    inapproximability ratio alongside the yes-instance optimum, checked
+    the same way. *)
+
+type three_partition_report = {
+  m : int;
+  b : int;
+  closed_form : float;  (** m * alpha * mu * B^alpha *)
+  exact : float;  (** exhaustive optimum *)
+  rs : float;  (** Random-Schedule energy *)
+  rs_feasible : bool;
+  rs_over_opt : float;
+}
+
+val three_partition :
+  ?seed:int -> ?m:int -> ?b:int -> ?alpha:float -> unit -> three_partition_report
+
+val render_three_partition : three_partition_report -> string
+
+type partition_report = {
+  total : int;
+  yes_energy : float;  (** 2 sigma + 2 mu C^alpha *)
+  exact : float;
+  inapprox_ratio : float;  (** Theorem 3's lower bound for this alpha *)
+}
+
+val partition : ?alpha:float -> ?integers:int list -> unit -> partition_report
+
+val render_partition : partition_report -> string

@@ -1,0 +1,21 @@
+(** Experiment E8: Random-Schedule against the exact optimum.
+
+    On instances small enough for exhaustive routing enumeration, how
+    far from optimal is the approximation in practice?  (Theorem 6 only
+    bounds it by a polynomial in n; the paper's simulation suggests it
+    is close to the fractional bound.) *)
+
+type row = {
+  seed : int;
+  n_flows : int;
+  exact : float;
+  rs : float;
+  ratio : float;  (** rs / exact, >= 1 up to solver tolerance *)
+}
+
+val run :
+  ?alpha:float -> ?n_flows:int -> ?links:int -> seeds:int list -> unit -> row list
+(** Random flows on a parallel-link network ([links], default 3;
+    [n_flows], default 4), exact by enumeration. *)
+
+val render : row list -> string

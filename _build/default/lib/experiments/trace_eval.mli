@@ -1,0 +1,25 @@
+(** Experiment E10 (extension): production-like traces.
+
+    The paper's evaluation uses uniform spans and normal volumes; real
+    DCN traffic has Poisson arrivals and heavy-tailed sizes.  This
+    experiment replays {!Dcn_flow.Workload.trace} workloads at
+    increasing load through all four policies (SP+MCF, ECMP+MCF,
+    online Greedy-EAR, Random-Schedule), normalised by the fractional
+    LB, and confirms the deadline guarantee on every run. *)
+
+type row = {
+  load : float;
+  n_flows : int;
+  sp : float;
+  ecmp : float;
+  ear : float;
+  rs : float;
+  deadlines_met : bool;
+}
+
+val run :
+  ?alpha:float -> ?seed:int -> ?horizon:float -> loads:float list -> unit -> row list
+(** Leaf-spine fabric (4 spines, 6 leaves, 4 hosts each); [horizon]
+    defaults to 60 time units. *)
+
+val render : row list -> string

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Dcn_topology Dcn_util Float Format List

@@ -1,0 +1,1 @@
+lib/flow/split.mli: Flow

@@ -1,0 +1,1 @@
+lib/flow/timeline.ml: Array Float Flow List

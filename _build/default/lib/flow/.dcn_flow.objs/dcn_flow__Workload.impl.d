@@ -1,0 +1,1 @@
+lib/flow/workload.ml: Array Dcn_topology Dcn_util Float Flow List Printf

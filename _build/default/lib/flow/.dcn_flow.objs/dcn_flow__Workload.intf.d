@@ -1,0 +1,1 @@
+lib/flow/workload.mli: Dcn_topology Dcn_util Flow

@@ -1,0 +1,45 @@
+type t = {
+  id : int;
+  src : Dcn_topology.Graph.node;
+  dst : Dcn_topology.Graph.node;
+  volume : float;
+  release : float;
+  deadline : float;
+}
+
+let make ~id ~src ~dst ~volume ~release ~deadline =
+  let finite = Dcn_util.Approx.is_finite in
+  if not (finite volume && finite release && finite deadline) then
+    invalid_arg "Flow.make: non-finite field";
+  if volume <= 0. then invalid_arg "Flow.make: volume must be > 0";
+  if deadline <= release then invalid_arg "Flow.make: deadline must be > release";
+  if src = dst then invalid_arg "Flow.make: src = dst";
+  { id; src; dst; volume; release; deadline }
+
+let density f = f.volume /. (f.deadline -. f.release)
+
+let span f = (f.release, f.deadline)
+
+let span_length f = f.deadline -. f.release
+
+let active_at f t = f.release <= t && t <= f.deadline
+
+let spans_interval f ~lo ~hi =
+  Dcn_util.Approx.leq f.release lo && Dcn_util.Approx.geq f.deadline hi
+
+let horizon = function
+  | [] -> invalid_arg "Flow.horizon: empty flow list"
+  | f :: rest ->
+    List.fold_left
+      (fun (lo, hi) g -> (Float.min lo g.release, Float.max hi g.deadline))
+      (f.release, f.deadline) rest
+
+let total_volume flows = List.fold_left (fun acc f -> acc +. f.volume) 0. flows
+
+let max_density = function
+  | [] -> invalid_arg "Flow.max_density: empty flow list"
+  | flows -> List.fold_left (fun acc f -> Float.max acc (density f)) 0. flows
+
+let pp ppf f =
+  Format.fprintf ppf "flow#%d %d->%d w=%g span=[%g,%g]" f.id f.src f.dst f.volume
+    f.release f.deadline

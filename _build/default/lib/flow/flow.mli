@@ -1,0 +1,51 @@
+(** Deadline-constrained flows (Section II-B).
+
+    A flow moves [volume] units of data from [src] to [dst] within its
+    span [\[release, deadline\]]; preemption is allowed and a single path
+    must carry all of it. *)
+
+type t = private {
+  id : int;  (** unique within an instance; indexes solution arrays *)
+  src : Dcn_topology.Graph.node;
+  dst : Dcn_topology.Graph.node;
+  volume : float;  (** [w_i], > 0 *)
+  release : float;  (** [r_i] *)
+  deadline : float;  (** [d_i], > release *)
+}
+
+val make :
+  id:int ->
+  src:Dcn_topology.Graph.node ->
+  dst:Dcn_topology.Graph.node ->
+  volume:float ->
+  release:float ->
+  deadline:float ->
+  t
+(** @raise Invalid_argument if [volume <= 0], [deadline <= release],
+    [src = dst], or any field is not finite. *)
+
+val density : t -> float
+(** [D_i = volume / (deadline - release)]. *)
+
+val span : t -> float * float
+
+val span_length : t -> float
+
+val active_at : t -> float -> bool
+(** Whether [release <= t <= deadline]. *)
+
+val spans_interval : t -> lo:float -> hi:float -> bool
+(** Whether [\[lo, hi\]] lies inside the flow's span (with a small
+    tolerance for breakpoint arithmetic). *)
+
+val horizon : t list -> float * float
+(** [(min release, max deadline)] over the flows.
+    @raise Invalid_argument on an empty list. *)
+
+val total_volume : t list -> float
+
+val max_density : t list -> float
+(** [D = max_i D_i], the quantity in the approximation ratio.
+    @raise Invalid_argument on an empty list. *)
+
+val pp : Format.formatter -> t -> unit

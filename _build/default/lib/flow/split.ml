@@ -1,0 +1,19 @@
+let flow (f : Flow.t) ~parts ~first_id =
+  if parts < 1 then invalid_arg "Split.flow: parts must be >= 1";
+  let share = f.Flow.volume /. float_of_int parts in
+  List.init parts (fun j ->
+      let volume =
+        if j = parts - 1 then f.Flow.volume -. (share *. float_of_int (parts - 1))
+        else share
+      in
+      Flow.make ~id:(first_id + j) ~src:f.Flow.src ~dst:f.Flow.dst ~volume
+        ~release:f.Flow.release ~deadline:f.Flow.deadline)
+
+let workload flows ~parts =
+  List.concat (List.mapi (fun i f -> flow f ~parts ~first_id:(i * parts)) flows)
+
+let mapping flows ~parts =
+  List.concat
+    (List.mapi
+       (fun i (f : Flow.t) -> List.init parts (fun j -> ((i * parts) + j, f.Flow.id)))
+       flows)

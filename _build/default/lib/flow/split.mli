@@ -1,0 +1,22 @@
+(** Flow splitting (Section II-B of the paper).
+
+    "Multi-path routing protocols can be incorporated in our model by
+    splitting a big flow into many small flows with the same release
+    time and deadline at the source end and each of the small flows
+    will follow a single path."  These helpers produce that
+    transformation so the single-path algorithms can approximate
+    multi-path behaviour; as the number of parts grows, Random-Schedule
+    approaches its own fractional relaxation. *)
+
+val flow : Flow.t -> parts:int -> first_id:int -> Flow.t list
+(** [parts >= 1] equal sub-flows with ids [first_id .. first_id+parts-1],
+    volumes summing exactly to the original (the last part absorbs the
+    rounding).  @raise Invalid_argument if [parts < 1]. *)
+
+val workload : Flow.t list -> parts:int -> Flow.t list
+(** Split every flow; fresh dense ids starting at 0 (original identity
+    is recoverable as [new_id / parts] when the input ids were dense —
+    use {!mapping} otherwise). *)
+
+val mapping : Flow.t list -> parts:int -> (int * int) list
+(** [(new id, original id)] pairs for {!workload} on the same input. *)

@@ -1,0 +1,61 @@
+type t = { points : float array }
+
+let make flows =
+  if flows = [] then invalid_arg "Timeline.make: empty flow list";
+  let raw =
+    List.concat_map (fun f -> [ f.Flow.release; f.Flow.deadline ]) flows
+  in
+  let sorted = List.sort_uniq compare raw in
+  { points = Array.of_list sorted }
+
+let breakpoints t = t.points
+
+let num_intervals t = Array.length t.points - 1
+
+let bounds t k =
+  if k < 0 || k >= num_intervals t then invalid_arg "Timeline.bounds: out of range";
+  (t.points.(k), t.points.(k + 1))
+
+let length t k =
+  let lo, hi = bounds t k in
+  hi -. lo
+
+let horizon t = (t.points.(0), t.points.(Array.length t.points - 1))
+
+let beta t k =
+  let t0, t1 = horizon t in
+  length t k /. (t1 -. t0)
+
+let lambda t =
+  let t0, t1 = horizon t in
+  let shortest = ref infinity in
+  for k = 0 to num_intervals t - 1 do
+    shortest := Float.min !shortest (length t k)
+  done;
+  (t1 -. t0) /. !shortest
+
+let active t flows k =
+  let lo, hi = bounds t k in
+  List.filter (fun f -> Flow.spans_interval f ~lo ~hi) flows
+
+let interval_indices_of t f =
+  let acc = ref [] in
+  for k = num_intervals t - 1 downto 0 do
+    let lo, hi = bounds t k in
+    if Flow.spans_interval f ~lo ~hi then acc := k :: !acc
+  done;
+  !acc
+
+let index_at t x =
+  let t0, t1 = horizon t in
+  if x < t0 || x > t1 then None
+  else begin
+    (* Binary search for the interval whose [lo, hi] contains x; boundary
+       points resolve to the earlier interval. *)
+    let lo = ref 0 and hi = ref (num_intervals t - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x <= t.points.(mid + 1) then hi := mid else lo := mid + 1
+    done;
+    Some !lo
+  end

@@ -1,0 +1,177 @@
+module Prng = Dcn_util.Prng
+module Graph = Dcn_topology.Graph
+
+type spec = {
+  horizon : float * float;
+  volume_mean : float;
+  volume_stddev : float;
+  min_span : float;
+}
+
+let default_spec =
+  { horizon = (1., 100.); volume_mean = 10.; volume_stddev = 3.; min_span = 1. }
+
+let check_hosts graph needed =
+  let hosts = Graph.hosts graph in
+  if Array.length hosts < needed then
+    invalid_arg (Printf.sprintf "Workload: graph has %d hosts, need %d"
+                   (Array.length hosts) needed);
+  hosts
+
+let distinct_pair rng hosts =
+  let src = Prng.pick rng hosts in
+  let rec draw () =
+    let dst = Prng.pick rng hosts in
+    if dst = src then draw () else dst
+  in
+  (src, draw ())
+
+let random_span rng ~horizon:(t0, t1) ~min_span =
+  if t1 -. t0 < min_span then invalid_arg "Workload: horizon shorter than min_span";
+  let rec draw () =
+    let a = Prng.uniform rng ~lo:t0 ~hi:t1 in
+    let b = Prng.uniform rng ~lo:t0 ~hi:t1 in
+    let r = Float.min a b and d = Float.max a b in
+    if d -. r >= min_span then (r, d) else draw ()
+  in
+  draw ()
+
+let paper_random ?(spec = default_spec) ~rng ~graph ~n () =
+  if n < 0 then invalid_arg "Workload.paper_random: n < 0";
+  let hosts = check_hosts graph 2 in
+  List.init n (fun id ->
+      let src, dst = distinct_pair rng hosts in
+      let release, deadline = random_span rng ~horizon:spec.horizon ~min_span:spec.min_span in
+      let volume =
+        Prng.gaussian_positive rng ~mean:spec.volume_mean ~stddev:spec.volume_stddev
+      in
+      Flow.make ~id ~src ~dst ~volume ~release ~deadline)
+
+let all_to_all ?(volume = 10.) ?(horizon = (0., 1.)) ~graph () =
+  let hosts = check_hosts graph 2 in
+  let release, deadline = horizon in
+  let flows = ref [] in
+  let id = ref 0 in
+  Array.iter
+    (fun src ->
+      Array.iter
+        (fun dst ->
+          if src <> dst then begin
+            flows := Flow.make ~id:!id ~src ~dst ~volume ~release ~deadline :: !flows;
+            incr id
+          end)
+        hosts)
+    hosts;
+  List.rev !flows
+
+let sample_distinct rng hosts count =
+  let pool = Array.copy hosts in
+  Prng.shuffle rng pool;
+  Array.sub pool 0 count
+
+let incast ?(volume = 10.) ?(horizon = (0., 1.)) ~rng ~graph ~sources () =
+  if sources < 1 then invalid_arg "Workload.incast: sources must be >= 1";
+  let hosts = check_hosts graph (sources + 1) in
+  let chosen = sample_distinct rng hosts (sources + 1) in
+  let sink = chosen.(0) in
+  let release, deadline = horizon in
+  List.init sources (fun i ->
+      Flow.make ~id:i ~src:chosen.(i + 1) ~dst:sink ~volume ~release ~deadline)
+
+let shuffle ?(volume = 10.) ?(horizon = (0., 1.)) ~rng ~graph ~mappers ~reducers () =
+  if mappers < 1 || reducers < 1 then
+    invalid_arg "Workload.shuffle: mappers and reducers must be >= 1";
+  let hosts = check_hosts graph (mappers + reducers) in
+  let chosen = sample_distinct rng hosts (mappers + reducers) in
+  let release, deadline = horizon in
+  let flows = ref [] in
+  let id = ref 0 in
+  for m = 0 to mappers - 1 do
+    for r = 0 to reducers - 1 do
+      flows :=
+        Flow.make ~id:!id ~src:chosen.(m) ~dst:chosen.(mappers + r) ~volume ~release
+          ~deadline
+        :: !flows;
+      incr id
+    done
+  done;
+  List.rev !flows
+
+let stride ?(volume = 10.) ?(horizon = (0., 1.)) ~graph ~stride () =
+  let hosts = check_hosts graph 2 in
+  let h = Array.length hosts in
+  if stride mod h = 0 then invalid_arg "Workload.stride: stride is a multiple of host count";
+  let release, deadline = horizon in
+  List.init h (fun i ->
+      let j = ((i + stride) mod h + h) mod h in
+      Flow.make ~id:i ~src:hosts.(i) ~dst:hosts.(j) ~volume ~release ~deadline)
+
+(* Bounded Pareto on [lo, hi] with shape a, by inverse transform. *)
+let bounded_pareto rng ~shape ~lo ~hi =
+  let u = Prng.float rng 1. in
+  let la = lo ** shape and ha = hi ** shape in
+  let x = -.((u *. ha) -. u *. la -. ha) /. (ha *. la) in
+  (* inverse CDF of bounded Pareto: ( -(u*H^a - u*L^a - H^a) / (H^a L^a) )^(-1/a) *)
+  x ** (-1. /. shape)
+
+let exponential rng ~mean = -.mean *. Float.log (1. -. Prng.float rng 1.)
+
+let trace ?(load = 1.0) ?(pareto_shape = 1.5) ?(mean_volume = 10.) ?(mean_slack = 5.)
+    ?(diurnal = 0.) ~rng ~graph ~horizon:(t0, t1) () =
+  if not (load > 0.) then invalid_arg "Workload.trace: load must be > 0";
+  if diurnal < 0. || diurnal > 1. then
+    invalid_arg "Workload.trace: diurnal amplitude must be in [0, 1]";
+  if t1 <= t0 then invalid_arg "Workload.trace: empty horizon";
+  let hosts = check_hosts graph 2 in
+  (* Bounded Pareto with mean ~ mean_volume: for shape a in (1, 2), mean
+     = a L / (a - 1) for the unbounded law; pick L accordingly and cap
+     at 100 L. *)
+  let lo = mean_volume *. (pareto_shape -. 1.) /. pareto_shape in
+  let hi = 100. *. lo in
+  let rate = load *. float_of_int (Array.length hosts) /. 10. in
+  let flows = ref [] in
+  let id = ref 0 in
+  let t = ref t0 in
+  let continue = ref true in
+  while !continue do
+    t := !t +. exponential rng ~mean:(1. /. rate);
+    (* Thinning turns the homogeneous process into a sinusoidally
+       modulated one (one period over the horizon). *)
+    let keep =
+      diurnal = 0.
+      ||
+      let phase = 2. *. Float.pi *. (!t -. t0) /. (t1 -. t0) in
+      Prng.float rng 1. < (1. +. (diurnal *. sin phase)) /. (1. +. diurnal)
+    in
+    if !t >= t1 then continue := false
+    else if keep then begin
+      let volume = bounded_pareto rng ~shape:pareto_shape ~lo ~hi in
+      (* Minimum transfer time at unit rate plus exponential slack. *)
+      let span = volume +. exponential rng ~mean:mean_slack in
+      let deadline = Float.min t1 (!t +. span) in
+      if deadline -. !t >= 0.5 then begin
+        let src, dst = distinct_pair rng hosts in
+        flows := Flow.make ~id:!id ~src ~dst ~volume ~release:!t ~deadline :: !flows;
+        incr id
+      end
+    end
+  done;
+  List.rev !flows
+
+let staged ?(volume = 10.) ~rng ~graph ~stages ~flows_per_stage ~stage_length () =
+  if stages < 1 || flows_per_stage < 1 then
+    invalid_arg "Workload.staged: counts must be >= 1";
+  if not (stage_length > 0.) then invalid_arg "Workload.staged: stage_length must be > 0";
+  let hosts = check_hosts graph 2 in
+  let flows = ref [] in
+  let id = ref 0 in
+  for s = 0 to stages - 1 do
+    let release = float_of_int s *. stage_length in
+    let deadline = release +. stage_length in
+    for _ = 1 to flows_per_stage do
+      let src, dst = distinct_pair rng hosts in
+      flows := Flow.make ~id:!id ~src ~dst ~volume ~release ~deadline :: !flows;
+      incr id
+    done
+  done;
+  List.rev !flows

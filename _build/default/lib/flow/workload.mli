@@ -1,0 +1,107 @@
+(** Workload generators.
+
+    [paper_random] reproduces the traffic of the paper's numerical
+    section: endpoints drawn uniformly from the hosts, release times and
+    deadlines uniform over the horizon, volumes from N(10, 3) resampled
+    to be positive.  The remaining generators model the application
+    patterns the paper's introduction motivates (partition–aggregate
+    search traffic, MapReduce shuffles, ...) for the example programs
+    and robustness tests. *)
+
+type spec = {
+  horizon : float * float;  (** [(T0, T1)], default (1, 100) as in the paper *)
+  volume_mean : float;  (** default 10 *)
+  volume_stddev : float;  (** default 3 *)
+  min_span : float;
+      (** spans shorter than this are resampled, keeping densities (and
+          hence required rates) bounded; default 1 *)
+}
+
+val default_spec : spec
+
+val paper_random :
+  ?spec:spec -> rng:Dcn_util.Prng.t -> graph:Dcn_topology.Graph.t -> n:int -> unit -> Flow.t list
+(** [n] flows between distinct random hosts.  @raise Invalid_argument if
+    the graph has fewer than two hosts or [n < 0]. *)
+
+val all_to_all :
+  ?volume:float ->
+  ?horizon:float * float ->
+  graph:Dcn_topology.Graph.t ->
+  unit ->
+  Flow.t list
+(** One flow per ordered host pair, all sharing the horizon as span.
+    Volume defaults to 10. *)
+
+val incast :
+  ?volume:float ->
+  ?horizon:float * float ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  sources:int ->
+  unit ->
+  Flow.t list
+(** Partition–aggregate: [sources] distinct random hosts all send to one
+    random aggregator host within a common deadline — the
+    request/response pattern of Section I.  @raise Invalid_argument if
+    the graph has fewer than [sources + 1] hosts. *)
+
+val shuffle :
+  ?volume:float ->
+  ?horizon:float * float ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  mappers:int ->
+  reducers:int ->
+  unit ->
+  Flow.t list
+(** MapReduce shuffle: every one of [mappers] random hosts sends to every
+    one of [reducers] other random hosts.  @raise Invalid_argument if the
+    graph has fewer than [mappers + reducers] hosts. *)
+
+val stride :
+  ?volume:float ->
+  ?horizon:float * float ->
+  graph:Dcn_topology.Graph.t ->
+  stride:int ->
+  unit ->
+  Flow.t list
+(** Host [i] sends to host [(i + stride) mod H] — the classic
+    cross-section stress pattern.  @raise Invalid_argument if
+    [stride mod H = 0]. *)
+
+val trace :
+  ?load:float ->
+  ?pareto_shape:float ->
+  ?mean_volume:float ->
+  ?mean_slack:float ->
+  ?diurnal:float ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  horizon:float * float ->
+  unit ->
+  Flow.t list
+(** Synthetic production-like trace: Poisson arrivals at rate
+    [load * hosts / mean_inter] over the horizon, heavy-tailed
+    (bounded-Pareto) volumes with the given [pareto_shape] (default 1.5 —
+    the mice-and-elephants mix measured in data centers), and deadlines
+    at an exponential slack beyond the minimum transfer time implied by
+    a unit-rate transfer of [volume] (so big flows get proportionally
+    longer spans).  [load] (default 1.0) scales the arrival rate;
+    [diurnal] in [\[0, 1\]] (default 0) modulates it sinusoidally over
+    one period spanning the horizon — the day/night swing that
+    energy-saving papers exploit.  Deadlines are clipped to the horizon;
+    flows that would not fit are dropped, so the result may be slightly
+    shorter than the nominal count. *)
+
+val staged :
+  ?volume:float ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  stages:int ->
+  flows_per_stage:int ->
+  stage_length:float ->
+  unit ->
+  Flow.t list
+(** [stages] back-to-back waves of random-pair flows, wave [s] spanning
+    [\[s*L, (s+1)*L\]] — a coflow-like batch arrival process. *)

@@ -1,0 +1,1 @@
+lib/mcf/commodity.ml: Dcn_topology Dcn_util Format

@@ -1,0 +1,1 @@
+lib/mcf/commodity.mli: Dcn_topology Format

@@ -1,0 +1,1 @@
+lib/mcf/decompose.ml: Array Dcn_topology Float List

@@ -1,0 +1,1 @@
+lib/mcf/decompose.mli: Dcn_topology

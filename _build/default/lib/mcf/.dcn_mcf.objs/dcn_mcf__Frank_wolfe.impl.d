@@ -1,0 +1,1 @@
+lib/mcf/frank_wolfe.ml: Array Commodity Dcn_topology Float Hashtbl List Printf

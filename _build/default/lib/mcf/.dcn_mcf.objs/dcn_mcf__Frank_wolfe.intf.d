@@ -1,0 +1,1 @@
+lib/mcf/frank_wolfe.mli: Commodity Dcn_topology

@@ -1,0 +1,20 @@
+(** A commodity of the fractional multicommodity flow problem: [demand]
+    units of flow per unit time from [src] to [dst].  In Algorithm 2 of
+    the paper one commodity is created per flow active in an interval,
+    with demand equal to the flow's density [D_i]. *)
+
+type t = {
+  index : int;  (** position in the problem's commodity array *)
+  src : Dcn_topology.Graph.node;
+  dst : Dcn_topology.Graph.node;
+  demand : float;  (** > 0 *)
+}
+
+let make ~index ~src ~dst ~demand =
+  if not (demand > 0.) || not (Dcn_util.Approx.is_finite demand) then
+    invalid_arg "Commodity.make: demand must be finite and > 0";
+  if src = dst then invalid_arg "Commodity.make: src = dst";
+  { index; src; dst; demand }
+
+let pp ppf c =
+  Format.fprintf ppf "commodity#%d %d->%d demand=%g" c.index c.src c.dst c.demand

@@ -1,0 +1,13 @@
+(** Commodities for the fractional MCF relaxation of Algorithm 2. *)
+
+type t = private {
+  index : int;  (** position in the problem's commodity array *)
+  src : Dcn_topology.Graph.node;
+  dst : Dcn_topology.Graph.node;
+  demand : float;  (** flow per unit time, > 0 *)
+}
+
+val make : index:int -> src:Dcn_topology.Graph.node -> dst:Dcn_topology.Graph.node -> demand:float -> t
+(** @raise Invalid_argument on non-positive demand or [src = dst]. *)
+
+val pp : Format.formatter -> t -> unit

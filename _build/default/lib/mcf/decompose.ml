@@ -1,0 +1,71 @@
+module Graph = Dcn_topology.Graph
+
+type weighted_path = { links : Dcn_topology.Graph.link list; weight : float }
+
+type walk_outcome =
+  | Reached of Graph.link list  (* chronological path src -> dst *)
+  | Cycle_cancelled
+  | Stuck of Graph.link list  (* reversed prefix ending in a dead end *)
+
+let run ?(eps = 1e-9) g ~src ~dst ~flow =
+  let residual = Array.copy flow in
+  let n = Graph.num_nodes g in
+  let paths = ref [] in
+  (* Largest-residual out-link of v, or -1. *)
+  let next_link v =
+    let best = ref (-1) in
+    Array.iter
+      (fun l ->
+        if residual.(l) > eps && (!best = -1 || residual.(l) > residual.(!best)) then
+          best := l)
+      (Graph.out_links g v);
+    !best
+  in
+  let cancel links =
+    let bottleneck =
+      List.fold_left (fun acc e -> Float.min acc residual.(e)) infinity links
+    in
+    List.iter (fun e -> residual.(e) <- residual.(e) -. bottleneck) links;
+    bottleneck
+  in
+  let walk () =
+    let seen_at = Array.make n (-1) in
+    let rec go v acc idx =
+      if v = dst then Reached (List.rev acc)
+      else begin
+        seen_at.(v) <- idx;
+        match next_link v with
+        | -1 -> Stuck acc
+        | l ->
+          let w = Graph.link_dst g l in
+          if seen_at.(w) >= 0 then begin
+            (* Cycle w -> ... -> v -> w: the first idx - seen_at(w)
+               entries of the reversed prefix plus l. *)
+            let cycle = l :: List.filteri (fun i _ -> i < idx - seen_at.(w)) acc in
+            ignore (cancel cycle);
+            Cycle_cancelled
+          end
+          else go w (l :: acc) (idx + 1)
+      end
+    in
+    go src [] 0
+  in
+  let rec extract () =
+    if next_link src >= 0 then begin
+      match walk () with
+      | Reached links ->
+        let weight = cancel links in
+        paths := { links; weight } :: !paths;
+        extract ()
+      | Cycle_cancelled -> extract ()
+      | Stuck [] -> () (* src itself is a numeric dead end; nothing to do *)
+      | Stuck prefix ->
+        (* Flow-conservation noise: discard the dangling prefix. *)
+        ignore (cancel prefix);
+        extract ()
+    end
+  in
+  if src <> dst then extract ();
+  List.rev !paths
+
+let total_weight paths = List.fold_left (fun acc p -> acc +. p.weight) 0. paths

@@ -1,0 +1,25 @@
+(** Raghavan–Tompson flow decomposition.
+
+    Turn one commodity's fractional link flows into weighted
+    source→destination paths: repeatedly extract a path through links
+    with positive residual flow, give it the bottleneck residual as
+    weight, and subtract (Section V-A of the paper).  Cycles in the
+    residual (possible only through numeric noise, since Frank–Wolfe
+    iterates are convex combinations of paths) are cancelled on the fly
+    and contribute no paths. *)
+
+type weighted_path = { links : Dcn_topology.Graph.link list; weight : float }
+
+val run :
+  ?eps:float ->
+  Dcn_topology.Graph.t ->
+  src:Dcn_topology.Graph.node ->
+  dst:Dcn_topology.Graph.node ->
+  flow:float array ->
+  weighted_path list
+(** [flow] is indexed by link id; entries below [eps] (default [1e-9])
+    are treated as zero.  The returned weights sum to (approximately)
+    the commodity's routed amount; each [links] is a simple directed
+    path from [src] to [dst].  The input array is not modified. *)
+
+val total_weight : weighted_path list -> float

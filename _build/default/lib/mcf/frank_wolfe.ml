@@ -1,0 +1,180 @@
+module Graph = Dcn_topology.Graph
+module Paths = Dcn_topology.Paths
+
+type problem = {
+  graph : Graph.t;
+  commodities : Commodity.t array;
+  cost : float -> float;
+  cost_deriv : float -> float;
+  capacity : float;
+}
+
+type config = {
+  max_iters : int;
+  gap_tol : float;
+  penalty : float;
+  line_search_iters : int;
+}
+
+let default_config =
+  { max_iters = 200; gap_tol = 1e-4; penalty = 1e3; line_search_iters = 48 }
+
+type solution = {
+  flows : float array array;
+  loads : float array;
+  cost : float;
+  gap : float;
+  iterations : int;
+  max_overload : float;
+}
+
+let golden = (sqrt 5. -. 1.) /. 2.
+
+(* Minimise a convex (hence unimodal) function on [0, 1]. *)
+let golden_section ~iters f =
+  let a = ref 0. and b = ref 1. in
+  let x1 = ref (1. -. golden) and x2 = ref golden in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  for _ = 1 to iters do
+    if !f1 < !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (golden *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (golden *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  (!a +. !b) /. 2.
+
+let solve ?(config = default_config) problem =
+  let g = problem.graph in
+  let m = Graph.num_links g in
+  let commodities = problem.commodities in
+  let nc = Array.length commodities in
+  if nc = 0 then invalid_arg "Frank_wolfe.solve: no commodities";
+  let pen x =
+    if problem.capacity = infinity then 0.
+    else
+      let over = x -. problem.capacity in
+      if over > 0. then config.penalty *. over *. over else 0.
+  in
+  let pen_deriv x =
+    if problem.capacity = infinity then 0.
+    else
+      let over = x -. problem.capacity in
+      if over > 0. then 2. *. config.penalty *. over else 0.
+  in
+  let pc x = problem.cost x +. pen x in
+  let pc_deriv x = problem.cost_deriv x +. pen_deriv x in
+  (* Commodities grouped by source so one Dijkstra serves them all. *)
+  let by_src = Hashtbl.create 16 in
+  Array.iter
+    (fun (c : Commodity.t) ->
+      let prev = try Hashtbl.find by_src c.src with Not_found -> [] in
+      Hashtbl.replace by_src c.src (c :: prev))
+    commodities;
+  let sources = Hashtbl.fold (fun s _ acc -> s :: acc) by_src [] in
+  let sources = List.sort compare sources in
+  let flows = Array.make_matrix nc m 0. in
+  let loads = Array.make m 0. in
+  let add_path flows_i amount path =
+    List.iter (fun l -> flows_i.(l) <- flows_i.(l) +. amount) path
+  in
+  (* Initial point: hop-count shortest paths. *)
+  List.iter
+    (fun src ->
+      let tree = Paths.shortest_tree g ~src in
+      List.iter
+        (fun (c : Commodity.t) ->
+          match Paths.extract_path g tree ~dst:c.dst with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Frank_wolfe.solve: node %d unreachable from %d" c.dst
+                 c.src)
+          | Some path -> add_path flows.(c.index) c.demand path)
+        (Hashtbl.find by_src src))
+    sources;
+  for e = 0 to m - 1 do
+    loads.(e) <- 0.;
+    for i = 0 to nc - 1 do
+      loads.(e) <- loads.(e) +. flows.(i).(e)
+    done
+  done;
+  let objective xs = Array.fold_left (fun acc x -> acc +. pc x) 0. xs in
+  let aon_loads = Array.make m 0. in
+  let aon_paths = Array.make nc [] in
+  let weights = Array.make m 0. in
+  let final_gap = ref infinity in
+  let iterations = ref 0 in
+  (try
+     for iter = 1 to config.max_iters do
+       iterations := iter;
+       (* Marginal costs at the current loads; a tiny hop bias breaks the
+          ties that arise where the derivative vanishes at load 0. *)
+       let max_w = ref 0. in
+       for e = 0 to m - 1 do
+         weights.(e) <- pc_deriv loads.(e);
+         max_w := Float.max !max_w weights.(e)
+       done;
+       let tie = 1e-9 *. Float.max 1. !max_w in
+       Array.fill aon_loads 0 m 0.;
+       List.iter
+         (fun src ->
+           let tree = Paths.shortest_tree ~weight:(fun l -> weights.(l) +. tie) g ~src in
+           List.iter
+             (fun (c : Commodity.t) ->
+               match Paths.extract_path g tree ~dst:c.dst with
+               | None -> assert false (* reachability checked at init *)
+               | Some path ->
+                 aon_paths.(c.index) <- path;
+                 List.iter
+                   (fun l -> aon_loads.(l) <- aon_loads.(l) +. c.demand)
+                   path)
+             (Hashtbl.find by_src src))
+         sources;
+       (* Duality gap <grad, x - s>. *)
+       let gap = ref 0. in
+       for e = 0 to m - 1 do
+         gap := !gap +. (weights.(e) *. (loads.(e) -. aon_loads.(e)))
+       done;
+       final_gap := Float.max 0. !gap;
+       let obj_now = objective loads in
+       if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then raise Exit;
+       (* Line search over the segment towards the all-or-nothing point. *)
+       let blend_obj theta =
+         let acc = ref 0. in
+         for e = 0 to m - 1 do
+           acc := !acc +. pc (((1. -. theta) *. loads.(e)) +. (theta *. aon_loads.(e)))
+         done;
+         !acc
+       in
+       let theta = golden_section ~iters:config.line_search_iters blend_obj in
+       let theta = if blend_obj theta < obj_now then theta else 0. in
+       if theta <= 1e-12 then raise Exit;
+       for i = 0 to nc - 1 do
+         let fi = flows.(i) in
+         for e = 0 to m - 1 do
+           fi.(e) <- fi.(e) *. (1. -. theta)
+         done;
+         add_path fi (theta *. commodities.(i).Commodity.demand) aon_paths.(i)
+       done;
+       for e = 0 to m - 1 do
+         loads.(e) <- ((1. -. theta) *. loads.(e)) +. (theta *. aon_loads.(e))
+       done
+     done
+   with Exit -> ());
+  let cost = Array.fold_left (fun acc x -> acc +. problem.cost x) 0. loads in
+  let max_overload =
+    if problem.capacity = infinity then neg_infinity
+    else Array.fold_left (fun acc x -> Float.max acc (x -. problem.capacity)) neg_infinity loads
+  in
+  { flows; loads; cost; gap = !final_gap; iterations = !iterations; max_overload }
+
+let lower_bound_cost _problem solution = Float.max 0. (solution.cost -. solution.gap)

@@ -1,0 +1,54 @@
+(** Convex-cost fractional multicommodity flow by Frank–Wolfe.
+
+    Minimise [sum over links e of cost(x_e)] where
+    [x_e = sum over commodities i of y_(i,e)] and each commodity routes
+    its full demand fractionally from its source to its destination.
+    The paper assumes an off-the-shelf convex-programming oracle for
+    this (the F-MCF subproblem of Algorithm 2); OCaml has none, so this
+    module implements the classic flow-deviation method: linearise the
+    cost at the current loads, send each commodity along a marginal-cost
+    shortest path (the all-or-nothing step), and take the convex
+    combination minimising true cost (golden-section line search).
+
+    Convergence is certified by the Frank–Wolfe duality gap
+    [<grad cost(x), x - s>], an upper bound on the distance to the
+    optimum of the convex objective; the solver stops when the gap falls
+    below [gap_tol] relative to the current cost.
+
+    A finite per-link [capacity] is handled by a smooth quadratic
+    penalty added to the objective (loads may exceed it slightly; the
+    returned [max_overload] reports by how much). *)
+
+type problem = {
+  graph : Dcn_topology.Graph.t;
+  commodities : Commodity.t array;
+  cost : float -> float;  (** per-link cost of a load; convex, cost 0 = 0 *)
+  cost_deriv : float -> float;  (** its derivative (right derivative at kinks) *)
+  capacity : float;  (** per-link load bound; [infinity] to disable *)
+}
+
+type config = {
+  max_iters : int;  (** default 200 *)
+  gap_tol : float;  (** relative duality-gap target, default 1e-4 *)
+  penalty : float;  (** capacity-penalty coefficient, default 1e3 *)
+  line_search_iters : int;  (** golden-section refinements, default 48 *)
+}
+
+val default_config : config
+
+type solution = {
+  flows : float array array;  (** [flows.(i).(e)]: commodity i's flow on link e *)
+  loads : float array;  (** per-link total load *)
+  cost : float;  (** [sum cost(load)], penalty excluded *)
+  gap : float;  (** final absolute duality gap of the penalised objective *)
+  iterations : int;
+  max_overload : float;  (** [max over links of (load - capacity)], <= 0 if respected *)
+}
+
+val solve : ?config:config -> problem -> solution
+(** @raise Invalid_argument if some commodity's destination is
+    unreachable from its source, or the commodity array is empty. *)
+
+val lower_bound_cost : problem -> solution -> float
+(** A certified lower bound on the optimal objective from Frank–Wolfe
+    duality: [cost(x) - gap_absolute].  Clamped at 0. *)

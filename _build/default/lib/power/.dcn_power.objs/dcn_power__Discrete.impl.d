@@ -1,0 +1,1 @@
+lib/power/discrete.ml: Array Dcn_util List Model Printf

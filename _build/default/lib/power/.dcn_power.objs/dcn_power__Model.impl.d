@@ -1,0 +1,1 @@
+lib/power/model.ml: Dcn_util Float Format

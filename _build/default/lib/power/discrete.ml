@@ -1,0 +1,43 @@
+type t = { base : Model.t; levels : float array }
+
+let make base ~levels =
+  if levels = [] then invalid_arg "Discrete.make: no levels";
+  List.iter
+    (fun l ->
+      if not (l > 0.) || not (Dcn_util.Approx.is_finite l) then
+        invalid_arg "Discrete.make: levels must be finite and positive")
+    levels;
+  let sorted = List.sort_uniq compare levels in
+  if List.length sorted <> List.length levels then
+    invalid_arg "Discrete.make: duplicate levels";
+  { base; levels = Array.of_list sorted }
+
+let geometric base ~count ~top =
+  if count < 1 then invalid_arg "Discrete.geometric: count must be >= 1";
+  if not (top > 0.) then invalid_arg "Discrete.geometric: top must be > 0";
+  make base ~levels:(List.init count (fun i -> top /. (2. ** float_of_int (count - 1 - i))))
+
+let level_for t x =
+  if x < 0. then invalid_arg "Discrete.level_for: negative rate";
+  if x = 0. then None
+  else begin
+    (* Smallest level >= x by binary search. *)
+    let n = Array.length t.levels in
+    if x > t.levels.(n - 1) then None
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.levels.(mid) >= x then hi := mid else lo := mid + 1
+      done;
+      Some t.levels.(!lo)
+    end
+  end
+
+let power t x =
+  if x = 0. then 0.
+  else
+    match level_for t x with
+    | Some level -> Model.total t.base level
+    | None ->
+      invalid_arg (Printf.sprintf "Discrete.power: rate %g above the top level" x)

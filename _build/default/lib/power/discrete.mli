@@ -1,0 +1,34 @@
+(** Discrete link speeds (rate adaptation).
+
+    Real NICs and switch ports support a handful of operating rates
+    (e.g. 1/10/40/100G energy-efficient-Ethernet style), not a
+    continuum.  The authors' companion work ("Incorporating rate
+    adaptation into green networking", NCA 2013) studies exactly this
+    restriction; here it lets the benchmarks measure how much energy the
+    continuous-speed idealisation of Eq. (1) hides.  A link carrying
+    rate [x] must operate at the smallest available level [>= x] and
+    draws [f(level)] while transmitting. *)
+
+type t = private {
+  base : Model.t;
+  levels : float array;  (** sorted ascending, all positive *)
+}
+
+val make : Model.t -> levels:float list -> t
+(** @raise Invalid_argument on an empty list, non-positive levels, or
+    duplicates. *)
+
+val geometric : Model.t -> count:int -> top:float -> t
+(** [count] levels ending at [top], each half the next — the classic
+    power-of-two rate ladder.  @raise Invalid_argument if [count < 1]
+    or [top <= 0]. *)
+
+val level_for : t -> float -> float option
+(** Smallest level at least [x]; [None] if [x] exceeds the top level.
+    [Some 0.] never occurs; rate 0 maps to the link being off and is the
+    caller's case. *)
+
+val power : t -> float -> float
+(** Power drawn while carrying rate [x]: 0 at [x = 0], [f(level_for x)]
+    otherwise.  @raise Invalid_argument if [x] exceeds the top level or
+    is negative. *)

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer Char Dcn_flow Dcn_topology Float Hashtbl List Option Printf Schedule String

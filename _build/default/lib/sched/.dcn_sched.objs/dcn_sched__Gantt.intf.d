@@ -1,0 +1,1 @@
+lib/sched/gantt.mli: Schedule

@@ -1,0 +1,1 @@
+lib/sched/profile.ml: Dcn_power Float List

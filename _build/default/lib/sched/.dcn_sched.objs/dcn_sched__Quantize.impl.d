@@ -1,0 +1,1 @@
+lib/sched/quantize.ml: Array Dcn_power Float List Profile Schedule

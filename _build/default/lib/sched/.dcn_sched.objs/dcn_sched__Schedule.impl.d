@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Dcn_flow Dcn_power Dcn_topology Float Format Hashtbl List Printf Profile

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Dcn_flow Dcn_power Dcn_topology Format Profile

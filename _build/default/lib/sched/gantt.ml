@@ -1,0 +1,102 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+
+let digit_of_flow id = Char.chr (Char.code '0' + (abs id mod 10))
+
+let time_header ~width ~t0 ~t1 =
+  Printf.sprintf "%-*s %-8.6g%*s%8.6g\n" 14 "" t0 (width - 16) "" t1
+
+let render ?(width = 64) ?(max_links = 24) (sched : Schedule.t) =
+  let t0, t1 = sched.horizon in
+  let span = Float.max 1e-12 (t1 -. t0) in
+  let col t =
+    let c = int_of_float (Float.of_int width *. (t -. t0) /. span) in
+    max 0 (min (width - 1) c)
+  in
+  (* Per link: the flows transmitting in each column. *)
+  let rows = Hashtbl.create 32 in
+  List.iter
+    (fun (p : Schedule.plan) ->
+      List.iter
+        (fun l ->
+          let cells =
+            match Hashtbl.find_opt rows l with
+            | Some c -> c
+            | None ->
+              let c = Array.make width None in
+              Hashtbl.add rows l c;
+              c
+          in
+          List.iter
+            (fun (s : Schedule.slot) ->
+              if s.rate > 0. && s.stop > s.start then
+                for c = col s.start to col (s.stop -. 1e-12) do
+                  cells.(c) <-
+                    (match cells.(c) with
+                    | None -> Some (digit_of_flow p.flow.Flow.id)
+                    | Some _ -> Some '#')
+                done)
+            p.slots)
+        p.path)
+    sched.plans;
+  let links = List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) rows []) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (time_header ~width ~t0 ~t1);
+  List.iteri
+    (fun i l ->
+      if i < max_links then begin
+        let label =
+          Printf.sprintf "%s->%s"
+            (Graph.node_name sched.graph (Graph.link_src sched.graph l))
+            (Graph.node_name sched.graph (Graph.link_dst sched.graph l))
+        in
+        Buffer.add_string buf (Printf.sprintf "%-14s " (String.sub (label ^ String.make 14 ' ') 0 14));
+        Array.iter
+          (fun cell -> Buffer.add_char buf (Option.value cell ~default:'.'))
+          (Hashtbl.find rows l);
+        Buffer.add_char buf '\n'
+      end
+      else if i = max_links then
+        Buffer.add_string buf
+          (Printf.sprintf "... (%d more links)\n" (List.length links - max_links)))
+    links;
+  Buffer.contents buf
+
+let render_flows ?(width = 64) ?(max_flows = 24) (sched : Schedule.t) =
+  let t0, t1 = sched.horizon in
+  let span = Float.max 1e-12 (t1 -. t0) in
+  let col t =
+    let c = int_of_float (Float.of_int width *. (t -. t0) /. span) in
+    max 0 (min (width - 1) c)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (time_header ~width ~t0 ~t1);
+  let plans =
+    List.sort
+      (fun (a : Schedule.plan) b -> compare a.flow.Flow.id b.flow.Flow.id)
+      sched.plans
+  in
+  List.iteri
+    (fun i (p : Schedule.plan) ->
+      if i < max_flows then begin
+        let cells = Array.make width ' ' in
+        let f = p.flow in
+        for c = col f.Flow.release to col (f.Flow.deadline -. 1e-12) do
+          cells.(c) <- '-'
+        done;
+        List.iter
+          (fun (s : Schedule.slot) ->
+            if s.rate > 0. && s.stop > s.start then
+              for c = col s.start to col (s.stop -. 1e-12) do
+                cells.(c) <- '='
+              done)
+          p.slots;
+        Buffer.add_string buf (Printf.sprintf "%-14s " (Printf.sprintf "flow %d" f.Flow.id));
+        Array.iter (Buffer.add_char buf) cells;
+        Buffer.add_char buf '\n'
+      end
+      else if i = max_flows then
+        Buffer.add_string buf
+          (Printf.sprintf "... (%d more flows)\n" (List.length plans - max_flows)))
+    plans;
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** ASCII Gantt charts of schedules.
+
+    One row per active link, time on the horizontal axis: each cell
+    shows which flow transmits there (last digit of the flow id), [#]
+    where several flows share the link, and [.] when idle.  Handy in
+    examples and the CLI for eyeballing what an algorithm actually
+    scheduled. *)
+
+val render : ?width:int -> ?max_links:int -> Schedule.t -> string
+(** [width] columns for the time axis (default 64); [max_links] rows
+    before truncating with an ellipsis line (default 24).  Links are
+    labelled ["src->dst"] using node names. *)
+
+val render_flows : ?width:int -> ?max_flows:int -> Schedule.t -> string
+(** The flow view: one row per flow over its own span — [=] while
+    transmitting, [-] while active but silent, spaces outside the
+    span. *)

@@ -1,0 +1,64 @@
+type t = { segments : (float * float * float) list }
+
+let idle_eps = 1e-12
+
+let empty = { segments = [] }
+
+let of_slots slots =
+  List.iter
+    (fun (a, b, r) ->
+      if r < 0. then invalid_arg "Profile.of_slots: negative rate";
+      if b < a then invalid_arg "Profile.of_slots: stop < start")
+    slots;
+  let events =
+    List.concat_map
+      (fun (a, b, r) -> if b > a && r > 0. then [ (a, r); (b, -.r) ] else [])
+      slots
+  in
+  let events = List.sort compare events in
+  (* Sweep: accumulate rate changes; equal timestamps batch together. *)
+  let rec sweep rate start acc = function
+    | [] -> List.rev acc
+    | (x, _) :: _ as evs ->
+      let batch, rest =
+        List.partition (fun (y, _) -> Float.abs (y -. x) <= 0.) evs
+      in
+      let acc =
+        if rate > idle_eps && x > start then (start, x, rate) :: acc else acc
+      in
+      let rate = List.fold_left (fun r (_, d) -> r +. d) rate batch in
+      let rate = if Float.abs rate < idle_eps then 0. else rate in
+      sweep rate x acc rest
+  in
+  let raw = sweep 0. neg_infinity [] events in
+  (* Coalesce adjacent segments with equal rate (within tolerance). *)
+  let rec coalesce = function
+    | (a1, b1, r1) :: (a2, b2, r2) :: rest
+      when Float.abs (b1 -. a2) <= 1e-12 && Float.abs (r1 -. r2) <= 1e-12 ->
+      coalesce ((a1, b2, r1) :: rest)
+    | seg :: rest -> seg :: coalesce rest
+    | [] -> []
+  in
+  { segments = coalesce raw }
+
+let segments t = t.segments
+
+let rate_at t x =
+  let rec scan = function
+    | [] -> 0.
+    | (a, b, r) :: rest -> if x >= a && x < b then r else if x < a then 0. else scan rest
+  in
+  scan t.segments
+
+let max_rate t = List.fold_left (fun acc (_, _, r) -> Float.max acc r) 0. t.segments
+
+let busy_time t = List.fold_left (fun acc (a, b, _) -> acc +. (b -. a)) 0. t.segments
+
+let volume t = List.fold_left (fun acc (a, b, r) -> acc +. ((b -. a) *. r)) 0. t.segments
+
+let is_idle t = t.segments = []
+
+let dynamic_energy model t =
+  List.fold_left
+    (fun acc (a, b, r) -> acc +. ((b -. a) *. Dcn_power.Model.dynamic model r))
+    0. t.segments

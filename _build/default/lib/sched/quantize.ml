@@ -1,0 +1,43 @@
+module Model = Dcn_power.Model
+module Discrete = Dcn_power.Discrete
+
+type report = {
+  feasible : bool;
+  fluid_energy : float;
+  hold_energy : float;
+  work_energy : float;
+  hold_overhead : float;
+  work_overhead : float;
+}
+
+let report (ladder : Discrete.t) (sched : Schedule.t) =
+  let fluid_energy = Schedule.energy sched in
+  let idle = Schedule.idle_energy sched in
+  let feasible = ref true in
+  let hold = ref idle and work = ref idle in
+  Array.iter
+    (fun (_, profile) ->
+      List.iter
+        (fun (a, b, rate) ->
+          let level =
+            match Discrete.level_for ladder rate with
+            | Some l -> l
+            | None ->
+              feasible := false;
+              ladder.Discrete.levels.(Array.length ladder.Discrete.levels - 1)
+          in
+          let p = Model.total ladder.Discrete.base level in
+          let len = b -. a in
+          hold := !hold +. (p *. len);
+          (* Work-preserving: ship rate*len volume at the level speed. *)
+          work := !work +. (p *. (rate *. len /. level)))
+        (Profile.segments profile))
+    (Schedule.profiles sched);
+  {
+    feasible = !feasible;
+    fluid_energy;
+    hold_energy = !hold;
+    work_energy = !work;
+    hold_overhead = !hold /. Float.max 1e-12 fluid_energy;
+    work_overhead = !work /. Float.max 1e-12 fluid_energy;
+  }

@@ -1,0 +1,28 @@
+(** Energy of a schedule under discrete link speeds.
+
+    Given the rate ladder of {!Dcn_power.Discrete}, a link that the
+    fluid schedule drives at rate [x] must run at the smallest level
+    [>= x].  Two execution models bracket reality:
+
+    - {e rate-hold}: the link holds the level for the whole fluid
+      segment (pessimistic — it also ships more data than needed);
+    - {e work-preserving}: the link ships exactly the segment's volume
+      at the level's speed and goes quiet for the rest of the segment
+      (optimistic — ignores transition costs).
+
+    The reported overheads against the continuous-speed energy quantify
+    what the paper's idealisation hides. *)
+
+type report = {
+  feasible : bool;  (** every fluid rate fits under the top level *)
+  fluid_energy : float;  (** the schedule's Eq. (5) energy *)
+  hold_energy : float;
+  work_energy : float;
+  hold_overhead : float;  (** hold / fluid *)
+  work_overhead : float;  (** work / fluid *)
+}
+
+val report : Dcn_power.Discrete.t -> Schedule.t -> report
+(** Infeasible segments (rate above the top level) make
+    [feasible = false]; their energy is accounted at the top level so
+    the numbers remain comparable. *)

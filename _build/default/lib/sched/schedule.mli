@@ -1,0 +1,95 @@
+(** Concrete schedules: the solution object every algorithm produces.
+
+    A schedule assigns each flow a single routing path and a set of
+    transmission slots (Eq. 2 of the paper, with piecewise-constant
+    [s_i(t)]).  The same representation covers both schedule styles in
+    the paper:
+
+    - {e virtual-circuit} schedules (Most-Critical-First): one constant
+      rate per flow, slots exclusive per link;
+    - {e interval-density} schedules (Random-Schedule): each flow
+      transmits at its density over its whole span, so a link's rate is
+      the sum of the active densities — exactly the
+      [sum of D_i over J_e(k)] link rates of Algorithm 2.
+
+    Energy is Eq. (5): idle power [sigma] over the whole horizon for
+    every link that ever carries traffic, plus the integral of
+    [mu x_e(t)^alpha]. *)
+
+type slot = { start : float; stop : float; rate : float }
+
+type plan = {
+  flow : Dcn_flow.Flow.t;
+  path : Dcn_topology.Graph.link list;
+  slots : slot list;
+}
+
+type t = private {
+  graph : Dcn_topology.Graph.t;
+  power : Dcn_power.Model.t;
+  horizon : float * float;  (** [(T0, T1)] — the idle-power window *)
+  plans : plan list;
+}
+
+val make :
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  horizon:float * float ->
+  plan list ->
+  t
+(** Structural validation only (paths connect the right endpoints, slots
+    are well-formed); semantic checks live in {!Check}.
+    @raise Invalid_argument on a malformed plan or duplicate flow ids. *)
+
+val delivered : plan -> float
+(** Data carried by the plan's slots. *)
+
+val plan_of : t -> int -> plan
+(** Plan of the flow with the given id.  @raise Not_found. *)
+
+val link_profile : t -> Dcn_topology.Graph.link -> Profile.t
+(** Aggregate rate profile of one link. *)
+
+val profiles : t -> (Dcn_topology.Graph.link * Profile.t) array
+(** Profiles of all links that carry traffic. *)
+
+val active_links : t -> Dcn_topology.Graph.link list
+(** [Ea]: links with at least one slot (directed). *)
+
+val idle_energy : t -> float
+(** [sigma * |Ea| * (T1 - T0)]. *)
+
+val dynamic_energy : t -> float
+(** [integral of sum mu x_e^alpha]. *)
+
+val energy : t -> float
+(** [idle_energy + dynamic_energy] — the paper's objective
+    [Phi_f]. *)
+
+val max_link_rate : t -> float
+
+module Check : sig
+  type violation =
+    | Wrong_volume of { flow : int; delivered : float; expected : float }
+    | Slot_outside_span of { flow : int; start : float; stop : float }
+    | Over_capacity of { link : int; rate : float; cap : float }
+    | Link_conflict of { link : int; at : float }
+        (** two flows transmit simultaneously on a link — only a
+            violation for virtual-circuit schedules *)
+
+  val pp_violation : Format.formatter -> violation -> unit
+
+  val deadlines : ?eps:float -> t -> violation list
+  (** Every flow delivers its volume inside its span ([eps] defaults to
+      [1e-6], a relative volume tolerance). *)
+
+  val capacity : ?eps:float -> t -> violation list
+  (** No link rate exceeds the power model's cap. *)
+
+  val exclusive : ?eps:float -> t -> violation list
+  (** No two flows overlap on a link (virtual-circuit property). *)
+
+  val all : ?eps:float -> exclusive:bool -> t -> violation list
+
+  val is_feasible : ?eps:float -> exclusive:bool -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/sim/fluid.ml: Array Dcn_flow Dcn_power Dcn_sched Dcn_topology Float Format Fun List

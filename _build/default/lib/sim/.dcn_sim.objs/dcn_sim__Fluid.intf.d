@@ -1,0 +1,1 @@
+lib/sim/fluid.mli: Dcn_sched Dcn_topology Format

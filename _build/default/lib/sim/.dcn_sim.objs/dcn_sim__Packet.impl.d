@@ -1,0 +1,1 @@
+lib/sim/packet.ml: Array Dcn_flow Dcn_sched Dcn_topology Dcn_util Float Format List

@@ -1,0 +1,143 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+
+type flow_stat = {
+  flow_id : int;
+  delivered : float;
+  completion : float option;
+  met_deadline : bool;
+}
+
+type link_stat = {
+  link : Graph.link;
+  busy_time : float;
+  volume : float;
+  peak_rate : float;
+  dynamic_energy : float;
+}
+
+type report = {
+  energy : float;
+  idle_energy : float;
+  dynamic_energy : float;
+  flow_stats : flow_stat list;
+  link_stats : link_stat list;
+  all_deadlines_met : bool;
+  max_rate : float;
+  capacity_respected : bool;
+  events : int;
+}
+
+let run (sched : Schedule.t) =
+  let power = sched.power in
+  let plans = Array.of_list sched.plans in
+  let n = Array.length plans in
+  let m = Graph.num_links sched.graph in
+  (* Event times: every slot boundary. *)
+  let times =
+    Array.to_list plans
+    |> List.concat_map (fun (p : Schedule.plan) ->
+           List.concat_map (fun (s : Schedule.slot) -> [ s.start; s.stop ]) p.slots)
+    |> List.sort_uniq compare
+    |> Array.of_list
+  in
+  let delivered = Array.make n 0. in
+  let completion = Array.make n None in
+  let busy_time = Array.make m 0. in
+  let volume = Array.make m 0. in
+  let peak = Array.make m 0. in
+  let dyn = Array.make m 0. in
+  let rates = Array.make m 0. in
+  let events = max 0 (Array.length times - 1) in
+  for k = 0 to events - 1 do
+    let t0 = times.(k) and t1 = times.(k + 1) in
+    let len = t1 -. t0 in
+    if len > 0. then begin
+      Array.fill rates 0 m 0.;
+      Array.iteri
+        (fun i (p : Schedule.plan) ->
+          List.iter
+            (fun (s : Schedule.slot) ->
+              (* Slots are closed-open against the segment midpoint. *)
+              if s.start <= t0 +. 1e-12 && s.stop >= t1 -. 1e-12 && s.rate > 0. then begin
+                delivered.(i) <- delivered.(i) +. (s.rate *. len);
+                List.iter (fun l -> rates.(l) <- rates.(l) +. s.rate) p.path
+              end)
+            p.slots)
+        plans;
+      Array.iteri
+        (fun i (p : Schedule.plan) ->
+          if
+            completion.(i) = None
+            && delivered.(i) >= p.flow.Flow.volume -. (1e-9 *. Float.max 1. p.flow.Flow.volume)
+          then completion.(i) <- Some t1)
+        plans;
+      for l = 0 to m - 1 do
+        if rates.(l) > 0. then begin
+          busy_time.(l) <- busy_time.(l) +. len;
+          volume.(l) <- volume.(l) +. (rates.(l) *. len);
+          peak.(l) <- Float.max peak.(l) rates.(l);
+          dyn.(l) <- dyn.(l) +. (Model.dynamic power rates.(l) *. len)
+        end
+      done
+    end
+  done;
+  let flow_stats =
+    Array.to_list
+      (Array.mapi
+         (fun i (p : Schedule.plan) ->
+           let f = p.flow in
+           let ok =
+             match completion.(i) with
+             | Some t -> t <= f.Flow.deadline +. 1e-6
+             | None -> false
+           in
+           {
+             flow_id = f.Flow.id;
+             delivered = delivered.(i);
+             completion = completion.(i);
+             met_deadline = ok;
+           })
+         plans)
+    |> List.sort (fun a b -> compare a.flow_id b.flow_id)
+  in
+  let link_stats =
+    List.init m Fun.id
+    |> List.filter_map (fun l ->
+           if busy_time.(l) > 0. then
+             Some
+               {
+                 link = l;
+                 busy_time = busy_time.(l);
+                 volume = volume.(l);
+                 peak_rate = peak.(l);
+                 dynamic_energy = dyn.(l);
+               }
+           else None)
+  in
+  let t0, t1 = sched.horizon in
+  let idle_energy =
+    float_of_int (List.length link_stats) *. power.Model.sigma *. (t1 -. t0)
+  in
+  let dynamic_energy = Array.fold_left ( +. ) 0. dyn in
+  let max_rate = Array.fold_left Float.max 0. peak in
+  {
+    energy = idle_energy +. dynamic_energy;
+    idle_energy;
+    dynamic_energy;
+    flow_stats;
+    link_stats;
+    all_deadlines_met = List.for_all (fun fs -> fs.met_deadline) flow_stats;
+    max_rate;
+    capacity_respected = max_rate <= power.Model.cap *. (1. +. 1e-6);
+    events;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "energy=%.4f (idle %.4f + dynamic %.4f), %d active links, max rate %.4f, deadlines %s, %d events"
+    r.energy r.idle_energy r.dynamic_energy (List.length r.link_stats) r.max_rate
+    (if r.all_deadlines_met then "met" else "MISSED")
+    r.events

@@ -1,0 +1,196 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Schedule = Dcn_sched.Schedule
+module Pqueue = Dcn_util.Pqueue
+
+type config = { packet_size : float }
+
+let default_config = { packet_size = 1.0 }
+
+type flow_report = {
+  flow_id : int;
+  packets : int;
+  delivered : int;
+  last_arrival : float;
+  lateness : float;
+  pipeline_bound : float;
+}
+
+type report = {
+  flow_reports : flow_report list;
+  all_delivered : bool;
+  max_lateness : float;
+  within_pipeline_slack : bool;
+  events : int;
+  max_queue : int;
+}
+
+type packet = {
+  flow_idx : int;
+  priority : float;  (* the flow's r'_i; smaller = more urgent *)
+  seq : int;
+  size : float;
+  rate : float;  (* service rate on every link, from the fluid slot *)
+}
+
+(* Injection times: packet k leaves the source when the fluid schedule
+   has pushed (k+1) packets' worth of data. *)
+let injections ~packet_size (plan : Schedule.plan) =
+  let total = plan.flow.Flow.volume in
+  let count = int_of_float (Float.ceil ((total /. packet_size) -. 1e-9)) in
+  let count = max count 1 in
+  let out = ref [] in
+  let target k =
+    Float.min total (float_of_int (k + 1) *. packet_size)
+  in
+  let k = ref 0 in
+  let cumulative = ref 0. in
+  List.iter
+    (fun (s : Schedule.slot) ->
+      let slot_amount = (s.stop -. s.start) *. s.rate in
+      while
+        !k < count
+        && target !k <= !cumulative +. slot_amount +. 1e-9
+        && s.rate > 0.
+      do
+        let within = (target !k -. !cumulative) /. s.rate in
+        let t = s.start +. Float.max 0. within in
+        let size =
+          if !k = count - 1 then total -. (float_of_int (count - 1) *. packet_size)
+          else packet_size
+        in
+        out := (t, size, s.rate) :: !out;
+        incr k
+      done;
+      cumulative := !cumulative +. slot_amount)
+    plan.slots;
+  (* A schedule that under-delivers (incomplete placement) injects fewer
+     packets than ceil(w / size); report what was actually injected. *)
+  List.rev !out
+
+type event =
+  | Arrival of packet * Graph.link list
+  | Service_done of Graph.link * packet * Graph.link list
+
+let run ?(config = default_config) (sched : Schedule.t) =
+  if not (config.packet_size > 0.) then invalid_arg "Packet.run: packet_size must be > 0";
+  let plans = Array.of_list sched.plans in
+  let nf = Array.length plans in
+  let m = Graph.num_links sched.graph in
+  let priority_of i =
+    match plans.(i).Schedule.slots with
+    | [] -> infinity
+    | s :: _ -> s.Schedule.start
+  in
+  (* Per-link queues ordered by (priority, flow id, seq). *)
+  let queues =
+    Array.init m (fun _ ->
+        Pqueue.create ~cmp:(fun (p1 : packet * Graph.link list) (p2 : packet * Graph.link list) ->
+            let a = fst p1 and b = fst p2 in
+            compare (a.priority, a.flow_idx, a.seq) (b.priority, b.flow_idx, b.seq)))
+  in
+  let link_busy = Array.make m false in
+  let max_queue = ref 0 in
+  let events =
+    Pqueue.create ~cmp:(fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+  in
+  let counter = ref 0 in
+  let push t ev =
+    incr counter;
+    Pqueue.add events (t, !counter, ev)
+  in
+  let delivered = Array.make nf 0 in
+  let last_arrival = Array.make nf nan in
+  let expected = Array.make nf 0 in
+  (* Inject all packets. *)
+  Array.iteri
+    (fun i (plan : Schedule.plan) ->
+      let packet_list = injections ~packet_size:config.packet_size plan in
+      expected.(i) <- List.length packet_list;
+      List.iteri
+        (fun seq (t, size, rate) ->
+          push t (Arrival ({ flow_idx = i; priority = priority_of i; seq; size; rate }, plan.path)))
+        packet_list)
+    plans;
+  let start_service link packet rest now =
+    link_busy.(link) <- true;
+    push (now +. (packet.size /. packet.rate)) (Service_done (link, packet, rest))
+  in
+  let event_count = ref 0 in
+  let rec loop () =
+    match Pqueue.pop events with
+    | None -> ()
+    | Some (now, _, ev) ->
+      incr event_count;
+      (match ev with
+      | Arrival (packet, []) ->
+        delivered.(packet.flow_idx) <- delivered.(packet.flow_idx) + 1;
+        last_arrival.(packet.flow_idx) <- now
+      | Arrival (packet, link :: rest) ->
+        if link_busy.(link) then begin
+          Pqueue.add queues.(link) (packet, rest);
+          max_queue := max !max_queue (Pqueue.length queues.(link))
+        end
+        else start_service link packet rest now
+      | Service_done (link, packet, rest) ->
+        push now (Arrival (packet, rest));
+        (match Pqueue.pop queues.(link) with
+        | Some (next, next_rest) -> start_service link next next_rest now
+        | None -> link_busy.(link) <- false));
+      loop ()
+  in
+  loop ();
+  let flow_reports =
+    Array.to_list
+      (Array.mapi
+         (fun i (plan : Schedule.plan) ->
+           let f = plan.flow in
+           let rate_min =
+             List.fold_left
+               (fun acc (s : Schedule.slot) -> if s.rate > 0. then Float.min acc s.rate else acc)
+               infinity plan.slots
+           in
+           let hops = List.length plan.path in
+           let pipeline_bound =
+             if rate_min = infinity then 0.
+             else float_of_int hops *. config.packet_size /. rate_min
+           in
+           let lateness =
+             if Float.is_nan last_arrival.(i) then infinity
+             else last_arrival.(i) -. f.Flow.deadline
+           in
+           {
+             flow_id = f.Flow.id;
+             packets = expected.(i);
+             delivered = delivered.(i);
+             last_arrival = last_arrival.(i);
+             lateness;
+             pipeline_bound;
+           })
+         plans)
+    |> List.sort (fun a b -> compare a.flow_id b.flow_id)
+  in
+  let all_delivered = List.for_all (fun r -> r.delivered = r.packets) flow_reports in
+  let max_lateness =
+    List.fold_left (fun acc r -> Float.max acc r.lateness) neg_infinity flow_reports
+  in
+  let within_pipeline_slack =
+    all_delivered
+    && List.for_all (fun r -> r.lateness <= r.pipeline_bound +. 1e-9) flow_reports
+  in
+  {
+    flow_reports;
+    all_delivered;
+    max_lateness;
+    within_pipeline_slack;
+    events = !event_count;
+    max_queue = !max_queue;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "packets %s, max lateness %.4f, pipeline slack %s, %d events, max queue %d"
+    (if r.all_delivered then "all delivered" else "LOST")
+    r.max_lateness
+    (if r.within_pipeline_slack then "respected" else "EXCEEDED")
+    r.events r.max_queue

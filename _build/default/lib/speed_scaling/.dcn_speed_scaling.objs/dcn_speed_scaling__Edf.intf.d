@@ -1,0 +1,1 @@
+lib/speed_scaling/edf.mli:

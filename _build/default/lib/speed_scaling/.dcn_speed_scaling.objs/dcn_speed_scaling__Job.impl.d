@@ -1,0 +1,1 @@
+lib/speed_scaling/job.ml: Dcn_util Format

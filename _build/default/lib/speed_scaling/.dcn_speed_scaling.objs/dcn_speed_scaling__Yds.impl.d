@@ -1,0 +1,1 @@
+lib/speed_scaling/yds.ml: Dcn_util Edf Float Job List Printf

@@ -1,0 +1,1 @@
+lib/speed_scaling/yds.mli: Edf Job

@@ -1,0 +1,126 @@
+type task = { task_id : int; release : float; deadline : float; duration : float }
+
+type slot = { task_id : int; start : float; stop : float }
+
+type infeasible = { missed_task : int; missed_deadline : float; remaining : float }
+
+let eps = 1e-9
+
+exception Miss of infeasible
+
+let place ~free tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  Array.iter
+    (fun tk ->
+      if tk.duration < 0. then invalid_arg "Edf.place: negative duration";
+      if tk.deadline < tk.release then invalid_arg "Edf.place: deadline before release")
+    tasks;
+  let remaining = Array.map (fun tk -> tk.duration) tasks in
+  let slots = ref [] in
+  let emit task_id start stop =
+    if stop -. start > eps then
+      match !slots with
+      | { task_id = prev; start = s; stop = e } :: rest
+        when prev = task_id && Float.abs (e -. start) <= eps ->
+        (* Coalesce a continuation of the same task. *)
+        slots := { task_id; start = s; stop } :: rest
+      | _ -> slots := { task_id; start; stop } :: !slots
+  in
+  let check_missed now =
+    for i = 0 to n - 1 do
+      if remaining.(i) > eps && tasks.(i).deadline < now +. eps then
+        raise
+          (Miss
+             {
+               missed_task = tasks.(i).task_id;
+               missed_deadline = tasks.(i).deadline;
+               remaining = remaining.(i);
+             })
+    done
+  in
+  (* Earliest-deadline unfinished task released by [now]; ties break on
+     task id for determinism. *)
+  let pick now =
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if remaining.(i) > eps && tasks.(i).release <= now +. eps then
+        if
+          !best = -1
+          || tasks.(i).deadline < tasks.(!best).deadline
+          || (tasks.(i).deadline = tasks.(!best).deadline
+              && tasks.(i).task_id < tasks.(!best).task_id)
+        then best := i
+    done;
+    !best
+  in
+  let next_release after =
+    let best = ref infinity in
+    for i = 0 to n - 1 do
+      if remaining.(i) > eps && tasks.(i).release > after +. eps then
+        best := Float.min !best tasks.(i).release
+    done;
+    !best
+  in
+  let run_slot (slot_lo, slot_hi) =
+    let now = ref slot_lo in
+    check_missed !now;
+    let continue = ref true in
+    while !continue && !now < slot_hi -. eps do
+      match pick !now with
+      | -1 ->
+        let r = next_release !now in
+        if r >= slot_hi then continue := false
+        else begin
+          now := r;
+          check_missed !now
+        end
+      | i ->
+        let stop_at =
+          Float.min
+            (Float.min slot_hi tasks.(i).deadline)
+            (Float.min (!now +. remaining.(i)) (next_release !now))
+        in
+        if stop_at <= !now +. eps then
+          (* Only the deadline can pin stop_at to now: the task cannot
+             make progress anymore. *)
+          raise
+            (Miss
+               {
+                 missed_task = tasks.(i).task_id;
+                 missed_deadline = tasks.(i).deadline;
+                 remaining = remaining.(i);
+               });
+        emit tasks.(i).task_id !now stop_at;
+        remaining.(i) <- remaining.(i) -. (stop_at -. !now);
+        if remaining.(i) < eps then remaining.(i) <- 0.;
+        now := stop_at;
+        check_missed !now
+    done
+  in
+  match
+    List.iter run_slot free;
+    (* Anything left over can never run: report the tightest deadline. *)
+    let worst = ref (-1) in
+    for i = 0 to n - 1 do
+      if remaining.(i) > eps && (!worst = -1 || tasks.(i).deadline < tasks.(!worst).deadline)
+      then worst := i
+    done;
+    if !worst >= 0 then
+      raise
+        (Miss
+           {
+             missed_task = tasks.(!worst).task_id;
+             missed_deadline = tasks.(!worst).deadline;
+             remaining = remaining.(!worst);
+           })
+  with
+  | () -> Ok (List.rev !slots)
+  | exception Miss info -> Error info
+
+let slots_of_task slots id =
+  List.filter_map
+    (fun s -> if s.task_id = id then Some (s.start, s.stop) else None)
+    slots
+
+let feasible ~free tasks = match place ~free tasks with Ok _ -> true | Error _ -> false

@@ -1,0 +1,34 @@
+(** Preemptive Earliest-Deadline-First placement into free time slots.
+
+    Given tasks (release, deadline, processing duration) and the free
+    time of a resource, simulate preemptive EDF and return per-task
+    execution slots.  Used by the YDS inner loop and by Algorithm 1 of
+    the paper to turn per-flow rates into concrete transmission windows,
+    and on its own for Theorem 4's per-interval packet scheduling. *)
+
+type task = {
+  task_id : int;
+  release : float;
+  deadline : float;
+  duration : float;  (** processing time needed, >= 0 *)
+}
+
+type slot = { task_id : int; start : float; stop : float }
+(** A maximal run of one task; [start < stop]. *)
+
+type infeasible = {
+  missed_task : int;  (** first task whose deadline passes unfinished *)
+  missed_deadline : float;
+  remaining : float;  (** work still owed at the deadline *)
+}
+
+val place : free:(float * float) list -> task list -> (slot list, infeasible) result
+(** Simulate EDF over the free slots (disjoint, increasing).  Tasks run
+    only inside free time and inside their own span.  Ties on deadline
+    break by task id, so the output is deterministic.  Slots are returned
+    in chronological order.  A small tolerance absorbs float drift at
+    deadlines. *)
+
+val slots_of_task : slot list -> int -> (float * float) list
+
+val feasible : free:(float * float) list -> task list -> bool

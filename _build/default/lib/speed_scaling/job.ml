@@ -1,0 +1,14 @@
+type t = { id : int; weight : float; release : float; deadline : float }
+
+let make ~id ~weight ~release ~deadline =
+  let finite = Dcn_util.Approx.is_finite in
+  if not (finite weight && finite release && finite deadline) then
+    invalid_arg "Job.make: non-finite field";
+  if weight <= 0. then invalid_arg "Job.make: weight must be > 0";
+  if deadline <= release then invalid_arg "Job.make: deadline must be > release";
+  { id; weight; release; deadline }
+
+let density j = j.weight /. (j.deadline -. j.release)
+
+let pp ppf j =
+  Format.fprintf ppf "job#%d w=%g [%g,%g]" j.id j.weight j.release j.deadline

@@ -1,0 +1,17 @@
+(** Jobs for single-processor speed scaling (the SS-SP problem of Yao,
+    Demers and Shenker, which Algorithm 1 reduces to). *)
+
+type t = private {
+  id : int;
+  weight : float;  (** work (CPU cycles / data volume), > 0 *)
+  release : float;
+  deadline : float;  (** > release *)
+}
+
+val make : id:int -> weight:float -> release:float -> deadline:float -> t
+(** @raise Invalid_argument on non-positive weight or an empty span. *)
+
+val density : t -> float
+(** [weight / (deadline - release)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Iset = Dcn_util.Interval_set
+
+type group = { window : float * float; intensity : float; job_ids : int list }
+
+type t = { groups : group list; speeds : (int * float) list; slots : Edf.slot list }
+
+let eps = 1e-9
+
+(* A pending job belongs to window [a, b] iff its effective span (span
+   minus already-consumed time) lies inside the window: no free time of
+   the span remains before [a] or after [b]. *)
+let in_window busy (j : Job.t) a b =
+  let before = if j.release < a then Iset.available_within busy ~lo:j.release ~hi:a else 0. in
+  let after = if j.deadline > b then Iset.available_within busy ~lo:b ~hi:j.deadline else 0. in
+  before <= eps && after <= eps
+
+let schedule jobs =
+  if jobs = [] then invalid_arg "Yds.schedule: empty job list";
+  let ids = List.map (fun (j : Job.t) -> j.id) jobs in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Yds.schedule: duplicate job ids";
+  let busy = ref Iset.empty in
+  let pending = ref jobs in
+  let groups = ref [] in
+  let speeds = ref [] in
+  let all_slots = ref [] in
+  while !pending <> [] do
+    let releases = List.sort_uniq compare (List.map (fun (j : Job.t) -> j.release) !pending) in
+    let deadlines = List.sort_uniq compare (List.map (fun (j : Job.t) -> j.deadline) !pending) in
+    (* Find the window maximising intensity. *)
+    let best = ref None in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if b > a then begin
+              let members = List.filter (fun j -> in_window !busy j a b) !pending in
+              if members <> [] then begin
+                let weight = List.fold_left (fun acc (j : Job.t) -> acc +. j.weight) 0. members in
+                let avail = Iset.available_within !busy ~lo:a ~hi:b in
+                if avail <= eps then
+                  invalid_arg "Yds.schedule: window with jobs but no available time";
+                let intensity = weight /. avail in
+                match !best with
+                | Some (bi, _, _, _, _) when bi >= intensity -> ()
+                | _ -> best := Some (intensity, a, b, members, avail)
+              end
+            end)
+          deadlines)
+      releases;
+    match !best with
+    | None ->
+      (* Every pending job fits no window — impossible since a job's own
+         span is always a candidate window containing it. *)
+      assert false
+    | Some (intensity, a, b, members, _avail) ->
+      let member_ids =
+        List.sort compare (List.map (fun (j : Job.t) -> j.id) members)
+      in
+      groups := { window = (a, b); intensity; job_ids = member_ids } :: !groups;
+      List.iter (fun (j : Job.t) -> speeds := (j.id, intensity) :: !speeds) members;
+      (* Place the group's execution with EDF inside the window's free
+         time, then consume the whole window. *)
+      let free = Iset.free_within !busy ~lo:a ~hi:b in
+      let tasks =
+        List.map
+          (fun (j : Job.t) ->
+            {
+              Edf.task_id = j.id;
+              release = Float.max j.release a;
+              deadline = Float.min j.deadline b;
+              duration = j.weight /. intensity;
+            })
+          members
+      in
+      (match Edf.place ~free tasks with
+      | Ok slots -> all_slots := slots :: !all_slots
+      | Error info ->
+        invalid_arg
+          (Printf.sprintf "Yds.schedule: internal EDF miss for job %d (owing %g)"
+             info.missed_task info.remaining));
+      busy := Iset.add !busy ~lo:a ~hi:b;
+      pending := List.filter (fun (j : Job.t) -> not (List.mem j.id member_ids)) !pending
+  done;
+  let slots =
+    List.sort
+      (fun (s1 : Edf.slot) s2 -> compare (s1.start, s1.task_id) (s2.start, s2.task_id))
+      (List.concat !all_slots)
+  in
+  { groups = List.rev !groups; speeds = !speeds; slots }
+
+let speed_of t id = List.assoc id t.speeds
+
+let max_speed t = List.fold_left (fun acc (_, s) -> Float.max acc s) 0. t.speeds
+
+let energy ~mu ~alpha jobs t =
+  List.fold_left
+    (fun acc (j : Job.t) ->
+      let s = speed_of t j.id in
+      acc +. (j.weight *. mu *. (s ** (alpha -. 1.))))
+    0. jobs

@@ -1,0 +1,39 @@
+(** Optimal single-processor speed scaling (Yao–Demers–Shenker).
+
+    Repeatedly find the *critical interval* — the window [\[a, b\]]
+    maximising [sum of weights of jobs living inside / available time] —
+    run its jobs at that common speed under EDF, mark the window's free
+    time as consumed, and continue with the rest.  This is the substrate
+    Algorithm 1 of the paper generalises (per link, with virtual
+    weights); it is kept standalone here so it can be tested against a
+    brute-force convex optimiser and reused directly.
+
+    The implementation keeps original time coordinates and a busy-time
+    set instead of collapsing the timeline; group membership uses
+    *effective spans* (span minus busy time), which is equivalent to the
+    textbook collapse. *)
+
+type group = {
+  window : float * float;  (** the critical interval, original time *)
+  intensity : float;  (** the common execution speed of the group *)
+  job_ids : int list;  (** members, ascending id *)
+}
+
+type t = {
+  groups : group list;  (** in selection order; intensities non-increasing *)
+  speeds : (int * float) list;  (** job id -> speed, every input job once *)
+  slots : Edf.slot list;  (** execution plan, chronological, EDF inside groups *)
+}
+
+val schedule : Job.t list -> t
+(** Jobs must have distinct ids.  With no speed cap every instance is
+    feasible.  @raise Invalid_argument on duplicate ids or an empty
+    list. *)
+
+val speed_of : t -> int -> float
+(** @raise Not_found for an unknown job id. *)
+
+val max_speed : t -> float
+
+val energy : mu:float -> alpha:float -> Job.t list -> t -> float
+(** [sum_i w_i * mu * s_i^(alpha-1)] — the SS-SP objective. *)

@@ -1,0 +1,1 @@
+lib/topology/builders.ml: Array Dcn_util Graph Hashtbl List Printf

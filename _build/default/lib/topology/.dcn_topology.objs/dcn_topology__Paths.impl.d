@@ -1,0 +1,1 @@
+lib/topology/paths.ml: Array Dcn_util Graph Hashtbl List

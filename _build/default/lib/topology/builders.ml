@@ -1,0 +1,217 @@
+module B = Graph.Builder
+
+let line n =
+  if n < 2 then invalid_arg "Builders.line: need at least 2 nodes";
+  let b = B.create () in
+  let nodes = Array.init n (fun i -> B.add_node b ~name:(Printf.sprintf "n%d" i) Graph.Host) in
+  for i = 0 to n - 2 do
+    ignore (B.add_cable b nodes.(i) nodes.(i + 1))
+  done;
+  B.finish b
+
+let parallel ~links =
+  if links < 1 then invalid_arg "Builders.parallel: need at least 1 link";
+  let b = B.create () in
+  let src = B.add_node b ~name:"src" Graph.Host in
+  let dst = B.add_node b ~name:"dst" Graph.Host in
+  for _ = 1 to links do
+    ignore (B.add_cable b src dst)
+  done;
+  B.finish b
+
+let star ~leaves =
+  if leaves < 2 then invalid_arg "Builders.star: need at least 2 leaves";
+  let b = B.create () in
+  let hosts = Array.init leaves (fun _ -> B.add_node b Graph.Host) in
+  let hub = B.add_node b (Graph.Switch { tier = 0 }) in
+  Array.iter (fun h -> ignore (B.add_cable b h hub)) hosts;
+  B.finish b
+
+let leaf_spine ~spines ~leaves ~hosts_per_leaf =
+  if spines < 1 || leaves < 1 || hosts_per_leaf < 1 then
+    invalid_arg "Builders.leaf_spine: all counts must be positive";
+  let b = B.create () in
+  let host_ids =
+    Array.init (leaves * hosts_per_leaf) (fun _ -> B.add_node b Graph.Host)
+  in
+  let leaf_ids =
+    Array.init leaves (fun i ->
+        B.add_node b ~name:(Printf.sprintf "leaf%d" i) (Graph.Switch { tier = 0 }))
+  in
+  let spine_ids =
+    Array.init spines (fun i ->
+        B.add_node b ~name:(Printf.sprintf "spine%d" i) (Graph.Switch { tier = 1 }))
+  in
+  Array.iteri
+    (fun i h -> ignore (B.add_cable b h leaf_ids.(i / hosts_per_leaf)))
+    host_ids;
+  Array.iter
+    (fun leaf -> Array.iter (fun spine -> ignore (B.add_cable b leaf spine)) spine_ids)
+    leaf_ids;
+  B.finish b
+
+let fat_tree k =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Builders.fat_tree: k must be even and >= 2";
+  let half = k / 2 in
+  let b = B.create () in
+  (* Hosts first so that host ids are 0 .. k^3/4 - 1. *)
+  let hosts =
+    Array.init (k * half * half) (fun i -> B.add_node b ~name:(Printf.sprintf "h%d" i) Graph.Host)
+  in
+  let edge =
+    Array.init k (fun pod ->
+        Array.init half (fun i ->
+            B.add_node b
+              ~name:(Printf.sprintf "edge%d_%d" pod i)
+              (Graph.Switch { tier = 0 })))
+  in
+  let agg =
+    Array.init k (fun pod ->
+        Array.init half (fun i ->
+            B.add_node b
+              ~name:(Printf.sprintf "agg%d_%d" pod i)
+              (Graph.Switch { tier = 1 })))
+  in
+  let core =
+    Array.init (half * half) (fun i ->
+        B.add_node b ~name:(Printf.sprintf "core%d" i) (Graph.Switch { tier = 2 }))
+  in
+  for pod = 0 to k - 1 do
+    for e = 0 to half - 1 do
+      (* Hosts of edge switch e in this pod. *)
+      for h = 0 to half - 1 do
+        let host = hosts.((pod * half * half) + (e * half) + h) in
+        ignore (B.add_cable b host edge.(pod).(e))
+      done;
+      (* Full bipartite edge-agg inside the pod. *)
+      for a = 0 to half - 1 do
+        ignore (B.add_cable b edge.(pod).(e) agg.(pod).(a))
+      done
+    done;
+    (* Aggregation switch a serves core group a. *)
+    for a = 0 to half - 1 do
+      for c = 0 to half - 1 do
+        ignore (B.add_cable b agg.(pod).(a) core.((a * half) + c))
+      done
+    done
+  done;
+  B.finish b
+
+let bcube ~n ~level =
+  if n < 2 then invalid_arg "Builders.bcube: n must be >= 2";
+  if level < 0 then invalid_arg "Builders.bcube: level must be >= 0";
+  let pow base e =
+    let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+    go 1 e
+  in
+  let num_hosts = pow n (level + 1) in
+  let switches_per_level = pow n level in
+  let b = B.create () in
+  let hosts = Array.init num_hosts (fun i -> B.add_node b ~name:(Printf.sprintf "h%d" i) Graph.Host) in
+  (* Level-j switch with index s (base-n digits of the host address with
+     digit j removed) connects hosts whose address matches s outside
+     digit j. *)
+  for j = 0 to level do
+    for s = 0 to switches_per_level - 1 do
+      let sw = B.add_node b ~name:(Printf.sprintf "sw%d_%d" j s) (Graph.Switch { tier = j }) in
+      let low = s mod pow n j in
+      let high = s / pow n j in
+      for d = 0 to n - 1 do
+        let host_addr = (high * pow n (j + 1)) + (d * pow n j) + low in
+        ignore (B.add_cable b hosts.(host_addr) sw)
+      done
+    done
+  done;
+  B.finish b
+
+let dcell ~n ~level =
+  if n < 2 then invalid_arg "Builders.dcell: n must be >= 2";
+  if level < 0 then invalid_arg "Builders.dcell: level must be >= 0";
+  (* t.(k) = hosts in a DCell_k; g.(k) = number of DCell_(k-1) sub-cells. *)
+  let t = Array.make (level + 1) n in
+  for k = 1 to level do
+    t.(k) <- (t.(k - 1) + 1) * t.(k - 1);
+    if t.(k) > 10_000 then invalid_arg "Builders.dcell: more than 10_000 hosts"
+  done;
+  let b = B.create () in
+  let hosts =
+    Array.init t.(level) (fun i -> B.add_node b ~name:(Printf.sprintf "h%d" i) Graph.Host)
+  in
+  let switch_count = ref 0 in
+  (* Wire the DCell_k spanning hosts [offset, offset + t.(k)). *)
+  let rec wire k offset =
+    if k = 0 then begin
+      let sw =
+        B.add_node b ~name:(Printf.sprintf "sw%d" !switch_count) (Graph.Switch { tier = 0 })
+      in
+      incr switch_count;
+      for i = 0 to n - 1 do
+        ignore (B.add_cable b hosts.(offset + i) sw)
+      done
+    end
+    else begin
+      let sub = t.(k - 1) in
+      let cells = sub + 1 in
+      for c = 0 to cells - 1 do
+        wire (k - 1) (offset + (c * sub))
+      done;
+      (* Full interconnection: host (b-1) of cell a <-> host a of cell b. *)
+      for a = 0 to cells - 2 do
+        for c = a + 1 to cells - 1 do
+          let u = hosts.(offset + (a * sub) + (c - 1)) in
+          let v = hosts.(offset + (c * sub) + a) in
+          ignore (B.add_cable b u v)
+        done
+      done
+    end
+  in
+  wire level 0;
+  B.finish b
+
+let random_fabric ~switches ~degree ~hosts ~seed =
+  if switches * degree mod 2 <> 0 then
+    invalid_arg "Builders.random_fabric: switches * degree must be even";
+  if degree >= switches then invalid_arg "Builders.random_fabric: degree >= switches";
+  if degree < 1 || switches < 2 || hosts < 0 then
+    invalid_arg "Builders.random_fabric: bad sizes";
+  let rng = Dcn_util.Prng.create seed in
+  (* Pairing model: repeat until the multigraph is simple; then check
+     connectivity.  Degree is small so this terminates quickly. *)
+  let try_pairing () =
+    let stubs = Array.make (switches * degree) 0 in
+    Array.iteri (fun i _ -> stubs.(i) <- i / degree) stubs;
+    Dcn_util.Prng.shuffle rng stubs;
+    let seen = Hashtbl.create 64 in
+    let edges = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < Array.length stubs do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let key = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen key then ok := false
+      else begin
+        Hashtbl.add seen key ();
+        edges := key :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some !edges else None
+  in
+  let rec build attempts =
+    if attempts = 0 then invalid_arg "Builders.random_fabric: could not sample a simple graph"
+    else
+      match try_pairing () with
+      | None -> build (attempts - 1)
+      | Some edges ->
+        let b = B.create () in
+        let host_ids = Array.init hosts (fun _ -> B.add_node b Graph.Host) in
+        let switch_ids =
+          Array.init switches (fun i ->
+              B.add_node b ~name:(Printf.sprintf "sw%d" i) (Graph.Switch { tier = 0 }))
+        in
+        List.iter (fun (u, v) -> ignore (B.add_cable b switch_ids.(u) switch_ids.(v))) edges;
+        Array.iteri (fun i h -> ignore (B.add_cable b h switch_ids.(i mod switches))) host_ids;
+        let g = B.finish b in
+        if Graph.connected g then g else build (attempts - 1)
+  in
+  build 1000

@@ -1,0 +1,54 @@
+(** Canonical data-center topologies.
+
+    The paper's evaluation runs on a DCN of "80 switches (with 128
+    servers connected)", which is exactly a k = 8 fat-tree; the hardness
+    reductions (Theorems 2 and 3) use parallel-link networks; Example 1
+    uses a 3-node line.  The extra topologies (leaf–spine, BCube, random)
+    serve the additional example scenarios and robustness tests. *)
+
+val line : int -> Graph.t
+(** [line n] is a chain of [n >= 2] host nodes joined by [n-1] cables —
+    the Figure 1 network for [n = 3].  @raise Invalid_argument if
+    [n < 2]. *)
+
+val parallel : links:int -> Graph.t
+(** Two hosts ([src = 0], [dst = 1]) joined by [links >= 1] parallel
+    cables — the gadget network of the NP-hardness proofs. *)
+
+val star : leaves:int -> Graph.t
+(** One central switch (node id [leaves]) with [leaves >= 2] hosts. *)
+
+val leaf_spine : spines:int -> leaves:int -> hosts_per_leaf:int -> Graph.t
+(** Two-tier Clos: every leaf (tier 0) connects to every spine (tier 1);
+    hosts hang off leaves.  Hosts get the lowest ids, then leaves, then
+    spines. *)
+
+val fat_tree : int -> Graph.t
+(** [fat_tree k] for even [k >= 2]: [k] pods of [k/2] edge (tier 0) and
+    [k/2] aggregation (tier 1) switches, [(k/2)^2] cores (tier 2),
+    [k^3/4] hosts.  [fat_tree 8] is the paper's evaluation network:
+    80 switches, 128 hosts.  @raise Invalid_argument if [k] is odd or
+    [< 2]. *)
+
+val bcube : n:int -> level:int -> Graph.t
+(** [bcube ~n ~level] is BCube_level with [n]-port switches:
+    [n^(level+1)] hosts, [(level+1) * n^level] switches; the level-[j]
+    switch with index digits [d] connects the [n] hosts whose base-[n]
+    address agrees with [d] except at digit [j].  @raise Invalid_argument
+    if [n < 2] or [level < 0]. *)
+
+val dcell : n:int -> level:int -> Graph.t
+(** [dcell ~n ~level] is DCell_level with [n]-port level-0 switches: a
+    DCell_0 is [n] hosts on one switch; a DCell_k is [t_(k-1) + 1]
+    DCell_(k-1)s fully interconnected by host-to-host cables (host [u]
+    of sub-cell [a] links to host [a] of sub-cell [u+1] at each level,
+    the standard construction).  Hosts get ids first, then switches.
+    @raise Invalid_argument if [n < 2], [level < 0], or the size
+    explodes past 10_000 hosts. *)
+
+val random_fabric :
+  switches:int -> degree:int -> hosts:int -> seed:int -> Graph.t
+(** Random [degree]-regular switch fabric (pairing model, resampled until
+    simple and connected) with [hosts] hosts attached round-robin.
+    @raise Invalid_argument if [switches * degree] is odd or
+    [degree >= switches]. *)

@@ -1,0 +1,194 @@
+type node_kind = Host | Switch of { tier : int }
+
+type node = int
+type link = int
+
+type t = {
+  kinds : node_kind array;
+  names : string array;
+  srcs : int array;
+  dsts : int array;
+  rev : int array;
+  out : int array array;
+  incoming : int array array;
+}
+
+module Builder = struct
+  type graph = t
+  let _ = fun (x : graph) -> x
+
+  type t = {
+    mutable bkinds : node_kind list; (* reversed *)
+    mutable bnames : string list; (* reversed *)
+    mutable bnodes : int;
+    mutable blinks : (int * int) list; (* reversed, directed *)
+    mutable bnlinks : int;
+    mutable finished : bool;
+  }
+
+  let create () =
+    { bkinds = []; bnames = []; bnodes = 0; blinks = []; bnlinks = 0; finished = false }
+
+  let check_live b = if b.finished then invalid_arg "Graph.Builder: reuse after finish"
+
+  let add_node b ?name kind =
+    check_live b;
+    let id = b.bnodes in
+    let name =
+      match name with
+      | Some n -> n
+      | None -> (match kind with Host -> Printf.sprintf "h%d" id | Switch _ -> Printf.sprintf "s%d" id)
+    in
+    b.bkinds <- kind :: b.bkinds;
+    b.bnames <- name :: b.bnames;
+    b.bnodes <- id + 1;
+    id
+
+  let add_cable b u v =
+    check_live b;
+    if u < 0 || u >= b.bnodes || v < 0 || v >= b.bnodes then
+      invalid_arg "Graph.Builder.add_cable: unknown node";
+    if u = v then invalid_arg "Graph.Builder.add_cable: self-loop";
+    let fwd = b.bnlinks and bwd = b.bnlinks + 1 in
+    b.blinks <- (v, u) :: (u, v) :: b.blinks;
+    b.bnlinks <- b.bnlinks + 2;
+    (fwd, bwd)
+
+  let finish b =
+    check_live b;
+    b.finished <- true;
+    let n = b.bnodes and m = b.bnlinks in
+    let kinds = Array.of_list (List.rev b.bkinds) in
+    let names = Array.of_list (List.rev b.bnames) in
+    let srcs = Array.make m 0 and dsts = Array.make m 0 in
+    List.iteri
+      (fun i (u, v) ->
+        let id = m - 1 - i in
+        srcs.(id) <- u;
+        dsts.(id) <- v)
+      b.blinks;
+    (* Links were added in (fwd, bwd) pairs, so the reverse of link l is
+       its pair partner. *)
+    let rev = Array.init m (fun l -> if l land 1 = 0 then l + 1 else l - 1) in
+    let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+    for l = 0 to m - 1 do
+      out_deg.(srcs.(l)) <- out_deg.(srcs.(l)) + 1;
+      in_deg.(dsts.(l)) <- in_deg.(dsts.(l)) + 1
+    done;
+    let out = Array.init n (fun v -> Array.make out_deg.(v) 0) in
+    let incoming = Array.init n (fun v -> Array.make in_deg.(v) 0) in
+    let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+    for l = 0 to m - 1 do
+      let u = srcs.(l) and v = dsts.(l) in
+      out.(u).(out_fill.(u)) <- l;
+      out_fill.(u) <- out_fill.(u) + 1;
+      incoming.(v).(in_fill.(v)) <- l;
+      in_fill.(v) <- in_fill.(v) + 1
+    done;
+    { kinds; names; srcs; dsts; rev; out; incoming }
+end
+
+let num_nodes t = Array.length t.kinds
+let num_links t = Array.length t.srcs
+let num_cables t = num_links t / 2
+let node_kind t v = t.kinds.(v)
+let node_name t v = t.names.(v)
+
+let is_host t v = match t.kinds.(v) with Host -> true | Switch _ -> false
+
+let filter_nodes t pred =
+  let acc = ref [] in
+  for v = num_nodes t - 1 downto 0 do
+    if pred v then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let hosts t = filter_nodes t (is_host t)
+let switches t = filter_nodes t (fun v -> not (is_host t v))
+
+let link_src t l = t.srcs.(l)
+let link_dst t l = t.dsts.(l)
+let reverse t l = t.rev.(l)
+let out_links t v = t.out.(v)
+let in_links t v = t.incoming.(v)
+
+let find_link t ~src ~dst =
+  let links = t.out.(src) in
+  let rec scan i =
+    if i >= Array.length links then None
+    else if t.dsts.(links.(i)) = dst then Some links.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let links_between t ~src ~dst =
+  Array.fold_right (fun l acc -> if t.dsts.(l) = dst then l :: acc else acc) t.out.(src) []
+
+let path_nodes t ~src links =
+  let rec walk at = function
+    | [] -> []
+    | l :: rest ->
+      if t.srcs.(l) <> at then invalid_arg "Graph.path_nodes: links do not chain"
+      else t.dsts.(l) :: walk t.dsts.(l) rest
+  in
+  src :: walk src links
+
+let is_path t ~src ~dst links =
+  match links with
+  | [] -> src = dst
+  | _ -> (
+    match path_nodes t ~src links with
+    | exception Invalid_argument _ -> false
+    | nodes ->
+      let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> assert false in
+      last nodes = dst
+      && List.length (List.sort_uniq compare nodes) = List.length nodes)
+
+let degree_out t v = Array.length t.out.(v)
+
+let remove_cables t ~cables =
+  let m = num_links t in
+  let drop = Array.make (m / 2) false in
+  List.iter
+    (fun l ->
+      if l < 0 || l >= m then invalid_arg "Graph.remove_cables: unknown link";
+      drop.(l / 2) <- true)
+    cables;
+  let b = Builder.create () in
+  Array.iteri (fun v kind -> ignore (Builder.add_node b ~name:t.names.(v) kind)) t.kinds;
+  for c = 0 to (m / 2) - 1 do
+    if not drop.(c) then ignore (Builder.add_cable b t.srcs.(2 * c) t.dsts.(2 * c))
+  done;
+  Builder.finish b
+
+let connected t =
+  let n = num_nodes t in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let count = ref 1 in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        Array.iter
+          (fun l ->
+            let w = t.dsts.(l) in
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              incr count;
+              stack := w :: !stack
+            end)
+          t.out.(v);
+        loop ()
+    in
+    loop ();
+    !count = n
+  end
+
+let pp ppf t =
+  let nh = Array.length (hosts t) and ns = Array.length (switches t) in
+  Format.fprintf ppf "graph: %d hosts, %d switches, %d cables" nh ns (num_cables t)

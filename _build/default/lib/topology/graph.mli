@@ -1,0 +1,107 @@
+(** Data-center network graphs.
+
+    Nodes are hosts or switches; every physical cable is modelled as a
+    pair of *directed links*, one per direction, each carrying its own
+    traffic and consuming its own power (the paper folds the two port
+    ASICs of a cable into "the link"; we keep the two directions apart so
+    that a full-duplex cable busy one way does not charge the other).
+    Multigraphs are supported (the hardness gadgets of Theorems 2 and 3
+    need parallel links).
+
+    Graphs are immutable once built; construct them with {!Builder}. *)
+
+type node_kind =
+  | Host
+  | Switch of { tier : int }
+      (** [tier] is builder-defined: 0 = edge/leaf, 1 = aggregation/spine,
+          2 = core, ... *)
+
+type t
+
+type node = int
+(** Dense node identifiers in [\[0, num_nodes)]. *)
+
+type link = int
+(** Dense directed-link identifiers in [\[0, num_links)]. *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : unit -> t
+
+  val add_node : t -> ?name:string -> node_kind -> node
+  (** Returns the fresh node's id.  [name] defaults to ["h<i>"] or
+      ["s<i>"] by kind. *)
+
+  val add_cable : t -> node -> node -> link * link
+  (** Adds a bidirectional cable between the two nodes and returns the
+      (forward, backward) directed links.  Self-loops are rejected.
+      @raise Invalid_argument on unknown nodes or a self-loop. *)
+
+  val finish : t -> graph
+  (** Freeze.  The builder must not be reused afterwards.
+      @raise Invalid_argument on reuse. *)
+end
+
+val num_nodes : t -> int
+
+val num_links : t -> int
+(** Number of directed links (twice the cable count). *)
+
+val num_cables : t -> int
+
+val node_kind : t -> node -> node_kind
+
+val node_name : t -> node -> string
+
+val is_host : t -> node -> bool
+
+val hosts : t -> node array
+(** All host nodes, ascending. *)
+
+val switches : t -> node array
+
+val link_src : t -> link -> node
+
+val link_dst : t -> link -> node
+
+val reverse : t -> link -> link
+(** The opposite direction of the same cable; an involution. *)
+
+val out_links : t -> node -> link array
+(** Outgoing directed links of a node.  Do not mutate. *)
+
+val in_links : t -> node -> link array
+
+val find_link : t -> src:node -> dst:node -> link option
+(** Some directed link from [src] to [dst] (the first added, for
+    multigraphs). *)
+
+val links_between : t -> src:node -> dst:node -> link list
+
+val is_path : t -> src:node -> dst:node -> link list -> bool
+(** Whether the link sequence forms a directed walk from [src] to [dst]
+    visiting no node twice (a simple path).  The empty list is a path iff
+    [src = dst]. *)
+
+val path_nodes : t -> src:node -> link list -> node list
+(** Nodes visited by a walk starting at [src], beginning with [src].
+    @raise Invalid_argument if consecutive links do not chain. *)
+
+val degree_out : t -> node -> int
+
+val remove_cables : t -> cables:link list -> t
+(** Rebuild the graph without the given cables (each identified by
+    either of its directed links).  Node ids and order are preserved;
+    link ids are reassigned densely in the original cable order.  Used
+    by the failure-resilience experiments.  @raise Invalid_argument on
+    an unknown link id. *)
+
+val connected : t -> bool
+(** Whether every node is reachable from node 0 along directed links
+    (true for all builder-produced graphs since cables are paired, but
+    exposed for property tests). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: node/link counts by kind. *)

@@ -1,0 +1,150 @@
+type weight = Graph.link -> float
+
+let hop_weight _ = 1.
+
+type tree = { dist : float array; pred : int array }
+
+let shortest_tree ?(weight = hop_weight) ?(banned_links = fun _ -> false)
+    ?(banned_nodes = fun _ -> false) g ~src =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let cmp (d1, v1) (d2, v2) = compare (d1, v1) (d2, v2) in
+  let heap = Dcn_util.Pqueue.create ~cmp in
+  dist.(src) <- 0.;
+  Dcn_util.Pqueue.add heap (0., src);
+  let rec loop () =
+    match Dcn_util.Pqueue.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) then begin
+        settled.(v) <- true;
+        Array.iter
+          (fun l ->
+            if not (banned_links l) then begin
+              let w = Graph.link_dst g l in
+              if not (banned_nodes w) && not settled.(w) then begin
+                let c = weight l in
+                if c < 0. then invalid_arg "Paths.shortest_tree: negative weight";
+                let nd = d +. c in
+                if nd < dist.(w) then begin
+                  dist.(w) <- nd;
+                  pred.(w) <- l;
+                  Dcn_util.Pqueue.add heap (nd, w)
+                end
+              end
+            end)
+          (Graph.out_links g v)
+      end;
+      loop ()
+  in
+  loop ();
+  { dist; pred }
+
+let extract_path g tree ~dst =
+  if tree.dist.(dst) = infinity then None
+  else
+    let rec back v acc =
+      match tree.pred.(v) with
+      | -1 -> acc
+      | l -> back (Graph.link_src g l) (l :: acc)
+    in
+    Some (back dst [])
+
+let shortest_path ?weight g ~src ~dst =
+  let tree = shortest_tree ?weight g ~src in
+  extract_path g tree ~dst
+
+let path_cost weight links = List.fold_left (fun acc l -> acc +. weight l) 0. links
+
+let k_shortest ?(weight = hop_weight) g ~k ~src ~dst =
+  if k < 1 then invalid_arg "Paths.k_shortest: k must be >= 1";
+  match shortest_path ~weight g ~src ~dst with
+  | None -> []
+  | Some first ->
+    let accepted = ref [ first ] in
+    (* Candidate paths ordered by cost; keep the path list for ties. *)
+    let cmp (c1, p1) (c2, p2) = compare (c1, p1) (c2, p2) in
+    let candidates = Dcn_util.Pqueue.create ~cmp in
+    let seen = Hashtbl.create 16 in
+    Hashtbl.add seen first ();
+    let rec take_prefix n = function
+      | _ when n = 0 -> []
+      | [] -> []
+      | x :: tl -> x :: take_prefix (n - 1) tl
+    in
+    let rec fill () =
+      if List.length !accepted >= k then ()
+      else begin
+        let last = List.hd !accepted in
+        let last_len = List.length last in
+        (* Spur from every prefix of the most recently accepted path. *)
+        for i = 0 to last_len - 1 do
+          let root = take_prefix i last in
+          let root_nodes = Graph.path_nodes g ~src root in
+          let spur_node = List.nth root_nodes i in
+          (* Ban links used by previously accepted paths sharing this
+             root, and ban root nodes except the spur node. *)
+          let banned_link_tbl = Hashtbl.create 8 in
+          List.iter
+            (fun p ->
+              if take_prefix i p = root then
+                match List.nth_opt p i with
+                | Some l -> Hashtbl.replace banned_link_tbl l ()
+                | None -> ())
+            !accepted;
+          let banned_node_tbl = Hashtbl.create 8 in
+          List.iteri
+            (fun j v -> if j < i then Hashtbl.replace banned_node_tbl v ())
+            root_nodes;
+          let tree =
+            shortest_tree ~weight
+              ~banned_links:(Hashtbl.mem banned_link_tbl)
+              ~banned_nodes:(Hashtbl.mem banned_node_tbl)
+              g ~src:spur_node
+          in
+          match extract_path g tree ~dst with
+          | None -> ()
+          | Some spur ->
+            let full = root @ spur in
+            if (not (Hashtbl.mem seen full)) && Graph.is_path g ~src ~dst full then begin
+              Hashtbl.add seen full ();
+              Dcn_util.Pqueue.add candidates (path_cost weight full, full)
+            end
+        done;
+        match Dcn_util.Pqueue.pop candidates with
+        | None -> ()
+        | Some (_, best) ->
+          accepted := best :: !accepted;
+          fill ()
+      end
+    in
+    fill ();
+    List.rev !accepted
+
+let all_simple_paths ?(max_hops = max_int) ?(limit = 10_000) g ~src ~dst =
+  let found = ref [] in
+  let count = ref 0 in
+  let visited = Array.make (Graph.num_nodes g) false in
+  let rec dfs v acc depth =
+    if !count < limit then
+      if v = dst then begin
+        found := List.rev acc :: !found;
+        incr count
+      end
+      else if depth < max_hops then begin
+        visited.(v) <- true;
+        Array.iter
+          (fun l ->
+            let w = Graph.link_dst g l in
+            if not visited.(w) then dfs w (l :: acc) (depth + 1))
+          (Graph.out_links g v);
+        visited.(v) <- false
+      end
+  in
+  if src = dst then [ [] ]
+  else begin
+    dfs src [] 0;
+    List.rev !found
+  end

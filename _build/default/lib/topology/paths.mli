@@ -1,0 +1,47 @@
+(** Path computations on {!Graph}.
+
+    A path is a list of directed links in travel order.  Weights are
+    per-link, non-negative floats supplied by the caller (hop count by
+    default); Frank–Wolfe uses marginal power costs, the shortest-path
+    baseline uses hop counts. *)
+
+type weight = Graph.link -> float
+
+val hop_weight : weight
+(** Constant [1.] per link. *)
+
+type tree = {
+  dist : float array;  (** per node; [infinity] if unreachable *)
+  pred : int array;  (** incoming link on a shortest path; [-1] at the root
+                         and at unreachable nodes *)
+}
+
+val shortest_tree :
+  ?weight:weight ->
+  ?banned_links:(Graph.link -> bool) ->
+  ?banned_nodes:(Graph.node -> bool) ->
+  Graph.t ->
+  src:Graph.node ->
+  tree
+(** Single-source Dijkstra.  Banned links/nodes are treated as absent
+    (the source itself is never banned).  Deterministic for fixed
+    input.  @raise Invalid_argument on a negative weight. *)
+
+val extract_path : Graph.t -> tree -> dst:Graph.node -> Graph.link list option
+(** Path from the tree's source to [dst]; [None] if unreachable. *)
+
+val shortest_path :
+  ?weight:weight -> Graph.t -> src:Graph.node -> dst:Graph.node -> Graph.link list option
+
+val path_cost : weight -> Graph.link list -> float
+
+val k_shortest :
+  ?weight:weight -> Graph.t -> k:int -> src:Graph.node -> dst:Graph.node -> Graph.link list list
+(** Yen's algorithm: up to [k] loopless paths by increasing cost.
+    @raise Invalid_argument if [k < 1]. *)
+
+val all_simple_paths :
+  ?max_hops:int -> ?limit:int -> Graph.t -> src:Graph.node -> dst:Graph.node -> Graph.link list list
+(** Every simple path with at most [max_hops] links (default: unbounded),
+    stopping after [limit] paths (default 10_000) as a safety valve for
+    the exact small-instance solver.  Depth-first order. *)

@@ -1,0 +1,16 @@
+let default_eps = 1e-9
+
+let equal ?(eps = default_eps) a b = Float.abs (a -. b) <= eps
+
+let close_rel ?(rtol = 1e-6) a b =
+  Float.abs (a -. b) <= rtol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let leq ?(eps = default_eps) a b = a <= b +. eps
+
+let geq ?(eps = default_eps) a b = a >= b -. eps
+
+let clamp ~lo ~hi x =
+  if hi < lo then invalid_arg "Approx.clamp: hi < lo";
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x

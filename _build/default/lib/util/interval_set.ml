@@ -1,0 +1,64 @@
+(* Invariant: intervals are sorted by lower endpoint, pairwise disjoint,
+   non-touching, and each has strictly positive length. *)
+type t = (float * float) list
+
+let empty = []
+
+let is_empty t = t = []
+
+let add t ~lo ~hi =
+  if hi < lo then invalid_arg "Interval_set.add: hi < lo";
+  if hi = lo then t
+  else
+    (* Walk the sorted list, merging everything that overlaps [lo, hi]. *)
+    let rec insert lo hi = function
+      | [] -> [ (lo, hi) ]
+      | ((a, b) as iv) :: rest ->
+        if b < lo then iv :: insert lo hi rest
+        else if hi < a then (lo, hi) :: iv :: rest
+        else insert (min lo a) (max hi b) rest
+    in
+    insert lo hi t
+
+let add_all t ivs = List.fold_left (fun acc (lo, hi) -> add acc ~lo ~hi) t ivs
+
+let intervals t = t
+
+let total t = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0. t
+
+let mem t x = List.exists (fun (a, b) -> a <= x && x <= b) t
+
+let covered_within t ~lo ~hi =
+  if hi <= lo then 0.
+  else
+    List.fold_left
+      (fun acc (a, b) ->
+        let a = max a lo and b = min b hi in
+        if b > a then acc +. (b -. a) else acc)
+      0. t
+
+let available_within t ~lo ~hi =
+  if hi <= lo then 0. else hi -. lo -. covered_within t ~lo ~hi
+
+let free_within t ~lo ~hi =
+  if hi <= lo then []
+  else
+    let rec gaps cursor = function
+      | [] -> if cursor < hi then [ (cursor, hi) ] else []
+      | (a, b) :: rest ->
+        if b <= cursor then gaps cursor rest
+        else if a >= hi then gaps cursor []
+        else
+          (* The busy interval overlaps [cursor, hi): emit the gap before
+             it (if any) and continue past it. *)
+          let tail = gaps (max cursor (min b hi)) rest in
+          if a > cursor then (cursor, a) :: tail else tail
+    in
+    gaps lo t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (a, b) -> Format.fprintf ppf "[%g,%g]" a b))
+    t

@@ -1,0 +1,42 @@
+(** Sets of disjoint closed real intervals.
+
+    Most-Critical-First (Algorithm 1 of the paper) repeatedly marks time
+    ranges as unavailable on links and asks for the *available time*
+    [a ~ b] of a window — the measure of the window minus the busy set.
+    This module provides that bookkeeping.  Values are immutable; interval
+    endpoints are floats and degenerate (zero-length) intervals are
+    ignored. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val add : t -> lo:float -> hi:float -> t
+(** Union with [\[lo, hi\]], coalescing any overlapping or touching
+    intervals.  @raise Invalid_argument if [hi < lo]. *)
+
+val add_all : t -> (float * float) list -> t
+
+val intervals : t -> (float * float) list
+(** Disjoint intervals in increasing order. *)
+
+val total : t -> float
+(** Total measure of the set. *)
+
+val mem : t -> float -> bool
+(** Whether the point lies inside the set (boundaries included). *)
+
+val covered_within : t -> lo:float -> hi:float -> float
+(** Measure of the intersection of the set with [\[lo, hi\]]. *)
+
+val available_within : t -> lo:float -> hi:float -> float
+(** [hi - lo - covered_within]; the paper's [a ~ b] where the set holds
+    the busy time of a link. *)
+
+val free_within : t -> lo:float -> hi:float -> (float * float) list
+(** Maximal sub-intervals of [\[lo, hi\]] not covered by the set, in
+    increasing order; zero-length gaps are omitted. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(** Mutable binary-heap priority queue.
+
+    Shared by Dijkstra (topology), EDF scheduling (speed scaling) and the
+    discrete-event simulator.  Elements with smaller priority (per the
+    comparison given at creation) pop first; ties break arbitrarily. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Fresh empty queue ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val clear : 'a t -> unit
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the queue; the queue itself is unchanged. *)

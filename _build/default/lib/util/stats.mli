@@ -1,0 +1,33 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); [0.] for singletons.
+    @raise Invalid_argument on empty input. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation between
+    order statistics.  @raise Invalid_argument on empty input or [p]
+    outside the range. *)
+
+val median : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** All of the above in one pass over a copy of the input. *)
+
+val pp_summary : Format.formatter -> summary -> unit

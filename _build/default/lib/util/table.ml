@@ -1,0 +1,68 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~headers ~rows () =
+  let ncols = List.length headers in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  Array.iter
+    (fun w ->
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+type series = { label : string; values : float array }
+
+let render_series ~x_label ~xs ~series () =
+  let n = Array.length xs in
+  List.iter
+    (fun s ->
+      if Array.length s.values <> n then
+        invalid_arg
+          (Printf.sprintf "Table.render_series: series %S has %d points, expected %d"
+             s.label (Array.length s.values) n))
+    series;
+  let headers = x_label :: List.map (fun s -> s.label) series in
+  let rows =
+    List.init n (fun i ->
+        cell_f ~decimals:0 xs.(i) :: List.map (fun s -> cell_f s.values.(i)) series)
+  in
+  render ~headers ~rows ()

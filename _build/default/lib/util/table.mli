@@ -1,0 +1,23 @@
+(** Plain-text tables and series for experiment reports.
+
+    The benchmark harness prints the same rows/series the paper reports;
+    this module does the formatting so every experiment renders
+    consistently. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> headers:string list -> rows:string list list -> unit -> string
+(** ASCII table with a header rule.  [align] defaults to [Left] for the
+    first column and [Right] for the rest (label + numeric columns).
+    Rows shorter than the header are padded with empty cells. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float for a table cell ([decimals] defaults to 3). *)
+
+type series = { label : string; values : float array }
+
+val render_series :
+  x_label:string -> xs:float array -> series:series list -> unit -> string
+(** Table with the x column first and one column per series — the shape of
+    a paper figure rendered as text.  All series must have the same length
+    as [xs].  @raise Invalid_argument otherwise. *)

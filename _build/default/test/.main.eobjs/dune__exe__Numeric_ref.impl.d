@@ -1,0 +1,1 @@
+test/numeric_ref.ml: Array Dcn_core Dcn_flow Dcn_speed_scaling Float Hashtbl List

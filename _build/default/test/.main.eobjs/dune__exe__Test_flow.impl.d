@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Dcn_flow Dcn_topology Dcn_util Float Flow List QCheck QCheck_alcotest Split Timeline Workload

@@ -1,0 +1,1 @@
+test/test_mcf.ml: Alcotest Array Commodity Dcn_mcf Dcn_power Dcn_topology Dcn_util Decompose Float Frank_wolfe List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Dcn_core Dcn_experiments Dcn_flow Dcn_mcf Dcn_power Dcn_sched Dcn_sim Dcn_topology Dcn_util Format List Option String

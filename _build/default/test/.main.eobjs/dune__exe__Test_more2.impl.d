@@ -1,0 +1,1 @@
+test/test_more2.ml: Alcotest Dcn_core Dcn_flow Dcn_power Dcn_sched Dcn_speed_scaling Dcn_topology Dcn_util Edf Float Format Job List Numeric_ref Option Printf String Yds

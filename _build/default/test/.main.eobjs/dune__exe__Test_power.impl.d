@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Dcn_power Discrete List Model Printf QCheck QCheck_alcotest

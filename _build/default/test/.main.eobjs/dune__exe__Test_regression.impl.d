@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Array Baselines Dcn_core Dcn_experiments Dcn_flow Dcn_power Dcn_topology Dcn_util Float Gadgets Instance Most_critical_first Printf Random_schedule

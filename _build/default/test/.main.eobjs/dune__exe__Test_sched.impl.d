@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Dcn_flow Dcn_power Dcn_sched Dcn_topology Float Gantt List Profile QCheck QCheck_alcotest Quantize Schedule String

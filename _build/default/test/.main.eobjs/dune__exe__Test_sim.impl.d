@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dcn_core Dcn_flow Dcn_mcf Dcn_power Dcn_sched Dcn_sim Dcn_topology Dcn_util List QCheck QCheck_alcotest

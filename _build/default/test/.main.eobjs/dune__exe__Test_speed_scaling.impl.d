@@ -1,0 +1,1 @@
+test/test_speed_scaling.ml: Alcotest Dcn_speed_scaling Dcn_util Edf Float Job List Numeric_ref Printf QCheck QCheck_alcotest Yds

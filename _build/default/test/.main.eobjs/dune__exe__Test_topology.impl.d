@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Builders Dcn_topology Graph List Paths QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Approx Array Dcn_util Float Interval_set List Pqueue Prng QCheck QCheck_alcotest Stats String Table

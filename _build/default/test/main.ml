@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dcnsched"
+    (List.concat
+       [
+         Test_util.suite;
+         Test_topology.suite;
+         Test_power.suite;
+         Test_flow.suite;
+         Test_speed_scaling.suite;
+         Test_mcf.suite;
+         Test_sched.suite;
+         Test_core.suite;
+         Test_sim.suite;
+         Test_experiments.suite;
+         Test_more.suite;
+         Test_more2.suite;
+         Test_props.suite;
+         Test_regression.suite;
+         Test_more3.suite;
+       ])

@@ -1,0 +1,172 @@
+(* Independent numeric optimiser used as a reference in tests.
+
+   Solves the convex program underlying (P1) in execution-time space:
+
+     minimise    sum_i  h_i * w_i^alpha * tau_i^(1 - alpha)
+     subject to  sum_{i in S_c} tau_i <= len_c      for each constraint c
+                 lo <= tau_i <= span_i
+
+   (tau_i = w_i / s_i; constraints are the per-link interval-demand
+   conditions).  Quadratic-penalty method with backtracking gradient
+   descent — deliberately different machinery from the combinatorial
+   algorithms it checks.  The result is scaled into the feasible region,
+   so it is a true upper bound on the optimum and converges to it. *)
+
+type item = { volume : float; span : float; hops : int }
+
+type constraint_row = { length : float; members : int list }
+
+let solve ~alpha ~items ~constraints =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let constraints = Array.of_list constraints in
+  let lo = 1e-5 in
+  let coef i = float_of_int items.(i).hops *. (items.(i).volume ** alpha) in
+  let energy tau =
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (coef i *. (tau.(i) ** (1. -. alpha)))
+    done;
+    !acc
+  in
+  let penalized rho tau =
+    let pen = ref 0. in
+    Array.iter
+      (fun c ->
+        let used = List.fold_left (fun acc i -> acc +. tau.(i)) 0. c.members in
+        let viol = used -. c.length in
+        if viol > 0. then pen := !pen +. (viol *. viol))
+      constraints;
+    energy tau +. (rho *. !pen)
+  in
+  let project tau =
+    Array.mapi (fun i x -> Float.max lo (Float.min items.(i).span x)) tau
+  in
+  let tau = ref (project (Array.map (fun it -> it.span /. 2.) items)) in
+  let rho = ref 10. in
+  for _round = 1 to 10 do
+    for _iter = 1 to 400 do
+      let grad = Array.make n 0. in
+      for i = 0 to n - 1 do
+        grad.(i) <- (1. -. alpha) *. coef i *. (!tau.(i) ** (-.alpha))
+      done;
+      Array.iter
+        (fun c ->
+          let used = List.fold_left (fun acc i -> acc +. !tau.(i)) 0. c.members in
+          let viol = used -. c.length in
+          if viol > 0. then
+            List.iter (fun i -> grad.(i) <- grad.(i) +. (2. *. !rho *. viol)) c.members)
+        constraints;
+      let here = penalized !rho !tau in
+      let gnorm2 = Array.fold_left (fun acc g -> acc +. (g *. g)) 0. grad in
+      if gnorm2 > 0. then begin
+        (* Backtracking line search with an Armijo-style acceptance. *)
+        let step = ref (1. /. sqrt gnorm2) in
+        let accepted = ref false in
+        while (not !accepted) && !step > 1e-14 do
+          let candidate =
+            project (Array.mapi (fun i x -> x -. (!step *. grad.(i))) !tau)
+          in
+          if penalized !rho candidate < here then begin
+            tau := candidate;
+            accepted := true
+          end
+          else step := !step /. 2.
+        done
+      end
+    done;
+    rho := !rho *. 10.
+  done;
+  (* Scale into the feasible region: shorter executions are faster and
+     hence feasible; energy only grows, so this is a valid upper bound. *)
+  let theta =
+    Array.fold_left
+      (fun acc c ->
+        let used = List.fold_left (fun s i -> s +. !tau.(i)) 0. c.members in
+        if used > 0. then Float.min acc (c.length /. used) else acc)
+      1. constraints
+  in
+  energy (Array.map (fun x -> Float.max lo (x *. theta)) !tau)
+
+(* Per-link interval-demand constraints for a routed instance: for every
+   link, for every window [release, deadline] drawn from the flows on
+   that link, the flows living inside must fit. *)
+let p1_energy ~alpha inst ~routing =
+  let flows = Dcn_core.Instance.flow_array inst in
+  let items =
+    Array.to_list
+      (Array.map
+         (fun (f : Dcn_flow.Flow.t) ->
+           {
+             volume = f.volume;
+             span = Dcn_flow.Flow.span_length f;
+             hops = List.length (routing f.id);
+           })
+         flows)
+  in
+  let link_members = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (f : Dcn_flow.Flow.t) ->
+      List.iter
+        (fun l ->
+          let prev = try Hashtbl.find link_members l with Not_found -> [] in
+          Hashtbl.replace link_members l (i :: prev))
+        (routing f.id))
+    flows;
+  let constraints = ref [] in
+  Hashtbl.iter
+    (fun _l members ->
+      let rels = List.map (fun i -> flows.(i).Dcn_flow.Flow.release) members in
+      let deads = List.map (fun i -> flows.(i).Dcn_flow.Flow.deadline) members in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if b > a then begin
+                let inside =
+                  List.filter
+                    (fun i ->
+                      flows.(i).Dcn_flow.Flow.release >= a -. 1e-12
+                      && flows.(i).Dcn_flow.Flow.deadline <= b +. 1e-12)
+                    members
+                in
+                if inside <> [] then
+                  constraints := { length = b -. a; members = inside } :: !constraints
+              end)
+            (List.sort_uniq compare deads))
+        (List.sort_uniq compare rels))
+    link_members;
+  solve ~alpha ~items ~constraints:!constraints
+
+(* Single-processor speed scaling (for the YDS tests): one "link". *)
+let ssp_energy ~alpha jobs =
+  let jobs = Array.of_list jobs in
+  let items =
+    Array.to_list
+      (Array.map
+         (fun (j : Dcn_speed_scaling.Job.t) ->
+           { volume = j.weight; span = j.deadline -. j.release; hops = 1 })
+         jobs)
+  in
+  let constraints = ref [] in
+  let rels = Array.to_list (Array.map (fun (j : Dcn_speed_scaling.Job.t) -> j.release) jobs) in
+  let deads =
+    Array.to_list (Array.map (fun (j : Dcn_speed_scaling.Job.t) -> j.deadline) jobs)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if b > a then begin
+            let inside = ref [] in
+            Array.iteri
+              (fun i (j : Dcn_speed_scaling.Job.t) ->
+                if j.release >= a -. 1e-12 && j.deadline <= b +. 1e-12 then
+                  inside := i :: !inside)
+              jobs;
+            if !inside <> [] then
+              constraints := { length = b -. a; members = !inside } :: !constraints
+          end)
+        (List.sort_uniq compare deads))
+    (List.sort_uniq compare rels);
+  solve ~alpha ~items ~constraints:!constraints

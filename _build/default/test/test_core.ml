@@ -1,0 +1,829 @@
+(* Tests for Dcn_core: instances, Most-Critical-First (Algorithm 1,
+   checked against the paper's Example 1 and an independent numeric
+   optimiser for program (P1)), Random-Schedule (Algorithm 2, Theorem 4
+   deadline guarantee), the fractional lower bound, baselines, the
+   exact enumerator, and the hardness gadgets. *)
+
+open Dcn_core
+module Graph = Dcn_topology.Graph
+module Builders = Dcn_topology.Builders
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+module Prng = Dcn_util.Prng
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let quick_fw =
+  { Dcn_mcf.Frank_wolfe.default_config with max_iters = 60; line_search_iters = 24 }
+
+let rs_config = { Random_schedule.attempts = 20; fw_config = quick_fw }
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let example1 () =
+  let graph = Builders.line 3 in
+  let power = Model.quadratic in
+  let f1 = Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
+  let f2 = Flow.make ~id:2 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
+  Instance.make ~graph ~power ~flows:[ f1; f2 ]
+
+let test_instance_basic () =
+  let inst = example1 () in
+  Alcotest.(check int) "flows" 2 (Instance.num_flows inst);
+  Alcotest.(check (pair (float 0.) (float 0.))) "horizon" (1., 4.) (Instance.horizon inst);
+  Alcotest.(check int) "find flow" 6
+    (int_of_float (Instance.find_flow inst 1).Flow.volume)
+
+let test_instance_invalid () =
+  let graph = Builders.line 3 in
+  let invalid f = Alcotest.(check bool) "invalid" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  invalid (fun () -> Instance.make ~graph ~power:Model.quadratic ~flows:[]);
+  invalid (fun () ->
+      let f = Flow.make ~id:0 ~src:0 ~dst:9 ~volume:1. ~release:0. ~deadline:1. in
+      Instance.make ~graph ~power:Model.quadratic ~flows:[ f ]);
+  invalid (fun () ->
+      let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:1. ~release:0. ~deadline:1. in
+      Instance.make ~graph ~power:Model.quadratic ~flows:[ f; f ])
+
+(* ------------------------------------------------------------------ *)
+(* Most-Critical-First                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mcf_example1_rates () =
+  (* Example 1 of the paper: sqrt 2 * s1 = s2 = (8 + 6 sqrt 2) / 3. *)
+  let res = Baselines.sp_mcf (example1 ()) in
+  let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+  check_float "s2" s2 (Most_critical_first.rate_of res 2);
+  check_float "s1 = s2/sqrt2" (s2 /. sqrt 2.) (Most_critical_first.rate_of res 1);
+  Alcotest.(check bool) "placement complete" true
+    res.Most_critical_first.placement_complete
+
+let test_mcf_example1_energy () =
+  let res = Baselines.sp_mcf (example1 ()) in
+  let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+  let s1 = s2 /. sqrt 2. in
+  (* Phi = 2 * 6 * s1 + 8 * s2 (objective of Example 1). *)
+  check_float "energy closed form"
+    ((2. *. 6. *. s1) +. (8. *. s2))
+    res.Most_critical_first.energy;
+  (* The analytic energy must agree with the schedule's integral. *)
+  check_float "schedule agrees" res.Most_critical_first.energy
+    (Schedule.energy res.Most_critical_first.schedule)
+
+let test_mcf_schedule_feasible () =
+  let res = Baselines.sp_mcf (example1 ()) in
+  Alcotest.(check bool) "deadlines + exclusivity" true
+    (Schedule.Check.is_feasible ~exclusive:true res.Most_critical_first.schedule)
+
+let test_mcf_single_flow_density () =
+  (* Alone on its path, a flow runs at its density (Lemma 2). *)
+  let graph = Builders.line 4 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:3 ~volume:9. ~release:1. ~deadline:4. in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f ] in
+  let res = Baselines.sp_mcf inst in
+  check_float "rate = density" 3. (Most_critical_first.rate_of res 0);
+  (* energy = |P| * w * s^(alpha-1) = 3 * 9 * 3 = 81. *)
+  check_float "energy" 81. res.Most_critical_first.energy
+
+let test_mcf_disjoint_flows_independent () =
+  (* Flows on disjoint links do not influence each other. *)
+  let graph = Builders.star ~leaves:4 in
+  let f1 = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:2. in
+  let f2 = Flow.make ~id:1 ~src:2 ~dst:3 ~volume:6. ~release:0. ~deadline:3. in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
+  let res = Baselines.sp_mcf inst in
+  check_float "f1 density" 2. (Most_critical_first.rate_of res 0);
+  check_float "f2 density" 2. (Most_critical_first.rate_of res 1)
+
+let test_mcf_groups_non_increasing () =
+  let graph = Builders.line 3 in
+  let rng = Prng.create 5 in
+  let flows =
+    List.init 6 (fun id ->
+        let r = Prng.uniform rng ~lo:0. ~hi:6. in
+        let d = r +. 1. +. Prng.uniform rng ~lo:0. ~hi:4. in
+        Flow.make ~id ~src:(Prng.int rng 2)
+          ~dst:2 ~volume:(1. +. Prng.float rng 9.) ~release:r ~deadline:d)
+  in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+  let res = Baselines.sp_mcf inst in
+  let rec non_increasing = function
+    | (a : Most_critical_first.group) :: b :: rest ->
+      a.intensity >= b.Most_critical_first.intensity -. 1e-9 && non_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "intensities non-increasing" true
+    (non_increasing res.Most_critical_first.groups)
+
+(* Independent numeric reference for program (P1) — see Numeric_ref. *)
+let p1_reference ~alpha inst ~routing = Numeric_ref.p1_energy ~alpha inst ~routing
+
+let test_mcf_matches_p1_example1 () =
+  let inst = example1 () in
+  let routing = Baselines.shortest_path_routing inst in
+  let res = Most_critical_first.solve inst ~routing in
+  let reference = p1_reference ~alpha:2. inst ~routing in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf %.4f vs numeric %.4f" res.Most_critical_first.energy reference)
+    true
+    (Float.abs (res.Most_critical_first.energy -. reference) /. reference < 0.01)
+
+let prop_mcf_close_to_p1 =
+  QCheck.Test.make ~name:"most-critical-first: tracks the (P1) numeric optimum" ~count:8
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let graph = Builders.line 4 in
+      let n = 2 + Prng.int rng 2 in
+      let flows =
+        List.init n (fun id ->
+            let src = Prng.int rng 3 in
+            let dst = src + 1 + Prng.int rng (3 - src) in
+            let r = Prng.uniform rng ~lo:0. ~hi:6. in
+            let d = r +. 1. +. Prng.uniform rng ~lo:0. ~hi:4. in
+            Flow.make ~id ~src ~dst ~volume:(1. +. Prng.float rng 9.) ~release:r
+              ~deadline:d)
+      in
+      let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+      let routing = Baselines.shortest_path_routing inst in
+      let res = Most_critical_first.solve inst ~routing in
+      let reference = p1_reference ~alpha:2. inst ~routing in
+      (* The numeric solution is feasible for (P1), so MCF (claimed
+         optimal) must not exceed it by more than solver slack; and it
+         should not be grossly below (the reference converges). *)
+      res.Most_critical_first.energy <= reference *. 1.02
+      && res.Most_critical_first.energy >= reference *. 0.9)
+
+let prop_mcf_close_to_p1_fat_tree =
+  QCheck.Test.make
+    ~name:"most-critical-first: tracks (P1) with multi-hop coupled routes" ~count:6
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let graph = Builders.fat_tree 4 in
+      let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:3 () in
+      let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+      let routing = Baselines.shortest_path_routing inst in
+      let res = Most_critical_first.solve inst ~routing in
+      let reference = p1_reference ~alpha:2. inst ~routing in
+      res.Most_critical_first.energy <= reference *. 1.02
+      && res.Most_critical_first.energy >= reference *. 0.9)
+
+let test_mcf_idle_energy_accounting () =
+  (* sigma > 0: every directed link on some route pays sigma over the
+     whole horizon, used or not at a given moment. *)
+  let graph = Builders.line 3 in
+  let power = Model.make ~sigma:2. ~mu:1. ~alpha:2. () in
+  let f1 = Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
+  let f2 = Flow.make ~id:2 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
+  let inst = Instance.make ~graph ~power ~flows:[ f1; f2 ] in
+  let res = Baselines.sp_mcf inst in
+  (* 2 active directed links, horizon [1,4] -> idle = 2 * 2 * 3 = 12;
+     dynamic part unchanged from the sigma = 0 case. *)
+  let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+  let dynamic = (2. *. 6. *. (s2 /. sqrt 2.)) +. (8. *. s2) in
+  check_float "energy with idle" (12. +. dynamic) res.Most_critical_first.energy
+
+let prop_mcf_schedule_feasible =
+  QCheck.Test.make ~name:"most-critical-first: schedules are feasible circuits" ~count:25
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let rng = Prng.create seed in
+      let graph = Builders.fat_tree 4 in
+      let flows =
+        Dcn_flow.Workload.paper_random ~rng ~graph ~n:(4 + Prng.int rng 8) ()
+      in
+      let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+      let res = Baselines.sp_mcf inst in
+      (not res.Most_critical_first.placement_complete)
+      || Schedule.Check.is_feasible ~exclusive:true res.Most_critical_first.schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Random-Schedule                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let small_instance ?(n = 8) ?(alpha = 2.) seed =
+  let graph = Builders.fat_tree 4 in
+  let power = Model.make ~sigma:0. ~mu:1. ~alpha () in
+  let rng = Prng.create seed in
+  let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n () in
+  (Instance.make ~graph ~power ~flows, rng)
+
+let test_rs_example1 () =
+  let inst = example1 () in
+  let rng = Prng.create 42 in
+  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  Alcotest.(check bool) "feasible" true rs.Random_schedule.feasible;
+  (* On a line both flows have exactly one candidate path. *)
+  List.iter
+    (fun (_, count) -> Alcotest.(check int) "single candidate" 1 count)
+    rs.Random_schedule.candidates;
+  (* Interval-density energy computed by hand: 92 (see Example 1 trace:
+     link A->B at 4 on [1,2], 7 on [2,3], 3 on [3,4]; B->C at 3 on [2,4]). *)
+  check_float "energy" 92. rs.Random_schedule.energy
+
+let test_rs_deterministic () =
+  let inst, _ = small_instance 3 in
+  let run () =
+    let rng = Prng.create 99 in
+    let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+    (rs.Random_schedule.energy, rs.Random_schedule.paths)
+  in
+  let e1, p1 = run () in
+  let e2, p2 = run () in
+  check_float "same energy" e1 e2;
+  Alcotest.(check bool) "same paths" true (p1 = p2)
+
+let test_rs_schedule_meets_deadlines () =
+  let inst, rng = small_instance 17 in
+  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  Alcotest.(check int) "no deadline violations" 0
+    (List.length (Schedule.Check.deadlines rs.Random_schedule.schedule))
+
+let prop_rs_theorem4_deadlines =
+  QCheck.Test.make ~name:"random-schedule: every deadline met (Theorem 4)" ~count:15
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let inst, rng = small_instance ~n:(4 + (seed mod 8)) seed in
+      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      Schedule.Check.deadlines rs.Random_schedule.schedule = [])
+
+let prop_rs_at_least_lb =
+  QCheck.Test.make ~name:"random-schedule: energy >= fractional lower bound" ~count:15
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let inst, rng = small_instance seed in
+      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      let lb = Lower_bound.of_relaxation rs.Random_schedule.relaxation in
+      rs.Random_schedule.energy >= lb.Lower_bound.value -. 1e-6)
+
+let prop_rs_paths_from_candidates =
+  QCheck.Test.make ~name:"random-schedule: chosen path connects the endpoints" ~count:15
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let inst, rng = small_instance seed in
+      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      List.for_all
+        (fun (id, path) ->
+          let f = Instance.find_flow inst id in
+          Graph.is_path inst.Instance.graph ~src:f.Flow.src ~dst:f.Flow.dst path)
+        rs.Random_schedule.paths)
+
+let test_rs_refine_feasible () =
+  let inst, rng = small_instance 23 in
+  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let refined = Random_schedule.refine inst rs in
+  Alcotest.(check bool) "refined schedule meets deadlines" true
+    (Schedule.Check.deadlines refined.Most_critical_first.schedule = [])
+
+(* ------------------------------------------------------------------ *)
+(* Relaxation / Lower bound                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_relaxation_weights_sum_to_density () =
+  let inst, _ = small_instance 31 in
+  let relax = Relaxation.solve ~fw_config:quick_fw inst in
+  Array.iter
+    (fun (isol : Relaxation.interval_solution) ->
+      List.iter
+        (fun (id, paths) ->
+          let f = Instance.find_flow inst id in
+          let total = Dcn_mcf.Decompose.total_weight paths in
+          Alcotest.(check bool)
+            (Printf.sprintf "flow %d interval %d weight" id isol.Relaxation.index)
+            true
+            (Float.abs (total -. Flow.density f) < 1e-4 *. Float.max 1. (Flow.density f)))
+        isol.Relaxation.flow_paths)
+    relax.Relaxation.intervals
+
+let test_relaxation_active_flows_only () =
+  let inst = example1 () in
+  let relax = Relaxation.solve ~fw_config:quick_fw inst in
+  (* K = 3 intervals; flow 2 active in I1, I2; flow 1 in I2, I3. *)
+  Alcotest.(check int) "intervals" 3 (Array.length relax.Relaxation.intervals);
+  let ids k =
+    List.sort compare (List.map fst relax.Relaxation.intervals.(k).Relaxation.flow_paths)
+  in
+  Alcotest.(check (list int)) "I1" [ 2 ] (ids 0);
+  Alcotest.(check (list int)) "I2" [ 1; 2 ] (ids 1);
+  Alcotest.(check (list int)) "I3" [ 1 ] (ids 2)
+
+let test_relaxation_gap_interval () =
+  (* Disjoint spans create an interval with no active flow; its cost
+     contribution must be zero and everything still runs. *)
+  let graph = Builders.line 3 in
+  let f1 = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:1. in
+  let f2 = Flow.make ~id:1 ~src:1 ~dst:2 ~volume:2. ~release:2. ~deadline:3. in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
+  let relax = Relaxation.solve ~fw_config:quick_fw inst in
+  Alcotest.(check int) "3 intervals" 3 (Array.length relax.Relaxation.intervals);
+  check_float "gap interval costs nothing" 0. relax.Relaxation.intervals.(1).Relaxation.cost;
+  Alcotest.(check (list (pair int (list (list int)))))
+    "no paths in the gap" []
+    (List.map
+       (fun (id, ps) ->
+         (id, List.map (fun (p : Dcn_mcf.Decompose.weighted_path) -> p.links) ps))
+       relax.Relaxation.intervals.(1).Relaxation.flow_paths);
+  (* Random-Schedule still produces a feasible schedule. *)
+  let rng = Prng.create 3 in
+  let rs = Random_schedule.solve ~config:rs_config ~relaxation:relax ~rng inst in
+  Alcotest.(check int) "deadline violations" 0
+    (List.length (Schedule.Check.deadlines rs.Random_schedule.schedule))
+
+let test_rs_reuses_relaxation () =
+  let inst, _ = small_instance 67 in
+  let relax = Relaxation.solve ~fw_config:quick_fw inst in
+  let solve () =
+    let rng = Prng.create 5 in
+    (Random_schedule.solve ~config:rs_config ~relaxation:relax ~rng inst)
+      .Random_schedule.energy
+  in
+  let fresh () =
+    let rng = Prng.create 5 in
+    (Random_schedule.solve ~config:rs_config ~rng inst).Random_schedule.energy
+  in
+  (* Same fw config, same rng stream: passing the relaxation must not
+     change the outcome. *)
+  check_float "same result" (fresh ()) (solve ())
+
+let test_joint_relaxation_single_flow () =
+  (* One flow alone: both relaxations coincide with the constant-density
+     optimum |P| * w * D^(alpha-1). *)
+  let graph = Builders.line 4 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:3 ~volume:9. ~release:1. ~deadline:4. in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f ] in
+  let joint = Joint_relaxation.solve inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint %.4f close to 81" joint.Joint_relaxation.cost)
+    true
+    (Float.abs (joint.Joint_relaxation.cost -. 81.) /. 81. < 0.01)
+
+let test_joint_relaxation_below_paper_lb () =
+  (* The joint relaxation has strictly more freedom, so its certified
+     bound sits below the paper's. *)
+  let inst, _ = small_instance 71 in
+  let paper = Lower_bound.compute ~fw_config:quick_fw inst in
+  let joint = Joint_relaxation.solve inst in
+  Alcotest.(check bool) "joint <= paper fractional cost" true
+    (joint.Joint_relaxation.lb <= paper.Lower_bound.fractional_cost +. 1e-6)
+
+let test_joint_relaxation_below_mcf_example1 () =
+  (* Example 1: the paper's LB (92) exceeds the DCFS optimum (90.588)
+     because it pins densities; the joint bound must not. *)
+  let inst = example1 () in
+  let joint = Joint_relaxation.solve inst in
+  let mcf = (Baselines.sp_mcf inst).Most_critical_first.energy in
+  Alcotest.(check bool)
+    (Printf.sprintf "joint lb %.4f <= mcf %.4f" joint.Joint_relaxation.lb mcf)
+    true
+    (joint.Joint_relaxation.lb <= mcf +. 1e-6)
+
+let test_lower_bound_below_cost () =
+  let inst, _ = small_instance 37 in
+  let lb = Lower_bound.compute ~fw_config:quick_fw inst in
+  Alcotest.(check bool) "lb <= fractional cost" true
+    (lb.Lower_bound.value <= lb.Lower_bound.fractional_cost +. 1e-9);
+  Alcotest.(check bool) "positive" true (lb.Lower_bound.value > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines / Exact                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sp_routing_minimal_hops () =
+  let inst, _ = small_instance 41 in
+  let routing = Baselines.shortest_path_routing inst in
+  List.iter
+    (fun (f : Flow.t) ->
+      let sp = Dcn_topology.Paths.shortest_path inst.Instance.graph ~src:f.src ~dst:f.dst in
+      match sp with
+      | None -> Alcotest.fail "disconnected"
+      | Some p ->
+        Alcotest.(check int)
+          (Printf.sprintf "flow %d hops" f.id)
+          (List.length p)
+          (List.length (routing f.id)))
+    inst.Instance.flows
+
+let test_ecmp_routing_min_hop () =
+  let inst, rng = small_instance 43 in
+  let routing = Baselines.ecmp_routing ~rng inst in
+  List.iter
+    (fun (f : Flow.t) ->
+      let p = routing f.id in
+      Alcotest.(check bool) "valid path" true
+        (Graph.is_path inst.Instance.graph ~src:f.src ~dst:f.dst p);
+      match
+        Dcn_topology.Paths.shortest_path inst.Instance.graph ~src:f.src ~dst:f.dst
+      with
+      | None -> Alcotest.fail "disconnected"
+      | Some sp ->
+        Alcotest.(check int)
+          (Printf.sprintf "flow %d min hops" f.id)
+          (List.length sp) (List.length p))
+    inst.Instance.flows
+
+let test_ecmp_spreads () =
+  (* Cross-pod pair in a fat-tree has 4 equal-cost routes; with enough
+     flows between the same pair ECMP should use more than one. *)
+  let graph = Builders.fat_tree 4 in
+  let flows =
+    List.init 12 (fun id ->
+        Flow.make ~id ~src:0 ~dst:15 ~volume:4. ~release:0. ~deadline:10.)
+  in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+  let rng = Prng.create 4 in
+  let routing = Baselines.ecmp_routing ~rng inst in
+  let distinct =
+    List.sort_uniq compare (List.map (fun (f : Flow.t) -> routing f.id) flows)
+  in
+  Alcotest.(check bool) "uses several routes" true (List.length distinct >= 2)
+
+let test_ecmp_mcf_runs () =
+  let inst, rng = small_instance 47 in
+  let res = Baselines.ecmp_mcf ~rng inst in
+  Alcotest.(check bool) "energy positive" true (res.Most_critical_first.energy > 0.)
+
+let test_exact_separates_flows () =
+  (* Two identical flows, two parallel links: the optimum uses both. *)
+  let graph = Builders.parallel ~links:2 in
+  let power = Model.quadratic in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:1. in
+  let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
+  let res = Exact.solve inst in
+  check_float "energy 8 (one flow per link at rate 2)" 8. res.Exact.energy;
+  let l0 = List.assoc 0 res.Exact.routing and l1 = List.assoc 1 res.Exact.routing in
+  Alcotest.(check bool) "different links" true (l0 <> l1)
+
+let test_exact_combination_budget () =
+  let graph = Builders.parallel ~links:10 in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:1. in
+  let inst =
+    Instance.make ~graph ~power:Model.quadratic ~flows:(List.init 6 mk)
+  in
+  Alcotest.(check bool) "budget enforced" true
+    (try ignore (Exact.solve ~max_combinations:1000 inst); false
+     with Invalid_argument _ -> true)
+
+let prop_exact_below_heuristics =
+  QCheck.Test.make
+    ~name:"exact: optimum below SP+MCF and RS on parallel links" ~count:10
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let graph = Builders.parallel ~links:3 in
+      let power = Model.quadratic in
+      let rng = Prng.create seed in
+      let flows =
+        List.init 3 (fun id ->
+            let r = Prng.uniform rng ~lo:0. ~hi:4. in
+            let d = r +. 1. +. Prng.uniform rng ~lo:0. ~hi:3. in
+            Flow.make ~id ~src:0 ~dst:1 ~volume:(1. +. Prng.float rng 9.) ~release:r
+              ~deadline:d)
+      in
+      let inst = Instance.make ~graph ~power ~flows in
+      let exact = (Exact.solve inst).Exact.energy in
+      let sp = (Baselines.sp_mcf inst).Most_critical_first.energy in
+      let rs = (Random_schedule.solve ~config:rs_config ~rng inst).Random_schedule.energy in
+      (* On single-hop networks any fluid schedule is dominated by the
+         circuit optimum, so exact <= both heuristics. *)
+      exact <= sp +. 1e-6 && exact <= rs +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy energy-aware routing                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_ear_line_energy () =
+  (* Forced routes on Example 1: interval-density scheduling gives the
+     same 92 as Random-Schedule there. *)
+  let ear = Greedy_ear.solve (example1 ()) in
+  check_float "energy" 92. ear.Greedy_ear.energy
+
+let test_ear_spreads_speed_scaling () =
+  (* sigma = 0, two identical concurrent flows, two parallel links: the
+     second flow must avoid the loaded link (marginal x^2 cost). *)
+  let graph = Builders.parallel ~links:2 in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:2. in
+  let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ mk 0; mk 1 ] in
+  let ear = Greedy_ear.solve inst in
+  let p0 = List.assoc 0 ear.Greedy_ear.paths and p1 = List.assoc 1 ear.Greedy_ear.paths in
+  Alcotest.(check bool) "different links" true (p0 <> p1);
+  (* Each link at rate 2 for 2s: energy 2 * 4 * 2 = 16. *)
+  check_float "energy" 16. ear.Greedy_ear.energy
+
+let test_ear_consolidates_power_down () =
+  (* Large sigma: sharing a warm link beats switching on a cold one
+     (f(2d) - f(d) < sigma + f(d) here). *)
+  let graph = Builders.parallel ~links:2 in
+  let power = Model.make ~sigma:100. ~mu:1. ~alpha:2. () in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:2. in
+  let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
+  let ear = Greedy_ear.solve inst in
+  let p0 = List.assoc 0 ear.Greedy_ear.paths and p1 = List.assoc 1 ear.Greedy_ear.paths in
+  Alcotest.(check bool) "same link" true (p0 = p1);
+  Alcotest.(check int) "one active direction" 1
+    (List.length (Schedule.active_links ear.Greedy_ear.schedule))
+
+let test_ear_deadlines () =
+  let inst, _ = small_instance 59 in
+  let ear = Greedy_ear.solve inst in
+  Alcotest.(check int) "no deadline violations" 0
+    (List.length (Schedule.Check.deadlines ear.Greedy_ear.schedule))
+
+let prop_ear_above_lb =
+  QCheck.Test.make ~name:"greedy-ear: energy at least the fractional LB" ~count:10
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let inst, _ = small_instance seed in
+      let ear = Greedy_ear.solve inst in
+      let lb = Lower_bound.compute ~fw_config:quick_fw inst in
+      ear.Greedy_ear.energy >= lb.Lower_bound.value -. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Online admission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_no_cap_accepts_all () =
+  let inst, _ = small_instance 73 in
+  let online = Online.solve inst in
+  Alcotest.(check int) "no rejections" 0 (List.length online.Online.rejected);
+  check_float "acceptance 1" 1. online.Online.acceptance_rate;
+  (* Coincides with Greedy-EAR when nothing is rejected. *)
+  let ear = Greedy_ear.solve inst in
+  check_float "same energy as EAR" ear.Greedy_ear.energy online.Online.energy
+
+let test_online_tight_cap_rejects () =
+  (* Single link of capacity 1; two concurrent density-1 flows: the
+     second must be rejected. *)
+  let graph = Builders.parallel ~links:1 in
+  let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:1. () in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:2. in
+  let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
+  let online = Online.solve inst in
+  Alcotest.(check (list int)) "first accepted" [ 0 ] online.Online.accepted;
+  Alcotest.(check (list int)) "second rejected" [ 1 ] online.Online.rejected;
+  check_float "half accepted" 0.5 online.Online.acceptance_rate
+
+let test_online_reroutes_to_fit () =
+  (* Two parallel links of capacity 1: both flows fit on separate links. *)
+  let graph = Builders.parallel ~links:2 in
+  let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:1. () in
+  let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:2. in
+  let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
+  let online = Online.solve inst in
+  Alcotest.(check int) "all accepted" 2 (List.length online.Online.accepted)
+
+let prop_online_accepted_feasible =
+  QCheck.Test.make ~name:"online: accepted schedule respects caps and deadlines"
+    ~count:15
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let graph = Builders.fat_tree 4 in
+      let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:2. () in
+      let rng = Prng.create seed in
+      let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:20 () in
+      let inst = Instance.make ~graph ~power ~flows in
+      let online = Online.solve inst in
+      Schedule.Check.is_feasible ~exclusive:false online.Online.schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounds_example1 () =
+  let b = Bounds.compute (example1 ()) in
+  (* Timeline 1,2,3,4: lambda = 3; n = 2; D = max(3, 4) = 4. *)
+  check_float "lambda" 3. b.Bounds.lambda;
+  Alcotest.(check int) "n" 2 b.Bounds.n;
+  check_float "D" 4. b.Bounds.max_density;
+  (* alpha = 2: theorem6 = 9 * (4 * log 4) ... log D = max 1 (ln 4). *)
+  check_float "theorem6" (9. *. (4. *. Float.log 4.)) b.Bounds.theorem6;
+  check_float "theorem3" (13. /. 12.) b.Bounds.theorem3
+
+let test_bounds_dominate_measured () =
+  (* The worst-case term must dominate the measured ratio by a wide
+     margin on any reasonable instance. *)
+  let inst, rng = small_instance 53 in
+  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let lb = Lower_bound.of_relaxation rs.Random_schedule.relaxation in
+  let measured = rs.Random_schedule.energy /. lb.Lower_bound.value in
+  let b = Bounds.compute inst in
+  Alcotest.(check bool) "theorem6 dominates" true (b.Bounds.theorem6 > measured);
+  Alcotest.(check bool) "floor sensible" true (b.Bounds.theorem3 > 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Gadgets                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_gadget_three_partition_validation () =
+  let invalid f = Alcotest.(check bool) "invalid" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  invalid (fun () -> Gadgets.make_three_partition ~integers:[ 1; 2 ]);
+  invalid (fun () -> Gadgets.make_three_partition ~integers:[ 1; 1; 10 ]);
+  let tp = Gadgets.make_three_partition ~integers:[ 6; 7; 7; 6; 7; 7 ] in
+  Alcotest.(check int) "m" 2 tp.Gadgets.m;
+  Alcotest.(check int) "b" 20 tp.Gadgets.b
+
+let test_gadget_solvable_generator () =
+  let rng = Prng.create 8 in
+  let tp = Gadgets.solvable_three_partition ~m:3 ~b:40 ~rng in
+  Alcotest.(check int) "3m integers" 9 (List.length tp.Gadgets.integers);
+  Alcotest.(check int) "sum" (3 * 40) (List.fold_left ( + ) 0 tp.Gadgets.integers)
+
+let test_gadget_instance_r_opt () =
+  let rng = Prng.create 8 in
+  let tp = Gadgets.solvable_three_partition ~m:2 ~b:20 ~rng in
+  let inst = Gadgets.three_partition_instance ~alpha:3. tp in
+  check_float "R_opt = B" 20. (Model.r_opt inst.Instance.power)
+
+let test_gadget_exact_matches_closed_form () =
+  let rng = Prng.create 12 in
+  let tp = Gadgets.solvable_three_partition ~m:2 ~b:20 ~rng in
+  let inst = Gadgets.three_partition_instance ~links:3 tp in
+  let exact = (Exact.solve ~max_combinations:100_000 inst).Exact.energy in
+  check_float "Theorem 2 optimum" (Gadgets.three_partition_opt_energy tp) exact
+
+let test_gadget_inapprox_ratio () =
+  (* alpha = 2: 3/2 * (1 + ((2/3)^2 - 1)/2) = 13/12. *)
+  check_float "alpha 2" (13. /. 12.) (Gadgets.inapprox_ratio ~alpha:2.);
+  Alcotest.(check bool) "ratio > 1 for alpha 4" true
+    (Gadgets.inapprox_ratio ~alpha:4. > 1.)
+
+let test_gadget_partition_energy () =
+  let p = Gadgets.make_partition ~integers:[ 3; 4; 5; 3; 4; 5 ] in
+  (* C = 12, sigma = mu (alpha-1) C^alpha = 144 for alpha 2:
+     yes energy = 2*144 + 2*144 = 576. *)
+  check_float "yes energy" 576. (Gadgets.partition_yes_energy p)
+
+(* ------------------------------------------------------------------ *)
+(* Serialize                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let same_instance (a : Instance.t) (b : Instance.t) =
+  Graph.num_nodes a.Instance.graph = Graph.num_nodes b.Instance.graph
+  && Graph.num_links a.Instance.graph = Graph.num_links b.Instance.graph
+  && List.init (Graph.num_links a.Instance.graph) (fun l ->
+         (Graph.link_src a.Instance.graph l, Graph.link_dst a.Instance.graph l))
+     = List.init (Graph.num_links b.Instance.graph) (fun l ->
+           (Graph.link_src b.Instance.graph l, Graph.link_dst b.Instance.graph l))
+  && a.Instance.power = b.Instance.power
+  && a.Instance.flows = b.Instance.flows
+
+let test_serialize_roundtrip_example1 () =
+  let inst = example1 () in
+  let text = Serialize.instance_to_string inst in
+  let back = Serialize.instance_of_string text in
+  Alcotest.(check bool) "round trip" true (same_instance inst back);
+  (* Solving the reloaded instance gives identical energy. *)
+  check_float "same energy"
+    (Baselines.sp_mcf inst).Most_critical_first.energy
+    (Baselines.sp_mcf back).Most_critical_first.energy
+
+let test_serialize_roundtrip_infinite_cap () =
+  let graph = Builders.fat_tree 4 in
+  let power = Model.make ~sigma:3.5 ~mu:2. ~alpha:3. () in
+  let rng = Prng.create 61 in
+  let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:10 () in
+  let inst = Instance.make ~graph ~power ~flows in
+  let back = Serialize.instance_of_string (Serialize.instance_to_string inst) in
+  Alcotest.(check bool) "round trip" true (same_instance inst back)
+
+let test_serialize_rejects_garbage () =
+  let reject s =
+    Alcotest.(check bool) ("rejects " ^ s) true
+      (try ignore (Serialize.instance_of_string s); false with Failure _ -> true)
+  in
+  reject "";
+  reject "not-a-header\n";
+  reject "dcnsched-instance v1\nnode 0 host\nwhatever 1 2\n";
+  reject "dcnsched-instance v1\nnode 0 host\nnode 5 host\n";
+  reject "dcnsched-instance v1\nnode 0 host\nnode 1 host\ncable 0 1\nflow 0 0 1 1 0 1\n"
+  (* missing power *)
+
+let test_serialize_comments_and_blanks () =
+  let text =
+    "dcnsched-instance v1\n# a comment\n\nnode 0 host a\nnode 1 host b\ncable 0 1\npower 0 1 2 inf\nflow 0 0 1 2.5 0 1\n"
+  in
+  let inst = Serialize.instance_of_string text in
+  Alcotest.(check int) "one flow" 1 (Instance.num_flows inst);
+  check_float "volume" 2.5 (Instance.find_flow inst 0).Flow.volume
+
+let test_serialize_schedule_export () =
+  let res = Baselines.sp_mcf (example1 ()) in
+  let text = Serialize.schedule_to_string res.Most_critical_first.schedule in
+  Alcotest.(check bool) "has header" true
+    (String.length text > 20 && String.sub text 0 18 = "dcnsched-schedule ")
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"serialize: random instances round trip" ~count:25
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let graph = Builders.random_fabric ~switches:6 ~degree:3 ~hosts:6 ~seed in
+      let power = Model.make ~sigma:1.5 ~mu:0.5 ~alpha:2.5 ~cap:100. () in
+      let rng = Prng.create seed in
+      let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:5 () in
+      let inst = Instance.make ~graph ~power ~flows in
+      same_instance inst (Serialize.instance_of_string (Serialize.instance_to_string inst)))
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    ( "core/instance",
+      [
+        Alcotest.test_case "basic" `Quick test_instance_basic;
+        Alcotest.test_case "invalid" `Quick test_instance_invalid;
+      ] );
+    ( "core/most_critical_first",
+      [
+        Alcotest.test_case "Example 1 rates" `Quick test_mcf_example1_rates;
+        Alcotest.test_case "Example 1 energy" `Quick test_mcf_example1_energy;
+        Alcotest.test_case "schedule feasible" `Quick test_mcf_schedule_feasible;
+        Alcotest.test_case "single flow density" `Quick test_mcf_single_flow_density;
+        Alcotest.test_case "disjoint flows" `Quick test_mcf_disjoint_flows_independent;
+        Alcotest.test_case "group intensities" `Quick test_mcf_groups_non_increasing;
+        Alcotest.test_case "matches (P1) numeric (Example 1)" `Quick
+          test_mcf_matches_p1_example1;
+        Alcotest.test_case "idle energy accounting" `Quick test_mcf_idle_energy_accounting;
+        qt prop_mcf_close_to_p1;
+        qt prop_mcf_close_to_p1_fat_tree;
+        qt prop_mcf_schedule_feasible;
+      ] );
+    ( "core/random_schedule",
+      [
+        Alcotest.test_case "Example 1" `Quick test_rs_example1;
+        Alcotest.test_case "deterministic" `Quick test_rs_deterministic;
+        Alcotest.test_case "deadlines met" `Quick test_rs_schedule_meets_deadlines;
+        Alcotest.test_case "refine feasible" `Quick test_rs_refine_feasible;
+        qt prop_rs_theorem4_deadlines;
+        qt prop_rs_at_least_lb;
+        qt prop_rs_paths_from_candidates;
+      ] );
+    ( "core/relaxation",
+      [
+        Alcotest.test_case "weights sum to density" `Quick
+          test_relaxation_weights_sum_to_density;
+        Alcotest.test_case "active flows per interval" `Quick
+          test_relaxation_active_flows_only;
+        Alcotest.test_case "gap interval" `Quick test_relaxation_gap_interval;
+        Alcotest.test_case "relaxation reuse" `Quick test_rs_reuses_relaxation;
+        Alcotest.test_case "lower bound below cost" `Quick test_lower_bound_below_cost;
+        Alcotest.test_case "joint: single flow" `Quick test_joint_relaxation_single_flow;
+        Alcotest.test_case "joint below paper LB" `Quick
+          test_joint_relaxation_below_paper_lb;
+        Alcotest.test_case "joint below MCF (Example 1)" `Quick
+          test_joint_relaxation_below_mcf_example1;
+      ] );
+    ( "core/baselines_exact",
+      [
+        Alcotest.test_case "sp routing minimal" `Quick test_sp_routing_minimal_hops;
+        Alcotest.test_case "ecmp min-hop" `Quick test_ecmp_routing_min_hop;
+        Alcotest.test_case "ecmp spreads" `Quick test_ecmp_spreads;
+        Alcotest.test_case "ecmp+mcf" `Quick test_ecmp_mcf_runs;
+        Alcotest.test_case "exact separates flows" `Quick test_exact_separates_flows;
+        Alcotest.test_case "combination budget" `Quick test_exact_combination_budget;
+        qt prop_exact_below_heuristics;
+      ] );
+    ( "core/serialize",
+      [
+        Alcotest.test_case "round trip Example 1" `Quick test_serialize_roundtrip_example1;
+        Alcotest.test_case "round trip infinite cap" `Quick
+          test_serialize_roundtrip_infinite_cap;
+        Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+        Alcotest.test_case "comments and blanks" `Quick test_serialize_comments_and_blanks;
+        Alcotest.test_case "schedule export" `Quick test_serialize_schedule_export;
+        qt prop_serialize_roundtrip;
+      ] );
+    ( "core/greedy_ear",
+      [
+        Alcotest.test_case "line energy" `Quick test_ear_line_energy;
+        Alcotest.test_case "spreads under speed scaling" `Quick
+          test_ear_spreads_speed_scaling;
+        Alcotest.test_case "consolidates under power-down" `Quick
+          test_ear_consolidates_power_down;
+        Alcotest.test_case "deadlines" `Quick test_ear_deadlines;
+        qt prop_ear_above_lb;
+      ] );
+    ( "core/online",
+      [
+        Alcotest.test_case "no cap accepts all" `Quick test_online_no_cap_accepts_all;
+        Alcotest.test_case "tight cap rejects" `Quick test_online_tight_cap_rejects;
+        Alcotest.test_case "reroutes to fit" `Quick test_online_reroutes_to_fit;
+        qt prop_online_accepted_feasible;
+      ] );
+    ( "core/bounds",
+      [
+        Alcotest.test_case "Example 1 quantities" `Quick test_bounds_example1;
+        Alcotest.test_case "dominates measured" `Quick test_bounds_dominate_measured;
+      ] );
+    ( "core/gadgets",
+      [
+        Alcotest.test_case "3-partition validation" `Quick
+          test_gadget_three_partition_validation;
+        Alcotest.test_case "solvable generator" `Quick test_gadget_solvable_generator;
+        Alcotest.test_case "R_opt = B" `Quick test_gadget_instance_r_opt;
+        Alcotest.test_case "exact = closed form" `Quick
+          test_gadget_exact_matches_closed_form;
+        Alcotest.test_case "inapprox ratio" `Quick test_gadget_inapprox_ratio;
+        Alcotest.test_case "partition energy" `Quick test_gadget_partition_energy;
+      ] );
+  ]

@@ -1,0 +1,258 @@
+(* Additional cross-cutting tests: corner cases and behaviours not
+   covered by the per-module suites — export formats, determinism,
+   boundary conditions. *)
+
+module Graph = Dcn_topology.Graph
+module Builders = Dcn_topology.Builders
+module Paths = Dcn_topology.Paths
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+module Prng = Dcn_util.Prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1)) in
+  scan 0
+
+(* --- paths odds and ends ------------------------------------------- *)
+
+let test_path_cost () =
+  let g = Builders.line 4 in
+  match Paths.shortest_path g ~src:0 ~dst:3 with
+  | Some p ->
+    check_float "hop cost" 3. (Paths.path_cost Paths.hop_weight p);
+    check_float "custom weight" 6. (Paths.path_cost (fun _ -> 2.) p)
+  | None -> Alcotest.fail "no path"
+
+let test_k_shortest_costs_non_decreasing () =
+  let g = Builders.fat_tree 4 in
+  let paths = Paths.k_shortest g ~k:8 ~src:0 ~dst:2 in
+  let costs = List.map (fun p -> Paths.path_cost Paths.hop_weight p) paths in
+  let rec non_decreasing = function
+    | a :: b :: rest -> a <= b && non_decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by cost" true (non_decreasing costs);
+  Alcotest.(check int) "no duplicates" (List.length paths)
+    (List.length (List.sort_uniq compare paths))
+
+let test_k_shortest_invalid () =
+  let g = Builders.line 3 in
+  Alcotest.(check bool) "k < 1 raises" true
+    (try ignore (Paths.k_shortest g ~k:0 ~src:0 ~dst:2); false
+     with Invalid_argument _ -> true)
+
+(* --- prng split independence --------------------------------------- *)
+
+let test_prng_split_streams_differ_from_parent () =
+  let parent = Prng.create 5 in
+  let child = Prng.split parent in
+  let a = Array.init 32 (fun _ -> Prng.bits64 parent) in
+  let b = Array.init 32 (fun _ -> Prng.bits64 child) in
+  Alcotest.(check bool) "distinct streams" true (a <> b)
+
+(* --- timeline corner cases ----------------------------------------- *)
+
+let test_timeline_single_flow () =
+  let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:1. ~release:3. ~deadline:7. in
+  let tl = Dcn_flow.Timeline.make [ f ] in
+  Alcotest.(check int) "one interval" 1 (Dcn_flow.Timeline.num_intervals tl);
+  check_float "lambda 1" 1. (Dcn_flow.Timeline.lambda tl);
+  check_float "beta 1" 1. (Dcn_flow.Timeline.beta tl 0)
+
+let test_timeline_shared_breakpoints () =
+  (* Two flows sharing a release instant produce 3 breakpoints, not 4. *)
+  let f1 = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:1. ~release:0. ~deadline:2. in
+  let f2 = Flow.make ~id:1 ~src:0 ~dst:1 ~volume:1. ~release:0. ~deadline:5. in
+  let tl = Dcn_flow.Timeline.make [ f1; f2 ] in
+  Alcotest.(check int) "two intervals" 2 (Dcn_flow.Timeline.num_intervals tl)
+
+(* --- schedule lookups ---------------------------------------------- *)
+
+let test_schedule_plan_of_missing () =
+  let g = Builders.line 3 in
+  let f = Flow.make ~id:3 ~src:0 ~dst:2 ~volume:1. ~release:0. ~deadline:1. in
+  let p =
+    {
+      Schedule.flow = f;
+      path = Option.get (Paths.shortest_path g ~src:0 ~dst:2);
+      slots = [];
+    }
+  in
+  let s = Schedule.make ~graph:g ~power:Model.quadratic ~horizon:(0., 1.) [ p ] in
+  Alcotest.(check bool) "raises Not_found" true
+    (try ignore (Schedule.plan_of s 99); false with Not_found -> true)
+
+(* --- serialization details ------------------------------------------ *)
+
+let test_serialize_preserves_float_precision () =
+  let g = Builders.line 3 in
+  let volume = 10.000000000000123 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:2 ~volume ~release:0.1 ~deadline:0.30000000000000004 in
+  let inst = Dcn_core.Instance.make ~graph:g ~power:Model.quadratic ~flows:[ f ] in
+  let back =
+    Dcn_core.Serialize.instance_of_string (Dcn_core.Serialize.instance_to_string inst)
+  in
+  let f' = Dcn_core.Instance.find_flow back 0 in
+  Alcotest.(check bool) "volume exact" true (f'.Flow.volume = volume);
+  Alcotest.(check bool) "deadline exact" true (f'.Flow.deadline = f.Flow.deadline)
+
+let test_fig2_csv () =
+  let params =
+    {
+      (Dcn_experiments.Fig2.quick_params ~alpha:2.) with
+      Dcn_experiments.Fig2.flow_counts = [ 8 ];
+      seeds = [ 1001 ];
+    }
+  in
+  let res = Dcn_experiments.Fig2.run params in
+  let csv = Dcn_experiments.Fig2.to_csv res in
+  Alcotest.(check bool) "header" true (contains csv "alpha,sigma,k,seeds,n,lb,rs");
+  Alcotest.(check int) "two lines" 2
+    (List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)))
+
+(* --- determinism sweep ---------------------------------------------- *)
+
+let test_frank_wolfe_deterministic () =
+  let g = Builders.fat_tree 4 in
+  let commodities =
+    Array.init 5 (fun index ->
+        Dcn_mcf.Commodity.make ~index ~src:index ~dst:(15 - index) ~demand:(1. +. float_of_int index))
+  in
+  let problem =
+    {
+      Dcn_mcf.Frank_wolfe.graph = g;
+      commodities;
+      cost = (fun x -> x *. x);
+      cost_deriv = (fun x -> 2. *. x);
+      capacity = infinity;
+    }
+  in
+  let s1 = Dcn_mcf.Frank_wolfe.solve problem in
+  let s2 = Dcn_mcf.Frank_wolfe.solve problem in
+  check_float "same cost" s1.Dcn_mcf.Frank_wolfe.cost s2.Dcn_mcf.Frank_wolfe.cost;
+  Alcotest.(check bool) "same loads" true
+    (s1.Dcn_mcf.Frank_wolfe.loads = s2.Dcn_mcf.Frank_wolfe.loads)
+
+let test_greedy_ear_deterministic () =
+  let graph = Builders.fat_tree 4 in
+  let rng = Prng.create 37 in
+  let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:12 () in
+  let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows in
+  let e1 = (Dcn_core.Greedy_ear.solve inst).Dcn_core.Greedy_ear.energy in
+  let e2 = (Dcn_core.Greedy_ear.solve inst).Dcn_core.Greedy_ear.energy in
+  check_float "deterministic" e1 e2
+
+let test_online_deterministic () =
+  let graph = Builders.fat_tree 4 in
+  let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:3. () in
+  let rng = Prng.create 41 in
+  let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:15 () in
+  let inst = Dcn_core.Instance.make ~graph ~power ~flows in
+  let r1 = Dcn_core.Online.solve inst and r2 = Dcn_core.Online.solve inst in
+  Alcotest.(check (list int)) "same accepted" r1.Dcn_core.Online.accepted
+    r2.Dcn_core.Online.accepted
+
+(* --- fluid simulator with fragmented slots --------------------------- *)
+
+let test_fluid_multiple_slots () =
+  let g = Builders.line 3 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:2 ~volume:3. ~release:0. ~deadline:6. in
+  let plan =
+    {
+      Schedule.flow = f;
+      path = Option.get (Paths.shortest_path g ~src:0 ~dst:2);
+      slots =
+        [
+          { Schedule.start = 0.; stop = 1.; rate = 1. };
+          { Schedule.start = 2.; stop = 3.; rate = 1. };
+          { Schedule.start = 4.; stop = 5.; rate = 1. };
+        ];
+    }
+  in
+  let s = Schedule.make ~graph:g ~power:Model.quadratic ~horizon:(0., 6.) [ plan ] in
+  let r = Dcn_sim.Fluid.run s in
+  Alcotest.(check bool) "deadline met" true r.Dcn_sim.Fluid.all_deadlines_met;
+  match r.Dcn_sim.Fluid.flow_stats with
+  | [ fs ] -> (
+    check_float "delivered 3" 3. fs.Dcn_sim.Fluid.delivered;
+    match fs.Dcn_sim.Fluid.completion with
+    | Some t -> check_float "completes at 5" 5. t
+    | None -> Alcotest.fail "no completion")
+  | _ -> Alcotest.fail "one flow expected"
+
+(* --- gantt flows view ------------------------------------------------ *)
+
+let test_gantt_flows_span_markers () =
+  let g = Builders.line 3 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:2 ~volume:1. ~release:2. ~deadline:4. in
+  let plan =
+    {
+      Schedule.flow = f;
+      path = Option.get (Paths.shortest_path g ~src:0 ~dst:2);
+      slots = [ { Schedule.start = 2.; stop = 3.; rate = 1. } ];
+    }
+  in
+  let s = Schedule.make ~graph:g ~power:Model.quadratic ~horizon:(0., 8.) [ plan ] in
+  let chart = Dcn_sched.Gantt.render_flows ~width:32 s in
+  Alcotest.(check bool) "has waiting marker" true (contains chart "-");
+  Alcotest.(check bool) "has transmit marker" true (contains chart "=")
+
+(* --- packet sim under coarse packets --------------------------------- *)
+
+let test_packet_single_huge_packet () =
+  (* Packet bigger than the whole flow: exactly one packet. *)
+  let g = Builders.line 2 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:3. ~release:0. ~deadline:3. in
+  let plan =
+    {
+      Schedule.flow = f;
+      path = Option.get (Paths.shortest_path g ~src:0 ~dst:1);
+      slots = [ { Schedule.start = 0.; stop = 3.; rate = 1. } ];
+    }
+  in
+  let s = Schedule.make ~graph:g ~power:Model.quadratic ~horizon:(0., 3.) [ plan ] in
+  let r = Dcn_sim.Packet.run ~config:{ Dcn_sim.Packet.packet_size = 10. } s in
+  match r.Dcn_sim.Packet.flow_reports with
+  | [ fr ] ->
+    Alcotest.(check int) "one packet" 1 fr.Dcn_sim.Packet.packets;
+    Alcotest.(check int) "delivered" 1 fr.Dcn_sim.Packet.delivered
+  | _ -> Alcotest.fail "one flow expected"
+
+(* --- instance pretty printer ----------------------------------------- *)
+
+let test_instance_pp () =
+  let g = Builders.line 3 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:2 ~volume:1. ~release:0. ~deadline:1. in
+  let inst = Dcn_core.Instance.make ~graph:g ~power:Model.quadratic ~flows:[ f ] in
+  let s = Format.asprintf "%a" Dcn_core.Instance.pp inst in
+  Alcotest.(check bool) "mentions flows" true (contains s "1 flows");
+  Alcotest.(check bool) "mentions horizon" true (contains s "[0,1]")
+
+let suite =
+  [
+    ( "more/misc",
+      [
+        Alcotest.test_case "path cost" `Quick test_path_cost;
+        Alcotest.test_case "k-shortest sorted" `Quick test_k_shortest_costs_non_decreasing;
+        Alcotest.test_case "k-shortest invalid" `Quick test_k_shortest_invalid;
+        Alcotest.test_case "prng split streams" `Quick test_prng_split_streams_differ_from_parent;
+        Alcotest.test_case "timeline single flow" `Quick test_timeline_single_flow;
+        Alcotest.test_case "timeline shared breakpoints" `Quick
+          test_timeline_shared_breakpoints;
+        Alcotest.test_case "plan_of missing" `Quick test_schedule_plan_of_missing;
+        Alcotest.test_case "serialize precision" `Quick
+          test_serialize_preserves_float_precision;
+        Alcotest.test_case "fig2 csv" `Slow test_fig2_csv;
+        Alcotest.test_case "frank-wolfe deterministic" `Quick test_frank_wolfe_deterministic;
+        Alcotest.test_case "greedy-ear deterministic" `Quick test_greedy_ear_deterministic;
+        Alcotest.test_case "online deterministic" `Quick test_online_deterministic;
+        Alcotest.test_case "fluid fragmented slots" `Quick test_fluid_multiple_slots;
+        Alcotest.test_case "gantt flow markers" `Quick test_gantt_flows_span_markers;
+        Alcotest.test_case "packet huge packet" `Quick test_packet_single_huge_packet;
+        Alcotest.test_case "instance pp" `Quick test_instance_pp;
+      ] );
+  ]

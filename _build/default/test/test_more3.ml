@@ -1,0 +1,144 @@
+(* Fourth batch: identifier-space assumptions, boundary semantics and
+   parameter variations. *)
+
+module Builders = Dcn_topology.Builders
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+module Profile = Dcn_sched.Profile
+module Prng = Dcn_util.Prng
+module Iset = Dcn_util.Interval_set
+open Dcn_core
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* Nothing in the API promises dense flow ids; the algorithms must not
+   assume them. *)
+let sparse_example1 () =
+  let graph = Builders.line 3 in
+  let f1 = Flow.make ~id:1000 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
+  let f2 = Flow.make ~id:7 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
+  Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ]
+
+let test_sparse_ids_mcf () =
+  let res = Baselines.sp_mcf (sparse_example1 ()) in
+  let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
+  check_float "s2 under sparse ids" s2 (Most_critical_first.rate_of res 7);
+  check_float "s1 under sparse ids" (s2 /. sqrt 2.) (Most_critical_first.rate_of res 1000);
+  check_float "energy" (((8. +. (6. *. sqrt 2.)) ** 2.) /. 3.)
+    res.Most_critical_first.energy
+
+let test_sparse_ids_rs_and_friends () =
+  let inst = sparse_example1 () in
+  let rng = Prng.create 42 in
+  let rs = Random_schedule.solve ~rng inst in
+  check_float "RS energy" 92. rs.Random_schedule.energy;
+  let ear = Greedy_ear.solve inst in
+  check_float "EAR energy" 92. ear.Greedy_ear.energy;
+  let online = Online.solve inst in
+  Alcotest.(check (list int)) "online accepts both" [ 7; 1000 ] online.Online.accepted;
+  let back = Serialize.instance_of_string (Serialize.instance_to_string inst) in
+  Alcotest.(check int) "serialize keeps ids" 1000 (Instance.find_flow back 1000).Flow.id
+
+(* Profile boundary semantics: right-continuous at starts, open at stops. *)
+let test_profile_boundary_semantics () =
+  let p = Profile.of_slots [ (1., 2., 3.) ] in
+  check_float "at start" 3. (Profile.rate_at p 1.);
+  check_float "at stop" 0. (Profile.rate_at p 2.);
+  check_float "before" 0. (Profile.rate_at p 0.999)
+
+(* Interval set no-op and degenerate queries. *)
+let test_iset_degenerate () =
+  let s = Iset.add Iset.empty ~lo:1. ~hi:3. in
+  let s' = Iset.add s ~lo:1.5 ~hi:2.5 in
+  Alcotest.(check (list (pair (float 1e-12) (float 1e-12))))
+    "subsumed add is a no-op" [ (1., 3.) ] (Iset.intervals s');
+  check_float "empty window" 0. (Iset.covered_within s ~lo:5. ~hi:5.);
+  check_float "reversed window" 0. (Iset.available_within s ~lo:5. ~hi:4.)
+
+(* YDS scales with mu in the energy functional only. *)
+let test_yds_mu_scaling () =
+  let open Dcn_speed_scaling in
+  let jobs = [ Job.make ~id:0 ~weight:4. ~release:0. ~deadline:2. ] in
+  let res = Yds.schedule jobs in
+  check_float "mu=1" 8. (Yds.energy ~mu:1. ~alpha:2. jobs res);
+  check_float "mu=3 scales linearly" 24. (Yds.energy ~mu:3. ~alpha:2. jobs res)
+
+(* Fluid: early completion is reported before the deadline. *)
+let test_fluid_early_completion () =
+  let graph = Builders.line 2 in
+  let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:10. in
+  let plan =
+    {
+      Schedule.flow = f;
+      path = Option.get (Dcn_topology.Paths.shortest_path graph ~src:0 ~dst:1);
+      slots = [ { Schedule.start = 0.; stop = 1.; rate = 2. } ];
+    }
+  in
+  let s = Schedule.make ~graph ~power:Model.quadratic ~horizon:(0., 10.) [ plan ] in
+  let r = Dcn_sim.Fluid.run s in
+  match r.Dcn_sim.Fluid.flow_stats with
+  | [ fs ] -> (
+    match fs.Dcn_sim.Fluid.completion with
+    | Some t -> check_float "completes at 1" 1. t
+    | None -> Alcotest.fail "no completion")
+  | _ -> Alcotest.fail "one flow"
+
+(* Serialize: corrupting the header always fails cleanly. *)
+let prop_serialize_header_required =
+  QCheck.Test.make ~name:"serialize: corrupt header rejected" ~count:20
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let graph = Builders.star ~leaves:3 in
+      let rng = Prng.create seed in
+      let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:3 () in
+      let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+      let text = Serialize.instance_to_string inst in
+      let corrupted = "x" ^ text in
+      match Serialize.instance_of_string corrupted with
+      | exception Failure _ -> true
+      | _ -> false)
+
+(* Quantize with the exact fluid rates as ladder levels: zero overhead
+   regardless of instance. *)
+let prop_quantize_exact_ladder_no_overhead =
+  QCheck.Test.make ~name:"quantize: exact ladder has no overhead" ~count:10
+    QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
+    (fun seed ->
+      let graph = Builders.fat_tree 4 in
+      let rng = Prng.create seed in
+      let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:6 () in
+      let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
+      let rs = Random_schedule.solve ~rng inst in
+      let sched = rs.Random_schedule.schedule in
+      (* Collect every distinct positive segment rate as a level. *)
+      let rates = ref [] in
+      Array.iter
+        (fun (_, p) ->
+          List.iter (fun (_, _, r) -> if r > 0. then rates := r :: !rates)
+            (Profile.segments p))
+        (Schedule.profiles sched);
+      match List.sort_uniq compare !rates with
+      | [] -> true
+      | levels ->
+        let ladder = Dcn_power.Discrete.make Model.quadratic ~levels in
+        let q = Dcn_sched.Quantize.report ladder sched in
+        Float.abs (q.Dcn_sched.Quantize.hold_overhead -. 1.) < 1e-6
+        && Float.abs (q.Dcn_sched.Quantize.work_overhead -. 1.) < 1e-6)
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    ( "more/identifiers-and-boundaries",
+      [
+        Alcotest.test_case "sparse ids: MCF" `Quick test_sparse_ids_mcf;
+        Alcotest.test_case "sparse ids: RS/EAR/online/serialize" `Quick
+          test_sparse_ids_rs_and_friends;
+        Alcotest.test_case "profile boundaries" `Quick test_profile_boundary_semantics;
+        Alcotest.test_case "interval set degenerate" `Quick test_iset_degenerate;
+        Alcotest.test_case "yds mu scaling" `Quick test_yds_mu_scaling;
+        Alcotest.test_case "fluid early completion" `Quick test_fluid_early_completion;
+        qt prop_serialize_header_required;
+        qt prop_quantize_exact_ladder_no_overhead;
+      ] );
+  ]
