@@ -18,6 +18,9 @@ let seeds =
   | Some s -> (try max 1 (int_of_string s) with Failure _ -> 3)
   | None -> 3
 
+(* Every section shares one pool sized by DCN_JOBS (default 1). *)
+let pool = Dcn_engine.Pool.create ~jobs:(Dcn_engine.Pool.default_jobs ()) ()
+
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
 
@@ -38,7 +41,7 @@ let fig2 alpha =
   let res =
     Dcn_experiments.Fig2.run
       ~progress:(fun msg -> Printf.eprintf "  [%s]\n%!" msg)
-      params
+      ~pool params
   in
   print_endline (Dcn_experiments.Fig2.render res)
 
@@ -55,11 +58,11 @@ let example1 () =
   let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
   Printf.printf "paper optimum : s1 = %.6f, s2 = %.6f\n" (s2 /. sqrt 2.) s2;
   Printf.printf "computed      : s1 = %.6f, s2 = %.6f\n"
-    (Dcn_core.Most_critical_first.rate_of res 1)
-    (Dcn_core.Most_critical_first.rate_of res 2);
+    (Dcn_core.Solution.rate_of res 1)
+    (Dcn_core.Solution.rate_of res 2);
   Printf.printf "energy        : %.6f (schedule integral %.6f)\n"
-    res.Dcn_core.Most_critical_first.energy
-    (Dcn_sched.Schedule.energy res.Dcn_core.Most_critical_first.schedule)
+    res.Dcn_core.Solution.energy
+    (Dcn_sched.Schedule.energy res.Dcn_core.Solution.schedule)
 
 (* --------------------------- E4 / E5 ------------------------------ *)
 
@@ -94,7 +97,7 @@ let theorem4 () =
               }
             ~rng inst
         in
-        let report = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+        let report = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
         [
           string_of_int seed;
           string_of_int (List.length flows);
@@ -122,7 +125,7 @@ let packetization () =
       (fun packet_size ->
         let r =
           Dcn_sim.Packet.run ~config:{ Dcn_sim.Packet.packet_size }
-            res.Dcn_core.Most_critical_first.schedule
+            res.Dcn_core.Solution.schedule
         in
         [
           Printf.sprintf "%.2f" packet_size;
@@ -146,39 +149,39 @@ let ablations () =
   section "E7a. Ablation: power-down (sigma > 0)";
   print_endline
     (Dcn_experiments.Ablation.render_power_down
-       (Dcn_experiments.Ablation.power_down ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
+       (Dcn_experiments.Ablation.power_down ~pool ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
   section "E7b. Ablation: capacity stress (rounding redraws)";
   print_endline
     (Dcn_experiments.Ablation.render_capacity
-       (Dcn_experiments.Ablation.capacity_stress ~caps:[ infinity; 10.; 6.; 4. ] ()));
+       (Dcn_experiments.Ablation.capacity_stress ~pool ~caps:[ infinity; 10.; 6.; 4. ] ()));
   section "E7c. Ablation: Most-Critical-First refinement of RS routes";
   print_endline
     (Dcn_experiments.Ablation.render_refinement
-       (Dcn_experiments.Ablation.refinement ~ns:[ 10; 20; 40 ] ()));
+       (Dcn_experiments.Ablation.refinement ~pool ~ns:[ 10; 20; 40 ] ()));
   section "E7d. Ablation: routing policies (SP vs ECMP vs Greedy-EAR vs Random-Schedule)";
   print_endline
     (Dcn_experiments.Ablation.render_routing
-       (Dcn_experiments.Ablation.routing_comparison ~ns:[ 10; 20; 40 ] ()));
+       (Dcn_experiments.Ablation.routing_comparison ~pool ~ns:[ 10; 20; 40 ] ()));
   section "E7e. Ablation: lower-bound tightness (paper LB vs joint relaxation)";
   print_endline
     (Dcn_experiments.Ablation.render_lb
-       (Dcn_experiments.Ablation.lb_tightness ~ns:[ 10; 20; 40 ] ()));
+       (Dcn_experiments.Ablation.lb_tightness ~pool ~ns:[ 10; 20; 40 ] ()));
   section "E7f. Ablation: flow splitting (Section II-B multi-path emulation)";
   print_endline
     (Dcn_experiments.Ablation.render_splitting
-       (Dcn_experiments.Ablation.splitting ~parts:[ 1; 2; 4; 8 ] ()));
+       (Dcn_experiments.Ablation.splitting ~pool ~parts:[ 1; 2; 4; 8 ] ()));
   section "E7g. Ablation: discrete link speeds (rate adaptation)";
   print_endline
     (Dcn_experiments.Ablation.render_rate_levels
-       (Dcn_experiments.Ablation.rate_levels ~counts:[ 2; 4; 8; 16 ] ()));
+       (Dcn_experiments.Ablation.rate_levels ~pool ~counts:[ 2; 4; 8; 16 ] ()));
   section "E7h. Ablation: online admission control under finite capacity";
   print_endline
     (Dcn_experiments.Ablation.render_admission
-       (Dcn_experiments.Ablation.admission ~loads:[ 0.5; 1.; 2.; 4.; 8. ] ()));
+       (Dcn_experiments.Ablation.admission ~pool ~loads:[ 0.5; 1.; 2.; 4.; 8. ] ()));
   section "E7i. Ablation: failure resilience (random cable failures)";
   print_endline
     (Dcn_experiments.Ablation.render_failures
-       (Dcn_experiments.Ablation.failures ~counts:[ 0; 4; 8; 12 ] ()))
+       (Dcn_experiments.Ablation.failures ~pool ~counts:[ 0; 4; 8; 12 ] ()))
 
 (* ----------------------------- E8 --------------------------------- *)
 
@@ -289,12 +292,55 @@ let runtime_benchmarks () =
     (Dcn_util.Table.render ~headers:[ "algorithm"; "time (ms/run)" ]
        ~rows:(List.concat rows) ())
 
+(* ---------------------- parallel scaling ------------------------- *)
+
+(* Times the Figure-2 quick sweep at 1, 2 and 4 jobs, checks the three
+   renders are byte-identical (the engine's determinism contract), and
+   reports the measured speedup.  On a single-core container the speedup
+   is expected to be ~1x; the check still exercises the pool. *)
+let parallel_scaling () =
+  section "E11. Parallel scaling (domain pool, Figure-2 quick sweep)";
+  let params =
+    {
+      (Dcn_experiments.Fig2.quick_params ~alpha:2.) with
+      Dcn_experiments.Fig2.flow_counts = [ 20; 40 ];
+      seeds = List.init (min seeds 2) (fun i -> 1000 + i);
+    }
+  in
+  let time_at jobs =
+    Dcn_engine.Pool.with_pool ~jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let res = Dcn_experiments.Fig2.run ~pool params in
+        let dt = Unix.gettimeofday () -. t0 in
+        (dt, Dcn_experiments.Fig2.render res))
+  in
+  let runs = List.map (fun jobs -> (jobs, time_at jobs)) [ 1; 2; 4 ] in
+  let _, (t1, render1) = List.hd runs in
+  let rows =
+    List.map
+      (fun (jobs, (dt, render)) ->
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.2f" dt;
+          Printf.sprintf "%.2fx" (t1 /. dt);
+          (if String.equal render render1 then "identical" else "DIFFERS");
+        ])
+      runs
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:[ "jobs"; "wall (s)"; "speedup"; "output vs jobs=1" ]
+       ~rows ());
+  Printf.printf "(host has %d core(s) available)\n"
+    (Domain.recommended_domain_count ())
+
 let () =
   Printf.printf
     "dcnsched benchmark harness — reproduction of Wang et al., ICDCS 2014\n";
-  Printf.printf "mode: %s, %d seed(s) per Figure-2 point\n"
+  Printf.printf "mode: %s, %d seed(s) per Figure-2 point, %d job(s)\n"
     (if quick then "quick (fat-tree k=4)" else "paper scale (fat-tree k=8)")
-    seeds;
+    seeds
+    (Dcn_engine.Pool.jobs pool);
   example1 ();
   gadgets ();
   small_exact ();
@@ -305,5 +351,9 @@ let () =
   trace_eval ();
   fig2 2.;
   fig2 4.;
+  parallel_scaling ();
   runtime_benchmarks ();
+  section "Engine wall-time counters (Dcn_engine.Metrics)";
+  print_endline (Dcn_engine.Metrics.render ());
+  Dcn_engine.Pool.shutdown pool;
   Printf.printf "\nDone.\n"

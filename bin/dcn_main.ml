@@ -38,6 +38,26 @@ let alpha_t =
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Parallelism (worker domains + the caller). 0 reads the DCN_JOBS \
+           environment variable (a positive integer, or 0 for one per core) and \
+           falls back to 1. Results are bit-identical for every value.")
+
+(* Every subcommand resolves --jobs the same way and tears the pool down
+   on the way out. *)
+let with_jobs jobs f =
+  if jobs < 0 then begin
+    Printf.eprintf "dcn: --jobs must be >= 0 (got %d)\n" jobs;
+    exit 124
+  end;
+  let jobs = if jobs = 0 then Dcn_engine.Pool.default_jobs () else jobs in
+  Dcn_engine.Pool.with_pool ~jobs f
+
 (* ----------------------------- fig2 ------------------------------- *)
 
 let fig2_cmd =
@@ -56,7 +76,7 @@ let fig2_cmd =
   let csv_t =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write the series as CSV to $(docv)." ~docv:"FILE")
   in
-  let run alpha quick seeds counts csv =
+  let run alpha quick seeds counts csv jobs =
     let params =
       if quick then Dcn_experiments.Fig2.quick_params ~alpha
       else Dcn_experiments.Fig2.default_params ~alpha
@@ -70,8 +90,10 @@ let fig2_cmd =
       }
     in
     let res =
-      Dcn_experiments.Fig2.run ~progress:(fun msg -> Printf.eprintf "[fig2] %s\n%!" msg)
-        params
+      with_jobs jobs (fun pool ->
+          Dcn_experiments.Fig2.run
+            ~progress:(fun msg -> Printf.eprintf "[fig2] %s\n%!" msg)
+            ~pool params)
     in
     print_endline (Dcn_experiments.Fig2.render res);
     match csv with
@@ -84,7 +106,7 @@ let fig2_cmd =
   in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Regenerate Figure 2 of the paper (E1/E2).")
-    Term.(const run $ alpha_t $ quick_t $ seeds_t $ counts_t $ csv_t)
+    Term.(const run $ alpha_t $ quick_t $ seeds_t $ counts_t $ csv_t $ jobs_t)
 
 (* ---------------------------- gadgets ----------------------------- *)
 
@@ -102,48 +124,50 @@ let gadgets_cmd =
 (* ---------------------------- ablation ---------------------------- *)
 
 let ablation_cmd =
-  let run alpha =
+  let run alpha jobs =
+    with_jobs jobs @@ fun pool ->
     print_endline
       (Dcn_experiments.Ablation.render_power_down
-         (Dcn_experiments.Ablation.power_down ~alpha
+         (Dcn_experiments.Ablation.power_down ~alpha ~pool
             ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_capacity
-         (Dcn_experiments.Ablation.capacity_stress ~alpha
+         (Dcn_experiments.Ablation.capacity_stress ~alpha ~pool
             ~caps:[ infinity; 10.; 6.; 4. ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_refinement
-         (Dcn_experiments.Ablation.refinement ~alpha ~ns:[ 10; 20; 40 ] ()));
+         (Dcn_experiments.Ablation.refinement ~alpha ~pool ~ns:[ 10; 20; 40 ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_routing
-         (Dcn_experiments.Ablation.routing_comparison ~alpha ~ns:[ 10; 20; 40 ] ()));
+         (Dcn_experiments.Ablation.routing_comparison ~alpha ~pool
+            ~ns:[ 10; 20; 40 ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_lb
-         (Dcn_experiments.Ablation.lb_tightness ~alpha ~ns:[ 10; 20; 40 ] ()));
+         (Dcn_experiments.Ablation.lb_tightness ~alpha ~pool ~ns:[ 10; 20; 40 ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_splitting
-         (Dcn_experiments.Ablation.splitting ~alpha ~parts:[ 1; 2; 4; 8 ] ()));
+         (Dcn_experiments.Ablation.splitting ~alpha ~pool ~parts:[ 1; 2; 4; 8 ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_rate_levels
-         (Dcn_experiments.Ablation.rate_levels ~alpha ~counts:[ 2; 4; 8; 16 ] ()));
+         (Dcn_experiments.Ablation.rate_levels ~alpha ~pool ~counts:[ 2; 4; 8; 16 ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_admission
-         (Dcn_experiments.Ablation.admission ~alpha ~loads:[ 0.5; 1.; 2.; 4. ] ()));
+         (Dcn_experiments.Ablation.admission ~alpha ~pool ~loads:[ 0.5; 1.; 2.; 4. ] ()));
     print_newline ();
     print_endline
       (Dcn_experiments.Ablation.render_failures
-         (Dcn_experiments.Ablation.failures ~alpha ~counts:[ 0; 4; 8; 12 ] ()))
+         (Dcn_experiments.Ablation.failures ~alpha ~pool ~counts:[ 0; 4; 8; 12 ] ()))
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run all the E7 ablations (power-down, capacity, refinement, routing, LB tightness, splitting, discrete rates, admission, failures).")
-    Term.(const run $ alpha_t)
+    Term.(const run $ alpha_t $ jobs_t)
 
 (* --------------------------- small-exact -------------------------- *)
 
@@ -172,11 +196,11 @@ let example1_cmd =
     Printf.printf "Example 1 (Figure 1): line A-B-C, f(x) = x^2\n";
     Printf.printf "  flow 1: A->C, w=6, span [2,4]   flow 2: A->B, w=8, span [1,3]\n";
     Printf.printf "  computed rates: s1 = %.6f, s2 = %.6f\n"
-      (Dcn_core.Most_critical_first.rate_of res 1)
-      (Dcn_core.Most_critical_first.rate_of res 2);
+      (Dcn_core.Solution.rate_of res 1)
+      (Dcn_core.Solution.rate_of res 2);
     Printf.printf "  paper's optimum: s1 = %.6f, s2 = %.6f (sqrt 2 * s1 = s2 = (8+6*sqrt 2)/3)\n"
       (s2 /. sqrt 2.) s2;
-    Printf.printf "  energy: %.6f\n" res.Dcn_core.Most_critical_first.energy
+    Printf.printf "  energy: %.6f\n" res.Dcn_core.Solution.energy
   in
   Cmd.v
     (Cmd.info "example1" ~doc:"Run the paper's worked Example 1 (E3).")
@@ -253,7 +277,8 @@ let solve_cmd =
   let gantt_t =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print ASCII Gantt charts of the RS schedule.")
   in
-  let run graph n alpha sigma pattern seed instance_file gantt =
+  let run graph n alpha sigma pattern seed instance_file gantt jobs =
+    with_jobs jobs @@ fun pool ->
     let rng = Dcn_util.Prng.create seed in
     let inst =
       match instance_file with
@@ -267,33 +292,35 @@ let solve_cmd =
     in
     Format.printf "%a@." Dcn_core.Instance.pp inst;
     let sp = Dcn_core.Baselines.sp_mcf inst in
-    Printf.printf "SP+MCF : energy %.4f (placement %s)\n"
-      sp.Dcn_core.Most_critical_first.energy
-      (if sp.Dcn_core.Most_critical_first.placement_complete then "complete" else "partial");
-    let rs = Dcn_core.Random_schedule.solve ~rng inst in
+    Printf.printf "SP+MCF : energy %.4f (placement %s)\n" sp.Dcn_core.Solution.energy
+      (if Dcn_core.Solution.placement_complete sp then "complete" else "partial");
+    let rs = Dcn_core.Random_schedule.solve ~pool ~rng inst in
     Printf.printf "RS     : energy %.4f (%s, %d attempt(s))\n"
-      rs.Dcn_core.Random_schedule.energy
-      (if rs.Dcn_core.Random_schedule.feasible then "feasible" else "INFEASIBLE")
-      rs.Dcn_core.Random_schedule.attempts_used;
-    let lb = Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation in
+      rs.Dcn_core.Solution.energy
+      (if rs.Dcn_core.Solution.feasible then "feasible" else "INFEASIBLE")
+      (Dcn_core.Solution.attempts_used rs);
+    let lb =
+      Dcn_core.Lower_bound.of_relaxation
+        (Option.get (Dcn_core.Solution.relaxation rs))
+    in
     Printf.printf "LB     : %.4f  =>  RS/LB %.3f, SP+MCF/LB %.3f\n"
       lb.Dcn_core.Lower_bound.value
-      (rs.Dcn_core.Random_schedule.energy /. lb.Dcn_core.Lower_bound.value)
-      (sp.Dcn_core.Most_critical_first.energy /. lb.Dcn_core.Lower_bound.value);
-    let sim = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+      (rs.Dcn_core.Solution.energy /. lb.Dcn_core.Lower_bound.value)
+      (sp.Dcn_core.Solution.energy /. lb.Dcn_core.Lower_bound.value);
+    let sim = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
     Format.printf "sim    : %a@." Dcn_sim.Fluid.pp_report sim;
     if gantt then begin
       print_newline ();
-      print_string (Dcn_sched.Gantt.render rs.Dcn_core.Random_schedule.schedule);
+      print_string (Dcn_sched.Gantt.render rs.Dcn_core.Solution.schedule);
       print_newline ();
-      print_string (Dcn_sched.Gantt.render_flows rs.Dcn_core.Random_schedule.schedule)
+      print_string (Dcn_sched.Gantt.render_flows rs.Dcn_core.Solution.schedule)
     end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a configurable instance with both algorithms.")
     Term.(
       const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ instance_t
-      $ gantt_t)
+      $ gantt_t $ jobs_t)
 
 let () =
   let doc = "energy-efficient deadline-constrained flow scheduling and routing" in

@@ -30,7 +30,7 @@ let () =
 
   let sp = Dcn_core.Baselines.sp_mcf inst in
   let rs = RS.solve ~rng inst in
-  let lb = Dcn_core.Lower_bound.of_relaxation rs.RS.relaxation in
+  let lb = Dcn_core.Lower_bound.of_relaxation (Option.get (Dcn_core.Solution.relaxation rs)) in
 
   let describe label energy schedule =
     Format.printf "%s: energy %8.1f = idle %8.1f + dynamic %8.1f, %d active links@."
@@ -39,11 +39,11 @@ let () =
       (Schedule.dynamic_energy schedule)
       (List.length (Schedule.active_links schedule))
   in
-  describe "Random-Schedule" rs.RS.energy rs.RS.schedule;
-  describe "SP + MCF       " sp.Dcn_core.Most_critical_first.energy
-    sp.Dcn_core.Most_critical_first.schedule;
+  describe "Random-Schedule" rs.Dcn_core.Solution.energy rs.Dcn_core.Solution.schedule;
+  describe "SP + MCF       " sp.Dcn_core.Solution.energy
+    sp.Dcn_core.Solution.schedule;
   Format.printf "lower bound    : %8.1f@.@." lb.Dcn_core.Lower_bound.value;
 
-  let report = Dcn_sim.Fluid.run rs.RS.schedule in
+  let report = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
   Format.printf "Simulator: %a@." Dcn_sim.Fluid.pp_report report;
   assert report.Dcn_sim.Fluid.all_deadlines_met

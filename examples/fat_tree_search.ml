@@ -44,25 +44,25 @@ let () =
 
   let sp = Dcn_core.Baselines.sp_mcf inst in
   let rs = RS.solve ~rng inst in
-  let lb = Dcn_core.Lower_bound.of_relaxation rs.RS.relaxation in
+  let lb = Dcn_core.Lower_bound.of_relaxation (Option.get (Dcn_core.Solution.relaxation rs)) in
   Format.printf "Energy:@.";
   Format.printf "  lower bound   %10.2f@." lb.Dcn_core.Lower_bound.value;
-  Format.printf "  Random-Sched  %10.2f  (%.3fx LB)@." rs.RS.energy
-    (rs.RS.energy /. lb.Dcn_core.Lower_bound.value);
+  Format.printf "  Random-Sched  %10.2f  (%.3fx LB)@." rs.Dcn_core.Solution.energy
+    (rs.Dcn_core.Solution.energy /. lb.Dcn_core.Lower_bound.value);
   Format.printf "  SP + MCF      %10.2f  (%.3fx LB)@."
-    sp.Dcn_core.Most_critical_first.energy
-    (sp.Dcn_core.Most_critical_first.energy /. lb.Dcn_core.Lower_bound.value);
+    sp.Dcn_core.Solution.energy
+    (sp.Dcn_core.Solution.energy /. lb.Dcn_core.Lower_bound.value);
 
   (* Where did Random-Schedule route the fan-in?  Count the distinct
      paths per aggregator. *)
   let distinct_paths =
-    List.length (List.sort_uniq compare (List.map snd rs.RS.paths))
+    List.length (List.sort_uniq compare (List.map snd (Dcn_core.Solution.paths rs)))
   in
   Format.printf "@.%d flows routed over %d distinct paths@." (List.length flows)
     distinct_paths;
 
   (* Theorem 4: every response meets its wave's deadline. *)
-  let report = Dcn_sim.Fluid.run rs.RS.schedule in
+  let report = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
   Format.printf "@.Simulator: %a@." Dcn_sim.Fluid.pp_report report;
   List.iter
     (fun (fs : Dcn_sim.Fluid.flow_stat) ->

@@ -12,6 +12,7 @@
 module Workload = Dcn_flow.Workload
 module Schedule = Dcn_sched.Schedule
 module RS = Dcn_core.Random_schedule
+module Solution = Dcn_core.Solution
 
 let () =
   let graph = Dcn_topology.Builders.leaf_spine ~spines:3 ~leaves:4 ~hosts_per_leaf:4 in
@@ -28,12 +29,12 @@ let () =
       in
       let inst = Dcn_core.Instance.make ~graph ~power ~flows in
       let rs = RS.solve ~config:{ RS.default_config with attempts = 50 } ~rng inst in
-      let peak = Schedule.max_link_rate rs.RS.schedule in
-      let report = Dcn_sim.Fluid.run rs.RS.schedule in
+      let peak = Schedule.max_link_rate rs.Solution.schedule in
+      let report = Dcn_sim.Fluid.run rs.Solution.schedule in
       Format.printf
         "%2d flows/stage: %s after %2d draw(s), peak link rate %6.2f/%g, deadlines %s@."
         flows_per_stage
-        (if rs.RS.feasible then "feasible  " else "INFEASIBLE")
-        rs.RS.attempts_used peak cap
+        (if rs.Solution.feasible then "feasible  " else "INFEASIBLE")
+        (Solution.attempts_used rs) peak cap
         (if report.Dcn_sim.Fluid.all_deadlines_met then "met" else "MISSED"))
     [ 4; 8; 16; 24; 32 ]

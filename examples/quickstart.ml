@@ -9,6 +9,7 @@
 
 module Flow = Dcn_flow.Flow
 module Mcf = Dcn_core.Most_critical_first
+module Solution = Dcn_core.Solution
 
 let () =
   (* 1. The network: three host nodes in a line (Figure 1). *)
@@ -30,7 +31,7 @@ let () =
     ((8. +. (6. *. sqrt 2.)) /. 3.);
   List.iter
     (fun (id, rate) -> Format.printf "  flow %d -> rate %.6f@." id rate)
-    (List.sort compare res.Mcf.rates);
+    (List.sort compare res.Solution.per_flow_rates);
 
   (* 5. The critical groups the algorithm discovered. *)
   Format.printf "@.Critical intervals (selection order):@.";
@@ -41,10 +42,10 @@ let () =
         b g.intensity
         Format.(pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ",") pp_print_int)
         g.flow_ids)
-    res.Mcf.groups;
+    (Solution.groups res);
 
   (* 6. Energy (Eq. 5) and the concrete transmission slots. *)
-  Format.printf "@.Total energy: %.6f@." res.Mcf.energy;
+  Format.printf "@.Total energy: %.6f@." res.Solution.energy;
   Format.printf "@.Transmission plan:@.";
   List.iter
     (fun (p : Dcn_sched.Schedule.plan) ->
@@ -53,14 +54,14 @@ let () =
         (fun (s : Dcn_sched.Schedule.slot) ->
           Format.printf "    [%.4f, %.4f] at rate %.4f@." s.start s.stop s.rate)
         p.slots)
-    res.Mcf.schedule.Dcn_sched.Schedule.plans;
+    res.Solution.schedule.Dcn_sched.Schedule.plans;
 
   (* 7. A picture: per-link and per-flow Gantt charts. *)
   Format.printf "@.Link occupancy:@.%s@.Flow activity ('=' transmitting, '-' waiting):@.%s"
-    (Dcn_sched.Gantt.render res.Mcf.schedule)
-    (Dcn_sched.Gantt.render_flows res.Mcf.schedule);
+    (Dcn_sched.Gantt.render res.Solution.schedule)
+    (Dcn_sched.Gantt.render_flows res.Solution.schedule);
 
   (* 8. Independent validation in the fluid simulator. *)
-  let report = Dcn_sim.Fluid.run res.Mcf.schedule in
+  let report = Dcn_sim.Fluid.run res.Solution.schedule in
   Format.printf "@.Simulator: %a@." Dcn_sim.Fluid.pp_report report;
   assert report.Dcn_sim.Fluid.all_deadlines_met

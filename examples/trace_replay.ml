@@ -31,7 +31,8 @@ let () =
 
   let rs = Dcn_core.Random_schedule.solve ~rng inst in
   let lb =
-    (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
+    (Dcn_core.Lower_bound.of_relaxation
+       (Option.get (Dcn_core.Solution.relaxation rs)))
       .Dcn_core.Lower_bound.value
   in
   let sp = Dcn_core.Baselines.sp_mcf inst in
@@ -40,10 +41,10 @@ let () =
   let rows =
     [
       ("lower bound", lb);
-      ("Random-Schedule", rs.Dcn_core.Random_schedule.energy);
+      ("Random-Schedule", rs.Dcn_core.Solution.energy);
       ("Greedy-EAR (online)", ear.Dcn_core.Greedy_ear.energy);
-      ("ECMP + MCF", ecmp.Dcn_core.Most_critical_first.energy);
-      ("SP + MCF", sp.Dcn_core.Most_critical_first.energy);
+      ("ECMP + MCF", ecmp.Dcn_core.Solution.energy);
+      ("SP + MCF", sp.Dcn_core.Solution.energy);
     ]
   in
   print_endline
@@ -57,6 +58,6 @@ let () =
        ());
 
   (* The deadline guarantee survives the trace too. *)
-  let report = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+  let report = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
   Format.printf "@.Simulator: %a@." Dcn_sim.Fluid.pp_report report;
   assert report.Dcn_sim.Fluid.all_deadlines_met

@@ -31,7 +31,7 @@ let shortest_path_routing inst =
 
 let sp_mcf inst =
   let routing = shortest_path_routing inst in
-  Most_critical_first.solve inst ~routing
+  Most_critical_first.solve ~algorithm:"sp+mcf" inst ~routing
 
 let ecmp_routing ?(fanout = 16) ~rng inst =
   let g = inst.Instance.graph in
@@ -65,4 +65,4 @@ let ecmp_routing ?(fanout = 16) ~rng inst =
 
 let ecmp_mcf ?fanout ~rng inst =
   let routing = ecmp_routing ?fanout ~rng inst in
-  Most_critical_first.solve inst ~routing
+  Most_critical_first.solve ~algorithm:"ecmp+mcf" inst ~routing

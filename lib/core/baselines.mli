@@ -10,7 +10,7 @@ val shortest_path_routing : Instance.t -> int -> Dcn_topology.Graph.link list
     distinct source).  @raise Invalid_argument if some flow's endpoints
     are disconnected; @raise Not_found for an unknown id. *)
 
-val sp_mcf : Instance.t -> Most_critical_first.result
+val sp_mcf : Instance.t -> Solution.t
 (** Shortest-path routing followed by Most-Critical-First. *)
 
 val ecmp_routing :
@@ -25,6 +25,5 @@ val ecmp_routing :
     centers deploy today, as a second point of comparison between
     deterministic shortest paths and the paper's optimised routing. *)
 
-val ecmp_mcf :
-  ?fanout:int -> rng:Dcn_util.Prng.t -> Instance.t -> Most_critical_first.result
+val ecmp_mcf : ?fanout:int -> rng:Dcn_util.Prng.t -> Instance.t -> Solution.t
 (** ECMP routing followed by Most-Critical-First. *)

@@ -5,7 +5,7 @@ module Flow = Dcn_flow.Flow
 type result = {
   energy : float;
   routing : (int * Graph.link list) list;
-  best : Most_critical_first.result;
+  best : Solution.t;
   combinations : int;
 }
 
@@ -52,10 +52,10 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
         in
         find 0
       in
-      let res = Most_critical_first.solve inst ~routing in
+      let res = Most_critical_first.solve ~algorithm:"exact" inst ~routing in
       match !best with
-      | Some (e, _, _) when e <= res.Most_critical_first.energy -> ()
-      | _ -> best := Some (res.Most_critical_first.energy, Array.copy current, res)
+      | Some (e, _, _) when e <= res.Solution.energy -> ()
+      | _ -> best := Some (res.Solution.energy, Array.copy current, res)
     end
     else
       for c = 0 to Array.length choices.(i) - 1 do

@@ -10,7 +10,7 @@
 type result = {
   energy : float;
   routing : (int * Dcn_topology.Graph.link list) list;  (** flow id -> best path *)
-  best : Most_critical_first.result;
+  best : Solution.t;
   combinations : int;  (** routing combinations explored *)
 }
 

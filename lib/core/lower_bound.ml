@@ -7,4 +7,5 @@ type t = {
 let of_relaxation relaxation =
   { value = relaxation.Relaxation.lb; fractional_cost = relaxation.Relaxation.cost; relaxation }
 
-let compute ?fw_config inst = of_relaxation (Relaxation.solve ?fw_config inst)
+let compute ?pool ?fw_config inst =
+  of_relaxation (Relaxation.solve ?pool ?fw_config inst)

@@ -15,7 +15,8 @@ type t = {
   relaxation : Relaxation.t;
 }
 
-val compute : ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
+val compute :
+  ?pool:Dcn_engine.Pool.t -> ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
 
 val of_relaxation : Relaxation.t -> t
 (** Reuse an already-solved relaxation (Random-Schedule computes one). *)

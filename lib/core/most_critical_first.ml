@@ -4,19 +4,11 @@ module Iset = Dcn_util.Interval_set
 module Model = Dcn_power.Model
 module Schedule = Dcn_sched.Schedule
 
-type group = {
+type group = Solution.mcf_group = {
   link : Graph.link;
   window : float * float;
   intensity : float;
   flow_ids : int list;
-}
-
-type result = {
-  schedule : Schedule.t;
-  rates : (int * float) list;
-  groups : group list;
-  placement_complete : bool;
-  energy : float;
 }
 
 let eps = 1e-9
@@ -37,7 +29,8 @@ let eps = 1e-9
    congestion a consistent placement may not exist — (P1) is "the lower
    bound of the energy consumption by SP routing" in the paper's own
    words — and the result is then flagged via [placement_complete]. *)
-let solve inst ~routing =
+let solve ?(algorithm = "mcf") inst ~routing =
+  Dcn_engine.Metrics.time "core.mcf" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let alpha = power.Model.alpha in
@@ -214,11 +207,17 @@ let solve inst ~routing =
     Array.to_list (Array.mapi (fun i (f : Flow.t) -> (f.id, rate.(i))) flows)
   in
   {
-    schedule;
-    rates;
-    groups = List.rev !groups;
-    placement_complete = !placement_complete;
+    Solution.algorithm;
     energy = idle +. !dynamic;
+    feasible = !placement_complete;
+    schedule;
+    per_flow_rates = rates;
+    meta =
+      Solution.Mcf
+        {
+          Solution.groups = List.rev !groups;
+          placement_complete = !placement_complete;
+        };
   }
 
-let rate_of result id = List.assoc id result.rates
+let rate_of = Solution.rate_of

@@ -28,28 +28,28 @@
     result is flagged via [placement_complete] while the energy remains
     the (P1) objective (Eq. 5 with the computed rates). *)
 
-type group = {
+type group = Solution.mcf_group = {
   link : Dcn_topology.Graph.link;  (** the critical link *)
   window : float * float;  (** the critical interval *)
   intensity : float;  (** [delta(I*, e)] in virtual-weight units *)
   flow_ids : int list;  (** members, ascending *)
 }
 
-type result = {
-  schedule : Dcn_sched.Schedule.t;
-  rates : (int * float) list;  (** flow id -> constant transmission rate *)
-  groups : group list;  (** selection order; intensities non-increasing *)
-  placement_complete : bool;
-  energy : float;
-      (** Eq. (5): [sigma |Ea| (T1-T0) + sum_i |P_i| w_i mu s_i^(alpha-1)];
-          equals [Schedule.energy schedule] when placement is complete *)
-}
-
 val solve :
-  Instance.t -> routing:(int -> Dcn_topology.Graph.link list) -> result
-(** [routing id] is the path of the flow with that id.
+  ?algorithm:string ->
+  Instance.t ->
+  routing:(int -> Dcn_topology.Graph.link list) ->
+  Solution.t
+(** [routing id] is the path of the flow with that id.  The result's
+    [energy] is Eq. (5),
+    [sigma |Ea| (T1-T0) + sum_i |P_i| w_i mu s_i^(alpha-1)], which
+    equals [Schedule.energy] of the returned schedule when placement is
+    complete; [feasible] is {!Solution.placement_complete}; [meta] is
+    {!Solution.Mcf} with the selection groups.  [algorithm] labels the
+    solution (default ["mcf"]).
     @raise Invalid_argument if a routing path does not connect the
     flow's endpoints. *)
 
-val rate_of : result -> int -> float
-(** @raise Not_found for an unknown flow id. *)
+val rate_of : Solution.t -> int -> float
+(** Alias of {!Solution.rate_of}, kept for callers reading Algorithm 1
+    results.  @raise Not_found for an unknown flow id. *)

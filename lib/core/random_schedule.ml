@@ -5,6 +5,7 @@ module Model = Dcn_power.Model
 module Schedule = Dcn_sched.Schedule
 module Decompose = Dcn_mcf.Decompose
 module Prng = Dcn_util.Prng
+module Pool = Dcn_engine.Pool
 
 type config = {
   attempts : int;
@@ -12,16 +13,6 @@ type config = {
 }
 
 let default_config = { attempts = 20; fw_config = Dcn_mcf.Frank_wolfe.default_config }
-
-type t = {
-  schedule : Schedule.t;
-  paths : (int * Graph.link list) list;
-  energy : float;
-  feasible : bool;
-  attempts_used : int;
-  candidates : (int * int) list;
-  relaxation : Relaxation.t;
-}
 
 (* Candidate paths of one flow across all intervals, with the paper's
    combined weights w̄_P (keyed by the link list to merge duplicates). *)
@@ -67,12 +58,28 @@ let build_schedule inst chosen =
   Schedule.make ~graph:inst.Instance.graph ~power:inst.Instance.power
     ~horizon:(t0, t1) plans
 
-let solve ?(config = default_config) ?relaxation ~rng inst =
+(* One fully evaluated rounding attempt. *)
+type attempt = {
+  a_index : int;
+  a_chosen : (int * Graph.link list) list;
+  a_schedule : Schedule.t;
+  a_energy : float;
+  a_feasible : bool;
+  a_overload : float;
+}
+
+let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng inst
+    =
+  if config.attempts < 1 then
+    invalid_arg
+      (Printf.sprintf "Random_schedule.solve: attempts must be >= 1 (got %d)"
+         config.attempts);
   let relax =
     match relaxation with
     | Some r -> r
-    | None -> Relaxation.solve ~fw_config:config.fw_config inst
+    | None -> Relaxation.solve ~pool ~fw_config:config.fw_config inst
   in
+  Dcn_engine.Metrics.time "core.rounding" @@ fun () ->
   let flows = inst.Instance.flows in
   let candidates =
     List.map (fun (f : Flow.t) -> (f.id, candidate_paths relax f)) flows
@@ -83,56 +90,85 @@ let solve ?(config = default_config) ?relaxation ~rng inst =
         invalid_arg
           (Printf.sprintf "Random_schedule.solve: no candidate path for flow %d" id))
     candidates;
-  let draw () =
-    List.map
-      (fun (id, cands) ->
-        let weights = Array.of_list (List.map snd cands) in
-        let idx = Prng.pick_weighted rng ~weights in
-        (id, fst (List.nth cands idx)))
-      candidates
-  in
+  (* One independent PRNG stream per attempt, split off the caller's
+     generator up front: attempt k makes the same draw whether it is
+     evaluated sequentially or on any pool, so the solution is
+     bit-identical for every jobs value. *)
+  let rngs = Pool.split_rngs rng config.attempts in
   let cap = inst.Instance.power.Model.cap in
-  let evaluate chosen =
+  let evaluate k =
+    let rng = rngs.(k) in
+    let chosen =
+      List.map
+        (fun (id, cands) ->
+          let weights = Array.of_list (List.map snd cands) in
+          let idx = Prng.pick_weighted rng ~weights in
+          (id, fst (List.nth cands idx)))
+        candidates
+    in
     let schedule = build_schedule inst chosen in
     let overload = Schedule.max_link_rate schedule -. cap in
     let feasible = overload <= 1e-6 *. Float.max 1. cap in
-    (schedule, Schedule.energy schedule, feasible, overload)
-  in
-  let best = ref None in
-  let attempts_used = ref 0 in
-  (try
-     for _ = 1 to Float.to_int (Float.max 1. (float_of_int config.attempts)) do
-       incr attempts_used;
-       let chosen = draw () in
-       let schedule, energy, feasible, overload = evaluate chosen in
-       let better =
-         match !best with
-         | None -> true
-         | Some (_, _, best_energy, best_feasible, best_overload) ->
-           if feasible && not best_feasible then true
-           else if feasible && best_feasible then energy < best_energy
-           else if (not feasible) && not best_feasible then overload < best_overload
-           else false
-       in
-       if better then best := Some (chosen, schedule, energy, feasible, overload);
-       (* A feasible draw is what the paper asks for; keep redrawing only
-          while infeasible. *)
-       if feasible then raise Exit
-     done
-   with Exit -> ());
-  match !best with
-  | None -> assert false (* attempts >= 1 *)
-  | Some (chosen, schedule, energy, feasible, _) ->
     {
-      schedule;
-      paths = chosen;
-      energy;
-      feasible;
-      attempts_used = !attempts_used;
-      candidates = List.map (fun (id, cands) -> (id, List.length cands)) candidates;
-      relaxation = relax;
+      a_index = k;
+      a_chosen = chosen;
+      a_schedule = schedule;
+      a_energy = Schedule.energy schedule;
+      a_feasible = feasible;
+      a_overload = overload;
     }
+  in
+  (* The paper's semantics: take the first feasible draw; if the budget
+     runs out, the least-overloaded one.  Attempts are evaluated in
+     index-ordered batches of the pool width, and the selection scans
+     each batch in index order, so the chosen draw — and therefore the
+     whole solution — does not depend on the batch size. *)
+  let batch = max 1 (Pool.jobs pool) in
+  let first_feasible = ref None in
+  let best_infeasible = ref None in
+  let k = ref 0 in
+  while !first_feasible = None && !k < config.attempts do
+    let hi = min config.attempts (!k + batch) in
+    let evals = Pool.map pool evaluate (Array.init (hi - !k) (fun i -> !k + i)) in
+    Array.iter
+      (fun a ->
+        if a.a_feasible then begin
+          if !first_feasible = None then first_feasible := Some a
+        end
+        else
+          match !best_infeasible with
+          | Some b when b.a_overload <= a.a_overload -> ()
+          | _ -> best_infeasible := Some a)
+      evals;
+    k := hi
+  done;
+  let chosen_attempt, attempts_used =
+    match (!first_feasible, !best_infeasible) with
+    | Some a, _ -> (a, a.a_index + 1)
+    | None, Some b -> (b, config.attempts)
+    | None, None -> assert false (* attempts >= 1 *)
+  in
+  {
+    Solution.algorithm = "random-schedule";
+    energy = chosen_attempt.a_energy;
+    feasible = chosen_attempt.a_feasible;
+    schedule = chosen_attempt.a_schedule;
+    per_flow_rates = List.map (fun (f : Flow.t) -> (f.id, Flow.density f)) flows;
+    meta =
+      Solution.Rounding
+        {
+          Solution.paths = chosen_attempt.a_chosen;
+          attempts_used;
+          candidates =
+            List.map (fun (id, cands) -> (id, List.length cands)) candidates;
+          relaxation = relax;
+        };
+  }
 
-let refine inst t =
-  let routing id = List.assoc id t.paths in
-  Most_critical_first.solve inst ~routing
+let refine inst (t : Solution.t) =
+  match t.Solution.meta with
+  | Solution.Rounding { paths; _ } ->
+    let routing id = List.assoc id paths in
+    Most_critical_first.solve ~algorithm:"rs+refine" inst ~routing
+  | Solution.Mcf _ ->
+    invalid_arg "Random_schedule.refine: expected a Random-Schedule solution"

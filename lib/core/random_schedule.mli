@@ -23,32 +23,36 @@
     reporting what happened. *)
 
 type config = {
-  attempts : int;  (** rounding redraws, default 20 *)
+  attempts : int;  (** rounding redraws, default 20; must be >= 1 *)
   fw_config : Dcn_mcf.Frank_wolfe.config;
 }
 
 val default_config : config
 
-type t = {
-  schedule : Dcn_sched.Schedule.t;
-  paths : (int * Dcn_topology.Graph.link list) list;  (** flow id -> chosen path *)
-  energy : float;  (** Eq. (5) of the chosen schedule *)
-  feasible : bool;  (** capacity respected by the chosen draw *)
-  attempts_used : int;
-  candidates : (int * int) list;  (** flow id -> number of candidate paths *)
-  relaxation : Relaxation.t;  (** the fractional solution (for LB reuse) *)
-}
-
 val solve :
   ?config:config ->
+  ?pool:Dcn_engine.Pool.t ->
   ?relaxation:Relaxation.t ->
   rng:Dcn_util.Prng.t ->
   Instance.t ->
-  t
-(** [relaxation] short-circuits step 1 when the caller already solved it
-    (e.g. to share it with {!Lower_bound}). *)
+  Solution.t
+(** Returns a {!Solution.t} whose [meta] is {!Solution.Rounding}: the
+    chosen paths, redraws consumed and the fractional relaxation (for LB
+    reuse).  [per_flow_rates] are the interval densities [D_i].
 
-val refine : Instance.t -> t -> Most_critical_first.result
+    [relaxation] short-circuits step 1 when the caller already solved it
+    (e.g. to share it with {!Lower_bound}).
+
+    [pool] parallelises both the per-interval relaxation programs and
+    the rounding redraws.  Redraws get one pre-split PRNG stream each
+    and are evaluated in index-ordered batches, keeping the paper's
+    first-feasible semantics (the lowest-index feasible draw wins), so
+    the solution is bit-identical for every pool size — including the
+    sequential default.
+
+    @raise Invalid_argument if [config.attempts < 1]. *)
+
+val refine : Instance.t -> Solution.t -> Solution.t
 (** Ablation (not in the paper): keep Random-Schedule's routing but
     replace the interval-density rates by the DCFS schedule on those
     paths (Most-Critical-First).  Wins under light load (one constant

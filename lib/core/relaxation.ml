@@ -30,7 +30,8 @@ type t = {
   lb : float;  (* sum over k of |I_k| * lb_k *)
 }
 
-let solve ?(fw_config = Fw.default_config) inst =
+let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) inst =
+  Dcn_engine.Metrics.time "core.relaxation" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let tl = Instance.timeline inst in
@@ -84,7 +85,13 @@ let solve ?(fw_config = Fw.default_config) inst =
         flow_paths;
       }
   in
-  let intervals = Array.init (Timeline.num_intervals tl) solve_interval in
+  (* The per-interval F-MCF programs are independent; fan them across
+     the pool (the result array is index-ordered, so the outcome does
+     not depend on the pool size). *)
+  let intervals =
+    Dcn_engine.Pool.map pool solve_interval
+      (Array.init (Timeline.num_intervals tl) Fun.id)
+  in
   let weighted part =
     Array.fold_left
       (fun acc s ->

@@ -28,4 +28,8 @@ type t = {
   lb : float;  (** [sum over k of |I_k| * lb_k] — the paper's LB series *)
 }
 
-val solve : ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
+val solve :
+  ?pool:Dcn_engine.Pool.t -> ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
+(** [pool] fans the independent per-interval F-MCF programs across
+    worker domains (default: sequential).  The result is bit-identical
+    for every pool size. *)

@@ -1,0 +1,64 @@
+module Graph = Dcn_topology.Graph
+module Schedule = Dcn_sched.Schedule
+
+type mcf_group = {
+  link : Graph.link;
+  window : float * float;
+  intensity : float;
+  flow_ids : int list;
+}
+
+type mcf_detail = {
+  groups : mcf_group list;
+  placement_complete : bool;
+}
+
+type rounding_detail = {
+  paths : (int * Graph.link list) list;
+  attempts_used : int;
+  candidates : (int * int) list;
+  relaxation : Relaxation.t;
+}
+
+type meta =
+  | Mcf of mcf_detail
+  | Rounding of rounding_detail
+
+type t = {
+  algorithm : string;
+  energy : float;
+  feasible : bool;
+  schedule : Schedule.t;
+  per_flow_rates : (int * float) list;
+  meta : meta;
+}
+
+let rate_of t id = List.assoc id t.per_flow_rates
+
+let placement_complete t =
+  match t.meta with
+  | Mcf { placement_complete; _ } -> placement_complete
+  | Rounding _ -> true
+
+let groups t = match t.meta with Mcf { groups; _ } -> groups | Rounding _ -> []
+
+let paths t =
+  match t.meta with
+  | Rounding { paths; _ } -> paths
+  | Mcf _ ->
+    List.map
+      (fun (p : Schedule.plan) -> (p.flow.Dcn_flow.Flow.id, p.path))
+      t.schedule.Schedule.plans
+
+let candidates t =
+  match t.meta with Rounding { candidates; _ } -> candidates | Mcf _ -> []
+
+let attempts_used t =
+  match t.meta with Rounding { attempts_used; _ } -> attempts_used | Mcf _ -> 1
+
+let relaxation t =
+  match t.meta with Rounding { relaxation; _ } -> Some relaxation | Mcf _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "%s: energy %.4f (%s)" t.algorithm t.energy
+    (if t.feasible then "feasible" else "INFEASIBLE")

@@ -1,0 +1,53 @@
+type snapshot = { stage : string; calls : int; seconds : float }
+
+let mutex = Mutex.create ()
+let table : (string, int * float) Hashtbl.t = Hashtbl.create 16
+
+let record stage seconds =
+  Mutex.lock mutex;
+  let calls, total =
+    match Hashtbl.find_opt table stage with Some c -> c | None -> (0, 0.)
+  in
+  Hashtbl.replace table stage (calls + 1, total +. seconds);
+  Mutex.unlock mutex
+
+let time stage f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> record stage (Unix.gettimeofday () -. t0)) f
+
+let snapshot () =
+  Mutex.lock mutex;
+  let all =
+    Hashtbl.fold
+      (fun stage (calls, seconds) acc -> { stage; calls; seconds } :: acc)
+      table []
+  in
+  Mutex.unlock mutex;
+  List.sort
+    (fun a b ->
+      match compare b.seconds a.seconds with 0 -> compare a.stage b.stage | c -> c)
+    all
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  Mutex.unlock mutex
+
+let render () =
+  match snapshot () with
+  | [] -> ""
+  | rows ->
+    let body =
+      List.map
+        (fun r ->
+          [
+            r.stage;
+            string_of_int r.calls;
+            Printf.sprintf "%.3f" r.seconds;
+            Printf.sprintf "%.2f" (1e3 *. r.seconds /. float_of_int (max 1 r.calls));
+          ])
+        rows
+    in
+    Dcn_util.Table.render
+      ~headers:[ "stage"; "calls"; "total (s)"; "mean (ms)" ]
+      ~rows:body ()

@@ -1,0 +1,26 @@
+(** Lightweight per-stage wall-clock counters.
+
+    Stages ({!time} calls) accumulate into a global, mutex-protected
+    table, so instrumented code may run on any domain.  Times are
+    cumulative across calls: a stage executed by [k] domains in parallel
+    accumulates up to [k] seconds per wall-clock second, which is the
+    usual convention for cumulative profilers. *)
+
+type snapshot = {
+  stage : string;
+  calls : int;
+  seconds : float;  (** cumulative wall time *)
+}
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f ()] and charges its wall time to [stage]
+    (also on exception). *)
+
+val snapshot : unit -> snapshot list
+(** Current counters, sorted by descending cumulative time. *)
+
+val reset : unit -> unit
+
+val render : unit -> string
+(** The snapshot as an aligned text table (empty string when no stage
+    has been recorded). *)

@@ -1,0 +1,155 @@
+(* A fixed-size domain pool: [jobs - 1] worker domains around a shared
+   task queue, with the caller of [map] helping to drain the queue while
+   its batch is in flight.  Results are written by index, so ordering is
+   deterministic no matter which domain ran which element.  Tasks are
+   wrapped to capture exceptions; the lowest-index failure is re-raised
+   in the caller once the whole batch has settled, which leaves the
+   queue clean and the pool reusable. *)
+
+type task = unit -> unit
+
+type t = {
+  requested_jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* task enqueued, or stop *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  mutable worker_ids : int list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "DCN_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ -> Domain.recommended_domain_count ()
+    | None -> 1)
+
+let worker_loop pool () =
+  Mutex.lock pool.mutex;
+  pool.worker_ids <- (Domain.self () :> int) :: pool.worker_ids;
+  let rec loop () =
+    if pool.stop then Mutex.unlock pool.mutex
+    else if Queue.is_empty pool.queue then begin
+      Condition.wait pool.cond pool.mutex;
+      loop ()
+    end
+    else begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      (try task () with _ -> ());
+      Mutex.lock pool.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      requested_jobs = jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+      worker_ids = [];
+    }
+  in
+  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let sequential = create ~jobs:1 ()
+
+let jobs pool = if pool.stop then 1 else pool.requested_jobs
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.mutex;
+    let ws = pool.workers in
+    pool.stop <- true;
+    pool.workers <- [];
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    ws
+  in
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let pool = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let in_worker pool =
+  let id = (Domain.self () :> int) in
+  Mutex.lock pool.mutex;
+  let r = List.mem id pool.worker_ids in
+  Mutex.unlock pool.mutex;
+  r
+
+let map pool f xs =
+  let n = Array.length xs in
+  if n <= 1 || jobs pool <= 1 || in_worker pool then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let task i () =
+      let r =
+        try Ok (f xs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock batch_mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock batch_mutex
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) pool.queue
+    done;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    (* The caller is one of the [jobs] ways: help drain the queue. *)
+    let rec help () =
+      Mutex.lock pool.mutex;
+      let next =
+        if Queue.is_empty pool.queue then None else Some (Queue.pop pool.queue)
+      in
+      Mutex.unlock pool.mutex;
+      match next with
+      | Some task ->
+        task ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  Array.fold_left reduce init (map pool f xs)
+
+let split_rngs rng n =
+  if n < 0 then invalid_arg "Pool.split_rngs: negative count";
+  let streams = Array.make n rng in
+  for i = 0 to n - 1 do
+    streams.(i) <- Dcn_util.Prng.split rng
+  done;
+  streams

@@ -1,0 +1,63 @@
+(** Fixed-size domain pool for the embarrassingly parallel stages of the
+    pipeline (per-interval F-MCF programs, Random-Schedule draw batches,
+    experiment seed sweeps).
+
+    A pool of [jobs] ways of parallelism is [jobs - 1] worker domains
+    plus the calling domain, which participates while it waits — so
+    [jobs = 1] spawns no domains at all and every operation runs
+    sequentially in the caller, with identical results.
+
+    Determinism: [map]/[map_list]/[map_reduce] preserve input order in
+    their results regardless of which domain computed each element, and
+    tasks receive no shared mutable state from the pool itself.  As long
+    as the task function is deterministic per element (derive per-task
+    randomness with {!split_rngs}, never share one
+    {!Dcn_util.Prng.t} across elements), results are bit-identical for
+    every [jobs] value.
+
+    Nested calls are safe: a [map] issued from inside a pool task runs
+    sequentially in that worker rather than deadlocking the pool. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}[ ()].
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val sequential : t
+(** A shared [jobs = 1] pool (no domains); the implicit default of every
+    [?pool] parameter downstream. *)
+
+val default_jobs : unit -> int
+(** The [DCN_JOBS] environment variable: a positive integer is taken as
+    is, [0] (or a negative value) means "one per core"
+    ([Domain.recommended_domain_count]), unset or unparsable means 1. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with (1 after {!shutdown}). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map.  If any tasks raise, the exception of
+    the lowest-index failing element is re-raised in the caller (with
+    its backtrace) after all tasks have finished; the pool remains
+    usable. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+(** Parallel map followed by a sequential left fold in input order (so
+    the reduction is deterministic even when [reduce] is not
+    commutative). *)
+
+val split_rngs : Dcn_util.Prng.t -> int -> Dcn_util.Prng.t array
+(** [split_rngs rng n] deterministically splits [n] independent PRNG
+    streams off [rng] (advancing it), for one-stream-per-task use. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; subsequent [map]s on the pool
+    run sequentially. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)

@@ -3,8 +3,27 @@ module Workload = Dcn_flow.Workload
 module Prng = Dcn_util.Prng
 module Table = Dcn_util.Table
 module Schedule = Dcn_sched.Schedule
+module Solution = Dcn_core.Solution
+module Pool = Dcn_engine.Pool
 
 let fw_config = Fig2.experiment_fw_config
+
+let default_pool pool = Option.value pool ~default:Pool.sequential
+
+(* Fan [n * seeds] sample grids across the pool and regroup by [n]:
+   each cell derives its PRNG from its own seed, so results are
+   bit-identical for every pool size. *)
+let by_n pool ~ns ~seeds sample finish =
+  let cells =
+    Array.of_list (List.concat_map (fun n -> List.map (fun s -> (n, s)) seeds) ns)
+  in
+  let samples = Pool.map pool (fun (n, seed) -> (n, sample ~n ~seed)) cells in
+  List.map
+    (fun n ->
+      finish n
+        (Array.to_list samples
+        |> List.filter_map (fun (n', s) -> if n' = n then Some s else None)))
+    ns
 
 let make_instance ~seed ~n ~alpha ~sigma ~cap =
   let graph = Dcn_topology.Builders.fat_tree 4 in
@@ -23,8 +42,8 @@ type power_down_row = {
   sp_active_links : int;
 }
 
-let power_down ?(seed = 7) ?(n = 40) ?(alpha = 2.) ~sigmas () =
-  List.map
+let power_down ?(seed = 7) ?(n = 40) ?(alpha = 2.) ?pool ~sigmas () =
+  Pool.map_list (default_pool pool)
     (fun sigma ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma ~cap:infinity in
       let rs =
@@ -33,14 +52,14 @@ let power_down ?(seed = 7) ?(n = 40) ?(alpha = 2.) ~sigmas () =
           ~rng inst
       in
       let sp = Dcn_core.Baselines.sp_mcf inst in
-      let rs_sched = rs.Dcn_core.Random_schedule.schedule in
-      let sp_sched = sp.Dcn_core.Most_critical_first.schedule in
+      let rs_sched = rs.Solution.schedule in
+      let sp_sched = sp.Solution.schedule in
       {
         sigma;
-        rs_energy = rs.Dcn_core.Random_schedule.energy;
+        rs_energy = rs.Solution.energy;
         rs_idle = Schedule.idle_energy rs_sched;
         rs_active_links = List.length (Schedule.active_links rs_sched);
-        sp_energy = sp.Dcn_core.Most_critical_first.energy;
+        sp_energy = sp.Solution.energy;
         sp_idle = Schedule.idle_energy sp_sched;
         sp_active_links = List.length (Schedule.active_links sp_sched);
       })
@@ -71,8 +90,8 @@ type capacity_row = {
   max_rate : float;
 }
 
-let capacity_stress ?(seed = 11) ?(n = 40) ?(alpha = 2.) ~caps () =
-  List.map
+let capacity_stress ?(seed = 11) ?(n = 40) ?(alpha = 2.) ?pool ~caps () =
+  Pool.map_list (default_pool pool)
     (fun cap ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap in
       let rs =
@@ -82,9 +101,9 @@ let capacity_stress ?(seed = 11) ?(n = 40) ?(alpha = 2.) ~caps () =
       in
       {
         cap;
-        feasible = rs.Dcn_core.Random_schedule.feasible;
-        attempts_used = rs.Dcn_core.Random_schedule.attempts_used;
-        max_rate = Schedule.max_link_rate rs.Dcn_core.Random_schedule.schedule;
+        feasible = rs.Solution.feasible;
+        attempts_used = Solution.attempts_used rs;
+        max_rate = Schedule.max_link_rate rs.Solution.schedule;
       })
     caps
 
@@ -108,27 +127,22 @@ type refinement_row = {
   gain_percent : float;
 }
 
-let refinement ?(seeds = [ 21; 22; 23 ]) ?(alpha = 2.) ~ns () =
-  List.map
-    (fun n ->
-      let samples =
-        List.map
-          (fun seed ->
-            let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
-            let rs =
-              Dcn_core.Random_schedule.solve
-                ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
-                ~rng inst
-            in
-            let refined = Dcn_core.Random_schedule.refine inst rs in
-            let lb =
-              (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
-                .Dcn_core.Lower_bound.value
-            in
-            ( rs.Dcn_core.Random_schedule.energy /. lb,
-              refined.Dcn_core.Most_critical_first.energy /. lb ))
-          seeds
+let refinement ?(seeds = [ 21; 22; 23 ]) ?(alpha = 2.) ?pool ~ns () =
+  by_n (default_pool pool) ~ns ~seeds
+    (fun ~n ~seed ->
+      let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
+      let rs =
+        Dcn_core.Random_schedule.solve
+          ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
+          ~rng inst
       in
+      let refined = Dcn_core.Random_schedule.refine inst rs in
+      let lb =
+        (Dcn_core.Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)))
+          .Dcn_core.Lower_bound.value
+      in
+      (rs.Solution.energy /. lb, refined.Solution.energy /. lb))
+    (fun n samples ->
       let mean xs = Dcn_util.Stats.mean (Array.of_list xs) in
       let rs_over_lb = mean (List.map fst samples) in
       let refined_over_lb = mean (List.map snd samples) in
@@ -138,7 +152,6 @@ let refinement ?(seeds = [ 21; 22; 23 ]) ?(alpha = 2.) ~ns () =
         refined_over_lb;
         gain_percent = 100. *. (1. -. (refined_over_lb /. rs_over_lb));
       })
-    ns
 
 type failure_row = {
   failed_cables : int;
@@ -147,7 +160,7 @@ type failure_row = {
   lb : float;
 }
 
-let failures ?(seed = 91) ?(n = 20) ?(alpha = 2.) ~counts () =
+let failures ?(seed = 91) ?(n = 20) ?(alpha = 2.) ?pool ~counts () =
   let base = Dcn_topology.Builders.fat_tree 4 in
   let power = Model.make ~sigma:0. ~mu:1. ~alpha () in
   (* Only switch-to-switch cables may fail (a failed host uplink just
@@ -160,7 +173,7 @@ let failures ?(seed = 91) ?(n = 20) ?(alpha = 2.) ~counts () =
         (not (G.is_host base (G.link_src base l))) && not (G.is_host base (G.link_dst base l)))
       (List.init (G.num_cables base) Fun.id)
   in
-  List.map
+  Pool.map_list (default_pool pool)
     (fun count ->
       let rng = Prng.create (seed + count) in
       let rec degrade attempts =
@@ -184,14 +197,14 @@ let failures ?(seed = 91) ?(n = 20) ?(alpha = 2.) ~counts () =
           ~rng:rng' inst
       in
       let lb =
-        (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
+        (Dcn_core.Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)))
           .Dcn_core.Lower_bound.value
       in
       let sp = Dcn_core.Baselines.sp_mcf inst in
       {
         failed_cables = count;
-        rs_over_lb = rs.Dcn_core.Random_schedule.energy /. lb;
-        sp_over_lb = sp.Dcn_core.Most_critical_first.energy /. lb;
+        rs_over_lb = rs.Solution.energy /. lb;
+        sp_over_lb = sp.Solution.energy /. lb;
         lb;
       })
     counts
@@ -216,10 +229,10 @@ type admission_row = {
   energy : float;
 }
 
-let admission ?(seed = 81) ?(alpha = 2.) ?(cap = 6.) ~loads () =
+let admission ?(seed = 81) ?(alpha = 2.) ?(cap = 6.) ?pool ~loads () =
   let graph = Dcn_topology.Builders.fat_tree 4 in
   let power = Model.make ~sigma:0. ~mu:1. ~alpha ~cap () in
-  List.map
+  Pool.map_list (default_pool pool)
     (fun load ->
       let rng = Prng.create seed in
       let flows = Workload.trace ~load ~rng ~graph ~horizon:(0., 60.) () in
@@ -252,14 +265,14 @@ type rate_row = {
   work_overhead : float;
 }
 
-let rate_levels ?(seed = 61) ?(n = 20) ?(alpha = 2.) ~counts () =
+let rate_levels ?(seed = 61) ?(n = 20) ?(alpha = 2.) ?pool ~counts () =
   let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
   let rs =
     Dcn_core.Random_schedule.solve
       ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
-      ~rng inst
+      ?pool ~rng inst
   in
-  let sched = rs.Dcn_core.Random_schedule.schedule in
+  let sched = rs.Solution.schedule in
   let top = 2. *. Schedule.max_link_rate sched in
   List.map
     (fun count ->
@@ -292,14 +305,14 @@ type split_row = {
   distinct_paths : int;
 }
 
-let splitting ?(seed = 51) ?(n = 20) ?(alpha = 2.) ~parts () =
+let splitting ?(seed = 51) ?(n = 20) ?(alpha = 2.) ?pool ~parts () =
   let inst0, _ = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
   (* The LB is invariant under splitting (identical per-interval
      demands), so the original instance's bound normalises all rows. *)
   let lb =
     (Dcn_core.Lower_bound.compute ~fw_config inst0).Dcn_core.Lower_bound.value
   in
-  List.map
+  Pool.map_list (default_pool pool)
     (fun p ->
       let flows = Dcn_flow.Split.workload inst0.Dcn_core.Instance.flows ~parts:p in
       let inst =
@@ -319,11 +332,11 @@ let splitting ?(seed = 51) ?(n = 20) ?(alpha = 2.) ~parts () =
                 (fun (id, path) ->
                   let f = Dcn_core.Instance.find_flow inst id in
                   (f.Dcn_flow.Flow.src, f.Dcn_flow.Flow.dst, path))
-                rs.Dcn_core.Random_schedule.paths))
+                (Solution.paths rs)))
       in
       {
         parts = p;
-        rs_over_lb = rs.Dcn_core.Random_schedule.energy /. lb;
+        rs_over_lb = rs.Solution.energy /. lb;
         distinct_paths = distinct;
       })
     parts
@@ -344,26 +357,22 @@ type lb_row = {
   rs_over_joint : float;
 }
 
-let lb_tightness ?(seeds = [ 41; 42; 43 ]) ?(alpha = 2.) ~ns () =
-  List.map
-    (fun n ->
-      let samples =
-        List.map
-          (fun seed ->
-            let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
-            let rs =
-              Dcn_core.Random_schedule.solve
-                ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
-                ~rng inst
-            in
-            let paper =
-              (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
-                .Dcn_core.Lower_bound.value
-            in
-            let joint = (Dcn_core.Joint_relaxation.solve inst).Dcn_core.Joint_relaxation.lb in
-            (paper, joint, rs.Dcn_core.Random_schedule.energy))
-          seeds
+let lb_tightness ?(seeds = [ 41; 42; 43 ]) ?(alpha = 2.) ?pool ~ns () =
+  by_n (default_pool pool) ~ns ~seeds
+    (fun ~n ~seed ->
+      let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
+      let rs =
+        Dcn_core.Random_schedule.solve
+          ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
+          ~rng inst
       in
+      let paper =
+        (Dcn_core.Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)))
+          .Dcn_core.Lower_bound.value
+      in
+      let joint = (Dcn_core.Joint_relaxation.solve inst).Dcn_core.Joint_relaxation.lb in
+      (paper, joint, rs.Solution.energy))
+    (fun n samples ->
       let mean f = Dcn_util.Stats.mean (Array.of_list (List.map f samples)) in
       let paper_lb = mean (fun (p, _, _) -> p) in
       let joint_lb = mean (fun (_, j, _) -> j) in
@@ -374,7 +383,6 @@ let lb_tightness ?(seeds = [ 41; 42; 43 ]) ?(alpha = 2.) ~ns () =
         overstatement = paper_lb /. joint_lb;
         rs_over_joint = mean (fun (_, j, e) -> e /. j);
       })
-    ns
 
 let render_lb rows =
   let headers = [ "flows"; "paper LB"; "joint LB"; "paper/joint"; "RS/joint LB" ] in
@@ -398,31 +406,27 @@ type routing_row = {
   rs_routing_over_lb : float;
 }
 
-let routing_comparison ?(seeds = [ 31; 32; 33 ]) ?(alpha = 2.) ~ns () =
-  List.map
-    (fun n ->
-      let samples =
-        List.map
-          (fun seed ->
-            let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
-            let rs =
-              Dcn_core.Random_schedule.solve
-                ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
-                ~rng inst
-            in
-            let lb =
-              (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
-                .Dcn_core.Lower_bound.value
-            in
-            let sp = Dcn_core.Baselines.sp_mcf inst in
-            let ecmp = Dcn_core.Baselines.ecmp_mcf ~rng inst in
-            let ear = Dcn_core.Greedy_ear.solve inst in
-            ( sp.Dcn_core.Most_critical_first.energy /. lb,
-              ecmp.Dcn_core.Most_critical_first.energy /. lb,
-              ear.Dcn_core.Greedy_ear.energy /. lb,
-              rs.Dcn_core.Random_schedule.energy /. lb ))
-          seeds
+let routing_comparison ?(seeds = [ 31; 32; 33 ]) ?(alpha = 2.) ?pool ~ns () =
+  by_n (default_pool pool) ~ns ~seeds
+    (fun ~n ~seed ->
+      let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
+      let rs =
+        Dcn_core.Random_schedule.solve
+          ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config }
+          ~rng inst
       in
+      let lb =
+        (Dcn_core.Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)))
+          .Dcn_core.Lower_bound.value
+      in
+      let sp = Dcn_core.Baselines.sp_mcf inst in
+      let ecmp = Dcn_core.Baselines.ecmp_mcf ~rng inst in
+      let ear = Dcn_core.Greedy_ear.solve inst in
+      ( sp.Solution.energy /. lb,
+        ecmp.Solution.energy /. lb,
+        ear.Dcn_core.Greedy_ear.energy /. lb,
+        rs.Solution.energy /. lb ))
+    (fun n samples ->
       let mean f = Dcn_util.Stats.mean (Array.of_list (List.map f samples)) in
       {
         n;
@@ -431,7 +435,6 @@ let routing_comparison ?(seeds = [ 31; 32; 33 ]) ?(alpha = 2.) ~ns () =
         ear_over_lb = mean (fun (_, _, c, _) -> c);
         rs_routing_over_lb = mean (fun (_, _, _, d) -> d);
       })
-    ns
 
 let render_routing rows =
   let headers = [ "flows"; "SP+MCF/LB"; "ECMP+MCF/LB"; "Greedy-EAR/LB"; "RS/LB" ] in

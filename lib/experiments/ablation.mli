@@ -13,7 +13,12 @@
 
     [refinement] quantifies the gain of re-running Most-Critical-First
     on Random-Schedule's chosen paths (RS keeps interval-constant link
-    rates; DCFS is rate-optimal for fixed routes). *)
+    rates; DCFS is rate-optimal for fixed routes).
+
+    Every sweep takes an optional [?pool] ({!Dcn_engine.Pool}) that fans
+    its independent cells (sweep values, or [ns x seeds] grids) across
+    worker domains; each cell derives its PRNG from its own seed, so
+    results are bit-identical for every pool size. *)
 
 type power_down_row = {
   sigma : float;
@@ -26,7 +31,13 @@ type power_down_row = {
 }
 
 val power_down :
-  ?seed:int -> ?n:int -> ?alpha:float -> sigmas:float list -> unit -> power_down_row list
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  sigmas:float list ->
+  unit ->
+  power_down_row list
 (** Fixed workload on a k = 4 fat-tree, sweeping [sigma]. *)
 
 val render_power_down : power_down_row list -> string
@@ -39,7 +50,13 @@ type capacity_row = {
 }
 
 val capacity_stress :
-  ?seed:int -> ?n:int -> ?alpha:float -> caps:float list -> unit -> capacity_row list
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  caps:float list ->
+  unit ->
+  capacity_row list
 
 val render_capacity : capacity_row list -> string
 
@@ -51,7 +68,12 @@ type refinement_row = {
 }
 
 val refinement :
-  ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> refinement_row list
+  ?seeds:int list ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  ns:int list ->
+  unit ->
+  refinement_row list
 
 val render_refinement : refinement_row list -> string
 
@@ -63,7 +85,13 @@ type failure_row = {
 }
 
 val failures :
-  ?seed:int -> ?n:int -> ?alpha:float -> counts:int list -> unit -> failure_row list
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  counts:int list ->
+  unit ->
+  failure_row list
 (** Fail random switch-to-switch cables of a k = 4 fat-tree (resampled
     until the fabric stays connected) and re-run everything: how the
     algorithms degrade as path redundancy disappears. *)
@@ -78,7 +106,13 @@ type admission_row = {
 }
 
 val admission :
-  ?seed:int -> ?alpha:float -> ?cap:float -> loads:float list -> unit -> admission_row list
+  ?seed:int ->
+  ?alpha:float ->
+  ?cap:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  loads:float list ->
+  unit ->
+  admission_row list
 (** Online arrival with admission control ({!Dcn_core.Online}) on trace
     workloads at increasing load under a finite link capacity: the
     better-never-than-late operating mode of the deadline-flow systems
@@ -92,7 +126,14 @@ type rate_row = {
   work_overhead : float;  (** factor in the work-preserving model *)
 }
 
-val rate_levels : ?seed:int -> ?n:int -> ?alpha:float -> counts:int list -> unit -> rate_row list
+val rate_levels :
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  counts:int list ->
+  unit ->
+  rate_row list
 (** Discrete rate ladders (geometric, topped just above the busiest
     fluid rate) applied to a Random-Schedule run: the continuous-speed
     idealisation's hidden cost, shrinking as the ladder gets finer. *)
@@ -107,7 +148,14 @@ type split_row = {
   distinct_paths : int;  (** distinct (src, dst, path) routes actually used *)
 }
 
-val splitting : ?seed:int -> ?n:int -> ?alpha:float -> parts:int list -> unit -> split_row list
+val splitting :
+  ?seed:int ->
+  ?n:int ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  parts:int list ->
+  unit ->
+  split_row list
 (** Section II-B: splitting big flows into sub-flows approximates
     multi-path routing; the ratio should fall toward 1 as parts grow. *)
 
@@ -121,7 +169,13 @@ type lb_row = {
   rs_over_joint : float;  (** RS ratio against the more honest floor *)
 }
 
-val lb_tightness : ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> lb_row list
+val lb_tightness :
+  ?seeds:int list ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  ns:int list ->
+  unit ->
+  lb_row list
 (** How much does pinning per-interval densities (the paper's LB)
     overstate the true fractional floor? *)
 
@@ -136,7 +190,12 @@ type routing_row = {
 }
 
 val routing_comparison :
-  ?seeds:int list -> ?alpha:float -> ns:int list -> unit -> routing_row list
+  ?seeds:int list ->
+  ?alpha:float ->
+  ?pool:Dcn_engine.Pool.t ->
+  ns:int list ->
+  unit ->
+  routing_row list
 (** How much of Random-Schedule's win is just "spread the load" (which
     ECMP gets for free) versus actually energy-aware routing?  All three
     normalised by the fractional LB. *)

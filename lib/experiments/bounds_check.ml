@@ -23,14 +23,15 @@ let run ?(alpha = 2.) ?(seed = 5) ~ns () =
           ~rng inst
       in
       let lb =
-        (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
+        (Dcn_core.Lower_bound.of_relaxation
+           (Option.get (Dcn_core.Solution.relaxation rs)))
           .Dcn_core.Lower_bound.value
       in
       let bounds = Dcn_core.Bounds.compute inst in
       {
         n;
         lambda = bounds.Dcn_core.Bounds.lambda;
-        measured = rs.Dcn_core.Random_schedule.energy /. lb;
+        measured = rs.Dcn_core.Solution.energy /. lb;
         theorem3_floor = bounds.Dcn_core.Bounds.theorem3;
         theorem6_term = bounds.Dcn_core.Bounds.theorem6;
       })

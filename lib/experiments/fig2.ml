@@ -68,30 +68,45 @@ let run_one params ~graph ~n ~seed =
     { Dcn_core.Random_schedule.attempts = params.rs_attempts; fw_config = params.fw_config }
   in
   let rs = Dcn_core.Random_schedule.solve ~config:rs_config ~rng inst in
-  let lb = Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation in
+  let relax = Option.get (Dcn_core.Solution.relaxation rs) in
+  let lb = Dcn_core.Lower_bound.of_relaxation relax in
   let sp = Dcn_core.Baselines.sp_mcf inst in
   let refined = Dcn_core.Random_schedule.refine inst rs in
-  let sim = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+  let sim = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
   {
     s_lb = lb.Dcn_core.Lower_bound.value;
-    s_sp = sp.Dcn_core.Most_critical_first.energy;
-    s_rs = rs.Dcn_core.Random_schedule.energy;
-    s_refined = refined.Dcn_core.Most_critical_first.energy;
-    s_feasible = rs.Dcn_core.Random_schedule.feasible;
+    s_sp = sp.Dcn_core.Solution.energy;
+    s_rs = rs.Dcn_core.Solution.energy;
+    s_refined = refined.Dcn_core.Solution.energy;
+    s_feasible = rs.Dcn_core.Solution.feasible;
     s_deadlines = sim.Dcn_sim.Fluid.all_deadlines_met;
   }
 
-let run ?(progress = fun _ -> ()) params =
+let run ?(progress = fun _ -> ()) ?(pool = Dcn_engine.Pool.sequential) params =
+  Dcn_engine.Metrics.time "experiments.fig2" @@ fun () ->
   let graph = Dcn_topology.Builders.fat_tree params.fat_tree_k in
+  (* Every (flow count, seed) cell is an independent end-to-end solve
+     with its own PRNG: fan the whole cross product across the pool and
+     regroup by flow count afterwards, preserving order. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun n -> List.map (fun seed -> (n, seed)) params.seeds)
+         params.flow_counts)
+  in
+  let samples =
+    Dcn_engine.Pool.map pool
+      (fun (n, seed) ->
+        progress (Printf.sprintf "fig2 alpha=%g n=%d seed=%d" params.alpha n seed);
+        ((n, seed), run_one params ~graph ~n ~seed))
+      cells
+  in
   let points =
     List.map
       (fun n ->
         let samples =
-          List.map
-            (fun seed ->
-              progress (Printf.sprintf "fig2 alpha=%g n=%d seed=%d" params.alpha n seed);
-              run_one params ~graph ~n ~seed)
-            params.seeds
+          Array.to_list samples
+          |> List.filter_map (fun ((n', _), s) -> if n' = n then Some s else None)
         in
         let arr f = Array.of_list (List.map f samples) in
         let norm f = arr (fun s -> f s /. s.s_lb) in

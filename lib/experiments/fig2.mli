@@ -53,7 +53,12 @@ type point = {
 
 type result = { params : params; points : point list }
 
-val run : ?progress:(string -> unit) -> params -> result
+val run :
+  ?progress:(string -> unit) -> ?pool:Dcn_engine.Pool.t -> params -> result
+(** [pool] fans the seeds × flow-counts cross product across worker
+    domains; every cell derives its PRNG from its own seed, so the
+    result is bit-identical for every pool size.  [progress] may then be
+    called from worker domains, out of order. *)
 
 val render : result -> string
 (** The figure as a text table (one row per flow count). *)

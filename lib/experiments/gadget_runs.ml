@@ -30,9 +30,9 @@ let three_partition ?(seed = 3) ?(m = 2) ?(b = 20) ?(alpha = 2.) () =
     b = tp.Gadgets.b;
     closed_form;
     exact;
-    rs = rs.Dcn_core.Random_schedule.energy;
-    rs_feasible = rs.Dcn_core.Random_schedule.feasible;
-    rs_over_opt = rs.Dcn_core.Random_schedule.energy /. closed_form;
+    rs = rs.Dcn_core.Solution.energy;
+    rs_feasible = rs.Dcn_core.Solution.feasible;
+    rs_over_opt = rs.Dcn_core.Solution.energy /. closed_form;
   }
 
 let render_three_partition r =

@@ -26,20 +26,21 @@ let run ?(alpha = 2.) ?(seed = 77) ?(horizon = 60.) ~loads () =
           ~rng inst
       in
       let lb =
-        (Dcn_core.Lower_bound.of_relaxation rs.Dcn_core.Random_schedule.relaxation)
+        (Dcn_core.Lower_bound.of_relaxation
+           (Option.get (Dcn_core.Solution.relaxation rs)))
           .Dcn_core.Lower_bound.value
       in
       let sp = Dcn_core.Baselines.sp_mcf inst in
       let ecmp = Dcn_core.Baselines.ecmp_mcf ~rng inst in
       let ear = Dcn_core.Greedy_ear.solve inst in
-      let sim = Dcn_sim.Fluid.run rs.Dcn_core.Random_schedule.schedule in
+      let sim = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
       {
         load;
         n_flows = List.length flows;
-        sp = sp.Dcn_core.Most_critical_first.energy /. lb;
-        ecmp = ecmp.Dcn_core.Most_critical_first.energy /. lb;
+        sp = sp.Dcn_core.Solution.energy /. lb;
+        ecmp = ecmp.Dcn_core.Solution.energy /. lb;
         ear = ear.Dcn_core.Greedy_ear.energy /. lb;
-        rs = rs.Dcn_core.Random_schedule.energy /. lb;
+        rs = rs.Dcn_core.Solution.energy /. lb;
         deadlines_met = sim.Dcn_sim.Fluid.all_deadlines_met;
       })
     loads

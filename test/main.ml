@@ -17,4 +17,5 @@ let () =
          Test_props.suite;
          Test_regression.suite;
          Test_more3.suite;
+         Test_engine.suite;
        ])

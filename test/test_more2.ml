@@ -47,10 +47,10 @@ let test_mcf_alpha4_matches_numeric () =
   let reference = Numeric_ref.p1_energy ~alpha:4. inst ~routing in
   Alcotest.(check bool)
     (Printf.sprintf "mcf %.4f vs numeric %.4f"
-       res.Dcn_core.Most_critical_first.energy reference)
+       res.Dcn_core.Solution.energy reference)
     true
-    (res.Dcn_core.Most_critical_first.energy <= reference *. 1.02
-    && res.Dcn_core.Most_critical_first.energy >= reference *. 0.85)
+    (res.Dcn_core.Solution.energy <= reference *. 1.02
+    && res.Dcn_core.Solution.energy >= reference *. 0.85)
 
 (* Virtual-weight sanity: with alpha = 2 a 4-hop flow counts as
    sqrt 4 = 2x weight in the critical-interval competition. *)
@@ -129,7 +129,7 @@ let test_rs_link_rates_are_density_sums () =
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
   let rng = Prng.create 1 in
   let rs = Dcn_core.Random_schedule.solve ~rng inst in
-  let profile = Schedule.link_profile rs.Dcn_core.Random_schedule.schedule 0 in
+  let profile = Schedule.link_profile rs.Dcn_core.Solution.schedule 0 in
   check_float "outside overlap" 1. (Dcn_sched.Profile.rate_at profile 0.5);
   check_float "during overlap D1+D2" 4. (Dcn_sched.Profile.rate_at profile 2.);
   check_float "after overlap" 1. (Dcn_sched.Profile.rate_at profile 3.5)
@@ -154,7 +154,7 @@ let test_energy_split_consistency () =
   let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:10 () in
   let inst = Dcn_core.Instance.make ~graph ~power ~flows in
   let rs = Dcn_core.Random_schedule.solve ~rng inst in
-  let s = rs.Dcn_core.Random_schedule.schedule in
+  let s = rs.Dcn_core.Solution.schedule in
   check_float "idle + dynamic = total"
     (Schedule.idle_energy s +. Schedule.dynamic_energy s)
     (Schedule.energy s)

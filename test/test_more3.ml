@@ -26,13 +26,13 @@ let test_sparse_ids_mcf () =
   check_float "s2 under sparse ids" s2 (Most_critical_first.rate_of res 7);
   check_float "s1 under sparse ids" (s2 /. sqrt 2.) (Most_critical_first.rate_of res 1000);
   check_float "energy" (((8. +. (6. *. sqrt 2.)) ** 2.) /. 3.)
-    res.Most_critical_first.energy
+    res.Solution.energy
 
 let test_sparse_ids_rs_and_friends () =
   let inst = sparse_example1 () in
   let rng = Prng.create 42 in
   let rs = Random_schedule.solve ~rng inst in
-  check_float "RS energy" 92. rs.Random_schedule.energy;
+  check_float "RS energy" 92. rs.Solution.energy;
   let ear = Greedy_ear.solve inst in
   check_float "EAR energy" 92. ear.Greedy_ear.energy;
   let online = Online.solve inst in
@@ -110,7 +110,7 @@ let prop_quantize_exact_ladder_no_overhead =
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:6 () in
       let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
       let rs = Random_schedule.solve ~rng inst in
-      let sched = rs.Random_schedule.schedule in
+      let sched = rs.Solution.schedule in
       (* Collect every distinct positive segment rate as a level. *)
       let rates = ref [] in
       Array.iter

@@ -37,8 +37,8 @@ let prop_serialize_solver_transparent =
     seed_gen (fun seed ->
       let inst, _ = small_instance seed in
       let back = Serialize.instance_of_string (Serialize.instance_to_string inst) in
-      let e1 = (Baselines.sp_mcf inst).Most_critical_first.energy in
-      let e2 = (Baselines.sp_mcf back).Most_critical_first.energy in
+      let e1 = (Baselines.sp_mcf inst).Solution.energy in
+      let e2 = (Baselines.sp_mcf back).Solution.energy in
       Float.abs (e1 -. e2) < 1e-9 *. Float.max 1. e1)
 
 (* Admission control partitions the flow set. *)
@@ -83,7 +83,7 @@ let prop_sim_checker_capacity_agree =
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:10 () in
       let inst = Instance.make ~graph ~power ~flows in
       let rs = Random_schedule.solve ~config:{ Random_schedule.attempts = 3; fw_config = quick_fw } ~rng inst in
-      let s = rs.Random_schedule.schedule in
+      let s = rs.Solution.schedule in
       let sim = Dcn_sim.Fluid.run s in
       sim.Dcn_sim.Fluid.capacity_respected = (Schedule.Check.capacity s = []))
 
@@ -97,7 +97,7 @@ let prop_ear_not_catastrophic_vs_sp =
     seed_gen (fun seed ->
       let inst, _ = small_instance ~n:10 seed in
       let ear = (Greedy_ear.solve inst).Greedy_ear.energy in
-      let sp = (Baselines.sp_mcf inst).Most_critical_first.energy in
+      let sp = (Baselines.sp_mcf inst).Solution.energy in
       ear <= 2. *. sp)
 
 (* Packetisation conserves data at several granularities. *)
@@ -109,7 +109,7 @@ let prop_packet_sizes_all_deliver =
       List.for_all
         (fun packet_size ->
           (Dcn_sim.Packet.run ~config:{ Dcn_sim.Packet.packet_size }
-             res.Most_critical_first.schedule)
+             res.Solution.schedule)
             .Dcn_sim.Packet.all_delivered)
         [ 5.0; 1.0; 0.25 ])
 

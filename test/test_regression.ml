@@ -25,10 +25,10 @@ let test_example1_numbers () =
   (* Phi* = (8 + 6 sqrt 2)^2 / 3 = 90.58816732927… *)
   close ~tol:1e-9 "DCFS optimum"
     (((8. +. (6. *. sqrt 2.)) ** 2.) /. 3.)
-    (Baselines.sp_mcf inst).Most_critical_first.energy;
+    (Baselines.sp_mcf inst).Solution.energy;
   let rng = Prng.create 42 in
   let rs = Random_schedule.solve ~rng inst in
-  close ~tol:1e-6 "RS interval-density energy" 92. rs.Random_schedule.energy
+  close ~tol:1e-6 "RS interval-density energy" 92. rs.Solution.energy
 
 let test_gadget_numbers () =
   let rng = Prng.create 3 in

@@ -107,10 +107,10 @@ let prop_sim_agrees_with_mcf =
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:6 () in
       let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows in
       let res = Dcn_core.Baselines.sp_mcf inst in
-      let r = Fluid.run res.Dcn_core.Most_critical_first.schedule in
-      (not res.Dcn_core.Most_critical_first.placement_complete)
+      let r = Fluid.run res.Dcn_core.Solution.schedule in
+      (not (Dcn_core.Solution.placement_complete res))
       || Dcn_util.Approx.close_rel ~rtol:1e-6 r.Fluid.energy
-           res.Dcn_core.Most_critical_first.energy
+           res.Dcn_core.Solution.energy
          && r.Fluid.all_deadlines_met)
 
 let prop_sim_rs_theorem4 =
@@ -132,10 +132,10 @@ let prop_sim_rs_theorem4 =
             }
           ~rng inst
       in
-      let r = Fluid.run rs.Dcn_core.Random_schedule.schedule in
+      let r = Fluid.run rs.Dcn_core.Solution.schedule in
       r.Fluid.all_deadlines_met
       && Dcn_util.Approx.close_rel ~rtol:1e-6 r.Fluid.energy
-           rs.Dcn_core.Random_schedule.energy)
+           rs.Dcn_core.Solution.energy)
 
 (* ------------------------------------------------------------------ *)
 (* Packet-level simulator                                             *)
@@ -146,7 +146,7 @@ let example1_schedule () =
   let f1 = Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
   let f2 = Flow.make ~id:2 ~src:0 ~dst:1 ~volume:8. ~release:1. ~deadline:3. in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
-  (Dcn_core.Baselines.sp_mcf inst).Dcn_core.Most_critical_first.schedule
+  (Dcn_core.Baselines.sp_mcf inst).Dcn_core.Solution.schedule
 
 let test_packet_delivers_everything () =
   let r = Dcn_sim.Packet.run (example1_schedule ()) in
@@ -188,7 +188,7 @@ let test_packet_priority_order () =
   let f1 = Flow.make ~id:1 ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:4. in
   let f2 = Flow.make ~id:2 ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:8. in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
-  let sched = (Dcn_core.Baselines.sp_mcf inst).Dcn_core.Most_critical_first.schedule in
+  let sched = (Dcn_core.Baselines.sp_mcf inst).Dcn_core.Solution.schedule in
   let r = Dcn_sim.Packet.run sched in
   Alcotest.(check bool) "delivered" true r.Dcn_sim.Packet.all_delivered;
   Alcotest.(check bool) "bounded lateness" true r.Dcn_sim.Packet.within_pipeline_slack
@@ -214,7 +214,7 @@ let prop_packet_conservation =
       let r =
         Dcn_sim.Packet.run
           ~config:{ Dcn_sim.Packet.packet_size = 2.0 }
-          res.Dcn_core.Most_critical_first.schedule
+          res.Dcn_core.Solution.schedule
       in
       r.Dcn_sim.Packet.all_delivered)
 
