@@ -7,6 +7,12 @@
      DCN_BENCH_SEEDS=n   number of workload seeds per point (default 3;
                          the paper uses 10)
 
+   Observability (environment):
+     DCN_BENCH_REPORT=f  write per-experiment machine-readable results
+                         (JSON) to f on exit
+     DCN_BENCH_TRACE=f   write the structured event trace of the whole
+                         run (JSON) to f on exit
+
    The paper's Figure 2 shape to look for: RS/LB low and flattening as
    the number of flows grows; SP+MCF/LB higher and growing; both
    effects stronger for alpha = 4. *)
@@ -20,6 +26,50 @@ let seeds =
 
 (* Every section shares one pool sized by DCN_JOBS (default 1). *)
 let pool = Dcn_engine.Pool.create ~jobs:(Dcn_engine.Pool.default_jobs ()) ()
+
+module Json = Dcn_engine.Json
+
+let report_path = Sys.getenv_opt "DCN_BENCH_REPORT"
+let trace_path = Sys.getenv_opt "DCN_BENCH_TRACE"
+
+let bench_trace =
+  match trace_path with
+  | None -> None
+  | Some _ ->
+    let t = Dcn_engine.Trace.create () in
+    Dcn_engine.Trace.install t;
+    Some t
+
+(* Sections accumulate in run order; nothing is built unless a report
+   was requested. *)
+let report_sections : (string * Json.t) list ref = ref []
+
+let report name json =
+  if report_path <> None then report_sections := (name, json) :: !report_sections
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc;
+  Printf.eprintf "wrote %s\n%!" path
+
+let flush_observability () =
+  (match bench_trace with
+  | None -> ()
+  | Some t ->
+    Dcn_engine.Trace.uninstall ();
+    write_file (Option.get trace_path)
+      (Json.to_string ~pretty:true (Dcn_engine.Trace.to_json t)));
+  match report_path with
+  | None -> ()
+  | Some path ->
+    let json =
+      Json.Obj
+        (("command", Json.Str "bench")
+         :: List.rev !report_sections
+        @ [ ("metrics", Dcn_engine.Metrics.to_json ()) ])
+    in
+    write_file path (Json.to_string ~pretty:true json)
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
@@ -43,7 +93,8 @@ let fig2 alpha =
       ~progress:(fun msg -> Printf.eprintf "  [%s]\n%!" msg)
       ~pool params
   in
-  print_endline (Dcn_experiments.Fig2.render res)
+  print_endline (Dcn_experiments.Fig2.render res);
+  report (Printf.sprintf "fig2_alpha%g" alpha) (Dcn_experiments.Fig2.to_json res)
 
 (* ----------------------------- E3 --------------------------------- *)
 
@@ -58,23 +109,28 @@ let example1 () =
   let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
   Printf.printf "paper optimum : s1 = %.6f, s2 = %.6f\n" (s2 /. sqrt 2.) s2;
   Printf.printf "computed      : s1 = %.6f, s2 = %.6f\n"
-    (Dcn_core.Solution.rate_of res 1)
-    (Dcn_core.Solution.rate_of res 2);
+    (Option.value ~default:nan (Dcn_core.Solution.find_rate res 1))
+    (Option.value ~default:nan (Dcn_core.Solution.find_rate res 2));
   Printf.printf "energy        : %.6f (schedule integral %.6f)\n"
     res.Dcn_core.Solution.energy
-    (Dcn_sched.Schedule.energy res.Dcn_core.Solution.schedule)
+    (Dcn_sched.Schedule.energy res.Dcn_core.Solution.schedule);
+  report "example1" (Dcn_core.Serialize.solution_to_json res)
 
 (* --------------------------- E4 / E5 ------------------------------ *)
 
 let gadgets () =
   section "E4. Theorem 2 gadget (3-partition)";
-  print_endline
-    (Dcn_experiments.Gadget_runs.render_three_partition
-       (Dcn_experiments.Gadget_runs.three_partition ()));
+  let tp = Dcn_experiments.Gadget_runs.three_partition () in
+  print_endline (Dcn_experiments.Gadget_runs.render_three_partition tp);
   section "E5. Theorem 3 gadget (partition / inapproximability)";
-  print_endline
-    (Dcn_experiments.Gadget_runs.render_partition
-       (Dcn_experiments.Gadget_runs.partition ()))
+  let p = Dcn_experiments.Gadget_runs.partition () in
+  print_endline (Dcn_experiments.Gadget_runs.render_partition p);
+  report "gadgets"
+    (Json.Obj
+       [
+         ("three_partition", Dcn_experiments.Gadget_runs.three_partition_to_json tp);
+         ("partition", Dcn_experiments.Gadget_runs.partition_to_json p);
+       ])
 
 (* ----------------------------- E6 --------------------------------- *)
 
@@ -146,50 +202,55 @@ let packetization () =
 (* ----------------------------- E7 --------------------------------- *)
 
 let ablations () =
+  let module A = Dcn_experiments.Ablation in
   section "E7a. Ablation: power-down (sigma > 0)";
-  print_endline
-    (Dcn_experiments.Ablation.render_power_down
-       (Dcn_experiments.Ablation.power_down ~pool ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
+  let pd = A.power_down ~pool ~sigmas:[ 0.; 10.; 50.; 200. ] () in
+  print_endline (A.render_power_down pd);
   section "E7b. Ablation: capacity stress (rounding redraws)";
-  print_endline
-    (Dcn_experiments.Ablation.render_capacity
-       (Dcn_experiments.Ablation.capacity_stress ~pool ~caps:[ infinity; 10.; 6.; 4. ] ()));
+  let cap = A.capacity_stress ~pool ~caps:[ infinity; 10.; 6.; 4. ] () in
+  print_endline (A.render_capacity cap);
   section "E7c. Ablation: Most-Critical-First refinement of RS routes";
-  print_endline
-    (Dcn_experiments.Ablation.render_refinement
-       (Dcn_experiments.Ablation.refinement ~pool ~ns:[ 10; 20; 40 ] ()));
+  let refi = A.refinement ~pool ~ns:[ 10; 20; 40 ] () in
+  print_endline (A.render_refinement refi);
   section "E7d. Ablation: routing policies (SP vs ECMP vs Greedy-EAR vs Random-Schedule)";
-  print_endline
-    (Dcn_experiments.Ablation.render_routing
-       (Dcn_experiments.Ablation.routing_comparison ~pool ~ns:[ 10; 20; 40 ] ()));
+  let rout = A.routing_comparison ~pool ~ns:[ 10; 20; 40 ] () in
+  print_endline (A.render_routing rout);
   section "E7e. Ablation: lower-bound tightness (paper LB vs joint relaxation)";
-  print_endline
-    (Dcn_experiments.Ablation.render_lb
-       (Dcn_experiments.Ablation.lb_tightness ~pool ~ns:[ 10; 20; 40 ] ()));
+  let lb = A.lb_tightness ~pool ~ns:[ 10; 20; 40 ] () in
+  print_endline (A.render_lb lb);
   section "E7f. Ablation: flow splitting (Section II-B multi-path emulation)";
-  print_endline
-    (Dcn_experiments.Ablation.render_splitting
-       (Dcn_experiments.Ablation.splitting ~pool ~parts:[ 1; 2; 4; 8 ] ()));
+  let spl = A.splitting ~pool ~parts:[ 1; 2; 4; 8 ] () in
+  print_endline (A.render_splitting spl);
   section "E7g. Ablation: discrete link speeds (rate adaptation)";
-  print_endline
-    (Dcn_experiments.Ablation.render_rate_levels
-       (Dcn_experiments.Ablation.rate_levels ~pool ~counts:[ 2; 4; 8; 16 ] ()));
+  let rl = A.rate_levels ~pool ~counts:[ 2; 4; 8; 16 ] () in
+  print_endline (A.render_rate_levels rl);
   section "E7h. Ablation: online admission control under finite capacity";
-  print_endline
-    (Dcn_experiments.Ablation.render_admission
-       (Dcn_experiments.Ablation.admission ~pool ~loads:[ 0.5; 1.; 2.; 4.; 8. ] ()));
+  let adm = A.admission ~pool ~loads:[ 0.5; 1.; 2.; 4.; 8. ] () in
+  print_endline (A.render_admission adm);
   section "E7i. Ablation: failure resilience (random cable failures)";
-  print_endline
-    (Dcn_experiments.Ablation.render_failures
-       (Dcn_experiments.Ablation.failures ~pool ~counts:[ 0; 4; 8; 12 ] ()))
+  let fl = A.failures ~pool ~counts:[ 0; 4; 8; 12 ] () in
+  print_endline (A.render_failures fl);
+  report "ablation"
+    (Json.Obj
+       [
+         ("power_down", A.power_down_to_json pd);
+         ("capacity", A.capacity_to_json cap);
+         ("refinement", A.refinement_to_json refi);
+         ("routing", A.routing_to_json rout);
+         ("lb_tightness", A.lb_to_json lb);
+         ("splitting", A.splitting_to_json spl);
+         ("rate_levels", A.rate_levels_to_json rl);
+         ("admission", A.admission_to_json adm);
+         ("failures", A.failures_to_json fl);
+       ])
 
 (* ----------------------------- E8 --------------------------------- *)
 
 let small_exact () =
   section "E8. Random-Schedule vs exact optimum (exhaustive routing)";
-  print_endline
-    (Dcn_experiments.Small_exact.render
-       (Dcn_experiments.Small_exact.run ~seeds:[ 1; 2; 3; 4; 5; 6 ] ()))
+  let rows = Dcn_experiments.Small_exact.run ~seeds:[ 1; 2; 3; 4; 5; 6 ] () in
+  print_endline (Dcn_experiments.Small_exact.render rows);
+  report "small_exact" (Dcn_experiments.Small_exact.to_json rows)
 
 let bounds_check () =
   section "E8b. Worst-case bounds vs measured approximation (Theorems 3/6)";
@@ -356,4 +417,5 @@ let () =
   section "Engine wall-time counters (Dcn_engine.Metrics)";
   print_endline (Dcn_engine.Metrics.render ());
   Dcn_engine.Pool.shutdown pool;
+  flush_observability ();
   Printf.printf "\nDone.\n"

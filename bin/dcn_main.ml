@@ -49,14 +49,16 @@ let jobs_t =
            falls back to 1. Results are bit-identical for every value.")
 
 (* Every subcommand resolves --jobs the same way and tears the pool down
-   on the way out. *)
+   on the way out.  Returns a [result] so commands plug into
+   [Term.term_result] and bad arguments exit through cmdliner's standard
+   error path (usage + status 124) instead of a raw [exit]. *)
 let with_jobs jobs f =
-  if jobs < 0 then begin
-    Printf.eprintf "dcn: --jobs must be >= 0 (got %d)\n" jobs;
-    exit 124
-  end;
-  let jobs = if jobs = 0 then Dcn_engine.Pool.default_jobs () else jobs in
-  Dcn_engine.Pool.with_pool ~jobs f
+  if jobs < 0 then Error (`Msg (Printf.sprintf "--jobs must be >= 0 (got %d)" jobs))
+  else
+    let jobs = if jobs = 0 then Dcn_engine.Pool.default_jobs () else jobs in
+    Ok (Dcn_engine.Pool.with_pool ~jobs f)
+
+module Json = Dcn_engine.Json
 
 (* ----------------------------- fig2 ------------------------------- *)
 
@@ -76,7 +78,7 @@ let fig2_cmd =
   let csv_t =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write the series as CSV to $(docv)." ~docv:"FILE")
   in
-  let run alpha quick seeds counts csv jobs =
+  let run alpha quick seeds counts csv trace report jobs =
     let params =
       if quick then Dcn_experiments.Fig2.quick_params ~alpha
       else Dcn_experiments.Fig2.default_params ~alpha
@@ -89,103 +91,113 @@ let fig2_cmd =
         flow_counts = (if counts = [] then params.Dcn_experiments.Fig2.flow_counts else counts);
       }
     in
+    with_jobs jobs @@ fun pool ->
+    Observe.run ~command:"fig2" ~trace ~report @@ fun () ->
     let res =
-      with_jobs jobs (fun pool ->
-          Dcn_experiments.Fig2.run
-            ~progress:(fun msg -> Printf.eprintf "[fig2] %s\n%!" msg)
-            ~pool params)
+      Dcn_experiments.Fig2.run
+        ~progress:(fun msg -> Printf.eprintf "[fig2] %s\n%!" msg)
+        ~pool params
     in
     print_endline (Dcn_experiments.Fig2.render res);
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
       let oc = open_out path in
       output_string oc (Dcn_experiments.Fig2.to_csv res);
       close_out oc;
-      Printf.eprintf "wrote %s\n%!" path
+      Printf.eprintf "wrote %s\n%!" path);
+    [ ("fig2", Dcn_experiments.Fig2.to_json res) ]
   in
   Cmd.v
     (Cmd.info "fig2" ~doc:"Regenerate Figure 2 of the paper (E1/E2).")
-    Term.(const run $ alpha_t $ quick_t $ seeds_t $ counts_t $ csv_t $ jobs_t)
+    Term.(
+      term_result
+        (const run $ alpha_t $ quick_t $ seeds_t $ counts_t $ csv_t
+       $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 (* ---------------------------- gadgets ----------------------------- *)
 
 let gadgets_cmd =
-  let run alpha seed =
+  let run alpha seed trace report =
+    Observe.run ~command:"gadgets" ~trace ~report @@ fun () ->
     let tp = Dcn_experiments.Gadget_runs.three_partition ~seed ~alpha () in
     print_endline (Dcn_experiments.Gadget_runs.render_three_partition tp);
     let p = Dcn_experiments.Gadget_runs.partition ~alpha () in
-    print_endline (Dcn_experiments.Gadget_runs.render_partition p)
+    print_endline (Dcn_experiments.Gadget_runs.render_partition p);
+    [
+      ( "gadgets",
+        Json.Obj
+          [
+            ("three_partition", Dcn_experiments.Gadget_runs.three_partition_to_json tp);
+            ("partition", Dcn_experiments.Gadget_runs.partition_to_json p);
+          ] );
+    ]
   in
   Cmd.v
     (Cmd.info "gadgets" ~doc:"Run the Theorem 2/3 hardness gadgets (E4/E5).")
-    Term.(const run $ alpha_t $ seed_t)
+    Term.(const run $ alpha_t $ seed_t $ Observe.trace_t $ Observe.report_t)
 
 (* ---------------------------- ablation ---------------------------- *)
 
 let ablation_cmd =
-  let run alpha jobs =
+  let run alpha trace report jobs =
     with_jobs jobs @@ fun pool ->
-    print_endline
-      (Dcn_experiments.Ablation.render_power_down
-         (Dcn_experiments.Ablation.power_down ~alpha ~pool
-            ~sigmas:[ 0.; 10.; 50.; 200. ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_capacity
-         (Dcn_experiments.Ablation.capacity_stress ~alpha ~pool
-            ~caps:[ infinity; 10.; 6.; 4. ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_refinement
-         (Dcn_experiments.Ablation.refinement ~alpha ~pool ~ns:[ 10; 20; 40 ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_routing
-         (Dcn_experiments.Ablation.routing_comparison ~alpha ~pool
-            ~ns:[ 10; 20; 40 ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_lb
-         (Dcn_experiments.Ablation.lb_tightness ~alpha ~pool ~ns:[ 10; 20; 40 ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_splitting
-         (Dcn_experiments.Ablation.splitting ~alpha ~pool ~parts:[ 1; 2; 4; 8 ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_rate_levels
-         (Dcn_experiments.Ablation.rate_levels ~alpha ~pool ~counts:[ 2; 4; 8; 16 ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_admission
-         (Dcn_experiments.Ablation.admission ~alpha ~pool ~loads:[ 0.5; 1.; 2.; 4. ] ()));
-    print_newline ();
-    print_endline
-      (Dcn_experiments.Ablation.render_failures
-         (Dcn_experiments.Ablation.failures ~alpha ~pool ~counts:[ 0; 4; 8; 12 ] ()))
+    Observe.run ~command:"ablation" ~trace ~report @@ fun () ->
+    let module A = Dcn_experiments.Ablation in
+    let show render rows =
+      print_endline (render rows);
+      print_newline ();
+      rows
+    in
+    let pd = show A.render_power_down (A.power_down ~alpha ~pool ~sigmas:[ 0.; 10.; 50.; 200. ] ()) in
+    let cap = show A.render_capacity (A.capacity_stress ~alpha ~pool ~caps:[ infinity; 10.; 6.; 4. ] ()) in
+    let refi = show A.render_refinement (A.refinement ~alpha ~pool ~ns:[ 10; 20; 40 ] ()) in
+    let rout = show A.render_routing (A.routing_comparison ~alpha ~pool ~ns:[ 10; 20; 40 ] ()) in
+    let lb = show A.render_lb (A.lb_tightness ~alpha ~pool ~ns:[ 10; 20; 40 ] ()) in
+    let spl = show A.render_splitting (A.splitting ~alpha ~pool ~parts:[ 1; 2; 4; 8 ] ()) in
+    let rl = show A.render_rate_levels (A.rate_levels ~alpha ~pool ~counts:[ 2; 4; 8; 16 ] ()) in
+    let adm = show A.render_admission (A.admission ~alpha ~pool ~loads:[ 0.5; 1.; 2.; 4. ] ()) in
+    let fl = show A.render_failures (A.failures ~alpha ~pool ~counts:[ 0; 4; 8; 12 ] ()) in
+    [
+      ( "ablation",
+        Json.Obj
+          [
+            ("power_down", A.power_down_to_json pd);
+            ("capacity", A.capacity_to_json cap);
+            ("refinement", A.refinement_to_json refi);
+            ("routing", A.routing_to_json rout);
+            ("lb_tightness", A.lb_to_json lb);
+            ("splitting", A.splitting_to_json spl);
+            ("rate_levels", A.rate_levels_to_json rl);
+            ("admission", A.admission_to_json adm);
+            ("failures", A.failures_to_json fl);
+          ] );
+    ]
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run all the E7 ablations (power-down, capacity, refinement, routing, LB tightness, splitting, discrete rates, admission, failures).")
-    Term.(const run $ alpha_t $ jobs_t)
+    Term.(term_result (const run $ alpha_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 (* --------------------------- small-exact -------------------------- *)
 
 let small_exact_cmd =
-  let run alpha =
+  let run alpha trace report =
+    Observe.run ~command:"small-exact" ~trace ~report @@ fun () ->
     let rows =
       Dcn_experiments.Small_exact.run ~alpha ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ] ()
     in
-    print_endline (Dcn_experiments.Small_exact.render rows)
+    print_endline (Dcn_experiments.Small_exact.render rows);
+    [ ("small_exact", Dcn_experiments.Small_exact.to_json rows) ]
   in
   Cmd.v
     (Cmd.info "small-exact" ~doc:"Compare Random-Schedule with the exact optimum (E8).")
-    Term.(const run $ alpha_t)
+    Term.(const run $ alpha_t $ Observe.trace_t $ Observe.report_t)
 
 (* ---------------------------- example1 ---------------------------- *)
 
 let example1_cmd =
-  let run () =
+  let run trace report =
+    Observe.run ~command:"example1" ~trace ~report @@ fun () ->
     let graph = Dcn_topology.Builders.line 3 in
     let power = Dcn_power.Model.quadratic in
     let f1 = Dcn_flow.Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
@@ -196,15 +208,16 @@ let example1_cmd =
     Printf.printf "Example 1 (Figure 1): line A-B-C, f(x) = x^2\n";
     Printf.printf "  flow 1: A->C, w=6, span [2,4]   flow 2: A->B, w=8, span [1,3]\n";
     Printf.printf "  computed rates: s1 = %.6f, s2 = %.6f\n"
-      (Dcn_core.Solution.rate_of res 1)
-      (Dcn_core.Solution.rate_of res 2);
+      (Option.value ~default:nan (Dcn_core.Solution.find_rate res 1))
+      (Option.value ~default:nan (Dcn_core.Solution.find_rate res 2));
     Printf.printf "  paper's optimum: s1 = %.6f, s2 = %.6f (sqrt 2 * s1 = s2 = (8+6*sqrt 2)/3)\n"
       (s2 /. sqrt 2.) s2;
-    Printf.printf "  energy: %.6f\n" res.Dcn_core.Solution.energy
+    Printf.printf "  energy: %.6f\n" res.Dcn_core.Solution.energy;
+    [ ("example1", Dcn_core.Serialize.solution_to_json res) ]
   in
   Cmd.v
     (Cmd.info "example1" ~doc:"Run the paper's worked Example 1 (E3).")
-    Term.(const run $ const ())
+    Term.(const run $ Observe.trace_t $ Observe.report_t)
 
 (* -------------------------- generate / solve ----------------------- *)
 
@@ -252,20 +265,32 @@ let generate_cmd =
   let out_t =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file (default stdout).")
   in
-  let run graph n alpha sigma pattern seed out =
+  let run graph n alpha sigma pattern seed out trace report =
+    Observe.run ~command:"generate" ~trace ~report @@ fun () ->
     let inst = build_instance graph n alpha sigma pattern seed in
     let text = Dcn_core.Serialize.instance_to_string inst in
-    match out with
+    (match out with
     | None -> print_string text
     | Some path ->
       let oc = open_out path in
       output_string oc text;
       close_out oc;
-      Format.printf "wrote %s (%a)@." path Dcn_core.Instance.pp inst
+      Format.printf "wrote %s (%a)@." path Dcn_core.Instance.pp inst);
+    [
+      ( "instance",
+        Json.Obj
+          [
+            ("nodes", Json.Int (Dcn_topology.Graph.num_nodes graph));
+            ("links", Json.Int (Dcn_topology.Graph.num_links graph));
+            ("flows", Json.Int (Dcn_core.Instance.num_flows inst));
+          ] );
+    ]
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an instance file (see `solve --instance`).")
-    Term.(const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ out_t)
+    Term.(
+      const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ out_t
+      $ Observe.trace_t $ Observe.report_t)
 
 let solve_cmd =
   let instance_t =
@@ -277,8 +302,9 @@ let solve_cmd =
   let gantt_t =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print ASCII Gantt charts of the RS schedule.")
   in
-  let run graph n alpha sigma pattern seed instance_file gantt jobs =
+  let run graph n alpha sigma pattern seed instance_file gantt trace report jobs =
     with_jobs jobs @@ fun pool ->
+    Observe.run ~command:"solve" ~trace ~report @@ fun () ->
     let rng = Dcn_util.Prng.create seed in
     let inst =
       match instance_file with
@@ -314,13 +340,30 @@ let solve_cmd =
       print_string (Dcn_sched.Gantt.render rs.Dcn_core.Solution.schedule);
       print_newline ();
       print_string (Dcn_sched.Gantt.render_flows rs.Dcn_core.Solution.schedule)
-    end
+    end;
+    [
+      ( "solutions",
+        Json.List
+          [
+            Dcn_core.Serialize.solution_to_json sp;
+            Dcn_core.Serialize.solution_to_json rs;
+          ] );
+      ("lower_bound", Json.float lb.Dcn_core.Lower_bound.value);
+      ( "sim",
+        Json.Obj
+          [
+            ("energy", Json.float sim.Dcn_sim.Fluid.energy);
+            ("all_deadlines_met", Json.Bool sim.Dcn_sim.Fluid.all_deadlines_met);
+            ("capacity_respected", Json.Bool sim.Dcn_sim.Fluid.capacity_respected);
+          ] );
+    ]
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a configurable instance with both algorithms.")
     Term.(
-      const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ instance_t
-      $ gantt_t $ jobs_t)
+      term_result
+        (const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t
+       $ instance_t $ gantt_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 let () =
   let doc = "energy-efficient deadline-constrained flow scheduling and routing" in

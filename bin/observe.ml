@@ -1,0 +1,78 @@
+(* Observability plumbing shared by every `dcn` subcommand: the
+   --trace/--report options, and a wrapper that installs an ambient
+   {!Dcn_engine.Trace} around the command body and writes both files on
+   the way out.
+
+   The command body returns the report's sections (a [Json.field list]);
+   the wrapper prepends the command name and appends the engine's
+   {!Dcn_engine.Metrics} snapshot and the trace's counter totals, so
+   every report has the same envelope:
+
+   {v
+   { "command": "...", <sections>, "metrics": [...], "counters": {...} }
+   v} *)
+
+open Cmdliner
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
+module Metrics = Dcn_engine.Metrics
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:
+          "Write a structured event trace (spans, events, counters; JSON) to \
+           $(docv)."
+        ~docv:"FILE")
+
+let report_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ]
+        ~doc:"Write a machine-readable run report (JSON) to $(docv)."
+        ~docv:"FILE")
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text);
+  Printf.eprintf "wrote %s\n%!" path
+
+(* Counter totals, one object keyed by counter name. *)
+let counters_json t =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.Trace.entry with
+      | Trace.Counter { name; delta } ->
+        Hashtbl.replace totals name
+          (delta +. Option.value ~default:0. (Hashtbl.find_opt totals name))
+      | _ -> ())
+    (Trace.records t);
+  Json.Obj
+    (List.sort compare
+       (Hashtbl.fold (fun name v acc -> (name, Json.float v) :: acc) totals []))
+
+let run ~command ~trace ~report f =
+  match (trace, report) with
+  | None, None -> ignore (f ())
+  | _ ->
+    let t = Trace.create () in
+    Trace.install t;
+    let sections = Fun.protect ~finally:Trace.uninstall f in
+    (match trace with
+    | Some path -> write_file path (Json.to_string ~pretty:true (Trace.to_json t))
+    | None -> ());
+    (match report with
+    | Some path ->
+      let json =
+        Json.Obj
+          ((("command", Json.Str command) :: sections)
+          @ [ ("metrics", Metrics.to_json ()); ("counters", counters_json t) ])
+      in
+      write_file path (Json.to_string ~pretty:true json)
+    | None -> ())

@@ -10,6 +10,9 @@ type result = {
 }
 
 let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
+  Dcn_engine.Trace.span "exact.solve"
+    ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
+  @@ fun () ->
   let g = inst.Instance.graph in
   let flows = Instance.flow_array inst in
   let choices =
@@ -55,7 +58,15 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
       let res = Most_critical_first.solve ~algorithm:"exact" inst ~routing in
       match !best with
       | Some (e, _, _) when e <= res.Solution.energy -> ()
-      | _ -> best := Some (res.Solution.energy, Array.copy current, res)
+      | _ ->
+        if Dcn_engine.Trace.on () then
+          Dcn_engine.Trace.event "exact.incumbent"
+            ~fields:
+              [
+                ("combination", Dcn_engine.Json.Int !explored);
+                ("energy", Dcn_engine.Json.float res.Solution.energy);
+              ];
+        best := Some (res.Solution.energy, Array.copy current, res)
     end
     else
       for c = 0 to Array.length choices.(i) - 1 do
@@ -65,6 +76,7 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
   in
   enumerate 0;
   ignore total;
+  Dcn_engine.Trace.counter "exact.combinations" (float_of_int !explored);
   match !best with
   | None -> assert false
   | Some (energy, pick, best_res) ->

@@ -12,6 +12,9 @@ type t = {
 }
 
 let solve inst =
+  Dcn_engine.Trace.span "greedy_ear.solve"
+    ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
+  @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let tl = Instance.timeline inst in
@@ -47,6 +50,13 @@ let solve inst =
       | None ->
         invalid_arg (Printf.sprintf "Greedy_ear.solve: flow %d disconnected" f.id)
       | Some path ->
+        if Dcn_engine.Trace.on () then
+          Dcn_engine.Trace.event "greedy_ear.route"
+            ~fields:
+              [
+                ("flow", Dcn_engine.Json.Int f.id);
+                ("hops", Dcn_engine.Json.Int (List.length path));
+              ];
         Hashtbl.replace chosen f.id path;
         List.iter
           (fun e -> List.iter (fun j -> loads.(e).(j) <- loads.(e).(j) +. d) my_intervals)

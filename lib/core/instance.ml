@@ -32,6 +32,7 @@ let flow_array t =
   a
 
 let find_flow t id = List.find (fun f -> f.Flow.id = id) t.flows
+let find_flow_opt t id = List.find_opt (fun f -> f.Flow.id = id) t.flows
 
 let timeline t = Dcn_flow.Timeline.make t.flows
 

@@ -23,8 +23,13 @@ val num_flows : t -> int
 val flow_array : t -> Dcn_flow.Flow.t array
 (** Flows sorted by id; ids need not be dense. *)
 
+val find_flow_opt : t -> int -> Dcn_flow.Flow.t option
+(** The flow with the given id, or [None]. *)
+
 val find_flow : t -> int -> Dcn_flow.Flow.t
-(** @raise Not_found. *)
+(** @deprecated Use {!find_flow_opt}; this partial version remains for
+    existing callers.
+    @raise Not_found for an unknown flow id. *)
 
 val timeline : t -> Dcn_flow.Timeline.t
 (** Interval structure of the instance (computed fresh). *)

@@ -3,6 +3,8 @@ module Flow = Dcn_flow.Flow
 module Iset = Dcn_util.Interval_set
 module Model = Dcn_power.Model
 module Schedule = Dcn_sched.Schedule
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type group = Solution.mcf_group = {
   link : Graph.link;
@@ -31,6 +33,13 @@ let eps = 1e-9
    words — and the result is then flagged via [placement_complete]. *)
 let solve ?(algorithm = "mcf") inst ~routing =
   Dcn_engine.Metrics.time "core.mcf" @@ fun () ->
+  Trace.span "mcf.solve"
+    ~fields:
+      [
+        ("algorithm", Json.Str algorithm);
+        ("flows", Json.Int (Instance.num_flows inst));
+      ]
+  @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let alpha = power.Model.alpha in
@@ -127,6 +136,19 @@ let solve ?(algorithm = "mcf") inst ~routing =
       let member_ids =
         List.sort compare (List.map (fun i -> flows.(i).Flow.id) members)
       in
+      (* One record per critical-group selection — the iteration
+         structure of Algorithm 1. *)
+      if Trace.on () then
+        Trace.event "mcf.group"
+          ~fields:
+            [
+              ("link", Json.Int e);
+              ("window_lo", Json.float a);
+              ("window_hi", Json.float b);
+              ("intensity", Json.float intensity);
+              ("members", Json.Int (List.length member_ids));
+              ("flow_ids", Json.List (List.map (fun id -> Json.Int id) member_ids));
+            ];
       groups := { link = e; window = (a, b); intensity; flow_ids = member_ids } :: !groups;
       (* Rates per Theorem 1: s_i = delta / |P_i|^(1/alpha); members in
          EDF order for the placement phase. *)
@@ -182,6 +204,13 @@ let solve ?(algorithm = "mcf") inst ~routing =
               busy.(l) my_slots)
         paths.(i))
     order;
+  if Trace.on () then
+    Trace.event "mcf.placement"
+      ~fields:
+        [
+          ("complete", Json.Bool !placement_complete);
+          ("groups", Json.Int (List.length !groups));
+        ];
   let t0, t1 = Instance.horizon inst in
   let plans =
     Array.to_list
@@ -221,3 +250,4 @@ let solve ?(algorithm = "mcf") inst ~routing =
   }
 
 let rate_of = Solution.rate_of
+let find_rate = Solution.find_rate

@@ -50,6 +50,10 @@ val solve :
     @raise Invalid_argument if a routing path does not connect the
     flow's endpoints. *)
 
+val find_rate : Solution.t -> int -> float option
+(** Alias of {!Solution.find_rate}, kept for callers reading Algorithm 1
+    results. *)
+
 val rate_of : Solution.t -> int -> float
-(** Alias of {!Solution.rate_of}, kept for callers reading Algorithm 1
-    results.  @raise Not_found for an unknown flow id. *)
+(** @deprecated Use {!find_rate}.
+    @raise Not_found for an unknown flow id. *)

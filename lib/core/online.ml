@@ -14,6 +14,9 @@ type t = {
 }
 
 let solve inst =
+  Dcn_engine.Trace.span "online.solve"
+    ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
+  @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let cap = power.Model.cap in
@@ -48,8 +51,19 @@ let solve inst =
       in
       let tree = Paths.shortest_tree ~weight ~banned_links:banned g ~src:f.src in
       match Paths.extract_path g tree ~dst:f.dst with
-      | None -> rejected := f.id :: !rejected
+      | None ->
+        if Dcn_engine.Trace.on () then
+          Dcn_engine.Trace.event "online.reject"
+            ~fields:[ ("flow", Dcn_engine.Json.Int f.id) ];
+        rejected := f.id :: !rejected
       | Some path ->
+        if Dcn_engine.Trace.on () then
+          Dcn_engine.Trace.event "online.admit"
+            ~fields:
+              [
+                ("flow", Dcn_engine.Json.Int f.id);
+                ("hops", Dcn_engine.Json.Int (List.length path));
+              ];
         accepted := f.id :: !accepted;
         List.iter
           (fun e -> List.iter (fun j -> loads.(e).(j) <- loads.(e).(j) +. d) my_intervals)

@@ -6,6 +6,8 @@ module Schedule = Dcn_sched.Schedule
 module Decompose = Dcn_mcf.Decompose
 module Prng = Dcn_util.Prng
 module Pool = Dcn_engine.Pool
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type config = {
   attempts : int;
@@ -80,6 +82,13 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
     | None -> Relaxation.solve ~pool ~fw_config:config.fw_config inst
   in
   Dcn_engine.Metrics.time "core.rounding" @@ fun () ->
+  Trace.span "rs.solve"
+    ~fields:
+      [
+        ("attempts", Json.Int config.attempts);
+        ("flows", Json.Int (Instance.num_flows inst));
+      ]
+  @@ fun () ->
   let flows = inst.Instance.flows in
   let candidates =
     List.map (fun (f : Flow.t) -> (f.id, candidate_paths relax f)) flows
@@ -109,11 +118,24 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
     let schedule = build_schedule inst chosen in
     let overload = Schedule.max_link_rate schedule -. cap in
     let feasible = overload <= 1e-6 *. Float.max 1. cap in
+    let energy = Schedule.energy schedule in
+    (* Per-attempt outcome, emitted on whichever domain evaluated the
+       draw (the trace is where the parallel schedule is visible; the
+       returned solution stays jobs-invariant). *)
+    if Trace.on () then
+      Trace.event "rs.attempt"
+        ~fields:
+          [
+            ("index", Json.Int k);
+            ("feasible", Json.Bool feasible);
+            ("overload", Json.float overload);
+            ("energy", Json.float energy);
+          ];
     {
       a_index = k;
       a_chosen = chosen;
       a_schedule = schedule;
-      a_energy = Schedule.energy schedule;
+      a_energy = energy;
       a_feasible = feasible;
       a_overload = overload;
     }
@@ -148,6 +170,15 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
     | None, Some b -> (b, config.attempts)
     | None, None -> assert false (* attempts >= 1 *)
   in
+  if Trace.on () then
+    Trace.event "rs.selected"
+      ~fields:
+        [
+          ("index", Json.Int chosen_attempt.a_index);
+          ("attempts_used", Json.Int attempts_used);
+          ("feasible", Json.Bool chosen_attempt.a_feasible);
+          ("energy", Json.float chosen_attempt.a_energy);
+        ];
   {
     Solution.algorithm = "random-schedule";
     energy = chosen_attempt.a_energy;

@@ -12,6 +12,8 @@ module Timeline = Dcn_flow.Timeline
 module Model = Dcn_power.Model
 module Fw = Dcn_mcf.Frank_wolfe
 module Decompose = Dcn_mcf.Decompose
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type interval_solution = {
   index : int;
@@ -36,19 +38,42 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) 
   let power = inst.Instance.power in
   let tl = Instance.timeline inst in
   let flows = inst.Instance.flows in
+  Trace.span "relaxation.solve"
+    ~fields:[ ("intervals", Json.Int (Timeline.num_intervals tl)) ]
+  @@ fun () ->
+  let trace_interval (s : interval_solution) ~active ~iterations =
+    if Trace.on () then
+      let lo, hi = s.bounds in
+      Trace.event "relaxation.interval"
+        ~fields:
+          [
+            ("index", Json.Int s.index);
+            ("lo", Json.float lo);
+            ("hi", Json.float hi);
+            ("active", Json.Int active);
+            ("cost", Json.float s.cost);
+            ("lb", Json.float s.lb);
+            ("max_overload", Json.float s.max_overload);
+            ("fw_iterations", Json.Int iterations);
+          ]
+  in
   let solve_interval k =
     let bounds = Timeline.bounds tl k in
     let active = Timeline.active tl flows k in
     match active with
     | [] ->
-      {
-        index = k;
-        bounds;
-        cost = 0.;
-        lb = 0.;
-        max_overload = neg_infinity;
-        flow_paths = [];
-      }
+      let s =
+        {
+          index = k;
+          bounds;
+          cost = 0.;
+          lb = 0.;
+          max_overload = neg_infinity;
+          flow_paths = [];
+        }
+      in
+      trace_interval s ~active:0 ~iterations:0;
+      s
     | _ ->
       let commodities =
         List.mapi
@@ -76,14 +101,18 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) 
             (f.id, paths))
           active
       in
-      {
-        index = k;
-        bounds;
-        cost = sol.Fw.cost;
-        lb = Fw.lower_bound_cost problem sol;
-        max_overload = sol.Fw.max_overload;
-        flow_paths;
-      }
+      let s =
+        {
+          index = k;
+          bounds;
+          cost = sol.Fw.cost;
+          lb = Fw.lower_bound_cost problem sol;
+          max_overload = sol.Fw.max_overload;
+          flow_paths;
+        }
+      in
+      trace_interval s ~active:(List.length active) ~iterations:sol.Fw.iterations;
+      s
   in
   (* The per-interval F-MCF programs are independent; fan them across
      the pool (the result array is index-ordered, so the outcome does

@@ -97,10 +97,12 @@ let instance_of_string text =
   | None -> failwith "missing 'power' line"
   | Some power -> Instance.make ~graph ~power ~flows:(List.rev !flows)
 
+let schedule_header = "dcnsched-schedule v1"
+
 let schedule_to_string (sched : Schedule.t) =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
-  line "dcnsched-schedule v1";
+  line "%s" schedule_header;
   List.iter
     (fun (p : Schedule.plan) ->
       line "plan %d %s" p.flow.Flow.id
@@ -112,3 +114,129 @@ let schedule_to_string (sched : Schedule.t) =
         p.slots)
     sched.plans;
   Buffer.contents buf
+
+let schedule_of_string (inst : Instance.t) text =
+  let lines = String.split_on_char '\n' text in
+  let seen_header = ref false in
+  let plans = ref [] in
+  (* The plan being assembled: flow, path, slots in reverse. *)
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (flow, path, slots) ->
+      plans := { Schedule.flow; path; slots = List.rev slots } :: !plans;
+      current := None
+  in
+  List.iteri
+    (fun idx raw ->
+      let at = idx + 1 in
+      let trimmed = String.trim raw in
+      if trimmed = "" || trimmed.[0] = '#' then ()
+      else if not !seen_header then
+        if trimmed = schedule_header then seen_header := true
+        else failwith (Printf.sprintf "line %d: expected %S" at schedule_header)
+      else
+        match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
+        | "plan" :: id :: path ->
+          flush ();
+          let id = parse_int ~at id in
+          let flow =
+            match Instance.find_flow_opt inst id with
+            | Some f -> f
+            | None -> failwith (Printf.sprintf "line %d: unknown flow id %d" at id)
+          in
+          current := Some (flow, List.map (parse_int ~at) path, [])
+        | [ "slot"; start; stop; rate ] -> (
+          match !current with
+          | None -> failwith (Printf.sprintf "line %d: slot before any plan" at)
+          | Some (flow, path, slots) ->
+            current :=
+              Some
+                ( flow,
+                  path,
+                  {
+                    Schedule.start = parse_float ~at start;
+                    stop = parse_float ~at stop;
+                    rate = parse_float ~at rate;
+                  }
+                  :: slots ))
+        | token :: _ -> failwith (Printf.sprintf "line %d: unknown directive %S" at token)
+        | [] -> ())
+    lines;
+  if not !seen_header then failwith "empty input: missing header";
+  flush ();
+  Schedule.make ~graph:inst.Instance.graph ~power:inst.Instance.power
+    ~horizon:(Instance.horizon inst) (List.rev !plans)
+
+(* ------------------------- JSON reports --------------------------- *)
+
+module Json = Dcn_engine.Json
+
+let schedule_to_json (sched : Schedule.t) =
+  let t0, t1 = sched.Schedule.horizon in
+  Json.Obj
+    [
+      ("horizon", Json.List [ Json.float t0; Json.float t1 ]);
+      ( "plans",
+        Json.List
+          (List.map
+             (fun (p : Schedule.plan) ->
+               Json.Obj
+                 [
+                   ("flow", Json.Int p.flow.Flow.id);
+                   ("links", Json.List (List.map (fun l -> Json.Int l) p.path));
+                   ( "slots",
+                     Json.List
+                       (List.map
+                          (fun (s : Schedule.slot) ->
+                            Json.Obj
+                              [
+                                ("start", Json.float s.start);
+                                ("stop", Json.float s.stop);
+                                ("rate", Json.float s.rate);
+                              ])
+                          p.slots) );
+                 ])
+             sched.plans) );
+    ]
+
+let solution_to_json (s : Solution.t) =
+  Json.Obj
+    [
+      ("algorithm", Json.Str s.Solution.algorithm);
+      ("energy", Json.float s.Solution.energy);
+      ("feasible", Json.Bool s.Solution.feasible);
+      ("placement_complete", Json.Bool (Solution.placement_complete s));
+      ("attempts_used", Json.Int (Solution.attempts_used s));
+      ( "rates",
+        Json.List
+          (List.map
+             (fun (id, r) ->
+               Json.Obj [ ("flow", Json.Int id); ("rate", Json.float r) ])
+             s.Solution.per_flow_rates) );
+      ( "paths",
+        Json.List
+          (List.map
+             (fun (id, path) ->
+               Json.Obj
+                 [
+                   ("flow", Json.Int id);
+                   ("links", Json.List (List.map (fun l -> Json.Int l) path));
+                 ])
+             (Solution.paths s)) );
+      ( "groups",
+        Json.List
+          (List.map
+             (fun (g : Solution.mcf_group) ->
+               let lo, hi = g.window in
+               Json.Obj
+                 [
+                   ("link", Json.Int g.link);
+                   ("window", Json.List [ Json.float lo; Json.float hi ]);
+                   ("intensity", Json.float g.intensity);
+                   ("flow_ids", Json.List (List.map (fun i -> Json.Int i) g.flow_ids));
+                 ])
+             (Solution.groups s)) );
+      ("schedule", schedule_to_json s.Solution.schedule);
+    ]

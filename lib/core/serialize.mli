@@ -22,7 +22,25 @@ val instance_of_string : string -> Instance.t
 
 val schedule_to_string : Dcn_sched.Schedule.t -> string
 (** One [plan] line per flow (id, path link ids) followed by its
-    [slot] lines (start stop rate).  Export only — re-importing a
-    schedule requires its instance, so no parser is provided.  (CSV
-    export of experiment series lives next to the experiments, see
-    {!Dcn_experiments.Fig2}.) *)
+    [slot] lines (start stop rate).  (CSV export of experiment series
+    lives next to the experiments, see {!Dcn_experiments.Fig2}.) *)
+
+val schedule_of_string : Instance.t -> string -> Dcn_sched.Schedule.t
+(** Re-import a schedule against the instance it was solved from: flow
+    ids resolve through the instance, and the graph, power model and
+    horizon are the instance's, so
+    [schedule_of_string inst (schedule_to_string s)] round-trips any
+    schedule of [inst].
+    @raise Failure with a line number on malformed input or an unknown
+    flow id.
+    @raise Invalid_argument if a plan's path does not connect its flow's
+    endpoints in the instance's graph. *)
+
+val schedule_to_json : Dcn_sched.Schedule.t -> Dcn_engine.Json.t
+(** Horizon + plans (flow, links, slots) as JSON. *)
+
+val solution_to_json : Solution.t -> Dcn_engine.Json.t
+(** The whole {!Solution.t} as JSON: algorithm, energy, feasibility,
+    per-flow rates, chosen paths, MCF critical groups (empty for
+    rounding results) and the full schedule — the [solutions] section
+    of CLI [--report] files. *)

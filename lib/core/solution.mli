@@ -45,8 +45,14 @@ type t = {
   meta : meta;
 }
 
+val find_rate : t -> int -> float option
+(** The flow's constant transmission rate, or [None] for an unknown
+    flow id. *)
+
 val rate_of : t -> int -> float
-(** @raise Not_found for an unknown flow id. *)
+(** @deprecated Use {!find_rate}; this partial version remains for
+    existing callers.
+    @raise Not_found for an unknown flow id. *)
 
 val placement_complete : t -> bool
 (** MCF detail; [true] for Random-Schedule results (Theorem 4 packs

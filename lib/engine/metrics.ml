@@ -33,6 +33,18 @@ let reset () =
   Hashtbl.reset table;
   Mutex.unlock mutex
 
+let to_json () =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("stage", Json.Str r.stage);
+             ("calls", Json.Int r.calls);
+             ("seconds", Json.float r.seconds);
+           ])
+       (snapshot ()))
+
 let render () =
   match snapshot () with
   | [] -> ""

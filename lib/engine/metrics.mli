@@ -21,6 +21,10 @@ val snapshot : unit -> snapshot list
 
 val reset : unit -> unit
 
+val to_json : unit -> Json.t
+(** The snapshot as a JSON list of [{stage, calls, seconds}] objects,
+    in snapshot order. *)
+
 val render : unit -> string
 (** The snapshot as an aligned text table (empty string when no stage
     has been recorded). *)

@@ -94,11 +94,17 @@ let map pool f xs =
   let n = Array.length xs in
   if n <= 1 || jobs pool <= 1 || in_worker pool then Array.map f xs
   else begin
+    if Trace.on () then
+      Trace.event "pool.map"
+        ~fields:[ ("tasks", Json.Int n); ("jobs", Json.Int (jobs pool)) ];
     let results = Array.make n None in
     let remaining = ref n in
     let batch_mutex = Mutex.create () in
     let batch_done = Condition.create () in
     let task i () =
+      (* The emitting-domain tag of this event is the scheduling record:
+         which of the [jobs] ways ran task [i]. *)
+      if Trace.on () then Trace.event "pool.task" ~fields:[ ("index", Json.Int i) ];
       let r =
         try Ok (f xs.(i)) with e -> Error (e, Printexc.get_raw_backtrace ())
       in

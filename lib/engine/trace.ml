@@ -1,0 +1,198 @@
+type field = string * Json.t
+
+type entry =
+  | Span_open of { id : int; parent : int option; name : string; fields : field list }
+  | Span_close of { id : int }
+  | Event of { span : int option; name : string; fields : field list }
+  | Counter of { name : string; delta : float }
+
+type record = { seq : int; time_ns : int64; domain : int; entry : entry }
+
+type t = {
+  uid : int;  (* distinguishes traces in per-domain state *)
+  mutex : Mutex.t;
+  mutable entries : record list;  (* reversed *)
+  mutable count : int;
+  seq : int Atomic.t;
+  span_ids : int Atomic.t;
+  t0 : float;  (* wall-clock origin of time_ns *)
+}
+
+let uids = Atomic.make 0
+
+let create () =
+  {
+    uid = Atomic.fetch_and_add uids 1;
+    mutex = Mutex.create ();
+    entries = [];
+    count = 0;
+    seq = Atomic.make 0;
+    span_ids = Atomic.make 0;
+    t0 = Unix.gettimeofday ();
+  }
+
+(* The process-global collector.  An [Atomic.t] so worker domains spawned
+   before the trace was installed still observe it. *)
+let current : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set current (Some t)
+let uninstall () = Atomic.set current None
+let on () = Atomic.get current <> None
+
+let with_trace t f =
+  let previous = Atomic.get current in
+  Atomic.set current (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set current previous) f
+
+(* Per-domain emission state: the open-span stack (for parent links) and
+   a clamp making timestamps non-decreasing per domain.  Keyed by the
+   trace's [uid] so state left over from a previous trace is discarded. *)
+type domain_state = {
+  mutable for_uid : int;
+  mutable stack : int list;
+  mutable last_ns : int64;
+}
+
+let dls : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { for_uid = -1; stack = []; last_ns = 0L })
+
+let domain_state t =
+  let st = Domain.DLS.get dls in
+  if st.for_uid <> t.uid then begin
+    st.for_uid <- t.uid;
+    st.stack <- [];
+    st.last_ns <- 0L
+  end;
+  st
+
+let now t st =
+  let ns = Int64.of_float ((Unix.gettimeofday () -. t.t0) *. 1e9) in
+  let ns = if Int64.compare ns st.last_ns < 0 then st.last_ns else ns in
+  st.last_ns <- ns;
+  ns
+
+let add t st entry =
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let r = { seq; time_ns = now t st; domain = (Domain.self () :> int); entry } in
+  Mutex.lock t.mutex;
+  t.entries <- r :: t.entries;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let event ?(fields = []) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some t ->
+    let st = domain_state t in
+    let span = match st.stack with [] -> None | s :: _ -> Some s in
+    add t st (Event { span; name; fields })
+
+let counter name delta =
+  match Atomic.get current with
+  | None -> ()
+  | Some t -> add t (domain_state t) (Counter { name; delta })
+
+let span ?(fields = []) name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some t ->
+    let id = Atomic.fetch_and_add t.span_ids 1 in
+    let st = domain_state t in
+    let parent = match st.stack with [] -> None | s :: _ -> Some s in
+    add t st (Span_open { id; parent; name; fields });
+    st.stack <- id :: st.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (* The trace may have been swapped while the span was open; close
+           into the trace that opened it, popping exactly this span. *)
+        let st = domain_state t in
+        (match st.stack with
+        | s :: rest when s = id -> st.stack <- rest
+        | stack -> st.stack <- List.filter (fun s -> s <> id) stack);
+        add t st (Span_close { id }))
+      f
+
+let records t =
+  Mutex.lock t.mutex;
+  let entries = t.entries in
+  Mutex.unlock t.mutex;
+  List.sort (fun (a : record) (b : record) -> compare a.seq b.seq) entries
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.entries <- [];
+  t.count <- 0;
+  Mutex.unlock t.mutex
+
+let counter_total t name =
+  List.fold_left
+    (fun acc r ->
+      match r.entry with
+      | Counter { name = n; delta } when n = name -> acc +. delta
+      | _ -> acc)
+    0. (records t)
+
+let reserved =
+  [ "seq"; "t_ns"; "domain"; "type"; "id"; "parent"; "span"; "name"; "delta" ]
+
+let record_to_json (r : record) =
+  let base =
+    [
+      ("seq", Json.Int r.seq);
+      ("t_ns", Json.Int (Int64.to_int r.time_ns));
+      ("domain", Json.Int r.domain);
+    ]
+  in
+  let opt = function None -> Json.Null | Some i -> Json.Int i in
+  let typed, fields =
+    match r.entry with
+    | Span_open { id; parent; name; fields } ->
+      ( [
+          ("type", Json.Str "span_open");
+          ("id", Json.Int id);
+          ("parent", opt parent);
+          ("name", Json.Str name);
+        ],
+        fields )
+    | Span_close { id } -> ([ ("type", Json.Str "span_close"); ("id", Json.Int id) ], [])
+    | Event { span; name; fields } ->
+      ( [ ("type", Json.Str "event"); ("span", opt span); ("name", Json.Str name) ],
+        fields )
+    | Counter { name; delta } ->
+      ( [ ("type", Json.Str "counter"); ("name", Json.Str name); ("delta", Json.float delta) ],
+        [] )
+  in
+  let extra = List.filter (fun (k, _) -> not (List.mem k reserved)) fields in
+  Json.Obj (base @ typed @ extra)
+
+let to_json t =
+  let rs = records t in
+  let counters = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match r.entry with
+      | Counter { name; delta } ->
+        (match Hashtbl.find_opt counters name with
+        | None ->
+          order := name :: !order;
+          Hashtbl.add counters name delta
+        | Some total -> Hashtbl.replace counters name (total +. delta))
+      | _ -> ())
+    rs;
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("events", Json.List (List.map record_to_json rs));
+      ( "counters",
+        Json.Obj
+          (List.rev_map
+             (fun name -> (name, Json.float (Hashtbl.find counters name)))
+             !order) );
+    ]

@@ -5,10 +5,15 @@ module Table = Dcn_util.Table
 module Schedule = Dcn_sched.Schedule
 module Solution = Dcn_core.Solution
 module Pool = Dcn_engine.Pool
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 let fw_config = Fig2.experiment_fw_config
 
 let default_pool pool = Option.value pool ~default:Pool.sequential
+
+(* Every study is one experiment stage in the trace. *)
+let study name f = Trace.span ("experiment.ablation." ^ name) f
 
 (* Fan [n * seeds] sample grids across the pool and regroup by [n]:
    each cell derives its PRNG from its own seed, so results are
@@ -43,6 +48,7 @@ type power_down_row = {
 }
 
 let power_down ?(seed = 7) ?(n = 40) ?(alpha = 2.) ?pool ~sigmas () =
+  study "power_down" @@ fun () ->
   Pool.map_list (default_pool pool)
     (fun sigma ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma ~cap:infinity in
@@ -91,6 +97,7 @@ type capacity_row = {
 }
 
 let capacity_stress ?(seed = 11) ?(n = 40) ?(alpha = 2.) ?pool ~caps () =
+  study "capacity_stress" @@ fun () ->
   Pool.map_list (default_pool pool)
     (fun cap ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap in
@@ -128,6 +135,7 @@ type refinement_row = {
 }
 
 let refinement ?(seeds = [ 21; 22; 23 ]) ?(alpha = 2.) ?pool ~ns () =
+  study "refinement" @@ fun () ->
   by_n (default_pool pool) ~ns ~seeds
     (fun ~n ~seed ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
@@ -161,6 +169,7 @@ type failure_row = {
 }
 
 let failures ?(seed = 91) ?(n = 20) ?(alpha = 2.) ?pool ~counts () =
+  study "failures" @@ fun () ->
   let base = Dcn_topology.Builders.fat_tree 4 in
   let power = Model.make ~sigma:0. ~mu:1. ~alpha () in
   (* Only switch-to-switch cables may fail (a failed host uplink just
@@ -230,6 +239,7 @@ type admission_row = {
 }
 
 let admission ?(seed = 81) ?(alpha = 2.) ?(cap = 6.) ?pool ~loads () =
+  study "admission" @@ fun () ->
   let graph = Dcn_topology.Builders.fat_tree 4 in
   let power = Model.make ~sigma:0. ~mu:1. ~alpha ~cap () in
   Pool.map_list (default_pool pool)
@@ -266,6 +276,7 @@ type rate_row = {
 }
 
 let rate_levels ?(seed = 61) ?(n = 20) ?(alpha = 2.) ?pool ~counts () =
+  study "rate_levels" @@ fun () ->
   let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
   let rs =
     Dcn_core.Random_schedule.solve
@@ -306,6 +317,7 @@ type split_row = {
 }
 
 let splitting ?(seed = 51) ?(n = 20) ?(alpha = 2.) ?pool ~parts () =
+  study "splitting" @@ fun () ->
   let inst0, _ = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
   (* The LB is invariant under splitting (identical per-interval
      demands), so the original instance's bound normalises all rows. *)
@@ -358,6 +370,7 @@ type lb_row = {
 }
 
 let lb_tightness ?(seeds = [ 41; 42; 43 ]) ?(alpha = 2.) ?pool ~ns () =
+  study "lb_tightness" @@ fun () ->
   by_n (default_pool pool) ~ns ~seeds
     (fun ~n ~seed ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
@@ -407,6 +420,7 @@ type routing_row = {
 }
 
 let routing_comparison ?(seeds = [ 31; 32; 33 ]) ?(alpha = 2.) ?pool ~ns () =
+  study "routing_comparison" @@ fun () ->
   by_n (default_pool pool) ~ns ~seeds
     (fun ~n ~seed ->
       let inst, rng = make_instance ~seed ~n ~alpha ~sigma:0. ~cap:infinity in
@@ -462,3 +476,101 @@ let render_refinement rows =
   in
   "Refinement ablation (Most-Critical-First on Random-Schedule's routes)\n"
   ^ Table.render ~headers ~rows:(List.map row rows) ()
+
+(* JSON forms of the study rows — the [ablation] sections of [--report]
+   files. *)
+
+let rows_to_json row rows = Json.List (List.map row rows)
+
+let power_down_to_json =
+  rows_to_json (fun (r : power_down_row) ->
+      Json.Obj
+        [
+          ("sigma", Json.float r.sigma);
+          ("rs_energy", Json.float r.rs_energy);
+          ("rs_idle", Json.float r.rs_idle);
+          ("rs_active_links", Json.Int r.rs_active_links);
+          ("sp_energy", Json.float r.sp_energy);
+          ("sp_idle", Json.float r.sp_idle);
+          ("sp_active_links", Json.Int r.sp_active_links);
+        ])
+
+let capacity_to_json =
+  rows_to_json (fun (r : capacity_row) ->
+      Json.Obj
+        [
+          ("cap", Json.float r.cap);
+          ("feasible", Json.Bool r.feasible);
+          ("attempts_used", Json.Int r.attempts_used);
+          ("max_rate", Json.float r.max_rate);
+        ])
+
+let refinement_to_json =
+  rows_to_json (fun (r : refinement_row) ->
+      Json.Obj
+        [
+          ("n", Json.Int r.n);
+          ("rs_over_lb", Json.float r.rs_over_lb);
+          ("refined_over_lb", Json.float r.refined_over_lb);
+          ("gain_percent", Json.float r.gain_percent);
+        ])
+
+let failures_to_json =
+  rows_to_json (fun (r : failure_row) ->
+      Json.Obj
+        [
+          ("failed_cables", Json.Int r.failed_cables);
+          ("rs_over_lb", Json.float r.rs_over_lb);
+          ("sp_over_lb", Json.float r.sp_over_lb);
+          ("lb", Json.float r.lb);
+        ])
+
+let admission_to_json =
+  rows_to_json (fun (r : admission_row) ->
+      Json.Obj
+        [
+          ("load", Json.float r.load);
+          ("offered", Json.Int r.offered);
+          ("acceptance", Json.float r.acceptance);
+          ("energy", Json.float r.energy);
+        ])
+
+let rate_levels_to_json =
+  rows_to_json (fun (r : rate_row) ->
+      Json.Obj
+        [
+          ("levels", Json.Int r.levels);
+          ("hold_overhead", Json.float r.hold_overhead);
+          ("work_overhead", Json.float r.work_overhead);
+        ])
+
+let splitting_to_json =
+  rows_to_json (fun (r : split_row) ->
+      Json.Obj
+        [
+          ("parts", Json.Int r.parts);
+          ("rs_over_lb", Json.float r.rs_over_lb);
+          ("distinct_paths", Json.Int r.distinct_paths);
+        ])
+
+let lb_to_json =
+  rows_to_json (fun (r : lb_row) ->
+      Json.Obj
+        [
+          ("n", Json.Int r.n);
+          ("paper_lb", Json.float r.paper_lb);
+          ("joint_lb", Json.float r.joint_lb);
+          ("overstatement", Json.float r.overstatement);
+          ("rs_over_joint", Json.float r.rs_over_joint);
+        ])
+
+let routing_to_json =
+  rows_to_json (fun (r : routing_row) ->
+      Json.Obj
+        [
+          ("n", Json.Int r.n);
+          ("sp_over_lb", Json.float r.sp_over_lb);
+          ("ecmp_over_lb", Json.float r.ecmp_over_lb);
+          ("ear_over_lb", Json.float r.ear_over_lb);
+          ("rs_routing_over_lb", Json.float r.rs_routing_over_lb);
+        ])

@@ -201,3 +201,19 @@ val routing_comparison :
     normalised by the fractional LB. *)
 
 val render_routing : routing_row list -> string
+
+(** {1 JSON forms}
+
+    One converter per study, for the [ablation] sections of the CLI's
+    [--report] files: a list of objects, one per row, field names
+    matching the record labels. *)
+
+val power_down_to_json : power_down_row list -> Dcn_engine.Json.t
+val capacity_to_json : capacity_row list -> Dcn_engine.Json.t
+val refinement_to_json : refinement_row list -> Dcn_engine.Json.t
+val failures_to_json : failure_row list -> Dcn_engine.Json.t
+val admission_to_json : admission_row list -> Dcn_engine.Json.t
+val rate_levels_to_json : rate_row list -> Dcn_engine.Json.t
+val splitting_to_json : split_row list -> Dcn_engine.Json.t
+val lb_to_json : lb_row list -> Dcn_engine.Json.t
+val routing_to_json : routing_row list -> Dcn_engine.Json.t

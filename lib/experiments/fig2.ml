@@ -3,6 +3,8 @@ module Workload = Dcn_flow.Workload
 module Prng = Dcn_util.Prng
 module Stats = Dcn_util.Stats
 module Table = Dcn_util.Table
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type params = {
   alpha : float;
@@ -84,6 +86,15 @@ let run_one params ~graph ~n ~seed =
 
 let run ?(progress = fun _ -> ()) ?(pool = Dcn_engine.Pool.sequential) params =
   Dcn_engine.Metrics.time "experiments.fig2" @@ fun () ->
+  Trace.span "experiment.fig2"
+    ~fields:
+      [
+        ("alpha", Json.float params.alpha);
+        ("fat_tree_k", Json.Int params.fat_tree_k);
+        ("seeds", Json.Int (List.length params.seeds));
+        ("flow_counts", Json.List (List.map (fun n -> Json.Int n) params.flow_counts));
+      ]
+  @@ fun () ->
   let graph = Dcn_topology.Builders.fat_tree params.fat_tree_k in
   (* Every (flow count, seed) cell is an independent end-to-end solve
      with its own PRNG: fan the whole cross product across the pool and
@@ -98,6 +109,9 @@ let run ?(progress = fun _ -> ()) ?(pool = Dcn_engine.Pool.sequential) params =
     Dcn_engine.Pool.map pool
       (fun (n, seed) ->
         progress (Printf.sprintf "fig2 alpha=%g n=%d seed=%d" params.alpha n seed);
+        if Trace.on () then
+          Trace.event "fig2.cell"
+            ~fields:[ ("n", Json.Int n); ("seed", Json.Int seed) ];
         ((n, seed), run_one params ~graph ~n ~seed))
       cells
   in
@@ -153,6 +167,39 @@ let render result =
     result.params.alpha result.params.sigma result.params.fat_tree_k
     (List.length result.params.seeds)
     (Table.render ~headers ~rows ())
+
+let to_json result =
+  let p = result.params in
+  Json.Obj
+    [
+      ( "params",
+        Json.Obj
+          [
+            ("alpha", Json.float p.alpha);
+            ("sigma", Json.float p.sigma);
+            ("fat_tree_k", Json.Int p.fat_tree_k);
+            ("flow_counts", Json.List (List.map (fun n -> Json.Int n) p.flow_counts));
+            ("seeds", Json.List (List.map (fun s -> Json.Int s) p.seeds));
+            ("rs_attempts", Json.Int p.rs_attempts);
+          ] );
+      ( "points",
+        Json.List
+          (List.map
+             (fun pt ->
+               Json.Obj
+                 [
+                   ("n", Json.Int pt.n);
+                   ("lb", Json.float pt.lb);
+                   ("rs_over_lb", Json.float pt.rs);
+                   ("rs_sd", Json.float pt.rs_sd);
+                   ("sp_mcf_over_lb", Json.float pt.sp_mcf);
+                   ("sp_mcf_sd", Json.float pt.sp_mcf_sd);
+                   ("rs_refined_over_lb", Json.float pt.rs_refined);
+                   ("rs_all_feasible", Json.Bool pt.rs_all_feasible);
+                   ("rs_deadlines_met", Json.Bool pt.rs_deadlines_met);
+                 ])
+             result.points) );
+    ]
 
 let to_csv result =
   let buf = Buffer.create 256 in

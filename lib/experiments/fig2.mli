@@ -67,3 +67,7 @@ val to_csv : result -> string
 (** Machine-readable form (header + one row per flow count) for
     external plotting: alpha, sigma, k, seeds, n, lb, rs, rs_sd, sp_mcf,
     sp_mcf_sd, rs_refined. *)
+
+val to_json : result -> Dcn_engine.Json.t
+(** The series as JSON: [{params, points: [{n, lb, rs_over_lb, ...}]}]
+    — the [fig2] section of CLI/bench [--report] files. *)

@@ -1,6 +1,8 @@
 module Gadgets = Dcn_core.Gadgets
 module Prng = Dcn_util.Prng
 module Table = Dcn_util.Table
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type three_partition_report = {
   m : int;
@@ -13,6 +15,9 @@ type three_partition_report = {
 }
 
 let three_partition ?(seed = 3) ?(m = 2) ?(b = 20) ?(alpha = 2.) () =
+  Trace.span "experiment.gadget.three_partition"
+    ~fields:[ ("m", Json.Int m); ("b", Json.Int b) ]
+  @@ fun () ->
   let rng = Prng.create seed in
   let tp = Gadgets.solvable_three_partition ~m ~b ~rng in
   (* m + 1 links keep the exact solver's path enumeration tractable
@@ -59,6 +64,9 @@ type partition_report = {
 }
 
 let partition ?(alpha = 2.) ?(integers = [ 3; 4; 5; 3; 4; 5 ]) () =
+  Trace.span "experiment.gadget.partition"
+    ~fields:[ ("integers", Json.Int (List.length integers)) ]
+  @@ fun () ->
   let p = Gadgets.make_partition ~integers in
   let inst = Gadgets.partition_instance ~alpha ~links:4 p in
   let exact = (Dcn_core.Exact.solve ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
@@ -80,3 +88,24 @@ let render_partition r =
     ]
   in
   "Theorem 3 gadget (partition reduction, C = B/2)\n" ^ Table.render ~headers ~rows ()
+
+let three_partition_to_json r =
+  Json.Obj
+    [
+      ("m", Json.Int r.m);
+      ("b", Json.Int r.b);
+      ("closed_form", Json.float r.closed_form);
+      ("exact", Json.float r.exact);
+      ("rs", Json.float r.rs);
+      ("rs_feasible", Json.Bool r.rs_feasible);
+      ("rs_over_opt", Json.float r.rs_over_opt);
+    ]
+
+let partition_to_json r =
+  Json.Obj
+    [
+      ("total", Json.Int r.total);
+      ("yes_energy", Json.float r.yes_energy);
+      ("exact", Json.float r.exact);
+      ("inapprox_ratio", Json.float r.inapprox_ratio);
+    ]

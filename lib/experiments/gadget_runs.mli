@@ -32,3 +32,7 @@ type partition_report = {
 val partition : ?alpha:float -> ?integers:int list -> unit -> partition_report
 
 val render_partition : partition_report -> string
+
+val three_partition_to_json : three_partition_report -> Dcn_engine.Json.t
+val partition_to_json : partition_report -> Dcn_engine.Json.t
+(** JSON forms for the [gadgets] section of [--report] files. *)

@@ -11,6 +11,13 @@ type row = {
 }
 
 let run ?(alpha = 2.) ?(n_flows = 4) ?(links = 3) ~seeds () =
+  Dcn_engine.Trace.span "experiment.small_exact"
+    ~fields:
+      [
+        ("seeds", Dcn_engine.Json.Int (List.length seeds));
+        ("flows", Dcn_engine.Json.Int n_flows);
+      ]
+  @@ fun () ->
   let graph = Dcn_topology.Builders.parallel ~links in
   let power = Dcn_power.Model.make ~sigma:0. ~mu:1. ~alpha () in
   List.map
@@ -49,3 +56,18 @@ let render rows =
   in
   "Random-Schedule vs exact optimum (parallel links, exhaustive routing)\n"
   ^ Table.render ~headers ~rows:(List.map row rows) ()
+
+let to_json rows =
+  let module Json = Dcn_engine.Json in
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("seed", Json.Int r.seed);
+             ("n_flows", Json.Int r.n_flows);
+             ("exact", Json.float r.exact);
+             ("rs", Json.float r.rs);
+             ("ratio", Json.float r.ratio);
+           ])
+       rows)

@@ -19,3 +19,6 @@ val run :
     [n_flows], default 4), exact by enumeration. *)
 
 val render : row list -> string
+
+val to_json : row list -> Dcn_engine.Json.t
+(** One object per row — the [small_exact] section of [--report] files. *)

@@ -1,5 +1,7 @@
 module Graph = Dcn_topology.Graph
 module Paths = Dcn_topology.Paths
+module Trace = Dcn_engine.Trace
+module Json = Dcn_engine.Json
 
 type problem = {
   graph : Graph.t;
@@ -53,12 +55,29 @@ let golden_section ~iters f =
   done;
   (!a +. !b) /. 2.
 
+(* One record per Frank–Wolfe iteration: the duality gap, the objective
+   it was measured at, and the accepted line-search step (0 on the
+   terminating iteration).  One branch when no trace is installed. *)
+let trace_iter iter gap objective step =
+  if Trace.on () then
+    Trace.event "fw.iter"
+      ~fields:
+        [
+          ("iter", Json.Int iter);
+          ("gap", Json.float gap);
+          ("objective", Json.float objective);
+          ("step", Json.float step);
+        ]
+
 let solve ?(config = default_config) problem =
   let g = problem.graph in
   let m = Graph.num_links g in
   let commodities = problem.commodities in
   let nc = Array.length commodities in
   if nc = 0 then invalid_arg "Frank_wolfe.solve: no commodities";
+  Trace.span "fw.solve"
+    ~fields:[ ("commodities", Json.Int nc); ("links", Json.Int m) ]
+  @@ fun () ->
   let pen x =
     if problem.capacity = infinity then 0.
     else
@@ -146,7 +165,10 @@ let solve ?(config = default_config) problem =
        done;
        final_gap := Float.max 0. !gap;
        let obj_now = objective loads in
-       if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then raise Exit;
+       if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then begin
+         trace_iter iter !final_gap obj_now 0.;
+         raise Exit
+       end;
        (* Line search over the segment towards the all-or-nothing point. *)
        let blend_obj theta =
          let acc = ref 0. in
@@ -157,6 +179,7 @@ let solve ?(config = default_config) problem =
        in
        let theta = golden_section ~iters:config.line_search_iters blend_obj in
        let theta = if blend_obj theta < obj_now then theta else 0. in
+       trace_iter iter !final_gap obj_now theta;
        if theta <= 1e-12 then raise Exit;
        for i = 0 to nc - 1 do
          let fi = flows.(i) in
@@ -175,6 +198,15 @@ let solve ?(config = default_config) problem =
     if problem.capacity = infinity then neg_infinity
     else Array.fold_left (fun acc x -> Float.max acc (x -. problem.capacity)) neg_infinity loads
   in
+  if Trace.on () then
+    Trace.event "fw.done"
+      ~fields:
+        [
+          ("iterations", Json.Int !iterations);
+          ("gap", Json.float !final_gap);
+          ("cost", Json.float cost);
+          ("max_overload", Json.float max_overload);
+        ];
   { flows; loads; cost; gap = !final_gap; iterations = !iterations; max_overload }
 
 let lower_bound_cost _problem solution = Float.max 0. (solution.cost -. solution.gap)

@@ -44,8 +44,13 @@ val make :
 val delivered : plan -> float
 (** Data carried by the plan's slots. *)
 
+val find_plan : t -> int -> plan option
+(** Plan of the flow with the given id, or [None]. *)
+
 val plan_of : t -> int -> plan
-(** Plan of the flow with the given id.  @raise Not_found. *)
+(** @deprecated Use {!find_plan}; this partial version remains for
+    existing callers.
+    @raise Not_found for an unknown flow id. *)
 
 val link_profile : t -> Dcn_topology.Graph.link -> Profile.t
 (** Aggregate rate profile of one link. *)

@@ -1,0 +1,92 @@
+(* Shape validator for the machine-readable outputs of
+   [dcn solve --trace FILE --report FILE], run from the root `check-json`
+   alias (itself a `runtest` dependency).  Exits non-zero with a message
+   on the first violation, so a regression in the trace or report format
+   fails tier-1.
+
+   Usage: check_json.exe TRACE.json REPORT.json *)
+
+module Json = Dcn_engine.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check-json: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse path =
+  try Json.of_string (read_file path)
+  with Failure m -> fail "%s: not valid JSON: %s" path m
+
+let get path name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> fail "%s: missing key %S" path name
+
+let check_trace path =
+  let json = parse path in
+  (match Json.member "version" json with
+  | Some (Json.Int 1) -> ()
+  | _ -> fail "%s: version is not 1" path);
+  let events = Json.to_list (get path "events" json) in
+  if events = [] then fail "%s: no events recorded" path;
+  (* Every record carries the envelope keys, and seq is strictly
+     increasing (records are emitted sorted). *)
+  let prev = ref (-1) in
+  List.iter
+    (fun e ->
+      let seq = Json.to_int (get path "seq" e) in
+      if seq <= !prev then fail "%s: seq %d out of order" path seq;
+      prev := seq;
+      ignore (Json.to_int (get path "t_ns" e));
+      ignore (Json.to_int (get path "domain" e));
+      ignore (Json.to_str (get path "type" e)))
+    events;
+  (* The solvers a `solve` run goes through must all have spoken up. *)
+  let names =
+    List.filter_map (fun e -> Option.map Json.to_str (Json.member "name" e)) events
+  in
+  List.iter
+    (fun required ->
+      if not (List.mem required names) then
+        fail "%s: no %S event — solver instrumentation lost" path required)
+    [ "rs.solve"; "fw.iter"; "mcf.group"; "rs.attempt"; "pool.task" ];
+  ignore (get path "counters" json)
+
+let check_report path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "solve") -> ()
+  | _ -> fail "%s: command is not \"solve\"" path);
+  let solutions = Json.to_list (get path "solutions" json) in
+  if List.length solutions <> 2 then
+    fail "%s: expected 2 solutions (SP+MCF, RS), got %d" path (List.length solutions);
+  List.iter
+    (fun s ->
+      ignore (Json.to_str (get path "algorithm" s));
+      let energy = Json.to_float (get path "energy" s) in
+      if not (Float.is_finite energy) || energy < 0. then
+        fail "%s: non-finite or negative energy" path;
+      ignore (Json.to_list (get path "rates" s)))
+    solutions;
+  let lb = Json.to_float (get path "lower_bound" json) in
+  if not (Float.is_finite lb) then fail "%s: non-finite lower bound" path;
+  ignore (get path "sim" json);
+  (match get path "metrics" json with
+  | Json.List (_ :: _) -> ()
+  | _ -> fail "%s: metrics section empty" path);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
+let () =
+  match Sys.argv with
+  | [| _; trace; report |] ->
+    check_trace trace;
+    check_report report;
+    print_endline "check-json: trace and report OK"
+  | _ ->
+    prerr_endline "usage: check_json.exe TRACE.json REPORT.json";
+    exit 2

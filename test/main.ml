@@ -18,4 +18,5 @@ let () =
          Test_regression.suite;
          Test_more3.suite;
          Test_engine.suite;
+         Test_trace.suite;
        ])

@@ -14,6 +14,11 @@ module Prng = Dcn_util.Prng
 
 let check_float = Alcotest.(check (float 1e-6))
 
+let rate res id =
+  match Solution.find_rate res id with
+  | Some r -> r
+  | None -> Alcotest.failf "no rate recorded for flow %d" id
+
 let quick_fw =
   { Dcn_mcf.Frank_wolfe.default_config with max_iters = 60; line_search_iters = 24 }
 
@@ -56,8 +61,8 @@ let test_mcf_example1_rates () =
   (* Example 1 of the paper: sqrt 2 * s1 = s2 = (8 + 6 sqrt 2) / 3. *)
   let res = Baselines.sp_mcf (example1 ()) in
   let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
-  check_float "s2" s2 (Most_critical_first.rate_of res 2);
-  check_float "s1 = s2/sqrt2" (s2 /. sqrt 2.) (Most_critical_first.rate_of res 1);
+  check_float "s2" s2 (rate res 2);
+  check_float "s1 = s2/sqrt2" (s2 /. sqrt 2.) (rate res 1);
   Alcotest.(check bool) "placement complete" true
     (Solution.placement_complete res)
 
@@ -84,7 +89,7 @@ let test_mcf_single_flow_density () =
   let f = Flow.make ~id:0 ~src:0 ~dst:3 ~volume:9. ~release:1. ~deadline:4. in
   let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f ] in
   let res = Baselines.sp_mcf inst in
-  check_float "rate = density" 3. (Most_critical_first.rate_of res 0);
+  check_float "rate = density" 3. (rate res 0);
   (* energy = |P| * w * s^(alpha-1) = 3 * 9 * 3 = 81. *)
   check_float "energy" 81. res.Solution.energy
 
@@ -95,8 +100,8 @@ let test_mcf_disjoint_flows_independent () =
   let f2 = Flow.make ~id:1 ~src:2 ~dst:3 ~volume:6. ~release:0. ~deadline:3. in
   let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
   let res = Baselines.sp_mcf inst in
-  check_float "f1 density" 2. (Most_critical_first.rate_of res 0);
-  check_float "f2 density" 2. (Most_critical_first.rate_of res 1)
+  check_float "f1 density" 2. (rate res 0);
+  check_float "f2 density" 2. (rate res 1)
 
 let test_mcf_groups_non_increasing () =
   let graph = Builders.line 3 in

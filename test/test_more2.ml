@@ -63,8 +63,13 @@ let test_mcf_virtual_weight_effect () =
   let f_long = Flow.make ~id:1 ~src:0 ~dst:4 ~volume:6. ~release:0. ~deadline:2. in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f_short; f_long ] in
   let res = Dcn_core.Baselines.sp_mcf inst in
-  let s_short = Dcn_core.Most_critical_first.rate_of res 0 in
-  let s_long = Dcn_core.Most_critical_first.rate_of res 1 in
+  let rate id =
+    match Dcn_core.Most_critical_first.find_rate res id with
+    | Some r -> r
+    | None -> Alcotest.failf "no rate recorded for flow %d" id
+  in
+  let s_short = rate 0 in
+  let s_long = rate 1 in
   check_float "ratio = |P|^(1/alpha) = 2" 2. (s_short /. s_long)
 
 (* --- EDF tie-breaking ------------------------------------------------ *)

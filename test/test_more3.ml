@@ -23,8 +23,13 @@ let sparse_example1 () =
 let test_sparse_ids_mcf () =
   let res = Baselines.sp_mcf (sparse_example1 ()) in
   let s2 = (8. +. (6. *. sqrt 2.)) /. 3. in
-  check_float "s2 under sparse ids" s2 (Most_critical_first.rate_of res 7);
-  check_float "s1 under sparse ids" (s2 /. sqrt 2.) (Most_critical_first.rate_of res 1000);
+  let rate id =
+    match Most_critical_first.find_rate res id with
+    | Some r -> r
+    | None -> Alcotest.failf "no rate recorded for flow %d" id
+  in
+  check_float "s2 under sparse ids" s2 (rate 7);
+  check_float "s1 under sparse ids" (s2 /. sqrt 2.) (rate 1000);
   check_float "energy" (((8. +. (6. *. sqrt 2.)) ** 2.) /. 3.)
     res.Solution.energy
 

@@ -41,6 +41,36 @@ let prop_serialize_solver_transparent =
       let e2 = (Baselines.sp_mcf back).Solution.energy in
       Float.abs (e1 -. e2) < 1e-9 *. Float.max 1. e1)
 
+(* Schedules round-trip through the v1 text format: re-importing
+   against the same instance reproduces the text verbatim (and hence
+   the schedule, field by field). *)
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"serialize: schedule_of_string inverts schedule_to_string"
+    ~count:10 seed_gen (fun seed ->
+      let inst, rng = small_instance seed in
+      let rs =
+        Random_schedule.solve
+          ~config:{ Random_schedule.attempts = 3; fw_config = quick_fw }
+          ~rng inst
+      in
+      let text = Serialize.schedule_to_string rs.Solution.schedule in
+      let back = Serialize.schedule_of_string inst text in
+      Serialize.schedule_to_string back = text
+      && Float.abs (Schedule.energy back -. Schedule.energy rs.Solution.schedule)
+         < 1e-9 *. Float.max 1. (Schedule.energy rs.Solution.schedule))
+
+(* The v1 parser rejects schedules that name flows the instance does
+   not have. *)
+let prop_schedule_roundtrip_unknown_flow =
+  QCheck.Test.make ~name:"serialize: schedule parser rejects unknown flow ids"
+    ~count:5 seed_gen (fun seed ->
+      let inst, _ = small_instance ~n:4 seed in
+      let text = "dcnsched-schedule v1\nplan 9999 0\nslot 0 1 1\n" in
+      try
+        ignore (Serialize.schedule_of_string inst text);
+        false
+      with Failure _ -> true)
+
 (* Admission control partitions the flow set. *)
 let prop_online_partitions =
   QCheck.Test.make ~name:"online: accepted and rejected partition the flows" ~count:15
@@ -120,6 +150,8 @@ let suite =
       [
         qt prop_gadget_random_instances;
         qt prop_serialize_solver_transparent;
+        qt prop_schedule_roundtrip;
+        qt prop_schedule_roundtrip_unknown_flow;
         qt prop_online_partitions;
         qt prop_split_lb_invariant;
         qt prop_sim_checker_capacity_agree;
