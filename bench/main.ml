@@ -13,6 +13,13 @@
      DCN_BENCH_TRACE=f   write the structured event trace of the whole
                          run (JSON) to f on exit
 
+   Regression gate (environment):
+     DCN_BENCH_BASELINE=f   diff the fresh report against the committed
+                            baseline report f and exit non-zero on a
+                            mismatch (see EXPERIMENTS.md)
+     DCN_BENCH_TOLERANCE=x  relative tolerance for numeric values in
+                            the gate (default 1e-6)
+
    The paper's Figure 2 shape to look for: RS/LB low and flattening as
    the number of flows grows; SP+MCF/LB higher and growing; both
    effects stronger for alpha = 4. *)
@@ -31,6 +38,12 @@ module Json = Dcn_engine.Json
 
 let report_path = Sys.getenv_opt "DCN_BENCH_REPORT"
 let trace_path = Sys.getenv_opt "DCN_BENCH_TRACE"
+let baseline_path = Sys.getenv_opt "DCN_BENCH_BASELINE"
+
+let tolerance =
+  match Sys.getenv_opt "DCN_BENCH_TOLERANCE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1e-6)
+  | None -> 1e-6
 
 let bench_trace =
   match trace_path with
@@ -41,17 +54,146 @@ let bench_trace =
     Some t
 
 (* Sections accumulate in run order; nothing is built unless a report
-   was requested. *)
+   was requested (or the baseline gate needs one to diff). *)
+let collecting = report_path <> None || baseline_path <> None
 let report_sections : (string * Json.t) list ref = ref []
 
-let report name json =
-  if report_path <> None then report_sections := (name, json) :: !report_sections
+(* Per-experiment engine metrics: a [Metrics.since] cut at every section
+   banner and at every [report] call, so each reported experiment gets
+   only the stages it ran itself instead of everything accumulated by
+   earlier sections.  The cumulative table at the end is untouched. *)
+let last_metrics = ref []
+let section_metrics : (string * Json.t) list ref = ref []
 
+let metrics_cut () =
+  let now = Dcn_engine.Metrics.snapshot () in
+  let delta = Dcn_engine.Metrics.since ~base:!last_metrics now in
+  last_metrics := now;
+  delta
+
+let report name json =
+  let delta = metrics_cut () in
+  if collecting then begin
+    report_sections := (name, json) :: !report_sections;
+    if delta <> [] then
+      section_metrics :=
+        (name, Dcn_engine.Metrics.snapshot_to_json delta) :: !section_metrics
+  end
+
+(* Atomic, like bin/observe.ml: the gate must never read a truncated
+   report. *)
 let write_file path text =
-  let oc = open_out path in
-  output_string oc text;
-  close_out oc;
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc text)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
   Printf.eprintf "wrote %s\n%!" path
+
+(* ------------------------- regression gate ------------------------ *)
+
+(* Diffs the fresh report against the committed baseline: every
+   baseline section must still be present, every baseline metrics stage
+   must still be recorded, and every numeric leaf of the baseline's
+   experiment sections must match within [tolerance] (relative).  Wall
+   times never enter the comparison: "metrics"/"section_metrics" are
+   checked for stage presence only, and "seconds" keys are skipped.
+   Returns the failure messages (empty = gate passed). *)
+let gate ~baseline ~fresh =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let timing_keys = [ "metrics"; "section_metrics" ] in
+  let numeric = function
+    | Json.Int _ | Json.Float _ -> true
+    | Json.Str ("inf" | "-inf" | "nan") -> true
+    | _ -> false
+  in
+  let rec walk path b f =
+    match (b, f) with
+    | Json.Obj bf, Json.Obj ff ->
+      List.iter
+        (fun (k, bv) ->
+          if k <> "seconds" then
+            match List.assoc_opt k ff with
+            | None -> fail "%s.%s: missing from fresh report" path k
+            | Some fv -> walk (path ^ "." ^ k) bv fv)
+        bf
+    | Json.List bl, Json.List fl ->
+      if List.length bl <> List.length fl then
+        fail "%s: %d element(s) -> %d" path (List.length bl) (List.length fl)
+      else
+        List.iteri
+          (fun i (bv, fv) -> walk (Printf.sprintf "%s[%d]" path i) bv fv)
+          (List.combine bl fl)
+    | bv, fv when numeric bv && numeric fv ->
+      let x = Json.to_float bv and y = Json.to_float fv in
+      let same =
+        (Float.is_nan x && Float.is_nan y)
+        || x = y
+        || Float.abs (x -. y) <= tolerance *. Float.max (Float.abs x) (Float.abs y)
+      in
+      if not same then fail "%s: %.17g -> %.17g (tolerance %g)" path x y tolerance
+    | Json.Str bs, Json.Str fs ->
+      if bs <> fs then fail "%s: %S -> %S" path bs fs
+    | Json.Bool bb, Json.Bool fb ->
+      if bb <> fb then fail "%s: %b -> %b" path bb fb
+    | Json.Null, Json.Null -> ()
+    | _ -> fail "%s: shape changed" path
+  in
+  let stages = function
+    | Json.List rows ->
+      List.filter_map (fun r -> Option.map Json.to_str (Json.member "stage" r)) rows
+    | _ -> []
+  in
+  (match (Json.member "metrics" baseline, Json.member "metrics" fresh) with
+  | Some b, Some (Json.List (_ :: _) as f) ->
+    List.iter
+      (fun s ->
+        if not (List.mem s (stages f)) then fail "metrics: stage %S disappeared" s)
+      (stages b)
+  | Some _, _ -> fail "metrics: missing or empty in fresh report"
+  | None, _ -> ());
+  List.iter
+    (fun (k, bv) ->
+      if not (List.mem k timing_keys) then
+        match Json.member k fresh with
+        | None -> fail "section %S missing from fresh report" k
+        | Some fv -> walk k bv fv)
+    (Json.to_obj baseline);
+  List.rev !failures
+
+let run_gate fresh_json =
+  match baseline_path with
+  | None -> ()
+  | Some path ->
+    let baseline =
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      try Json.of_string text
+      with Failure m ->
+        Printf.eprintf "bench gate: %s is not valid JSON: %s\n%!" path m;
+        exit 1
+    in
+    (match gate ~baseline ~fresh:fresh_json with
+    | [] -> Printf.printf "bench gate: OK (matches %s within %g)\n%!" path tolerance
+    | failures ->
+      Printf.eprintf "bench gate: %d regression(s) vs %s:\n" (List.length failures)
+        path;
+      List.iter (fun m -> Printf.eprintf "  %s\n" m) failures;
+      Printf.eprintf "%!";
+      exit 1)
 
 let flush_observability () =
   (match bench_trace with
@@ -60,18 +202,24 @@ let flush_observability () =
     Dcn_engine.Trace.uninstall ();
     write_file (Option.get trace_path)
       (Json.to_string ~pretty:true (Dcn_engine.Trace.to_json t)));
-  match report_path with
-  | None -> ()
-  | Some path ->
+  if collecting then begin
     let json =
       Json.Obj
         (("command", Json.Str "bench")
          :: List.rev !report_sections
-        @ [ ("metrics", Dcn_engine.Metrics.to_json ()) ])
+        @ [
+            ("metrics", Dcn_engine.Metrics.to_json ());
+            ("section_metrics", Json.Obj (List.rev !section_metrics));
+          ])
     in
-    write_file path (Json.to_string ~pretty:true json)
+    (match report_path with
+    | Some path -> write_file path (Json.to_string ~pretty:true json)
+    | None -> ());
+    run_gate json
+  end
 
 let section title =
+  ignore (metrics_cut ());
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
 
 (* --------------------------- E1 / E2 ------------------------------ *)

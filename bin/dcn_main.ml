@@ -365,6 +365,125 @@ let solve_cmd =
         (const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t
        $ instance_t $ gantt_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
+(* ------------------------- trace analytics ------------------------ *)
+
+(* `dcn trace {summary,export,diff}`: consume --trace files via
+   Dcn_engine.Profile. *)
+
+let load_records path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Dcn_engine.Trace.records_of_json (Json.of_string text)
+
+(* Cmdliner's `file` converter already rejects missing paths; this
+   catches unparsable ones. *)
+let with_records path f =
+  match load_records path with
+  | records -> f records
+  | exception Failure m -> Error (`Msg (Printf.sprintf "%s: %s" path m))
+
+let trace_file_t index name =
+  Arg.(
+    required
+    & pos index (some file) None
+    & info [] ~docv:name ~doc:"A trace file written by $(b,--trace).")
+
+let trace_summary_cmd =
+  let top_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "top" ] ~doc:"Show only the top $(docv) spans by self time (0 = all)."
+          ~docv:"N")
+  in
+  let run file top =
+    with_records file @@ fun records ->
+    print_string (Dcn_engine.Profile.summary ~top (Dcn_engine.Profile.of_records records));
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:
+         "Profile a trace: per-span call counts, total/self time, latency \
+          quantiles, GC allocation, counters.")
+    Term.(term_result (const run $ trace_file_t 0 "TRACE.json" $ top_t))
+
+let trace_export_cmd =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome) ]) `Chrome
+      & info [ "format" ] ~doc:"Output format; only $(b,chrome) (trace-event JSON, \
+                                loadable in Perfetto) for now.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~doc:"Write to $(docv) instead of stdout." ~docv:"FILE")
+  in
+  let run file `Chrome out =
+    with_records file @@ fun records ->
+    let text =
+      Json.to_string ~pretty:true (Dcn_engine.Profile.to_chrome records)
+    in
+    (match out with
+    | None -> print_string text
+    | Some path -> Observe.write_file path text);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Convert a trace to a standard viewer format.")
+    Term.(term_result (const run $ trace_file_t 0 "TRACE.json" $ format_t $ out_t))
+
+let trace_diff_cmd =
+  let tolerance_t =
+    Arg.(
+      value
+      & opt float 0.25
+      & info [ "tolerance" ]
+          ~doc:
+            "Relative self/total time growth above which a span counts as a \
+             regression (exit is then non-zero)."
+          ~docv:"FRAC")
+  in
+  let run a b tolerance =
+    if tolerance < 0. then Error (`Msg "--tolerance must be >= 0")
+    else
+      with_records a @@ fun ra ->
+      with_records b @@ fun rb ->
+      let module P = Dcn_engine.Profile in
+      let deltas = P.diff ~a:(P.of_records ra) ~b:(P.of_records rb) in
+      print_string (P.render_diff ~tolerance deltas);
+      match P.regressions ~tolerance deltas with
+      | [] -> Ok ()
+      | bad ->
+        Error
+          (`Msg
+            (Printf.sprintf "%d span(s) regressed beyond %.0f%%: %s"
+               (List.length bad)
+               (100. *. tolerance)
+               (String.concat ", " (List.map (fun (d : P.span_delta) -> d.P.d_name) bad))))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two traces span-by-span (A is the baseline); non-zero exit \
+          when B regressed beyond --tolerance.")
+    Term.(
+      term_result
+        (const run $ trace_file_t 0 "A.json" $ trace_file_t 1 "B.json" $ tolerance_t))
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Analyse --trace files: profile summary, Chrome export, diff.")
+    [ trace_summary_cmd; trace_export_cmd; trace_diff_cmd ]
+
 let () =
   let doc = "energy-efficient deadline-constrained flow scheduling and routing" in
   let info = Cmd.info "dcn" ~version:"1.0.0" ~doc in
@@ -379,4 +498,5 @@ let () =
             example1_cmd;
             generate_cmd;
             solve_cmd;
+            trace_cmd;
           ]))

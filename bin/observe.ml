@@ -35,27 +35,28 @@ let report_t =
         ~doc:"Write a machine-readable run report (JSON) to $(docv)."
         ~docv:"FILE")
 
+(* Atomic: write to a temp file in the target's directory, then rename,
+   so an interrupted run never leaves a truncated JSON for `dcn trace`
+   or the bench gate to choke on. *)
 let write_file path text =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc text);
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc text)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
   Printf.eprintf "wrote %s\n%!" path
 
 (* Counter totals, one object keyed by counter name. *)
 let counters_json t =
-  let totals = Hashtbl.create 8 in
-  List.iter
-    (fun (r : Trace.record) ->
-      match r.Trace.entry with
-      | Trace.Counter { name; delta } ->
-        Hashtbl.replace totals name
-          (delta +. Option.value ~default:0. (Hashtbl.find_opt totals name))
-      | _ -> ())
-    (Trace.records t);
-  Json.Obj
-    (List.sort compare
-       (Hashtbl.fold (fun name v acc -> (name, Json.float v) :: acc) totals []))
+  Json.Obj (List.map (fun (name, v) -> (name, Json.float v)) (Trace.counters t))
 
 let run ~command ~trace ~report f =
   match (trace, report) with

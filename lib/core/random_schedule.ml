@@ -122,7 +122,7 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
     (* Per-attempt outcome, emitted on whichever domain evaluated the
        draw (the trace is where the parallel schedule is visible; the
        returned solution stays jobs-invariant). *)
-    if Trace.on () then
+    if Trace.on () then begin
       Trace.event "rs.attempt"
         ~fields:
           [
@@ -131,6 +131,9 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
             ("overload", Json.float overload);
             ("energy", Json.float energy);
           ];
+      Trace.counter "rs.attempts" 1.;
+      if feasible then Trace.counter "rs.feasible_attempts" 1.
+    end;
     {
       a_index = k;
       a_chosen = chosen;

@@ -287,3 +287,4 @@ let to_float = function
 let to_int = function Int i -> i | _ -> failwith "Json.to_int: not an int"
 let to_str = function Str s -> s | _ -> failwith "Json.to_str: not a string"
 let to_list = function List l -> l | _ -> failwith "Json.to_list: not a list"
+let to_obj = function Obj f -> f | _ -> failwith "Json.to_obj: not an object"

@@ -53,3 +53,6 @@ val to_str : t -> string
 
 val to_list : t -> t list
 (** @raise Failure unless [List]. *)
+
+val to_obj : t -> (string * t) list
+(** @raise Failure unless [Obj]. *)

@@ -33,7 +33,19 @@ let reset () =
   Hashtbl.reset table;
   Mutex.unlock mutex
 
-let to_json () =
+let since ~base now =
+  let at_base = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace at_base r.stage (r.calls, r.seconds)) base;
+  List.filter_map
+    (fun r ->
+      let calls0, seconds0 =
+        Option.value ~default:(0, 0.) (Hashtbl.find_opt at_base r.stage)
+      in
+      let calls = r.calls - calls0 and seconds = r.seconds -. seconds0 in
+      if calls <= 0 then None else Some { r with calls; seconds })
+    now
+
+let snapshot_to_json rows =
   Json.List
     (List.map
        (fun r ->
@@ -43,7 +55,9 @@ let to_json () =
              ("calls", Json.Int r.calls);
              ("seconds", Json.float r.seconds);
            ])
-       (snapshot ()))
+       rows)
+
+let to_json () = snapshot_to_json (snapshot ())
 
 let render () =
   match snapshot () with

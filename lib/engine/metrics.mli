@@ -21,6 +21,17 @@ val snapshot : unit -> snapshot list
 
 val reset : unit -> unit
 
+val since : base:snapshot list -> snapshot list -> snapshot list
+(** [since ~base now] is the per-stage delta [now - base] — what was
+    recorded between the two snapshots.  Stages with no new calls are
+    dropped, so a sequence of [since] cuts attributes each stage's
+    activity to exactly one interval (the bench harness uses this to
+    report per-experiment metrics instead of cumulative ones). *)
+
+val snapshot_to_json : snapshot list -> Json.t
+(** A snapshot (or {!since} delta) as a JSON list of
+    [{stage, calls, seconds}] objects, in list order. *)
+
 val to_json : unit -> Json.t
 (** The snapshot as a JSON list of [{stage, calls, seconds}] objects,
     in snapshot order. *)

@@ -1,0 +1,502 @@
+(* Single-pass aggregation of Trace.record lists into per-span-name
+   profiles, counter timelines, a Chrome trace-event export and a
+   profile diff.  See profile.mli for the contracts. *)
+
+module Hist = struct
+  (* Log-bucketed histogram: bucket [b] covers
+     [2^(b/sub), 2^((b+1)/sub)) with [sub] buckets per octave, so any
+     sample and its bucket's representative differ by at most a factor
+     of 2^(1/sub).  Counts are integers, which makes [merge] exactly
+     associative and commutative on the bucket table. *)
+
+  let sub_buckets = 8
+  let width = Float.exp2 (1. /. float_of_int sub_buckets)
+
+  type t = {
+    mutable n : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    counts : (int, int) Hashtbl.t;
+  }
+
+  let create () =
+    { n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity; counts = Hashtbl.create 32 }
+
+  (* Zero and negative samples share one dedicated bucket below every
+     log bucket. *)
+  let zero_bucket = min_int
+
+  let bucket_of v =
+    if v <= 0. then zero_bucket
+    else int_of_float (Float.floor (Float.log2 v *. float_of_int sub_buckets))
+
+  let representative b =
+    if b = zero_bucket then 0.
+    else Float.exp2 ((float_of_int b +. 0.5) /. float_of_int sub_buckets)
+
+  let add h v =
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v;
+    let b = bucket_of v in
+    Hashtbl.replace h.counts b (1 + Option.value ~default:0 (Hashtbl.find_opt h.counts b))
+
+  let count h = h.n
+  let total h = h.sum
+  let mean h = if h.n = 0 then nan else h.sum /. float_of_int h.n
+  let min_value h = if h.n = 0 then nan else h.min_v
+  let max_value h = if h.n = 0 then nan else h.max_v
+
+  let buckets h =
+    List.sort compare (Hashtbl.fold (fun b c acc -> (b, c) :: acc) h.counts [])
+
+  let merge a b =
+    let m = create () in
+    m.n <- a.n + b.n;
+    m.sum <- a.sum +. b.sum;
+    m.min_v <- Float.min a.min_v b.min_v;
+    m.max_v <- Float.max a.max_v b.max_v;
+    let pour h =
+      Hashtbl.iter
+        (fun k c ->
+          Hashtbl.replace m.counts k
+            (c + Option.value ~default:0 (Hashtbl.find_opt m.counts k)))
+        h.counts
+    in
+    pour a;
+    pour b;
+    m
+
+  let quantile h q =
+    if h.n = 0 then nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.n))) in
+      let rec walk cum = function
+        | [] -> h.max_v
+        | (b, c) :: rest ->
+          let cum = cum + c in
+          if cum >= rank then Float.min h.max_v (Float.max h.min_v (representative b))
+          else walk cum rest
+      in
+      walk 0 (buckets h)
+    end
+end
+
+type span_stat = {
+  name : string;
+  count : int;
+  total_ns : float;
+  self_ns : float;
+  hist : Hist.t;
+  minor_words : float;
+  major_words : float;
+}
+
+type counter_point = { at_ns : float; total : float }
+
+type t = {
+  spans : span_stat list;
+  counters : (string * counter_point list) list;
+  events : (string * int) list;
+  domains : int list;
+  record_count : int;
+  duration_ns : float;
+  unclosed : int;
+}
+
+(* ----------------------------- building --------------------------- *)
+
+type open_span = {
+  o_name : string;
+  o_parent : int option;
+  o_time : float;
+  o_gc : Trace.gc option;
+  o_domain : int;
+  mutable o_children : float;  (* summed total time of direct children *)
+}
+
+type acc = {
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_self : float;
+  a_hist : Hist.t;
+  mutable a_minor : float;
+  mutable a_major : float;
+}
+
+let of_records records =
+  let records =
+    List.sort (fun (a : Trace.record) b -> compare a.Trace.seq b.Trace.seq) records
+  in
+  let stats : (string, acc) Hashtbl.t = Hashtbl.create 32 in
+  let opens : (int, open_span) Hashtbl.t = Hashtbl.create 64 in
+  let last_time : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let event_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let counter_series : (string, counter_point list ref) Hashtbl.t = Hashtbl.create 8 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let unclosed = ref 0 in
+  let stat name =
+    match Hashtbl.find_opt stats name with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_count = 0; a_total = 0.; a_self = 0.; a_hist = Hist.create ();
+          a_minor = 0.; a_major = 0. }
+      in
+      Hashtbl.add stats name a;
+      a
+  in
+  let close_span id time gc =
+    match Hashtbl.find_opt opens id with
+    | None -> ()  (* close without an open: tolerated, dropped *)
+    | Some o ->
+      Hashtbl.remove opens id;
+      let total = Float.max 0. (time -. o.o_time) in
+      (match o.o_parent with
+      | Some p -> (
+        match Hashtbl.find_opt opens p with
+        | Some po -> po.o_children <- po.o_children +. total
+        | None -> ())
+      | None -> ());
+      let self = Float.max 0. (total -. o.o_children) in
+      let minor, major =
+        match (o.o_gc, gc) with
+        | Some a, Some b ->
+          (Float.max 0. (b.Trace.minor_words -. a.Trace.minor_words),
+           Float.max 0. (b.Trace.major_words -. a.Trace.major_words))
+        | _ -> (0., 0.)
+      in
+      let a = stat o.o_name in
+      a.a_count <- a.a_count + 1;
+      a.a_total <- a.a_total +. total;
+      a.a_self <- a.a_self +. self;
+      Hist.add a.a_hist total;
+      a.a_minor <- a.a_minor +. minor;
+      a.a_major <- a.a_major +. major
+  in
+  List.iter
+    (fun (r : Trace.record) ->
+      let time = Int64.to_float r.Trace.time_ns in
+      Hashtbl.replace last_time r.Trace.domain time;
+      if time < !t_min then t_min := time;
+      if time > !t_max then t_max := time;
+      match r.Trace.entry with
+      | Trace.Span_open { id; parent; name; _ } ->
+        Hashtbl.replace opens id
+          { o_name = name; o_parent = parent; o_time = time; o_gc = r.Trace.gc;
+            o_domain = r.Trace.domain; o_children = 0. }
+      | Trace.Span_close { id } -> close_span id time r.Trace.gc
+      | Trace.Event { name; _ } ->
+        Hashtbl.replace event_counts name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt event_counts name))
+      | Trace.Counter { name; delta } ->
+        let series =
+          match Hashtbl.find_opt counter_series name with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.add counter_series name s;
+            s
+        in
+        let prev = match !series with [] -> 0. | p :: _ -> p.total in
+        series := { at_ns = time; total = prev +. delta } :: !series)
+    records;
+  (* A truncated trace can leave spans open; close them at their
+     domain's last seen timestamp so no time disappears.  Children have
+     larger ids than their parents, so closing in descending id order
+     propagates child totals before the parent's self time is fixed. *)
+  let leftovers =
+    List.sort (fun (a, _) (b, _) -> compare b a)
+      (Hashtbl.fold (fun id o acc -> (id, o) :: acc) opens [])
+  in
+  List.iter
+    (fun (id, (o : open_span)) ->
+      incr unclosed;
+      close_span id
+        (Option.value ~default:o.o_time (Hashtbl.find_opt last_time o.o_domain))
+        None)
+    leftovers;
+  let spans =
+    Hashtbl.fold
+      (fun name a acc ->
+        { name; count = a.a_count; total_ns = a.a_total; self_ns = a.a_self;
+          hist = a.a_hist; minor_words = a.a_minor; major_words = a.a_major }
+        :: acc)
+      stats []
+  in
+  {
+    spans =
+      List.sort
+        (fun a b ->
+          match compare b.self_ns a.self_ns with
+          | 0 -> compare a.name b.name
+          | c -> c)
+        spans;
+    counters =
+      List.sort compare
+        (Hashtbl.fold
+           (fun name series acc -> (name, List.rev !series) :: acc)
+           counter_series []);
+    events =
+      List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) event_counts []);
+    domains =
+      List.sort_uniq compare
+        (List.map (fun (r : Trace.record) -> r.Trace.domain) records);
+    record_count = List.length records;
+    duration_ns = (if !t_max >= !t_min then !t_max -. !t_min else 0.);
+    unclosed = !unclosed;
+  }
+
+let of_trace t = of_records (Trace.records t)
+
+let find p name = List.find_opt (fun s -> s.name = name) p.spans
+
+(* ------------------------------ summary --------------------------- *)
+
+let ms ns = ns /. 1e6
+
+let summary ?(top = 0) p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d record(s), %d domain(s), %.3f ms span%s\n"
+       p.record_count (List.length p.domains) (ms p.duration_ns)
+       (if p.unclosed > 0 then Printf.sprintf " (%d unclosed span(s))" p.unclosed
+        else ""));
+  let shown = if top > 0 then List.filteri (fun i _ -> i < top) p.spans else p.spans in
+  if shown <> [] then begin
+    let rows =
+      List.map
+        (fun s ->
+          [
+            s.name;
+            string_of_int s.count;
+            Printf.sprintf "%.3f" (ms s.total_ns);
+            Printf.sprintf "%.3f" (ms s.self_ns);
+            Printf.sprintf "%.3f" (ms (Hist.quantile s.hist 0.5));
+            Printf.sprintf "%.3f" (ms (Hist.quantile s.hist 0.9));
+            Printf.sprintf "%.3f" (ms (Hist.quantile s.hist 0.99));
+            Printf.sprintf "%.0f" s.minor_words;
+            Printf.sprintf "%.0f" s.major_words;
+          ])
+        shown
+    in
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Dcn_util.Table.render
+         ~headers:
+           [ "span"; "calls"; "total ms"; "self ms"; "p50 ms"; "p90 ms";
+             "p99 ms"; "minor w"; "major w" ]
+         ~rows ());
+    if top > 0 && List.length p.spans > top then
+      Buffer.add_string buf
+        (Printf.sprintf "(top %d of %d span names by self time)\n" top
+           (List.length p.spans))
+  end;
+  if p.events <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Dcn_util.Table.render ~headers:[ "event"; "count" ]
+         ~rows:(List.map (fun (n, c) -> [ n; string_of_int c ]) p.events)
+         ())
+  end;
+  if p.counters <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Dcn_util.Table.render
+         ~headers:[ "counter"; "final"; "points" ]
+         ~rows:
+           (List.map
+              (fun (n, series) ->
+                let final = match List.rev series with [] -> 0. | p :: _ -> p.total in
+                [ n; Printf.sprintf "%g" final; string_of_int (List.length series) ])
+              p.counters)
+         ())
+  end;
+  Buffer.contents buf
+
+(* --------------------------- Chrome export ------------------------ *)
+
+(* Chrome trace-event / Perfetto JSON ("JSON Array Format" wrapped in
+   an object).  Spans become ph:B/E duration events, point events
+   ph:i instants, counters ph:C with the cumulative value; ts is in
+   microseconds.  One pid for the process, one tid per domain, named
+   via ph:M metadata. *)
+let to_chrome records =
+  let records =
+    List.sort (fun (a : Trace.record) b -> compare a.Trace.seq b.Trace.seq) records
+  in
+  let pid = ("pid", Json.Int 1) in
+  let common (r : Trace.record) =
+    [
+      ("ts", Json.float (Int64.to_float r.Trace.time_ns /. 1e3));
+      pid;
+      ("tid", Json.Int r.Trace.domain);
+    ]
+  in
+  let args fields = match fields with [] -> [] | f -> [ ("args", Json.Obj f) ] in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let event (r : Trace.record) =
+    match r.Trace.entry with
+    | Trace.Span_open { name; fields; _ } ->
+      Some
+        (Json.Obj
+           ((("name", Json.Str name) :: ("ph", Json.Str "B") :: common r)
+           @ args fields))
+    | Trace.Span_close _ -> Some (Json.Obj (("ph", Json.Str "E") :: common r))
+    | Trace.Event { name; fields; _ } ->
+      Some
+        (Json.Obj
+           ((("name", Json.Str name) :: ("ph", Json.Str "i")
+             :: ("s", Json.Str "t") :: common r)
+           @ args fields))
+    | Trace.Counter { name; delta } ->
+      let total = delta +. Option.value ~default:0. (Hashtbl.find_opt totals name) in
+      Hashtbl.replace totals name total;
+      Some
+        (Json.Obj
+           ((("name", Json.Str name) :: ("ph", Json.Str "C") :: common r)
+           @ [ ("args", Json.Obj [ ("value", Json.float total) ]) ]))
+  in
+  let domains =
+    List.sort_uniq compare (List.map (fun (r : Trace.record) -> r.Trace.domain) records)
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        pid;
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.Str "dcn") ]);
+      ]
+    :: List.map
+         (fun d ->
+           Json.Obj
+             [
+               ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               pid;
+               ("tid", Json.Int d);
+               ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" d)) ]);
+             ])
+         domains
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ List.filter_map event records));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let validate_chrome json =
+  let phases = [ "B"; "E"; "i"; "C"; "M" ] in
+  try
+    let events = Json.to_list (Json.get "traceEvents" json) in
+    if events = [] then failwith "traceEvents is empty";
+    let depth : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+    let last_ts : (int * int, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let ph = Json.to_str (Json.get "ph" e) in
+        if not (List.mem ph phases) then
+          failwith (Printf.sprintf "unsupported ph %S" ph);
+        let pid = Json.to_int (Json.get "pid" e) in
+        let tid = Json.to_int (Json.get "tid" e) in
+        let key = (pid, tid) in
+        if ph <> "M" then begin
+          let ts = Json.to_float (Json.get "ts" e) in
+          if not (Float.is_finite ts) || ts < 0. then failwith "bad ts";
+          (match Hashtbl.find_opt last_ts key with
+          | Some prev when ts < prev -> failwith "ts not monotone within a tid"
+          | _ -> ());
+          Hashtbl.replace last_ts key ts
+        end;
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth key) in
+        match ph with
+        | "B" ->
+          ignore (Json.to_str (Json.get "name" e));
+          Hashtbl.replace depth key (d + 1)
+        | "E" ->
+          if d <= 0 then failwith "E without a matching B";
+          Hashtbl.replace depth key (d - 1)
+        | "i" | "M" -> ignore (Json.to_str (Json.get "name" e))
+        | "C" -> (
+          ignore (Json.to_str (Json.get "name" e));
+          match Json.to_obj (Json.get "args" e) with
+          | [] -> failwith "counter with empty args"
+          | kvs -> List.iter (fun (_, v) -> ignore (Json.to_float v)) kvs)
+        | _ -> assert false)
+      events;
+    Hashtbl.iter
+      (fun (pid, tid) d ->
+        if d <> 0 then
+          failwith (Printf.sprintf "pid %d tid %d: %d unclosed B span(s)" pid tid d))
+      depth;
+    Ok ()
+  with Failure m -> Error m
+
+(* ------------------------------- diff ------------------------------ *)
+
+type span_delta = {
+  d_name : string;
+  count_a : int;
+  count_b : int;
+  total_a : float;
+  total_b : float;
+  self_a : float;
+  self_b : float;
+}
+
+let diff ~a ~b =
+  let of_profile p =
+    List.map (fun s -> (s.name, (s.count, s.total_ns, s.self_ns))) p.spans
+  in
+  let sa = of_profile a and sb = of_profile b in
+  let names =
+    List.sort_uniq compare (List.map fst sa @ List.map fst sb)
+  in
+  let look l n = Option.value ~default:(0, 0., 0.) (List.assoc_opt n l) in
+  List.sort
+    (fun x y -> compare (y.self_b -. y.self_a) (x.self_b -. x.self_a))
+    (List.map
+       (fun n ->
+         let count_a, total_a, self_a = look sa n in
+         let count_b, total_b, self_b = look sb n in
+         { d_name = n; count_a; count_b; total_a; total_b; self_a; self_b })
+       names)
+
+(* A span regresses when its new self or total time exceeds the old by
+   more than [tolerance], relative, with a 0.1 ms absolute floor so
+   microsecond jitter on tiny spans never trips the gate.  Spans absent
+   from the baseline are new code, not regressions. *)
+let regressed ~tolerance d =
+  let worse now was = now -. was > tolerance *. Float.max was 1e5 in
+  d.count_a > 0 && (worse d.self_b d.self_a || worse d.total_b d.total_a)
+
+let regressions ?(tolerance = 0.25) deltas =
+  List.filter (regressed ~tolerance) deltas
+
+let render_diff ?(tolerance = 0.25) deltas =
+  let pct now was =
+    if was <= 0. then "-" else Printf.sprintf "%+.1f%%" (100. *. (now -. was) /. was)
+  in
+  let rows =
+    List.map
+      (fun d ->
+        [
+          d.d_name;
+          Printf.sprintf "%d/%d" d.count_a d.count_b;
+          Printf.sprintf "%.3f/%.3f" (ms d.total_a) (ms d.total_b);
+          pct d.total_b d.total_a;
+          Printf.sprintf "%.3f/%.3f" (ms d.self_a) (ms d.self_b);
+          pct d.self_b d.self_a;
+          (if regressed ~tolerance d then "REGRESSED" else "");
+        ])
+      deltas
+  in
+  Dcn_util.Table.render
+    ~headers:
+      [ "span"; "calls a/b"; "total ms a/b"; "total"; "self ms a/b"; "self"; "" ]
+    ~rows ()

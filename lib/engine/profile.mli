@@ -1,0 +1,122 @@
+(** Trace analytics: span profiles, latency histograms, GC attribution,
+    counter timelines, Chrome-trace export and profile diffs.
+
+    {!Trace} records what happened; this module makes a 100k-record log
+    answerable in one pass: which span names dominate (by {e self} time
+    — total minus time spent in child spans), how their per-call
+    latency distributes, how much they allocate, and how counters
+    evolve over the run.  It consumes [Trace.record list]s, so it works
+    on a live collector ({!of_trace}) and on trace files read back via
+    [Trace.records_of_json] alike — the `dcn trace` subcommands are
+    thin wrappers over this module. *)
+
+(** Mergeable log-bucketed histograms.
+
+    Buckets grow geometrically ([sub_buckets] per octave), so a
+    quantile estimate is within a factor of {!width} of the exact
+    sample quantile at the same rank; min/max are exact.  {!merge} sums
+    integer bucket counts and is associative and commutative (the
+    floating [total] is commutative and associative up to rounding). *)
+module Hist : sig
+  type t
+
+  val sub_buckets : int
+  (** Buckets per octave (8: ~9% relative bucket width). *)
+
+  val width : float
+  (** Worst-case ratio between a sample and its bucket's representative:
+      [2^(1/sub_buckets)]. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val merge : t -> t -> t
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float  (** [nan] when empty. *)
+
+  val min_value : t -> float  (** exact; [nan] when empty *)
+
+  val max_value : t -> float  (** exact; [nan] when empty *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile (rank [ceil (q*n)],
+      clamped to [[min, max]]); [nan] when empty.  Within a factor of
+      {!width} of the exact quantile. *)
+
+  val buckets : t -> (int * int) list
+  (** [(bucket index, count)] sorted by index — the mergeable state,
+      exposed for tests. *)
+end
+
+type span_stat = {
+  name : string;
+  count : int;  (** closed span instances *)
+  total_ns : float;  (** summed wall time *)
+  self_ns : float;  (** total minus direct children's totals *)
+  hist : Hist.t;  (** per-call total duration, ns *)
+  minor_words : float;  (** summed minor-heap allocation delta *)
+  major_words : float;  (** summed major-heap allocation delta *)
+}
+
+type counter_point = { at_ns : float; total : float (** cumulative *) }
+
+type t = {
+  spans : span_stat list;  (** descending self time *)
+  counters : (string * counter_point list) list;
+      (** per counter name, cumulative value over time (emission
+          order); sorted by name *)
+  events : (string * int) list;  (** point-event counts, sorted by name *)
+  domains : int list;
+  record_count : int;
+  duration_ns : float;  (** last minus first timestamp *)
+  unclosed : int;
+      (** spans force-closed at their domain's last timestamp (a
+          truncated trace); 0 for any trace {!Trace.span} wrote *)
+}
+
+val of_records : Trace.record list -> t
+(** Single pass over the records (sorted by [seq]).  Span open/close
+    pairs are matched by id; a parent's self time is charged only what
+    its direct children leave behind; GC deltas come from the samples
+    {!Trace.span} takes at open and close. *)
+
+val of_trace : Trace.t -> t
+
+val find : t -> string -> span_stat option
+
+val summary : ?top:int -> t -> string
+(** Aligned text tables: spans by self time ([top] > 0 truncates),
+    event counts, counter totals. *)
+
+val to_chrome : Trace.record list -> Json.t
+(** Chrome trace-event JSON (load in Perfetto / [chrome://tracing]):
+    spans as [ph:"B"]/[ph:"E"] pairs, point events as instants,
+    counters as [ph:"C"] with the cumulative value, [ts] in
+    microseconds, one [tid] per domain under a single [pid] (named via
+    [ph:"M"] metadata). *)
+
+val validate_chrome : Json.t -> (unit, string) result
+(** Strict shape check of a {!to_chrome} value: known phases only,
+    finite non-negative [ts] monotone per [tid], balanced B/E per
+    [tid], named instants/counters, numeric counter args. *)
+
+type span_delta = {
+  d_name : string;
+  count_a : int;
+  count_b : int;
+  total_a : float;
+  total_b : float;
+  self_a : float;
+  self_b : float;
+}
+
+val diff : a:t -> b:t -> span_delta list
+(** Per-span-name comparison of two profiles (union of names, absent =
+    zero), sorted by worst self-time growth first. *)
+
+val regressions : ?tolerance:float -> span_delta list -> span_delta list
+(** Deltas whose self or total time grew by more than [tolerance]
+    (relative, default 0.25) over a baseline entry, with a 0.1 ms
+    absolute floor; names absent from the baseline never regress. *)
+
+val render_diff : ?tolerance:float -> span_delta list -> string

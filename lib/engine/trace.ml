@@ -6,7 +6,15 @@ type entry =
   | Event of { span : int option; name : string; fields : field list }
   | Counter of { name : string; delta : float }
 
-type record = { seq : int; time_ns : int64; domain : int; entry : entry }
+type gc = { minor_words : float; major_words : float }
+
+type record = {
+  seq : int;
+  time_ns : int64;
+  domain : int;
+  entry : entry;
+  gc : gc option;
+}
 
 type t = {
   uid : int;  (* distinguishes traces in per-domain state *)
@@ -71,13 +79,21 @@ let now t st =
   st.last_ns <- ns;
   ns
 
-let add t st entry =
+let add ?gc t st entry =
   let seq = Atomic.fetch_and_add t.seq 1 in
-  let r = { seq; time_ns = now t st; domain = (Domain.self () :> int); entry } in
+  let r = { seq; time_ns = now t st; domain = (Domain.self () :> int); entry; gc } in
   Mutex.lock t.mutex;
   t.entries <- r :: t.entries;
   t.count <- t.count + 1;
   Mutex.unlock t.mutex
+
+(* Only sampled while a collector is installed, so the disabled path
+   stays a single branch.  [Gc.counters] rather than [Gc.quick_stat]:
+   on OCaml 5 the latter's allocation fields only refresh at
+   collections, while [counters] reads the live allocation pointers. *)
+let sample_gc () =
+  let minor_words, _promoted, major_words = Gc.counters () in
+  Some { minor_words; major_words }
 
 let event ?(fields = []) name =
   match Atomic.get current with
@@ -99,7 +115,7 @@ let span ?(fields = []) name f =
     let id = Atomic.fetch_and_add t.span_ids 1 in
     let st = domain_state t in
     let parent = match st.stack with [] -> None | s :: _ -> Some s in
-    add t st (Span_open { id; parent; name; fields });
+    add ?gc:(sample_gc ()) t st (Span_open { id; parent; name; fields });
     st.stack <- id :: st.stack;
     Fun.protect
       ~finally:(fun () ->
@@ -109,7 +125,7 @@ let span ?(fields = []) name f =
         (match st.stack with
         | s :: rest when s = id -> st.stack <- rest
         | stack -> st.stack <- List.filter (fun s -> s <> id) stack);
-        add t st (Span_close { id }))
+        add ?gc:(sample_gc ()) t st (Span_close { id }))
       f
 
 let records t =
@@ -130,16 +146,26 @@ let clear t =
   t.count <- 0;
   Mutex.unlock t.mutex
 
-let counter_total t name =
-  List.fold_left
-    (fun acc r ->
+let counters t =
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
       match r.entry with
-      | Counter { name = n; delta } when n = name -> acc +. delta
-      | _ -> acc)
-    0. (records t)
+      | Counter { name; delta } ->
+        Hashtbl.replace totals name
+          (delta +. Option.value ~default:0. (Hashtbl.find_opt totals name))
+      | _ -> ())
+    (records t);
+  List.sort compare (Hashtbl.fold (fun name v acc -> (name, v) :: acc) totals [])
+
+let counter_total t name =
+  Option.value ~default:0. (List.assoc_opt name (counters t))
 
 let reserved =
-  [ "seq"; "t_ns"; "domain"; "type"; "id"; "parent"; "span"; "name"; "delta" ]
+  [
+    "seq"; "t_ns"; "domain"; "type"; "id"; "parent"; "span"; "name"; "delta";
+    "gc_minor_w"; "gc_major_w";
+  ]
 
 let record_to_json (r : record) =
   let base =
@@ -168,31 +194,81 @@ let record_to_json (r : record) =
       ( [ ("type", Json.Str "counter"); ("name", Json.Str name); ("delta", Json.float delta) ],
         [] )
   in
+  let gc_fields =
+    match r.gc with
+    | None -> []
+    | Some g ->
+      [
+        ("gc_minor_w", Json.float g.minor_words);
+        ("gc_major_w", Json.float g.major_words);
+      ]
+  in
   let extra = List.filter (fun (k, _) -> not (List.mem k reserved)) fields in
-  Json.Obj (base @ typed @ extra)
+  Json.Obj (base @ typed @ gc_fields @ extra)
 
 let to_json t =
-  let rs = records t in
-  let counters = Hashtbl.create 8 in
-  let order = ref [] in
-  List.iter
-    (fun r ->
-      match r.entry with
-      | Counter { name; delta } ->
-        (match Hashtbl.find_opt counters name with
-        | None ->
-          order := name :: !order;
-          Hashtbl.add counters name delta
-        | Some total -> Hashtbl.replace counters name (total +. delta))
-      | _ -> ())
-    rs;
   Json.Obj
     [
       ("version", Json.Int 1);
-      ("events", Json.List (List.map record_to_json rs));
+      ("events", Json.List (List.map record_to_json (records t)));
       ( "counters",
-        Json.Obj
-          (List.rev_map
-             (fun name -> (name, Json.float (Hashtbl.find counters name)))
-             !order) );
+        Json.Obj (List.map (fun (name, v) -> (name, Json.float v)) (counters t)) );
     ]
+
+(* ------------------------- reading back --------------------------- *)
+
+let record_of_json j =
+  let opt_int = function
+    | None | Some Json.Null -> None
+    | Some v -> Some (Json.to_int v)
+  in
+  let extras =
+    match j with
+    | Json.Obj fields -> List.filter (fun (k, _) -> not (List.mem k reserved)) fields
+    | _ -> []
+  in
+  let entry =
+    match Json.to_str (Json.get "type" j) with
+    | "span_open" ->
+      Span_open
+        {
+          id = Json.to_int (Json.get "id" j);
+          parent = opt_int (Json.member "parent" j);
+          name = Json.to_str (Json.get "name" j);
+          fields = extras;
+        }
+    | "span_close" -> Span_close { id = Json.to_int (Json.get "id" j) }
+    | "event" ->
+      Event
+        {
+          span = opt_int (Json.member "span" j);
+          name = Json.to_str (Json.get "name" j);
+          fields = extras;
+        }
+    | "counter" ->
+      Counter
+        {
+          name = Json.to_str (Json.get "name" j);
+          delta = Json.to_float (Json.get "delta" j);
+        }
+    | ty -> failwith (Printf.sprintf "Trace.records_of_json: unknown record type %S" ty)
+  in
+  let gc =
+    match (Json.member "gc_minor_w" j, Json.member "gc_major_w" j) with
+    | Some mi, Some ma ->
+      Some { minor_words = Json.to_float mi; major_words = Json.to_float ma }
+    | _ -> None
+  in
+  {
+    seq = Json.to_int (Json.get "seq" j);
+    time_ns = Int64.of_int (Json.to_int (Json.get "t_ns" j));
+    domain = Json.to_int (Json.get "domain" j);
+    entry;
+    gc;
+  }
+
+let records_of_json j =
+  (match Json.member "version" j with
+  | Some (Json.Int 1) -> ()
+  | _ -> failwith "Trace.records_of_json: unsupported or missing trace version");
+  List.map record_of_json (Json.to_list (Json.get "events" j))

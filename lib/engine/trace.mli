@@ -33,11 +33,21 @@ type entry =
   | Event of { span : int option; name : string; fields : field list }
   | Counter of { name : string; delta : float }
 
+type gc = {
+  minor_words : float;  (** cumulative minor-heap words ({!Gc.counters}) *)
+  major_words : float;  (** cumulative major-heap words *)
+}
+
 type record = {
   seq : int;  (** global emission order *)
   time_ns : int64;  (** since {!create}; non-decreasing per domain *)
   domain : int;  (** emitting domain id *)
   entry : entry;
+  gc : gc option;
+      (** allocation counters sampled at emission — only for span
+          open/close records, and only while a collector is installed
+          (so the disabled path stays one branch).  [Profile] turns the
+          open/close pair into a per-span allocation delta. *)
 }
 
 val create : unit -> t
@@ -77,6 +87,12 @@ val length : t -> int
 
 val clear : t -> unit
 
+val counters : t -> (string * float) list
+(** Every counter's total (sum of its deltas), sorted by name.  The
+    single source of counter totalling: {!to_json}'s ["counters"]
+    object, {!counter_total} and the CLI's report envelope all read
+    this. *)
+
 val counter_total : t -> string -> float
 (** Sum of all [Counter] deltas with this name (0 if none). *)
 
@@ -88,4 +104,11 @@ val to_json : t -> Json.t
       "counters": { name: total, ... } }
     v}
     Event fields are inlined into the record object under their own
-    names (reserved keys win on clash). *)
+    names (reserved keys win on clash); span records with a GC sample
+    carry [gc_minor_w]/[gc_major_w]. *)
+
+val records_of_json : Json.t -> record list
+(** Parse a version-1 trace file (the {!to_json} shape) back into its
+    records, so [dcn trace summary/export/diff] and {!Profile} can
+    consume traces written by an earlier run.
+    @raise Failure on an unsupported version or a malformed record. *)

@@ -59,7 +59,7 @@ let golden_section ~iters f =
    it was measured at, and the accepted line-search step (0 on the
    terminating iteration).  One branch when no trace is installed. *)
 let trace_iter iter gap objective step =
-  if Trace.on () then
+  if Trace.on () then begin
     Trace.event "fw.iter"
       ~fields:
         [
@@ -67,7 +67,9 @@ let trace_iter iter gap objective step =
           ("gap", Json.float gap);
           ("objective", Json.float objective);
           ("step", Json.float step);
-        ]
+        ];
+    Trace.counter "fw.iters" 1.
+  end
 
 let solve ?(config = default_config) problem =
   let g = problem.graph in

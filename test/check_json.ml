@@ -4,7 +4,7 @@
    on the first violation, so a regression in the trace or report format
    fails tier-1.
 
-   Usage: check_json.exe TRACE.json REPORT.json *)
+   Usage: check_json.exe TRACE.json REPORT.json [CHROME.json] *)
 
 module Json = Dcn_engine.Json
 
@@ -81,12 +81,24 @@ let check_report path =
   | Json.Obj _ -> ()
   | _ -> fail "%s: counters is not an object" path
 
+(* The Chrome export of the same trace must pass the strict shape check
+   (known phases, balanced B/E per tid, monotone timestamps, ...). *)
+let check_chrome path =
+  match Dcn_engine.Profile.validate_chrome (parse path) with
+  | Ok () -> ()
+  | Error m -> fail "%s: invalid Chrome trace: %s" path m
+
 let () =
   match Sys.argv with
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
     print_endline "check-json: trace and report OK"
+  | [| _; trace; report; chrome |] ->
+    check_trace trace;
+    check_report report;
+    check_chrome chrome;
+    print_endline "check-json: trace, report and chrome export OK"
   | _ ->
-    prerr_endline "usage: check_json.exe TRACE.json REPORT.json";
+    prerr_endline "usage: check_json.exe TRACE.json REPORT.json [CHROME.json]";
     exit 2

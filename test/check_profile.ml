@@ -1,0 +1,56 @@
+(* Shape validator for the trace-analytics outputs, run from the root
+   `check-profile` alias (itself a `runtest` dependency): a Chrome
+   trace-event export produced by `dcn trace export --format chrome`
+   from a `dcn solve --trace` run must parse strictly and carry the
+   solver's instrumentation.
+
+   Usage: check_profile.exe CHROME.json *)
+
+module Json = Dcn_engine.Json
+module Profile = Dcn_engine.Profile
+
+let fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("check-profile: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; chrome |] -> chrome
+    | _ ->
+      prerr_endline "usage: check_profile.exe CHROME.json";
+      exit 2
+  in
+  let json =
+    try Json.of_string (read_file path)
+    with Failure m -> fail "%s: not valid JSON: %s" path m
+  in
+  (match Profile.validate_chrome json with
+  | Ok () -> ()
+  | Error m -> fail "%s: invalid Chrome trace: %s" path m);
+  let events = Json.to_list (Json.get "traceEvents" json) in
+  let with_ph ph =
+    List.filter
+      (fun e -> Json.member "ph" e = Some (Json.Str ph))
+      events
+  in
+  let b = with_ph "B" and e = with_ph "E" in
+  if List.length b = 0 then fail "%s: no B span events" path;
+  if List.length b <> List.length e then
+    fail "%s: %d B events vs %d E events" path (List.length b) (List.length e);
+  if with_ph "C" = [] then fail "%s: no C counter events" path;
+  (* The spans a `solve` run opens must survive the export. *)
+  let names =
+    List.filter_map (fun ev -> Option.map Json.to_str (Json.member "name" ev)) b
+  in
+  List.iter
+    (fun required ->
+      if not (List.mem required names) then
+        fail "%s: no %S span — solver instrumentation lost in export" path required)
+    [ "rs.solve"; "fw.solve"; "mcf.solve" ];
+  Printf.printf "check-profile: %s OK (%d trace events)\n" path (List.length events)

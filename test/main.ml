@@ -19,4 +19,5 @@ let () =
          Test_more3.suite;
          Test_engine.suite;
          Test_trace.suite;
+         Test_profile.suite;
        ])

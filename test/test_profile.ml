@@ -1,0 +1,319 @@
+(* Dcn_engine.Profile: histogram algebra (merge is a commutative
+   monoid on the bucket state, quantile estimates bracket the exact
+   ones), span-tree accounting (self = total - children, nothing lost
+   across domains), GC attribution, the Chrome export's validity, and
+   the diff's regression verdicts. *)
+
+module Trace = Dcn_engine.Trace
+module Profile = Dcn_engine.Profile
+module Hist = Dcn_engine.Profile.Hist
+module Json = Dcn_engine.Json
+module Pool = Dcn_engine.Pool
+
+(* --- histograms ------------------------------------------------------ *)
+
+let hist_of values =
+  let h = Hist.create () in
+  List.iter (Hist.add h) values;
+  h
+
+(* Merge must not depend on grouping or order: counts, extremes and
+   bucket tables are integer/exact state, the float total is compared
+   with a tolerance. *)
+let same_hist a b =
+  Hist.count a = Hist.count b
+  && Hist.buckets a = Hist.buckets b
+  && (Hist.count a = 0
+      || (Hist.min_value a = Hist.min_value b
+         && Hist.max_value a = Hist.max_value b
+         && Float.abs (Hist.total a -. Hist.total b)
+            <= 1e-9 *. Float.max 1. (Float.abs (Hist.total a))))
+
+let pos_floats = QCheck.(list_of_size (QCheck.Gen.int_bound 40) (pos_float))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"hist: merge commutes" ~count:100
+    QCheck.(pair pos_floats pos_floats)
+    (fun (xs, ys) ->
+      same_hist (Hist.merge (hist_of xs) (hist_of ys)) (Hist.merge (hist_of ys) (hist_of xs)))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"hist: merge associates" ~count:100
+    QCheck.(triple pos_floats pos_floats pos_floats)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      same_hist (Hist.merge (Hist.merge a b) c) (Hist.merge a (Hist.merge b c)))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~name:"hist: merge = histogram of concatenation" ~count:100
+    QCheck.(pair pos_floats pos_floats)
+    (fun (xs, ys) ->
+      same_hist (Hist.merge (hist_of xs) (hist_of ys)) (hist_of (xs @ ys)))
+
+(* The estimate and the exact quantile (same rank convention:
+   [ceil (q*n)]) sit in the same log bucket, so they differ by at most
+   the bucket width. *)
+let exact_quantile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let quantile_brackets values =
+  let h = hist_of values in
+  List.for_all
+    (fun q ->
+      let est = Hist.quantile h q and exact = exact_quantile values q in
+      if exact = 0. then est = 0.
+      else est >= exact /. Hist.width -. 1e-12 && est <= exact *. Hist.width +. 1e-12)
+    [ 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_quantiles_known_distributions () =
+  (* Uniform grid, geometric, heavy-tailed, constants, and a single
+     sample. *)
+  let uniform = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  let geometric = List.init 200 (fun i -> 1.5 ** float_of_int (i mod 40)) in
+  let heavy = List.init 500 (fun i -> 1. /. (1. -. (float_of_int i /. 501.))) in
+  List.iter
+    (fun values ->
+      Alcotest.(check bool) "estimate within one bucket of exact" true
+        (quantile_brackets values))
+    [ uniform; geometric; heavy; [ 42.; 42.; 42. ]; [ 7. ] ];
+  Alcotest.(check (float 0.)) "empty quantile is nan" nan
+    (Hist.quantile (Hist.create ()) 0.5);
+  Alcotest.(check (float 0.)) "zero samples land in the zero bucket" 0.
+    (Hist.quantile (hist_of [ 0.; 0. ]) 0.9)
+
+let prop_quantile_brackets =
+  QCheck.Test.make ~name:"hist: quantiles bracket exact ranks" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) pos_float)
+    quantile_brackets
+
+(* --- span accounting ------------------------------------------------- *)
+
+(* Hand-built record lists give exact expected times.  Helper: a record
+   with no GC sample. *)
+let rec_ seq t domain entry = { Trace.seq; time_ns = Int64.of_int t; domain; entry; gc = None }
+
+let open_ ?parent seq t id name = rec_ seq t 0 (Trace.Span_open { id; parent; name; fields = [] })
+let close seq t id = rec_ seq t 0 (Trace.Span_close { id })
+
+let test_self_time_accounting () =
+  (* a: [0,100] with children b: [10,30] and c: [40,70]; b has child
+     d: [15,25].  Exact: a.self = 100-20-30 = 50, b.self = 20-10 = 10. *)
+  let records =
+    [
+      open_ 0 0 1 "a";
+      open_ ~parent:1 1 10 2 "b";
+      open_ ~parent:2 2 15 3 "d";
+      close 3 25 3;
+      close 4 30 2;
+      open_ ~parent:1 5 40 4 "c";
+      close 6 70 4;
+      close 7 100 1;
+    ]
+  in
+  let p = Profile.of_records records in
+  let stat name = Option.get (Profile.find p name) in
+  Alcotest.(check (float 1e-9)) "a total" 100. (stat "a").Profile.total_ns;
+  Alcotest.(check (float 1e-9)) "a self = total - children" 50. (stat "a").Profile.self_ns;
+  Alcotest.(check (float 1e-9)) "b total" 20. (stat "b").Profile.total_ns;
+  Alcotest.(check (float 1e-9)) "b self" 10. (stat "b").Profile.self_ns;
+  Alcotest.(check (float 1e-9)) "d self = total (leaf)" 10. (stat "d").Profile.self_ns;
+  Alcotest.(check int) "no unclosed spans" 0 p.Profile.unclosed;
+  (* Conservation: summed self time equals the root's total. *)
+  let self_sum = List.fold_left (fun acc s -> acc +. s.Profile.self_ns) 0. p.Profile.spans in
+  Alcotest.(check (float 1e-9)) "self times sum to root total" 100. self_sum
+
+let test_truncated_trace_closes_spans () =
+  (* The close records never made it to disk: both spans are closed at
+     the domain's last timestamp and counted as unclosed. *)
+  let records = [ open_ 0 0 1 "a"; open_ ~parent:1 1 10 2 "b"; rec_ 2 60 0 (Trace.Event { span = Some 2; name = "last"; fields = [] }) ] in
+  let p = Profile.of_records records in
+  Alcotest.(check int) "two unclosed" 2 p.Profile.unclosed;
+  Alcotest.(check (float 1e-9)) "a charged to last timestamp" 60.
+    (Option.get (Profile.find p "a")).Profile.total_ns;
+  Alcotest.(check (float 1e-9)) "a self excludes b" 10.
+    (Option.get (Profile.find p "a")).Profile.self_ns
+
+(* Profiling a real multi-domain pool trace loses no spans: every
+   pool-mapped task wraps one span, and the profile sees all of them. *)
+let test_multi_domain_no_span_loss () =
+  let n = 64 in
+  let t = Trace.create () in
+  Trace.with_trace t (fun () ->
+      Pool.with_pool ~jobs:4 (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun i -> Trace.span "task" (fun () -> i * i))
+               (Array.init n Fun.id))));
+  let p = Profile.of_trace t in
+  let task = Option.get (Profile.find p "task") in
+  Alcotest.(check int) "every span profiled" n task.Profile.count;
+  Alcotest.(check int) "histogram saw every call" n (Hist.count task.Profile.hist);
+  Alcotest.(check int) "none unclosed" 0 p.Profile.unclosed
+
+(* --- GC attribution -------------------------------------------------- *)
+
+let test_gc_attribution () =
+  let t = Trace.create () in
+  let sink = ref [] in
+  Trace.with_trace t (fun () ->
+      Trace.span "alloc" (fun () ->
+          (* A few hundred kwords of minor allocation. *)
+          for _ = 1 to 1000 do
+            sink := Array.make 100 0. :: !sink
+          done));
+  ignore (Sys.opaque_identity !sink);
+  let p = Profile.of_trace t in
+  let s = Option.get (Profile.find p "alloc") in
+  Alcotest.(check bool) "minor words attributed" true (s.Profile.minor_words > 10_000.);
+  (* The samples round-trip through the JSON trace format. *)
+  let p' = Profile.of_records (Trace.records_of_json (Json.of_string (Json.to_string (Trace.to_json t)))) in
+  let s' = Option.get (Profile.find p' "alloc") in
+  Alcotest.(check (float 1.)) "GC delta survives JSON round trip"
+    s.Profile.minor_words s'.Profile.minor_words
+
+(* --- counters and round trip ----------------------------------------- *)
+
+let test_counter_timeline () =
+  let t = Trace.create () in
+  Trace.with_trace t (fun () ->
+      Trace.counter "work" 2.;
+      Trace.counter "work" 3.;
+      Trace.counter "work" (-1.));
+  let p = Profile.of_trace t in
+  (match List.assoc_opt "work" p.Profile.counters with
+  | Some points ->
+    Alcotest.(check (list (float 1e-9))) "cumulative timeline" [ 2.; 5.; 4. ]
+      (List.map (fun (pt : Profile.counter_point) -> pt.Profile.total) points)
+  | None -> Alcotest.fail "counter series missing");
+  Alcotest.(check (list (pair string (float 1e-9)))) "Trace.counters totals"
+    [ ("work", 4.) ] (Trace.counters t)
+
+let test_records_json_roundtrip () =
+  let t = Trace.create () in
+  Trace.with_trace t (fun () ->
+      Trace.span "s" ~fields:[ ("k", Json.Int 1) ] (fun () ->
+          Trace.event "e" ~fields:[ ("v", Json.float 2.5) ];
+          Trace.counter "c" 1.5));
+  let back = Trace.records_of_json (Json.of_string (Json.to_string (Trace.to_json t))) in
+  let strip (r : Trace.record) = (r.Trace.seq, r.Trace.domain, r.Trace.entry) in
+  Alcotest.(check bool) "entries identical after round trip" true
+    (List.map strip (Trace.records t) = List.map strip back)
+
+(* --- Chrome export --------------------------------------------------- *)
+
+let test_chrome_export_valid () =
+  let t = Trace.create () in
+  Trace.with_trace t (fun () ->
+      Pool.with_pool ~jobs:3 (fun pool ->
+          ignore
+            (Pool.map pool
+               (fun i ->
+                 Trace.span "chunk" (fun () ->
+                     Trace.event "tick";
+                     Trace.counter "done" 1.);
+                 i)
+               (Array.init 16 Fun.id))));
+  let chrome = Profile.to_chrome (Trace.records t) in
+  (* Reparse from text: the export must be self-contained JSON. *)
+  let reparsed = Json.of_string (Json.to_string chrome) in
+  (match Profile.validate_chrome reparsed with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("chrome export invalid: " ^ m));
+  let events = Json.to_list (Json.get "traceEvents" reparsed) in
+  let count ?name ph =
+    List.length
+      (List.filter
+         (fun e ->
+           Json.member "ph" e = Some (Json.Str ph)
+           && match name with
+              | None -> true
+              | Some n -> Json.member "name" e = Some (Json.Str n))
+         events)
+  in
+  Alcotest.(check int) "one B per span" 16 (count ~name:"chunk" "B");
+  Alcotest.(check int) "E count matches B count" (count "B") (count "E");
+  Alcotest.(check int) "one C per counter bump" 16 (count ~name:"done" "C");
+  (* The pool's own pool.map/pool.task instants ride along. *)
+  Alcotest.(check int) "one instant per event" 16 (count ~name:"tick" "i")
+
+let test_validate_chrome_rejects () =
+  let rejects json =
+    match Profile.validate_chrome json with Ok () -> false | Error _ -> true
+  in
+  let ev fields = Json.Obj fields in
+  let wrap l = Json.Obj [ ("traceEvents", Json.List l) ] in
+  Alcotest.(check bool) "empty rejected" true (rejects (wrap []));
+  Alcotest.(check bool) "unknown phase rejected" true
+    (rejects
+       (wrap [ ev [ ("name", Json.Str "x"); ("ph", Json.Str "X"); ("ts", Json.Int 0); ("pid", Json.Int 1); ("tid", Json.Int 0) ] ]));
+  Alcotest.(check bool) "unbalanced E rejected" true
+    (rejects
+       (wrap [ ev [ ("ph", Json.Str "E"); ("ts", Json.Int 0); ("pid", Json.Int 1); ("tid", Json.Int 0) ] ]));
+  Alcotest.(check bool) "unclosed B rejected" true
+    (rejects
+       (wrap [ ev [ ("name", Json.Str "x"); ("ph", Json.Str "B"); ("ts", Json.Int 0); ("pid", Json.Int 1); ("tid", Json.Int 0) ] ]))
+
+(* --- diff ------------------------------------------------------------ *)
+
+let test_diff_regressions () =
+  let profile_of spans =
+    Profile.of_records
+      (List.concat
+         (List.mapi
+            (fun i (name, dur) ->
+              let id = i + 1 and base = i * 1_000_000 in
+              [ open_ (4 * i) base id name; close ((4 * i) + 1) (base + dur) id ])
+            spans))
+  in
+  (* 1 ms -> 2 ms is a 100% regression; 1 ms -> 1.1 ms is within 25%;
+     the 0.1 ms absolute floor forgives the tiny span's tripling (a
+     20 us growth is below 25% of the floor). *)
+  let a = profile_of [ ("hot", 1_000_000); ("ok", 1_000_000); ("tiny", 10_000) ] in
+  let b = profile_of [ ("hot", 2_000_000); ("ok", 1_100_000); ("tiny", 30_000) ] in
+  let deltas = Profile.diff ~a ~b in
+  let names l = List.map (fun (d : Profile.span_delta) -> d.Profile.d_name) l in
+  Alcotest.(check (list string)) "only the hot span regresses at 25%" [ "hot" ]
+    (names (Profile.regressions ~tolerance:0.25 deltas));
+  Alcotest.(check (list string)) "tighter tolerance catches the rest"
+    [ "hot"; "ok"; "tiny" ]
+    (List.sort compare (names (Profile.regressions ~tolerance:0.05 deltas)));
+  Alcotest.(check (list string)) "identical profiles never regress" []
+    (names (Profile.regressions ~tolerance:0. (Profile.diff ~a ~b:a)));
+  (* A span new in b is reported but is not a regression. *)
+  let b' = profile_of [ ("hot", 1_000_000); ("fresh", 5_000_000) ] in
+  let deltas' = Profile.diff ~a ~b:b' in
+  Alcotest.(check bool) "new span present in the diff" true
+    (List.mem "fresh" (names deltas'));
+  Alcotest.(check (list string)) "new span is not a regression" []
+    (names (Profile.regressions ~tolerance:0.25 deltas'))
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    ( "engine-profile",
+      [
+        qt prop_merge_commutative;
+        qt prop_merge_associative;
+        qt prop_merge_is_concat;
+        qt prop_quantile_brackets;
+        Alcotest.test_case "quantiles on known distributions" `Quick
+          test_quantiles_known_distributions;
+        Alcotest.test_case "self time = total - children (exact)" `Quick
+          test_self_time_accounting;
+        Alcotest.test_case "truncated traces close at last timestamp" `Quick
+          test_truncated_trace_closes_spans;
+        Alcotest.test_case "multi-domain pool trace loses no spans" `Quick
+          test_multi_domain_no_span_loss;
+        Alcotest.test_case "GC allocation attributed to spans" `Quick test_gc_attribution;
+        Alcotest.test_case "counter timelines accumulate" `Quick test_counter_timeline;
+        Alcotest.test_case "records round-trip through trace JSON" `Quick
+          test_records_json_roundtrip;
+        Alcotest.test_case "chrome export is valid" `Quick test_chrome_export_valid;
+        Alcotest.test_case "chrome validator rejects malformed traces" `Quick
+          test_validate_chrome_rejects;
+        Alcotest.test_case "diff flags only true regressions" `Quick test_diff_regressions;
+      ] );
+  ]
