@@ -544,6 +544,8 @@ let parallel_scaling () =
     (Domain.recommended_domain_count ())
 
 let () =
+  (* DCN_SELFCHECK=1: every solver run below certifies its own output. *)
+  Dcn_check.Certify.selfcheck_from_env ();
   Printf.printf
     "dcnsched benchmark harness — reproduction of Wang et al., ICDCS 2014\n";
   Printf.printf "mode: %s, %d seed(s) per Figure-2 point, %d job(s)\n"

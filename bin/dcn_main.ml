@@ -484,7 +484,250 @@ let trace_cmd =
        ~doc:"Analyse --trace files: profile summary, Chrome export, diff.")
     [ trace_summary_cmd; trace_export_cmd; trace_diff_cmd ]
 
+(* ------------------------- certify / fuzz ------------------------- *)
+
+let read_text path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let certify_cmd =
+  let instance_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "instance" ] ~doc:"The instance file the schedule solves." ~docv:"FILE")
+  in
+  let schedule_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ]
+          ~doc:
+            "Certify this schedule file against the instance.  Without it, run \
+             the full differential oracle (every solver) on the instance."
+          ~docv:"FILE")
+  in
+  let partial_t =
+    Arg.(
+      value & flag
+      & info [ "partial" ] ~doc:"Allow instance flows without a plan (online admission).")
+  in
+  let exclusive_t =
+    Arg.(
+      value & flag
+      & info [ "exclusive" ] ~doc:"Enforce virtual-circuit link exclusivity.")
+  in
+  let run instance_file schedule_file partial exclusive seed trace report =
+    let inst = Dcn_core.Serialize.instance_of_string (read_text instance_file) in
+    let failed = ref "" in
+    Observe.run ~command:"certify" ~trace ~report (fun () ->
+        match schedule_file with
+        | Some path ->
+          let sched = Dcn_core.Serialize.schedule_of_string inst (read_text path) in
+          let config = { Dcn_check.Certify.default with partial; exclusive } in
+          let violations = Dcn_check.Certify.schedule ~config inst sched in
+          if violations = [] then Printf.printf "certificate OK: %s\n" path
+          else begin
+            failed :=
+              Printf.sprintf "%d violation(s)" (List.length violations);
+            List.iter
+              (fun v ->
+                Format.printf "violation: %a@." Dcn_check.Certify.pp_violation v)
+              violations
+          end;
+          [
+            ( "certify",
+              Json.Obj
+                [
+                  ("instance", Json.Str instance_file);
+                  ("schedule", Json.Str path);
+                  ( "certificate",
+                    Dcn_check.Certify.violations_to_json violations );
+                ] );
+          ]
+        | None ->
+          let label = Filename.basename instance_file in
+          let oracle =
+            Dcn_check.Oracle.run ~solver_seed:seed ~label inst
+          in
+          List.iter
+            (fun (r : Dcn_check.Oracle.solver_result) ->
+              Printf.printf "%-14s energy %10.4f  %s\n" r.Dcn_check.Oracle.solver
+                r.Dcn_check.Oracle.energy
+                (if r.Dcn_check.Oracle.violations = [] then "certified"
+                 else
+                   String.concat "; "
+                     (List.map Dcn_check.Certify.kind r.Dcn_check.Oracle.violations)))
+            oracle.Dcn_check.Oracle.results;
+          Printf.printf "lower bound    %10.4f\n" oracle.Dcn_check.Oracle.lower_bound;
+          List.iter
+            (fun c ->
+              Format.printf "cross: %a@." Dcn_check.Oracle.pp_cross c)
+            oracle.Dcn_check.Oracle.cross;
+          if not (Dcn_check.Oracle.ok oracle) then
+            failed :=
+              Printf.sprintf "kinds: %s"
+                (String.concat ", " (Dcn_check.Oracle.violation_kinds oracle));
+          [ ("certify", Dcn_check.Oracle.to_json oracle) ]);
+    if !failed = "" then Ok ()
+    else Error (`Msg (Printf.sprintf "certification failed (%s)" !failed))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Independently re-verify a schedule (paths, windows, volumes, \
+          capacity, energy, lower bound) or differential-test every solver on \
+          an instance; non-zero exit on any violation.")
+    Term.(
+      term_result
+        (const run $ instance_t $ schedule_t $ partial_t $ exclusive_t $ seed_t
+       $ Observe.trace_t $ Observe.report_t))
+
+let fuzz_cmd =
+  let runs_t =
+    Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Number of random instances." ~docv:"N")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ]
+          ~doc:
+            "Directory for counterexample artifacts (instance, shrunk instance, \
+             report) of every failing case."
+          ~docv:"DIR")
+  in
+  let no_shrink_t =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Skip delta-debugging of failing cases.")
+  in
+  let ensure_dir path =
+    if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  in
+  let run runs seed out no_shrink trace report jobs =
+    if runs < 1 then Error (`Msg "--runs must be >= 1")
+    else
+      Result.join
+      @@ with_jobs jobs
+      @@ fun pool ->
+      let failures = ref 0 in
+      Observe.run ~command:"fuzz" ~trace ~report (fun () ->
+          let cases = Dcn_check.Gen.batch ~seed ~n:runs in
+          let reports = Dcn_check.Oracle.run_batch ~pool cases in
+          let shrunk = ref [] in
+          Array.iteri
+            (fun i oracle ->
+              if not (Dcn_check.Oracle.ok oracle) then begin
+                incr failures;
+                let case = cases.(i) in
+                let kinds = Dcn_check.Oracle.violation_kinds oracle in
+                Printf.eprintf "[fuzz] case %d (%s) FAILED: %s\n%!" i
+                  case.Dcn_check.Gen.label
+                  (String.concat ", " kinds);
+                let min_result =
+                  if no_shrink then None
+                  else
+                    (* Shrink while the oracle still reports at least one
+                       of the original violation kinds. *)
+                    let pred inst =
+                      let o =
+                        Dcn_check.Oracle.run
+                          ~solver_seed:case.Dcn_check.Gen.solver_seed
+                          ~label:case.Dcn_check.Gen.label inst
+                      in
+                      List.exists
+                        (fun k -> List.mem k (Dcn_check.Oracle.violation_kinds o))
+                        kinds
+                    in
+                    Some
+                      (Dcn_check.Shrink.minimize pred case.Dcn_check.Gen.instance)
+                in
+                (match out with
+                | None -> ()
+                | Some dir ->
+                  ensure_dir dir;
+                  let base = Filename.concat dir (Printf.sprintf "case-%03d" i) in
+                  Observe.write_file (base ^ ".instance")
+                    (Dcn_core.Serialize.instance_to_string
+                       case.Dcn_check.Gen.instance);
+                  (match min_result with
+                  | Some m ->
+                    Observe.write_file (base ^ ".min.instance")
+                      (Dcn_core.Serialize.instance_to_string
+                         m.Dcn_check.Shrink.instance)
+                  | None -> ());
+                  Observe.write_file (base ^ ".json")
+                    (Json.to_string ~pretty:true
+                       (Json.Obj
+                          [
+                            ("oracle", Dcn_check.Oracle.to_json oracle);
+                            ( "shrink",
+                              match min_result with
+                              | None -> Json.Null
+                              | Some m ->
+                                Dcn_check.Shrink.steps_to_json
+                                  m.Dcn_check.Shrink.steps );
+                          ])));
+                match min_result with
+                | Some m ->
+                  let flows, cables = Dcn_check.Shrink.size m.Dcn_check.Shrink.instance in
+                  Printf.eprintf
+                    "[fuzz]   shrunk to %d flow(s), %d cable(s) in %d step(s)\n%!"
+                    flows cables
+                    (List.length m.Dcn_check.Shrink.steps);
+                  shrunk :=
+                    (i, List.length m.Dcn_check.Shrink.steps, flows, cables)
+                    :: !shrunk
+                | None -> ()
+              end)
+            reports;
+          Printf.printf "fuzz: %d/%d case(s) certified (seed %d)\n"
+            (runs - !failures) runs seed;
+          [
+            ( "fuzz",
+              Json.Obj
+                [
+                  ("runs", Json.Int runs);
+                  ("seed", Json.Int seed);
+                  ("batch", Dcn_check.Oracle.batch_to_json reports);
+                  ( "shrunk",
+                    Json.List
+                      (List.rev_map
+                         (fun (i, steps, flows, cables) ->
+                           Json.Obj
+                             [
+                               ("case", Json.Int i);
+                               ("steps", Json.Int steps);
+                               ("flows", Json.Int flows);
+                               ("cables", Json.Int cables);
+                             ])
+                         !shrunk) );
+                ] );
+          ]);
+      if !failures = 0 then Ok ()
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "fuzz: %d/%d case(s) failed certification" !failures
+               runs))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the solver family on random instances; failing \
+          cases are delta-debugged to minimal counterexamples.  Deterministic \
+          for a given --runs/--seed at every --jobs level.")
+    Term.(
+      term_result
+        (const run $ runs_t $ seed_t $ out_t $ no_shrink_t $ Observe.trace_t
+       $ Observe.report_t $ jobs_t))
+
 let () =
+  (* DCN_SELFCHECK=1 makes every solver certify its own output. *)
+  Dcn_check.Certify.selfcheck_from_env ();
   let doc = "energy-efficient deadline-constrained flow scheduling and routing" in
   let info = Cmd.info "dcn" ~version:"1.0.0" ~doc in
   exit
@@ -499,4 +742,6 @@ let () =
             generate_cmd;
             solve_cmd;
             trace_cmd;
+            certify_cmd;
+            fuzz_cmd;
           ]))

@@ -1,0 +1,350 @@
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Schedule = Dcn_sched.Schedule
+module Instance = Dcn_core.Instance
+module Solution = Dcn_core.Solution
+module Json = Dcn_engine.Json
+module Trace = Dcn_engine.Trace
+
+type violation =
+  | Unknown_flow of { flow : int }
+  | Missing_flow of { flow : int }
+  | Bad_path of { flow : int }
+  | Slot_outside_window of { flow : int; start : float; stop : float }
+  | Volume_mismatch of { flow : int; delivered : float; expected : float }
+  | Capacity_exceeded of {
+      link : int;
+      window : float * float;
+      rate : float;
+      cap : float;
+    }
+  | Link_conflict of { link : int; at : float; flows : int * int }
+  | Horizon_mismatch of { expected : float * float; got : float * float }
+  | Energy_mismatch of { source : string; reported : float; recomputed : float }
+  | Lb_violated of { energy : float; lower_bound : float }
+
+type config = {
+  eps : float;
+  energy_rtol : float;
+  partial : bool;
+  exclusive : bool;
+  check_capacity : bool;
+  check_volume : bool;
+  cross_check_sim : bool;
+}
+
+let default =
+  {
+    eps = 1e-6;
+    energy_rtol = 1e-6;
+    partial = false;
+    exclusive = false;
+    check_capacity = true;
+    check_volume = true;
+    cross_check_sim = true;
+  }
+
+let kind = function
+  | Unknown_flow _ -> "unknown_flow"
+  | Missing_flow _ -> "missing_flow"
+  | Bad_path _ -> "bad_path"
+  | Slot_outside_window _ -> "slot_outside_window"
+  | Volume_mismatch _ -> "volume_mismatch"
+  | Capacity_exceeded _ -> "capacity_exceeded"
+  | Link_conflict _ -> "link_conflict"
+  | Horizon_mismatch _ -> "horizon_mismatch"
+  | Energy_mismatch _ -> "energy_mismatch"
+  | Lb_violated _ -> "lb_violated"
+
+let pp_violation ppf = function
+  | Unknown_flow { flow } -> Format.fprintf ppf "flow %d is not in the instance" flow
+  | Missing_flow { flow } -> Format.fprintf ppf "flow %d has no plan" flow
+  | Bad_path { flow } ->
+    Format.fprintf ppf "flow %d's path does not connect its endpoints" flow
+  | Slot_outside_window { flow; start; stop } ->
+    Format.fprintf ppf "flow %d transmits in [%g,%g] outside its span" flow start stop
+  | Volume_mismatch { flow; delivered; expected } ->
+    Format.fprintf ppf "flow %d delivered %g of %g" flow delivered expected
+  | Capacity_exceeded { link; window = lo, hi; rate; cap } ->
+    Format.fprintf ppf "link %d carries %g > cap %g during [%g,%g]" link rate cap lo hi
+  | Link_conflict { link; at; flows = a, b } ->
+    Format.fprintf ppf "flows %d and %d share link %d at time %g" a b link at
+  | Horizon_mismatch { expected = e0, e1; got = g0, g1 } ->
+    Format.fprintf ppf "schedule horizon [%g,%g] differs from instance [%g,%g]" g0 g1
+      e0 e1
+  | Energy_mismatch { source; reported; recomputed } ->
+    Format.fprintf ppf "%s energy %g vs re-integrated %g" source reported recomputed
+  | Lb_violated { energy; lower_bound } ->
+    Format.fprintf ppf "energy %g below the fractional lower bound %g" energy
+      lower_bound
+
+let violation_to_json v =
+  let base = [ ("kind", Json.Str (kind v)) ] in
+  let rest =
+    match v with
+    | Unknown_flow { flow } | Missing_flow { flow } | Bad_path { flow } ->
+      [ ("flow", Json.Int flow) ]
+    | Slot_outside_window { flow; start; stop } ->
+      [ ("flow", Json.Int flow); ("start", Json.float start); ("stop", Json.float stop) ]
+    | Volume_mismatch { flow; delivered; expected } ->
+      [
+        ("flow", Json.Int flow);
+        ("delivered", Json.float delivered);
+        ("expected", Json.float expected);
+      ]
+    | Capacity_exceeded { link; window = lo, hi; rate; cap } ->
+      [
+        ("link", Json.Int link);
+        ("window", Json.List [ Json.float lo; Json.float hi ]);
+        ("rate", Json.float rate);
+        ("cap", Json.float cap);
+      ]
+    | Link_conflict { link; at; flows = a, b } ->
+      [
+        ("link", Json.Int link);
+        ("at", Json.float at);
+        ("flows", Json.List [ Json.Int a; Json.Int b ]);
+      ]
+    | Horizon_mismatch { expected = e0, e1; got = g0, g1 } ->
+      [
+        ("expected", Json.List [ Json.float e0; Json.float e1 ]);
+        ("got", Json.List [ Json.float g0; Json.float g1 ]);
+      ]
+    | Energy_mismatch { source; reported; recomputed } ->
+      [
+        ("source", Json.Str source);
+        ("reported", Json.float reported);
+        ("recomputed", Json.float recomputed);
+      ]
+    | Lb_violated { energy; lower_bound } ->
+      [ ("energy", Json.float energy); ("lower_bound", Json.float lower_bound) ]
+  in
+  Json.Obj (base @ rest)
+
+let violations_to_json vs =
+  Json.Obj
+    [
+      ("ok", Json.Bool (vs = []));
+      ("violations", Json.List (List.map violation_to_json vs));
+    ]
+
+(* ------------------------- the certificate ------------------------- *)
+
+(* Per-link activity sweep, independent of [Schedule.link_profile]:
+   collect every (start, stop, rate, flow) carried by each link, cut the
+   link's own timeline at all slot boundaries, and evaluate each
+   elementary segment at its midpoint.  Returns the dynamic energy, the
+   number of active links, and the capacity/exclusivity violations. *)
+let sweep ~cfg ~(power : Model.t) plans =
+  let by_link = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Schedule.plan) ->
+      List.iter
+        (fun link ->
+          let entries = try Hashtbl.find by_link link with Not_found -> [] in
+          let mine =
+            List.filter_map
+              (fun (s : Schedule.slot) ->
+                if s.rate > 0. && s.stop > s.start then
+                  Some (s.start, s.stop, s.rate, p.flow.Flow.id)
+                else None)
+              p.slots
+          in
+          Hashtbl.replace by_link link (mine @ entries))
+        p.path)
+    plans;
+  let links = List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) by_link []) in
+  let dynamic = ref 0. in
+  let active = ref 0 in
+  let violations = ref [] in
+  let cap_tol = cfg.eps *. Float.max 1. power.Model.cap in
+  List.iter
+    (fun link ->
+      let entries = Hashtbl.find by_link link in
+      let cuts =
+        List.concat_map (fun (a, b, _, _) -> [ a; b ]) entries
+        |> List.sort_uniq compare |> Array.of_list
+      in
+      let link_active = ref false in
+      let over = ref None in
+      (* worst segment *)
+      let conflict = ref None in
+      for k = 0 to Array.length cuts - 2 do
+        let t0 = cuts.(k) and t1 = cuts.(k + 1) in
+        let len = t1 -. t0 in
+        if len > 0. then begin
+          let mid = 0.5 *. (t0 +. t1) in
+          let rate = ref 0. in
+          let first_flow = ref None in
+          List.iter
+            (fun (a, b, r, f) ->
+              if a <= mid && mid < b then begin
+                rate := !rate +. r;
+                match !first_flow with
+                | None -> first_flow := Some f
+                | Some f0 when f0 <> f && !conflict = None ->
+                  conflict := Some (Link_conflict { link; at = t0; flows = (f0, f) })
+                | Some _ -> ()
+              end)
+            entries;
+          if !rate > 0. then begin
+            link_active := true;
+            dynamic := !dynamic +. (Model.dynamic power !rate *. len)
+          end;
+          if !rate > power.Model.cap +. cap_tol then
+            match !over with
+            | Some (_, _, worst) when worst >= !rate -> ()
+            | _ -> over := Some (t0, t1, !rate)
+        end
+      done;
+      if !link_active then incr active;
+      (match !over with
+      | Some (lo, hi, rate) when cfg.check_capacity ->
+        violations :=
+          Capacity_exceeded { link; window = (lo, hi); rate; cap = power.Model.cap }
+          :: !violations
+      | _ -> ());
+      match !conflict with
+      | Some c when cfg.exclusive -> violations := c :: !violations
+      | _ -> ())
+    links;
+  (!dynamic, !active, List.rev !violations)
+
+let close x y ~rtol = Float.abs (x -. y) <= rtol *. Float.max 1. (Float.max (Float.abs x) (Float.abs y))
+
+let schedule ?(config = default) ?reported_energy ?lower_bound inst
+    (sched : Schedule.t) =
+  Trace.span "check.certify" @@ fun () ->
+  let cfg = config in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let g = inst.Instance.graph in
+  (* Horizon: the idle-power window must be the instance's. *)
+  let it0, it1 = Instance.horizon inst in
+  let st0, st1 = sched.Schedule.horizon in
+  if Float.abs (st0 -. it0) > cfg.eps || Float.abs (st1 -. it1) > cfg.eps then
+    add (Horizon_mismatch { expected = (it0, it1); got = (st0, st1) });
+  (* Per-plan structure: known flow, connecting simple path, windows,
+     volume. *)
+  let planned = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Schedule.plan) ->
+      let id = p.flow.Flow.id in
+      Hashtbl.replace planned id ();
+      match Instance.find_flow_opt inst id with
+      | None -> add (Unknown_flow { flow = id })
+      | Some f ->
+        if not (Graph.is_path g ~src:f.src ~dst:f.dst p.path) || p.path = [] then
+          add (Bad_path { flow = id });
+        if cfg.check_volume then begin
+          let tol = cfg.eps *. Float.max 1. f.volume in
+          List.iter
+            (fun (s : Schedule.slot) ->
+              if
+                s.rate > 0.
+                && (s.start < f.release -. cfg.eps || s.stop > f.deadline +. cfg.eps)
+              then add (Slot_outside_window { flow = id; start = s.start; stop = s.stop }))
+            p.slots;
+          let got = Schedule.delivered p in
+          if Float.abs (got -. f.volume) > tol then
+            add (Volume_mismatch { flow = id; delivered = got; expected = f.volume })
+        end)
+    sched.Schedule.plans;
+  if (not cfg.partial) && cfg.check_volume then
+    List.iter
+      (fun (f : Flow.t) ->
+        if not (Hashtbl.mem planned f.id) then add (Missing_flow { flow = f.id }))
+      inst.Instance.flows;
+  (* Full timeline sweep: capacity, exclusivity, dynamic energy, active
+     links — then Eq. (5) re-integration and the cross-checks. *)
+  let dynamic, active, sweep_violations =
+    sweep ~cfg ~power:inst.Instance.power sched.Schedule.plans
+  in
+  List.iter add sweep_violations;
+  let idle =
+    float_of_int active *. inst.Instance.power.Model.sigma *. (st1 -. st0)
+  in
+  let recomputed = idle +. dynamic in
+  (match reported_energy with
+  | Some e when not (close e recomputed ~rtol:cfg.energy_rtol) ->
+    add (Energy_mismatch { source = "solver"; reported = e; recomputed })
+  | _ -> ());
+  if cfg.cross_check_sim then begin
+    let sim = Dcn_sim.Fluid.run sched in
+    if not (close sim.Dcn_sim.Fluid.energy recomputed ~rtol:cfg.energy_rtol) then
+      add
+        (Energy_mismatch
+           { source = "fluid-sim"; reported = sim.Dcn_sim.Fluid.energy; recomputed })
+  end;
+  (match lower_bound with
+  | Some lb when recomputed < lb -. (cfg.energy_rtol *. Float.max 1. lb) ->
+    add (Lb_violated { energy = recomputed; lower_bound = lb })
+  | _ -> ());
+  let result = List.rev !violations in
+  if result <> [] then
+    Trace.counter "check.violations" (float_of_int (List.length result));
+  result
+
+let solution ?(eps = default.eps) ?lower_bound inst (sol : Solution.t) =
+  let lower_bound =
+    match lower_bound with
+    | Some _ -> lower_bound
+    | None ->
+      (* Random-Schedule carries its relaxation; reuse it for the LB
+         dominance clause at no extra cost. *)
+      Option.map
+        (fun r -> (Dcn_core.Lower_bound.of_relaxation r).Dcn_core.Lower_bound.value)
+        (Solution.relaxation sol)
+  in
+  let cfg =
+    match sol.Solution.meta with
+    | Solution.Mcf _ ->
+      (* Virtual circuits: exclusive slots; DCFS does not bind the cap. *)
+      { default with eps; exclusive = true; check_capacity = false }
+    | Solution.Rounding _ ->
+      (* Interval densities: links are shared; Theorem 4 claims
+         capacity feasibility (when the draw was feasible). *)
+      { default with eps; exclusive = false; check_capacity = true }
+  in
+  if not sol.Solution.feasible then
+    (* An infeasible result claims nothing beyond structure: check the
+       paths and windows, skip volumes (placements may be partial, so
+       allow missing plans too), capacity, energy and the LB. *)
+    schedule
+      ~config:
+        {
+          cfg with
+          partial = true;
+          check_volume = false;
+          check_capacity = false;
+          cross_check_sim = false;
+        }
+      inst sol.Solution.schedule
+  else
+    schedule ~config:cfg ~reported_energy:sol.Solution.energy ?lower_bound inst
+      sol.Solution.schedule
+
+(* --------------------------- selfcheck ----------------------------- *)
+
+let fail_on label violations =
+  match violations with
+  | [] -> ()
+  | vs ->
+    let msgs =
+      List.map (fun v -> Format.asprintf "%a" pp_violation v) vs
+    in
+    failwith
+      (Printf.sprintf "selfcheck: %s: %d violation(s): %s" label (List.length vs)
+         (String.concat "; " msgs))
+
+let install_selfcheck () =
+  Dcn_core.Selfcheck.set
+    ~solution:(fun inst sol ->
+      fail_on sol.Solution.algorithm (solution inst sol))
+    ~schedule:(fun ~label ~partial inst sched ->
+      fail_on label (schedule ~config:{ default with partial } inst sched))
+    ()
+
+let selfcheck_from_env () =
+  if Sys.getenv_opt "DCN_SELFCHECK" = Some "1" then install_selfcheck ()

@@ -1,0 +1,101 @@
+(** Independent certification of solver output.
+
+    Given an instance and a schedule (or a full {!Dcn_core.Solution.t}),
+    re-derive every property the paper's theorems promise — from the raw
+    slots, sharing no code with the solvers' own accounting:
+
+    - path endpoints and connectivity in the {e instance's} graph;
+    - transmission windows: every slot inside its flow's
+      [\[release, deadline\]] span (hard deadlines, Section II-B);
+    - volume completion: slot integrals deliver each flow's [w_i];
+    - link capacity: a full per-link timeline sweep of summed rates
+      against the power model's cap (Theorem 4's feasibility claim);
+    - virtual-circuit exclusivity where claimed (Section III-A);
+    - energy re-integration: Eq. (5) idle [sigma] + dynamic
+      [mu x^alpha] recomputed from the sweep, cross-checked against the
+      solver-reported total and against {!Dcn_sim.Fluid.run};
+    - lower-bound dominance: [energy >= LB - eps] (the paper's
+      normaliser, Section V-C).
+
+    The result is a typed violation list — empty means certified. *)
+
+type violation =
+  | Unknown_flow of { flow : int }
+      (** the schedule plans a flow the instance does not contain *)
+  | Missing_flow of { flow : int }
+      (** an instance flow has no plan (only without [partial]) *)
+  | Bad_path of { flow : int }
+      (** the plan's path is not a simple src→dst path in the graph *)
+  | Slot_outside_window of { flow : int; start : float; stop : float }
+  | Volume_mismatch of { flow : int; delivered : float; expected : float }
+  | Capacity_exceeded of {
+      link : int;
+      window : float * float;
+      rate : float;
+      cap : float;
+    }
+  | Link_conflict of { link : int; at : float; flows : int * int }
+      (** two flows transmit simultaneously on a virtual-circuit link *)
+  | Horizon_mismatch of { expected : float * float; got : float * float }
+  | Energy_mismatch of { source : string; reported : float; recomputed : float }
+      (** [source] is ["solver"] or ["fluid-sim"] *)
+  | Lb_violated of { energy : float; lower_bound : float }
+
+type config = {
+  eps : float;  (** time/volume tolerance (relative), default 1e-6 *)
+  energy_rtol : float;  (** energy comparison tolerance, default 1e-6 *)
+  partial : bool;
+      (** allow instance flows without a plan (online admission) *)
+  exclusive : bool;  (** enforce virtual-circuit link exclusivity *)
+  check_capacity : bool;  (** enforce the power model's cap *)
+  check_volume : bool;  (** enforce volume completion and windows *)
+  cross_check_sim : bool;  (** re-integrate energy via {!Dcn_sim.Fluid} *)
+}
+
+val default : config
+(** [partial = false], [exclusive = false], [check_capacity = true],
+    [check_volume = true], [cross_check_sim = true]. *)
+
+val kind : violation -> string
+(** Stable taxonomy tag, e.g. ["volume_mismatch"] — the identity the
+    shrinker preserves and the JSON reports carry. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_json : violation -> Dcn_engine.Json.t
+
+val violations_to_json : violation list -> Dcn_engine.Json.t
+(** [{ "ok": bool, "violations": [...] }]. *)
+
+val schedule :
+  ?config:config ->
+  ?reported_energy:float ->
+  ?lower_bound:float ->
+  Dcn_core.Instance.t ->
+  Dcn_sched.Schedule.t ->
+  violation list
+(** Certify a bare schedule against its instance. *)
+
+val solution :
+  ?eps:float ->
+  ?lower_bound:float ->
+  Dcn_core.Instance.t ->
+  Dcn_core.Solution.t ->
+  violation list
+(** Certify a solver result.  The checked claims follow the solution's
+    own metadata: MCF results are checked for exclusivity (virtual
+    circuits) but not capacity (DCFS does not bind it), Random-Schedule
+    results for capacity but not exclusivity (interval-density sharing);
+    a result flagged infeasible only has its structural properties
+    (paths, windows) checked, since it claims nothing else.  When the
+    solution carries a relaxation (Random-Schedule), lower-bound
+    dominance is checked against it even if [lower_bound] is omitted. *)
+
+val install_selfcheck : unit -> unit
+(** Install {!Dcn_core.Selfcheck} hooks that certify every solver
+    result and raise [Failure] (with rendered violations) on the first
+    failure. *)
+
+val selfcheck_from_env : unit -> unit
+(** {!install_selfcheck} iff the [DCN_SELFCHECK] environment variable
+    is ["1"] — call once at program start-up (the CLI and bench do). *)

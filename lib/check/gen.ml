@@ -1,0 +1,92 @@
+module Prng = Dcn_util.Prng
+module Builders = Dcn_topology.Builders
+module Graph = Dcn_topology.Graph
+module Workload = Dcn_flow.Workload
+module Model = Dcn_power.Model
+module Instance = Dcn_core.Instance
+
+type case = {
+  index : int;
+  label : string;
+  solver_seed : int;
+  instance : Dcn_core.Instance.t;
+}
+
+(* Topology families, biased towards the tiny graphs the exhaustive
+   solver can still certify. *)
+let topology rng =
+  match Prng.int rng 6 with
+  | 0 ->
+    let n = 2 + Prng.int rng 3 in
+    (Printf.sprintf "line:%d" n, Builders.line n)
+  | 1 ->
+    let leaves = 2 + Prng.int rng 3 in
+    (Printf.sprintf "star:%d" leaves, Builders.star ~leaves)
+  | 2 ->
+    let links = 1 + Prng.int rng 3 in
+    (Printf.sprintf "parallel:%d" links, Builders.parallel ~links)
+  | 3 ->
+    let spines = 2 and leaves = 2 in
+    let hosts_per_leaf = 1 + Prng.int rng 2 in
+    ( Printf.sprintf "leaf-spine:%d:%d:%d" spines leaves hosts_per_leaf,
+      Builders.leaf_spine ~spines ~leaves ~hosts_per_leaf )
+  | 4 -> ("fat-tree:4", Builders.fat_tree 4)
+  | _ ->
+    let n = 3 + Prng.int rng 2 in
+    (Printf.sprintf "line:%d" n, Builders.line n)
+
+let power rng =
+  let alpha = float_of_int (2 + Prng.int rng 3) in
+  let sigma = if Prng.int rng 3 = 0 then Prng.uniform rng ~lo:1. ~hi:20. else 0. in
+  (* A finite cap occasionally, generous enough that feasible draws
+     exist but tight enough to exercise redraws and admission control. *)
+  let cap = if Prng.int rng 4 = 0 then Prng.uniform rng ~lo:8. ~hi:40. else infinity in
+  let label =
+    Printf.sprintf "a%g%s%s" alpha
+      (if sigma > 0. then "+s" else "")
+      (if cap < infinity then "+cap" else "")
+  in
+  (label, Model.make ~sigma ~mu:1. ~alpha ~cap ())
+
+let flows rng graph =
+  let hosts = Array.length (Graph.hosts graph) in
+  let spec =
+    {
+      Workload.horizon = (0., 10.);
+      volume_mean = 6.;
+      volume_stddev = 2.;
+      min_span = 1.;
+    }
+  in
+  match Prng.int rng 4 with
+  | 0 | 1 ->
+    let n = 2 + Prng.int rng 5 in
+    (Printf.sprintf "random:%d" n, Workload.paper_random ~spec ~rng ~graph ~n ())
+  | 2 when hosts >= 3 ->
+    let sources = min (hosts - 1) (2 + Prng.int rng 2) in
+    ( Printf.sprintf "incast:%d" sources,
+      Workload.incast ~volume:4. ~horizon:(0., 10.) ~rng ~graph ~sources () )
+  | _ ->
+    let stages = 1 + Prng.int rng 2 in
+    let per = 1 + Prng.int rng 2 in
+    ( Printf.sprintf "staged:%dx%d" stages per,
+      Workload.staged ~volume:5. ~rng ~graph ~stages ~flows_per_stage:per
+        ~stage_length:4. () )
+
+let case ~rng ~index =
+  let topo_label, graph = topology rng in
+  let power_label, power = power rng in
+  let flow_label, fs = flows rng graph in
+  let instance = Instance.make ~graph ~power ~flows:fs in
+  let solver_seed = Prng.int rng 1_000_000_000 in
+  {
+    index;
+    label = Printf.sprintf "%s/%s/%s" topo_label flow_label power_label;
+    solver_seed;
+    instance;
+  }
+
+let batch ~seed ~n =
+  if n < 1 then invalid_arg (Printf.sprintf "Gen.batch: n must be >= 1 (got %d)" n);
+  let streams = Dcn_engine.Pool.split_rngs (Prng.create seed) n in
+  Array.init n (fun index -> case ~rng:streams.(index) ~index)

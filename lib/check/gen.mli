@@ -1,0 +1,30 @@
+(** Seeded random instance generation for the fuzzing harness.
+
+    Every case derives from its own pre-split PRNG stream
+    ({!Dcn_engine.Pool.split_rngs}), so a batch is a pure function of
+    [(seed, n)]: the same instances come out whatever [--jobs] level the
+    oracle later runs at, and case [i] of a size-[n] batch never depends
+    on how cases [0..i-1] consumed randomness.
+
+    Instances mix the topology families of
+    {!Dcn_topology.Builders} (line, star, parallel links, leaf–spine,
+    fat-tree) with the workload knobs of {!Dcn_flow.Workload}
+    (paper-random, incast, shuffle, staged), power exponents
+    [alpha in {2, 3, 4}], idle power on or off, and occasionally a
+    finite link capacity — small enough that the differential oracle
+    (including the exhaustive {!Dcn_core.Exact} solver on the tiniest
+    ones) stays fast. *)
+
+type case = {
+  index : int;  (** position in the batch *)
+  label : string;  (** human-readable: topology × workload × knobs *)
+  solver_seed : int;  (** seed for the oracle's randomised solvers *)
+  instance : Dcn_core.Instance.t;
+}
+
+val case : rng:Dcn_util.Prng.t -> index:int -> case
+(** One random case drawn from [rng]. *)
+
+val batch : seed:int -> n:int -> case array
+(** [n] independent cases from pre-split streams of [seed].
+    @raise Invalid_argument if [n < 1]. *)

@@ -1,0 +1,337 @@
+module Json = Dcn_engine.Json
+module Pool = Dcn_engine.Pool
+module Trace = Dcn_engine.Trace
+module Prng = Dcn_util.Prng
+module Graph = Dcn_topology.Graph
+module Frank_wolfe = Dcn_mcf.Frank_wolfe
+module Instance = Dcn_core.Instance
+module Solution = Dcn_core.Solution
+module Baselines = Dcn_core.Baselines
+module Most_critical_first = Dcn_core.Most_critical_first
+module Random_schedule = Dcn_core.Random_schedule
+module Greedy_ear = Dcn_core.Greedy_ear
+module Online = Dcn_core.Online
+module Exact = Dcn_core.Exact
+module Relaxation = Dcn_core.Relaxation
+module Lower_bound = Dcn_core.Lower_bound
+module Selfcheck = Dcn_core.Selfcheck
+
+type solver_result = {
+  solver : string;
+  energy : float;
+  feasible : bool;
+  violations : Certify.violation list;
+}
+
+type cross_violation =
+  | Exact_beaten of { solver : string; energy : float; exact : float }
+  | Lb_violated of { solver : string; energy : float; lower_bound : float }
+  | Mcf_not_reproducible of { solver : string; energy : float; resolved : float }
+  | Meta_inconsistent of { solver : string; what : string }
+
+type t = {
+  label : string;
+  lower_bound : float;
+  results : solver_result list;
+  cross : cross_violation list;
+}
+
+let ok t =
+  t.cross = [] && List.for_all (fun r -> r.violations = []) t.results
+
+let cross_kind = function
+  | Exact_beaten _ -> "cross_exact_beaten"
+  | Lb_violated _ -> "cross_lb_violated"
+  | Mcf_not_reproducible _ -> "cross_mcf_not_reproducible"
+  | Meta_inconsistent _ -> "cross_meta_inconsistent"
+
+let violation_kinds t =
+  let per_solver =
+    List.concat_map (fun r -> List.map Certify.kind r.violations) t.results
+  in
+  let cross = List.map cross_kind t.cross in
+  List.sort_uniq String.compare (per_solver @ cross)
+
+let pp_cross ppf = function
+  | Exact_beaten { solver; energy; exact } ->
+    Format.fprintf ppf "%s beats the exhaustive optimum: %g < %g" solver exact
+      energy
+  | Lb_violated { solver; energy; lower_bound } ->
+    Format.fprintf ppf "%s energy %g below the fractional lower bound %g"
+      solver energy lower_bound
+  | Mcf_not_reproducible { solver; energy; resolved } ->
+    Format.fprintf ppf
+      "re-running MCF on %s's own routing gives %g, not the reported %g"
+      solver resolved energy
+  | Meta_inconsistent { solver; what } ->
+    Format.fprintf ppf "%s metadata inconsistent: %s" solver what
+
+(* ----------------------------- helpers ----------------------------- *)
+
+let fuzz_fw_config =
+  { Frank_wolfe.default_config with max_iters = 60; gap_tol = 1e-3 }
+
+let rtol = 1e-6
+let close a b = Float.abs (a -. b) <= rtol *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let flow_ids inst =
+  Array.to_list (Array.map (fun f -> f.Dcn_flow.Flow.id) (Instance.flow_array inst))
+
+let sorted_ids ids = List.sort_uniq compare ids
+
+(* Metadata consistency clauses, per solver. *)
+let meta_checks inst (sol : Solution.t) ~rs_attempts =
+  let add, get =
+    let acc = ref [] in
+    ( (fun what ->
+        acc := Meta_inconsistent { solver = sol.Solution.algorithm; what } :: !acc),
+      fun () -> List.rev !acc )
+  in
+  let ids = flow_ids inst in
+  let rate_ids = sorted_ids (List.map fst sol.Solution.per_flow_rates) in
+  if rate_ids <> ids then add "per_flow_rates does not cover the flow set";
+  (match sol.Solution.meta with
+  | Solution.Mcf detail ->
+    let group_ids =
+      List.sort compare
+        (List.concat_map (fun g -> g.Solution.flow_ids) detail.Solution.groups)
+    in
+    if group_ids <> ids then
+      add "critical groups do not partition the flow set"
+  | Solution.Rounding detail ->
+    let path_ids = sorted_ids (List.map fst detail.Solution.paths) in
+    if path_ids <> ids then add "rounding paths do not cover the flow set";
+    if detail.Solution.attempts_used < 1
+       || detail.Solution.attempts_used > rs_attempts
+    then add "attempts_used outside the redraw budget");
+  get ()
+
+(* Theorem 1: MCF is deterministic given its routing — re-solving on the
+   solution's own paths must reproduce its energy. *)
+let mcf_reproducibility inst (sol : Solution.t) =
+  if not sol.Solution.feasible then []
+  else
+    let paths = Solution.paths sol in
+    match
+      Most_critical_first.solve inst ~routing:(fun id -> List.assoc id paths)
+    with
+    | exception _ ->
+      [
+        Meta_inconsistent
+          {
+            solver = sol.Solution.algorithm;
+            what = "routing read back from the schedule does not re-solve";
+          };
+      ]
+    | re ->
+      if close re.Solution.energy sol.Solution.energy then []
+      else
+        [
+          Mcf_not_reproducible
+            {
+              solver = sol.Solution.algorithm;
+              energy = sol.Solution.energy;
+              resolved = re.Solution.energy;
+            };
+        ]
+
+(* The exhaustive search is only attempted where the enumeration budget
+   is certainly small. *)
+let exact_gate inst =
+  Instance.num_flows inst <= 4 && Graph.num_cables inst.Instance.graph <= 10
+
+let run ?(rs_attempts = 10) ?(fw_config = fuzz_fw_config) ?exact ~solver_seed
+    ~label inst =
+  Trace.span ~fields:[ ("label", Json.Str label) ] "check.oracle" @@ fun () ->
+  (* The oracle certifies everything itself; suppress any installed
+     selfcheck hook so a violation is recorded rather than thrown
+     mid-solve. *)
+  Selfcheck.without @@ fun () ->
+  let relaxation = Relaxation.solve ~fw_config inst in
+  let lb = (Lower_bound.of_relaxation relaxation).Lower_bound.value in
+  let rngs = Pool.split_rngs (Prng.create solver_seed) 2 in
+  let sp = Baselines.sp_mcf inst in
+  let ecmp = Baselines.ecmp_mcf ~rng:rngs.(0) inst in
+  let rs =
+    Random_schedule.solve
+      ~config:{ Random_schedule.attempts = rs_attempts; fw_config }
+      ~relaxation ~rng:rngs.(1) inst
+  in
+  let refined = Random_schedule.refine inst rs in
+  let greedy = Greedy_ear.solve inst in
+  let online = Online.solve inst in
+  let want_exact =
+    match exact with Some b -> b | None -> exact_gate inst
+  in
+  let exact_result =
+    if not want_exact then None
+    else match Exact.solve inst with
+      | r -> Some r
+      | exception Invalid_argument _ -> None
+  in
+  let of_solution (sol : Solution.t) =
+    {
+      solver = sol.Solution.algorithm;
+      energy = sol.Solution.energy;
+      feasible = sol.Solution.feasible;
+      violations = Certify.solution inst sol;
+    }
+  in
+  let greedy_result =
+    {
+      solver = "greedy-ear";
+      energy = greedy.Greedy_ear.energy;
+      feasible = true;
+      violations =
+        Certify.schedule ~reported_energy:greedy.Greedy_ear.energy inst
+          greedy.Greedy_ear.schedule;
+    }
+  in
+  let online_rejects = online.Online.rejected <> [] in
+  let online_result =
+    {
+      solver = "online";
+      energy = online.Online.energy;
+      feasible = true;
+      violations =
+        Certify.schedule
+          ~config:{ Certify.default with partial = true }
+          ~reported_energy:online.Online.energy inst online.Online.schedule;
+    }
+  in
+  let solutions =
+    [ sp; ecmp; rs; refined ]
+    @ (match exact_result with
+      | Some e -> [ e.Exact.best ]
+      | None -> [])
+  in
+  let results =
+    List.map of_solution solutions @ [ greedy_result; online_result ]
+  in
+  (* Cross-solver invariants. *)
+  let cross = ref [] in
+  let add c = cross := c :: !cross in
+  (* LB dominance, for interval-density schedules only: such a schedule
+     is a feasible point of every per-interval fractional program, so
+     its cost dominates the relaxation's certified bound.  The bound
+     does NOT hold for virtual-circuit results — the relaxation fixes
+     per-interval demands to densities, and MCF's time-shifting can
+     legitimately dip below it (the DESIGN.md normaliser caveat) —
+     so SP+MCF, ECMP+MCF, refine and the exhaustive optimum are
+     exempt.  Random-Schedule's own certificate already carries the
+     clause (it derives the bound from its relaxation). *)
+  if (not online_rejects)
+     && online.Online.energy < lb -. (rtol *. Float.max 1. lb)
+  then
+    add (Lb_violated { solver = "online"; energy = online.Online.energy; lower_bound = lb });
+  if greedy.Greedy_ear.energy < lb -. (rtol *. Float.max 1. lb) then
+    add
+      (Lb_violated
+         { solver = "greedy-ear"; energy = greedy.Greedy_ear.energy; lower_bound = lb });
+  (* Corollary 1: the exhaustive minimum over routings bounds every
+     fixed-routing virtual-circuit result. *)
+  (match exact_result with
+  | None -> ()
+  | Some e ->
+    List.iter
+      (fun (sol : Solution.t) ->
+        if
+          sol.Solution.feasible
+          && sol.Solution.energy
+             < e.Exact.energy -. (rtol *. Float.max 1. e.Exact.energy)
+        then
+          add
+            (Exact_beaten
+               {
+                 solver = sol.Solution.algorithm;
+                 energy = sol.Solution.energy;
+                 exact = e.Exact.energy;
+               }))
+      [ sp; ecmp; refined ]);
+  (* Theorem 1 determinism on the deterministic-routing baseline. *)
+  List.iter (fun v -> add v) (mcf_reproducibility inst sp);
+  (* Metadata consistency. *)
+  List.iter
+    (fun sol -> List.iter (fun v -> add v) (meta_checks inst sol ~rs_attempts))
+    solutions;
+  let all_ids = flow_ids inst in
+  if
+    List.sort compare (online.Online.accepted @ online.Online.rejected)
+    <> all_ids
+  then
+    add
+      (Meta_inconsistent
+         { solver = "online"; what = "accepted + rejected != flow set" });
+  let cross = List.rev !cross in
+  if cross <> [] then
+    Trace.counter "check.cross_violations" (float_of_int (List.length cross));
+  { label; lower_bound = lb; results; cross }
+
+let run_case ?rs_attempts ?fw_config (case : Gen.case) =
+  run ?rs_attempts ?fw_config ~solver_seed:case.Gen.solver_seed
+    ~label:case.Gen.label case.Gen.instance
+
+let run_batch ?pool ?rs_attempts ?fw_config cases =
+  let f case = run_case ?rs_attempts ?fw_config case in
+  match pool with
+  | None -> Array.map f cases
+  | Some pool -> Pool.map pool f cases
+
+(* ------------------------------- JSON ------------------------------ *)
+
+let cross_to_json c =
+  let fields =
+    match c with
+    | Exact_beaten { solver; energy; exact } ->
+      [
+        ("solver", Json.Str solver);
+        ("energy", Json.float energy);
+        ("exact", Json.float exact);
+      ]
+    | Lb_violated { solver; energy; lower_bound } ->
+      [
+        ("solver", Json.Str solver);
+        ("energy", Json.float energy);
+        ("lower_bound", Json.float lower_bound);
+      ]
+    | Mcf_not_reproducible { solver; energy; resolved } ->
+      [
+        ("solver", Json.Str solver);
+        ("energy", Json.float energy);
+        ("resolved", Json.float resolved);
+      ]
+    | Meta_inconsistent { solver; what } ->
+      [ ("solver", Json.Str solver); ("what", Json.Str what) ]
+  in
+  Json.Obj (("kind", Json.Str (cross_kind c)) :: fields)
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("solver", Json.Str r.solver);
+      ("energy", Json.float r.energy);
+      ("feasible", Json.Bool r.feasible);
+      ("ok", Json.Bool (r.violations = []));
+      ( "violations",
+        Json.List (List.map Certify.violation_to_json r.violations) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.Str t.label);
+      ("ok", Json.Bool (ok t));
+      ("lower_bound", Json.float t.lower_bound);
+      ("solvers", Json.List (List.map result_to_json t.results));
+      ("cross", Json.List (List.map cross_to_json t.cross));
+    ]
+
+let batch_to_json ts =
+  let oks = Array.fold_left (fun n t -> if ok t then n + 1 else n) 0 ts in
+  Json.Obj
+    [
+      ("cases", Json.Int (Array.length ts));
+      ("ok", Json.Bool (oks = Array.length ts));
+      ("failures", Json.Int (Array.length ts - oks));
+      ("reports", Json.List (Array.to_list (Array.map to_json ts)));
+    ]

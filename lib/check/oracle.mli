@@ -1,0 +1,82 @@
+(** Differential testing of the solver family on one instance.
+
+    Runs a configurable solver set — SP+MCF, ECMP+MCF, Random-Schedule
+    (plus its Most-Critical-First refinement), greedy energy-aware
+    routing, online admission control and, on tiny instances, the
+    exhaustive {!Dcn_core.Exact} optimum — certifies every output with
+    {!Certify}, and asserts the cross-solver invariants the paper
+    proves:
+
+    - every interval-density schedule (Random-Schedule, greedy,
+      online with no rejections) dominates the fractional lower bound
+      (Section V-C normaliser; virtual-circuit results are exempt —
+      the relaxation fixes per-interval demands to densities, and
+      MCF's time-shifting can legitimately dip below it, see the
+      DESIGN.md caveat);
+    - the exhaustive optimum is no worse than any fixed-routing
+      MCF result (Corollary 1: MCF is optimal per routing, so the
+      minimum over routings bounds them all);
+    - re-running Most-Critical-First on a virtual-circuit solution's
+      own routing reproduces its energy (Theorem 1 determinism);
+    - a feasible Random-Schedule draw passes the full certificate
+      (Theorem 4);
+    - solution metadata is consistent: rounding paths match the
+      schedule's plans, MCF groups partition the flow set, rates cover
+      every flow. *)
+
+type solver_result = {
+  solver : string;
+  energy : float;
+  feasible : bool;
+  violations : Certify.violation list;
+}
+
+type cross_violation =
+  | Exact_beaten of { solver : string; energy : float; exact : float }
+  | Lb_violated of { solver : string; energy : float; lower_bound : float }
+  | Mcf_not_reproducible of { solver : string; energy : float; resolved : float }
+  | Meta_inconsistent of { solver : string; what : string }
+
+type t = {
+  label : string;
+  lower_bound : float;
+  results : solver_result list;
+  cross : cross_violation list;
+}
+
+val ok : t -> bool
+(** No per-solver certificate violations and no cross-solver ones. *)
+
+val violation_kinds : t -> string list
+(** Sorted, distinct taxonomy tags of everything that failed — the
+    identity {!Shrink} preserves. *)
+
+val pp_cross : Format.formatter -> cross_violation -> unit
+
+val run :
+  ?rs_attempts:int ->
+  ?fw_config:Dcn_mcf.Frank_wolfe.config ->
+  ?exact:bool ->
+  solver_seed:int ->
+  label:string ->
+  Dcn_core.Instance.t ->
+  t
+(** Deterministic given its arguments.  [exact] defaults to an
+    auto-gate (few flows, tiny graph); the exhaustive solver is skipped
+    when its enumeration budget would blow up.  [rs_attempts] defaults
+    to 10; [fw_config] to a fuzzing-speed Frank–Wolfe setting. *)
+
+val run_case : ?rs_attempts:int -> ?fw_config:Dcn_mcf.Frank_wolfe.config -> Gen.case -> t
+
+val run_batch :
+  ?pool:Dcn_engine.Pool.t ->
+  ?rs_attempts:int ->
+  ?fw_config:Dcn_mcf.Frank_wolfe.config ->
+  Gen.case array ->
+  t array
+(** One {!run_case} per case, fanned over the pool; results are in case
+    order and bit-identical for every pool size. *)
+
+val to_json : t -> Dcn_engine.Json.t
+
+val batch_to_json : t array -> Dcn_engine.Json.t

@@ -1,0 +1,134 @@
+module Json = Dcn_engine.Json
+module Trace = Dcn_engine.Trace
+module Graph = Dcn_topology.Graph
+module Flow = Dcn_flow.Flow
+module Instance = Dcn_core.Instance
+module Selfcheck = Dcn_core.Selfcheck
+
+type step = { op : string; flows : int; cables : int }
+type result = { instance : Instance.t; steps : step list }
+
+let size inst =
+  (Instance.num_flows inst, Graph.num_cables inst.Instance.graph)
+
+let steps_to_json steps =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("op", Json.Str s.op);
+             ("flows", Json.Int s.flows);
+             ("cables", Json.Int s.cables);
+           ])
+       steps)
+
+(* Rebuild the instance with one flow's record replaced. *)
+let with_flow inst id f =
+  let flows =
+    List.map
+      (fun (fl : Flow.t) -> if fl.Flow.id = id then f fl else fl)
+      inst.Instance.flows
+  in
+  Instance.make ~graph:inst.Instance.graph ~power:inst.Instance.power ~flows
+
+let remake_flow (fl : Flow.t) ~volume ~release ~deadline =
+  Flow.make ~id:fl.Flow.id ~src:fl.Flow.src ~dst:fl.Flow.dst ~volume ~release
+    ~deadline
+
+(* One cable per physical pair: the directed link whose id is below its
+   reverse. *)
+let cables graph =
+  List.filter
+    (fun l -> l < Graph.reverse graph l)
+    (List.init (Graph.num_links graph) Fun.id)
+
+let volume_floor = 0.5
+
+(* Candidate edits, in the fixed scan order.  Every edit either strictly
+   shrinks a size metric (fewer flows, smaller volume, fewer cables) or
+   is idempotent (window already snapped is not a candidate again), so
+   the greedy loop terminates. *)
+let candidates inst =
+  let flows = Array.to_list (Instance.flow_array inst) in
+  let graph = inst.Instance.graph in
+  let drop =
+    if List.length flows < 2 then []
+    else
+      List.map
+        (fun (fl : Flow.t) ->
+          ( Printf.sprintf "drop-flow %d" fl.Flow.id,
+            fun () ->
+              Instance.make ~graph ~power:inst.Instance.power
+                ~flows:(List.filter (fun (g : Flow.t) -> g.Flow.id <> fl.Flow.id) flows)
+          ))
+        flows
+  in
+  let halve =
+    List.filter_map
+      (fun (fl : Flow.t) ->
+        if fl.Flow.volume /. 2. < volume_floor then None
+        else
+          Some
+            ( Printf.sprintf "halve-volume %d" fl.Flow.id,
+              fun () ->
+                with_flow inst fl.Flow.id (fun fl ->
+                    remake_flow fl ~volume:(fl.Flow.volume /. 2.)
+                      ~release:fl.Flow.release ~deadline:fl.Flow.deadline) ))
+      flows
+  in
+  let t0, t1 = Instance.horizon inst in
+  let snap =
+    List.filter_map
+      (fun (fl : Flow.t) ->
+        if fl.Flow.release = t0 && fl.Flow.deadline = t1 then None
+        else
+          Some
+            ( Printf.sprintf "snap-window %d" fl.Flow.id,
+              fun () ->
+                with_flow inst fl.Flow.id (fun fl ->
+                    remake_flow fl ~volume:fl.Flow.volume ~release:t0
+                      ~deadline:t1) ))
+      flows
+  in
+  let cut =
+    List.map
+      (fun link ->
+        ( Printf.sprintf "remove-cable %d" link,
+          fun () ->
+            Instance.make
+              ~graph:(Graph.remove_cables graph ~cables:[ link ])
+              ~power:inst.Instance.power ~flows ))
+      (cables graph)
+  in
+  drop @ halve @ snap @ cut
+
+let minimize ?(max_rounds = 200) pred inst =
+  Trace.span "check.shrink" @@ fun () ->
+  let holds candidate =
+    try Selfcheck.without (fun () -> pred candidate) with _ -> false
+  in
+  if not (holds inst) then { instance = inst; steps = [] }
+  else begin
+    let rec first_success = function
+      | [] -> None
+      | (op, build) :: rest -> (
+        match build () with
+        | exception _ -> first_success rest
+        | candidate ->
+          if holds candidate then Some (op, candidate)
+          else first_success rest)
+    in
+    let rec loop inst steps round =
+      if round >= max_rounds then (inst, steps)
+      else
+        match first_success (candidates inst) with
+        | None -> (inst, steps)
+        | Some (op, smaller) ->
+          let flows, cables = size smaller in
+          loop smaller ({ op; flows; cables } :: steps) (round + 1)
+    in
+    let minimized, steps = loop inst [] 0 in
+    Trace.counter "check.shrink.steps" (float_of_int (List.length steps));
+    { instance = minimized; steps = List.rev steps }
+  end

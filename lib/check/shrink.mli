@@ -1,0 +1,44 @@
+(** Greedy delta-debugging of counterexample instances.
+
+    Given an instance on which some predicate holds (typically "the
+    oracle reports a violation of kind K"), repeatedly try
+    simplifications and keep any that preserve the predicate:
+
+    - drop a flow (while at least two remain);
+    - halve a flow's volume (with a floor, so the loop terminates);
+    - snap a flow's window to the instance horizon (slack removal);
+    - remove a cable the graph can spare.
+
+    Each round scans the candidate edits in a fixed order and restarts
+    after the first success, so the result is deterministic; the loop
+    ends when no edit preserves the predicate.  The minimized instance
+    is never larger than the input (every edit strictly reduces a size
+    metric or is idempotent), and still satisfies the predicate. *)
+
+type step = {
+  op : string;  (** e.g. ["drop-flow 3"], ["halve-volume 1"] *)
+  flows : int;  (** flows remaining after the edit *)
+  cables : int;  (** cables remaining after the edit *)
+}
+
+type result = {
+  instance : Dcn_core.Instance.t;  (** the minimized counterexample *)
+  steps : step list;  (** applied edits, in order *)
+}
+
+val size : Dcn_core.Instance.t -> int * int
+(** [(flows, cables)] — the metric minimization reports. *)
+
+val minimize :
+  ?max_rounds:int ->
+  (Dcn_core.Instance.t -> bool) ->
+  Dcn_core.Instance.t ->
+  result
+(** [minimize pred inst] assumes [pred inst = true] (if not, the result
+    is [inst] unchanged with no steps).  [pred] is called under
+    {!Dcn_core.Selfcheck.without} and any exception it raises counts as
+    [false], so an oracle that throws on a malformed candidate simply
+    rejects the edit.  [max_rounds] (default 200) bounds the loop as a
+    backstop; the edits terminate on their own well before it. *)
+
+val steps_to_json : step list -> Dcn_engine.Json.t

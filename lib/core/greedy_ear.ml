@@ -75,6 +75,7 @@ let solve inst =
       inst.Instance.flows
   in
   let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) plans in
+  Selfcheck.schedule ~label:"greedy-ear" ~partial:false inst schedule;
   {
     schedule;
     paths = List.map (fun (f : Flow.t) -> (f.id, Hashtbl.find chosen f.id)) inst.Instance.flows;

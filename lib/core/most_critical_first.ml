@@ -235,19 +235,23 @@ let solve ?(algorithm = "mcf") inst ~routing =
   let rates =
     Array.to_list (Array.mapi (fun i (f : Flow.t) -> (f.id, rate.(i))) flows)
   in
-  {
-    Solution.algorithm;
-    energy = idle +. !dynamic;
-    feasible = !placement_complete;
-    schedule;
-    per_flow_rates = rates;
-    meta =
-      Solution.Mcf
-        {
-          Solution.groups = List.rev !groups;
-          placement_complete = !placement_complete;
-        };
-  }
+  let sol =
+    {
+      Solution.algorithm;
+      energy = idle +. !dynamic;
+      feasible = !placement_complete;
+      schedule;
+      per_flow_rates = rates;
+      meta =
+        Solution.Mcf
+          {
+            Solution.groups = List.rev !groups;
+            placement_complete = !placement_complete;
+          };
+    }
+  in
+  Selfcheck.solution inst sol;
+  sol
 
 let rate_of = Solution.rate_of
 let find_rate = Solution.find_rate

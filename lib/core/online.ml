@@ -79,6 +79,7 @@ let solve inst =
     ordered;
   let t0, t1 = Instance.horizon inst in
   let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) (List.rev !plans) in
+  Selfcheck.schedule ~label:"online" ~partial:true inst schedule;
   let n_acc = List.length !accepted and n_rej = List.length !rejected in
   {
     schedule;

@@ -182,22 +182,26 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
           ("feasible", Json.Bool chosen_attempt.a_feasible);
           ("energy", Json.float chosen_attempt.a_energy);
         ];
-  {
-    Solution.algorithm = "random-schedule";
-    energy = chosen_attempt.a_energy;
-    feasible = chosen_attempt.a_feasible;
-    schedule = chosen_attempt.a_schedule;
-    per_flow_rates = List.map (fun (f : Flow.t) -> (f.id, Flow.density f)) flows;
-    meta =
-      Solution.Rounding
-        {
-          Solution.paths = chosen_attempt.a_chosen;
-          attempts_used;
-          candidates =
-            List.map (fun (id, cands) -> (id, List.length cands)) candidates;
-          relaxation = relax;
-        };
-  }
+  let sol =
+    {
+      Solution.algorithm = "random-schedule";
+      energy = chosen_attempt.a_energy;
+      feasible = chosen_attempt.a_feasible;
+      schedule = chosen_attempt.a_schedule;
+      per_flow_rates = List.map (fun (f : Flow.t) -> (f.id, Flow.density f)) flows;
+      meta =
+        Solution.Rounding
+          {
+            Solution.paths = chosen_attempt.a_chosen;
+            attempts_used;
+            candidates =
+              List.map (fun (id, cands) -> (id, List.length cands)) candidates;
+            relaxation = relax;
+          };
+    }
+  in
+  Selfcheck.solution inst sol;
+  sol
 
 let refine inst (t : Solution.t) =
   match t.Solution.meta with

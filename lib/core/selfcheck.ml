@@ -1,0 +1,37 @@
+type solution_hook = Instance.t -> Solution.t -> unit
+
+type schedule_hook =
+  label:string -> partial:bool -> Instance.t -> Dcn_sched.Schedule.t -> unit
+
+type hooks = {
+  on_solution : solution_hook option;
+  on_schedule : schedule_hook option;
+}
+
+let hooks : hooks Atomic.t = Atomic.make { on_solution = None; on_schedule = None }
+
+(* Suppression depth, not a flag, so nested [without] calls compose. *)
+let suppressed = Atomic.make 0
+
+let set ?solution ?schedule () =
+  Atomic.set hooks { on_solution = solution; on_schedule = schedule }
+
+let clear () = Atomic.set hooks { on_solution = None; on_schedule = None }
+
+let enabled () =
+  let h = Atomic.get hooks in
+  (h.on_solution <> None || h.on_schedule <> None) && Atomic.get suppressed = 0
+
+let solution inst sol =
+  match (Atomic.get hooks).on_solution with
+  | Some f when Atomic.get suppressed = 0 -> f inst sol
+  | _ -> ()
+
+let schedule ~label ~partial inst sched =
+  match (Atomic.get hooks).on_schedule with
+  | Some f when Atomic.get suppressed = 0 -> f ~label ~partial inst sched
+  | _ -> ()
+
+let without f =
+  Atomic.incr suppressed;
+  Fun.protect ~finally:(fun () -> Atomic.decr suppressed) f

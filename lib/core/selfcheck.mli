@@ -1,0 +1,40 @@
+(** Solver self-certification hooks (the [DCN_SELFCHECK] mechanism).
+
+    The certification subsystem ([Dcn_check.Certify]) lives {e above}
+    this library, yet every solver should be able to certify its own
+    output before returning it.  This module is the seam: solvers call
+    {!solution}/{!schedule} on their results, which are no-ops until a
+    checker installs its hooks ([Dcn_check.Certify.install_selfcheck],
+    normally triggered by [DCN_SELFCHECK=1] at CLI/bench start-up).  An
+    installed hook raises [Failure] on a certification violation, so a
+    buggy solver fails loudly at the point of the bug rather than
+    corrupting an experiment silently. *)
+
+type solution_hook = Instance.t -> Solution.t -> unit
+
+type schedule_hook =
+  label:string -> partial:bool -> Instance.t -> Dcn_sched.Schedule.t -> unit
+(** [partial] marks schedules that legitimately cover only a subset of
+    the instance's flows (online admission control rejects some). *)
+
+val set : ?solution:solution_hook -> ?schedule:schedule_hook -> unit -> unit
+(** Install hooks (replacing any previous ones).  Omitted hooks are
+    cleared. *)
+
+val clear : unit -> unit
+
+val enabled : unit -> bool
+(** Whether any hook is installed and not {!suppressed} — the one
+    branch self-checking costs when off. *)
+
+val solution : Instance.t -> Solution.t -> unit
+(** Run the solution hook, if installed and not suppressed. *)
+
+val schedule :
+  label:string -> partial:bool -> Instance.t -> Dcn_sched.Schedule.t -> unit
+(** Run the schedule hook, if installed and not suppressed. *)
+
+val without : (unit -> 'a) -> 'a
+(** Run [f] with self-checking suppressed (restored afterwards, also on
+    exception).  {!Exact.solve} uses this around its enumeration so only
+    the winning routing is certified, not all 50k candidates. *)

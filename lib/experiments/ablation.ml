@@ -342,7 +342,7 @@ let splitting ?(seed = 51) ?(n = 20) ?(alpha = 2.) ?pool ~parts () =
           (List.sort_uniq compare
              (List.map
                 (fun (id, path) ->
-                  let f = Dcn_core.Instance.find_flow inst id in
+                  let f = Option.get (Dcn_core.Instance.find_flow_opt inst id) in
                   (f.Dcn_flow.Flow.src, f.Dcn_flow.Flow.dst, path))
                 (Solution.paths rs)))
       in

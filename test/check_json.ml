@@ -81,6 +81,65 @@ let check_report path =
   | Json.Obj _ -> ()
   | _ -> fail "%s: counters is not an object" path
 
+(* Report of `dcn fuzz --report FILE`: the envelope plus the batch
+   summary — every case report carries per-solver certificates and the
+   cross-solver verdicts, and the campaign must have certified. *)
+let check_fuzz path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "fuzz") -> ()
+  | _ -> fail "%s: command is not \"fuzz\"" path);
+  let fuzz = get path "fuzz" json in
+  let runs = Json.to_int (get path "runs" fuzz) in
+  if runs < 1 then fail "%s: runs < 1" path;
+  ignore (Json.to_int (get path "seed" fuzz));
+  let batch = get path "batch" fuzz in
+  let cases = Json.to_int (get path "cases" batch) in
+  if cases <> runs then fail "%s: batch cases %d != runs %d" path cases runs;
+  let reports = Json.to_list (get path "reports" batch) in
+  if List.length reports <> runs then
+    fail "%s: %d case report(s), expected %d" path (List.length reports) runs;
+  List.iter
+    (fun r ->
+      ignore (Json.to_str (get path "label" r));
+      let lb = Json.to_float (get path "lower_bound" r) in
+      if not (Float.is_finite lb) then fail "%s: non-finite lower bound" path;
+      let solvers = Json.to_list (get path "solvers" r) in
+      if List.length solvers < 6 then
+        fail "%s: only %d solver(s) in a case report" path (List.length solvers);
+      List.iter
+        (fun s ->
+          ignore (Json.to_str (get path "solver" s));
+          let energy = Json.to_float (get path "energy" s) in
+          if not (Float.is_finite energy) || energy < 0. then
+            fail "%s: non-finite or negative solver energy" path;
+          ignore (Json.to_list (get path "violations" s)))
+        solvers;
+      ignore (Json.to_list (get path "cross" r)))
+    reports;
+  (match get path "batch" fuzz |> Json.member "ok" with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: fuzz campaign did not certify (batch.ok != true)" path);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
+(* Report of `dcn certify --instance FILE` (oracle mode). *)
+let check_certify path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "certify") -> ()
+  | _ -> fail "%s: command is not \"certify\"" path);
+  let cert = get path "certify" json in
+  (match Json.member "ok" cert with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: certify.ok != true" path);
+  let solvers = Json.to_list (get path "solvers" cert) in
+  if List.length solvers < 6 then
+    fail "%s: only %d solver(s) certified" path (List.length solvers);
+  if Json.to_list (get path "cross" cert) <> [] then
+    fail "%s: unexpected cross-solver violations" path
+
 (* The Chrome export of the same trace must pass the strict shape check
    (known phases, balanced B/E per tid, monotone timestamps, ...). *)
 let check_chrome path =
@@ -90,6 +149,12 @@ let check_chrome path =
 
 let () =
   match Sys.argv with
+  | [| _; "--fuzz"; report |] ->
+    check_fuzz report;
+    print_endline "check-json: fuzz report OK"
+  | [| _; "--certify"; report |] ->
+    check_certify report;
+    print_endline "check-json: certify report OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -100,5 +165,8 @@ let () =
     check_chrome chrome;
     print_endline "check-json: trace, report and chrome export OK"
   | _ ->
-    prerr_endline "usage: check_json.exe TRACE.json REPORT.json [CHROME.json]";
+    prerr_endline
+      "usage: check_json.exe TRACE.json REPORT.json [CHROME.json]\n\
+      \       check_json.exe --fuzz FUZZ-REPORT.json\n\
+      \       check_json.exe --certify CERTIFY-REPORT.json";
     exit 2

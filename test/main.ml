@@ -20,4 +20,5 @@ let () =
          Test_engine.suite;
          Test_trace.suite;
          Test_profile.suite;
+         Test_check.suite;
        ])

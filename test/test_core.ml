@@ -40,7 +40,7 @@ let test_instance_basic () =
   Alcotest.(check int) "flows" 2 (Instance.num_flows inst);
   Alcotest.(check (pair (float 0.) (float 0.))) "horizon" (1., 4.) (Instance.horizon inst);
   Alcotest.(check int) "find flow" 6
-    (int_of_float (Instance.find_flow inst 1).Flow.volume)
+    (int_of_float (Option.get (Instance.find_flow_opt inst 1)).Flow.volume)
 
 let test_instance_invalid () =
   let graph = Builders.line 3 in
@@ -273,7 +273,7 @@ let prop_rs_paths_from_candidates =
       let rs = Random_schedule.solve ~config:rs_config ~rng inst in
       List.for_all
         (fun (id, path) ->
-          let f = Instance.find_flow inst id in
+          let f = Option.get (Instance.find_flow_opt inst id) in
           Graph.is_path inst.Instance.graph ~src:f.Flow.src ~dst:f.Flow.dst path)
         (Solution.paths rs))
 
@@ -297,7 +297,7 @@ let test_relaxation_weights_sum_to_density () =
     (fun (isol : Relaxation.interval_solution) ->
       List.iter
         (fun (id, paths) ->
-          let f = Instance.find_flow inst id in
+          let f = Option.get (Instance.find_flow_opt inst id) in
           let total = Dcn_mcf.Decompose.total_weight paths in
           Alcotest.(check bool)
             (Printf.sprintf "flow %d interval %d weight" id isol.Relaxation.index)
@@ -713,7 +713,7 @@ let test_serialize_comments_and_blanks () =
   in
   let inst = Serialize.instance_of_string text in
   Alcotest.(check int) "one flow" 1 (Instance.num_flows inst);
-  check_float "volume" 2.5 (Instance.find_flow inst 0).Flow.volume
+  check_float "volume" 2.5 (Option.get (Instance.find_flow_opt inst 0)).Flow.volume
 
 let test_serialize_schedule_export () =
   let res = Baselines.sp_mcf (example1 ()) in

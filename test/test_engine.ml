@@ -140,6 +140,23 @@ let test_fig2_jobs_invariant () =
         (render jobs))
     [ 2; 4 ]
 
+let test_fuzz_jobs_invariant () =
+  (* The whole fuzz pipeline — generation, every solver, certification,
+     cross checks, JSON — is bit-identical for every pool size
+     (satellite of the Dcn_check subsystem). *)
+  let cases = Dcn_check.Gen.batch ~seed:11 ~n:6 in
+  let report jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Dcn_engine.Json.to_string
+          (Dcn_check.Oracle.batch_to_json (Dcn_check.Oracle.run_batch ~pool cases)))
+  in
+  let base = report 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string) (Printf.sprintf "fuzz report jobs=%d" jobs) base
+        (report jobs))
+    [ 2; 4 ]
+
 let test_rs_rejects_bad_attempts () =
   let graph = Dcn_topology.Builders.line 3 in
   let power = Dcn_power.Model.quadratic in
@@ -173,6 +190,8 @@ let suite =
           test_random_schedule_jobs_invariant;
         Alcotest.test_case "figure-2 render invariant under jobs" `Slow
           test_fig2_jobs_invariant;
+        Alcotest.test_case "fuzz oracle invariant under jobs" `Slow
+          test_fuzz_jobs_invariant;
         Alcotest.test_case "attempts < 1 rejected" `Quick test_rs_rejects_bad_attempts;
       ] );
   ]

@@ -96,7 +96,7 @@ let test_serialize_preserves_float_precision () =
   let back =
     Dcn_core.Serialize.instance_of_string (Dcn_core.Serialize.instance_to_string inst)
   in
-  let f' = Dcn_core.Instance.find_flow back 0 in
+  let f' = Option.get (Dcn_core.Instance.find_flow_opt back 0) in
   Alcotest.(check bool) "volume exact" true (f'.Flow.volume = volume);
   Alcotest.(check bool) "deadline exact" true (f'.Flow.deadline = f.Flow.deadline)
 

@@ -43,7 +43,7 @@ let test_sparse_ids_rs_and_friends () =
   let online = Online.solve inst in
   Alcotest.(check (list int)) "online accepts both" [ 7; 1000 ] online.Online.accepted;
   let back = Serialize.instance_of_string (Serialize.instance_to_string inst) in
-  Alcotest.(check int) "serialize keeps ids" 1000 (Instance.find_flow back 1000).Flow.id
+  Alcotest.(check int) "serialize keeps ids" 1000 (Option.get (Instance.find_flow_opt back 1000)).Flow.id
 
 (* Profile boundary semantics: right-continuous at starts, open at stops. *)
 let test_profile_boundary_semantics () =

@@ -122,7 +122,8 @@ let test_schedule_active_links () =
 
 let test_schedule_delivered () =
   let s = simple_schedule () in
-  check_float "delivered" 4. (Schedule.delivered (Schedule.plan_of s 0))
+  check_float "delivered" 4.
+    (Schedule.delivered (Option.get (Schedule.find_plan s 0)))
 
 let test_schedule_invalid_path () =
   let f = flow () in
