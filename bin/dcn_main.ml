@@ -58,6 +58,21 @@ let with_jobs jobs f =
     let jobs = if jobs = 0 then Dcn_engine.Pool.default_jobs () else jobs in
     Ok (Dcn_engine.Pool.with_pool ~jobs f)
 
+(* Every command body runs under this guard so predictable failures —
+   unreadable or malformed files, invalid model parameters, workloads a
+   topology cannot host — exit through cmdliner's error path (message +
+   status 124) instead of escaping as a raw exception and a backtrace.
+   Genuine bugs still escape: only the typed, user-input-shaped
+   exceptions are translated. *)
+let guard f =
+  match f () with
+  | v -> v
+  | exception Sys_error m -> Error (`Msg m)
+  | exception Failure m -> Error (`Msg m)
+  | exception Invalid_argument m -> Error (`Msg m)
+  | exception Dcn_core.Instance.Invalid e ->
+    Error (`Msg ("invalid instance: " ^ Dcn_core.Instance.error_to_string e))
+
 module Json = Dcn_engine.Json
 
 (* ----------------------------- fig2 ------------------------------- *)
@@ -79,6 +94,7 @@ let fig2_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write the series as CSV to $(docv)." ~docv:"FILE")
   in
   let run alpha quick seeds counts csv trace report jobs =
+    guard @@ fun () ->
     let params =
       if quick then Dcn_experiments.Fig2.quick_params ~alpha
       else Dcn_experiments.Fig2.default_params ~alpha
@@ -119,7 +135,10 @@ let fig2_cmd =
 
 let gadgets_cmd =
   let run alpha seed trace report =
-    Observe.run ~command:"gadgets" ~trace ~report @@ fun () ->
+    guard @@ fun () ->
+    Result.ok
+    @@ Observe.run ~command:"gadgets" ~trace ~report
+    @@ fun () ->
     let tp = Dcn_experiments.Gadget_runs.three_partition ~seed ~alpha () in
     print_endline (Dcn_experiments.Gadget_runs.render_three_partition tp);
     let p = Dcn_experiments.Gadget_runs.partition ~alpha () in
@@ -135,12 +154,13 @@ let gadgets_cmd =
   in
   Cmd.v
     (Cmd.info "gadgets" ~doc:"Run the Theorem 2/3 hardness gadgets (E4/E5).")
-    Term.(const run $ alpha_t $ seed_t $ Observe.trace_t $ Observe.report_t)
+    Term.(term_result (const run $ alpha_t $ seed_t $ Observe.trace_t $ Observe.report_t))
 
 (* ---------------------------- ablation ---------------------------- *)
 
 let ablation_cmd =
   let run alpha trace report jobs =
+    guard @@ fun () ->
     with_jobs jobs @@ fun pool ->
     Observe.run ~command:"ablation" ~trace ~report @@ fun () ->
     let module A = Dcn_experiments.Ablation in
@@ -182,7 +202,10 @@ let ablation_cmd =
 
 let small_exact_cmd =
   let run alpha trace report =
-    Observe.run ~command:"small-exact" ~trace ~report @@ fun () ->
+    guard @@ fun () ->
+    Result.ok
+    @@ Observe.run ~command:"small-exact" ~trace ~report
+    @@ fun () ->
     let rows =
       Dcn_experiments.Small_exact.run ~alpha ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8 ] ()
     in
@@ -191,13 +214,16 @@ let small_exact_cmd =
   in
   Cmd.v
     (Cmd.info "small-exact" ~doc:"Compare Random-Schedule with the exact optimum (E8).")
-    Term.(const run $ alpha_t $ Observe.trace_t $ Observe.report_t)
+    Term.(term_result (const run $ alpha_t $ Observe.trace_t $ Observe.report_t))
 
 (* ---------------------------- example1 ---------------------------- *)
 
 let example1_cmd =
   let run trace report =
-    Observe.run ~command:"example1" ~trace ~report @@ fun () ->
+    guard @@ fun () ->
+    Result.ok
+    @@ Observe.run ~command:"example1" ~trace ~report
+    @@ fun () ->
     let graph = Dcn_topology.Builders.line 3 in
     let power = Dcn_power.Model.quadratic in
     let f1 = Dcn_flow.Flow.make ~id:1 ~src:0 ~dst:2 ~volume:6. ~release:2. ~deadline:4. in
@@ -217,7 +243,7 @@ let example1_cmd =
   in
   Cmd.v
     (Cmd.info "example1" ~doc:"Run the paper's worked Example 1 (E3).")
-    Term.(const run $ Observe.trace_t $ Observe.report_t)
+    Term.(term_result (const run $ Observe.trace_t $ Observe.report_t))
 
 (* -------------------------- generate / solve ----------------------- *)
 
@@ -266,7 +292,10 @@ let generate_cmd =
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~doc:"Output file (default stdout).")
   in
   let run graph n alpha sigma pattern seed out trace report =
-    Observe.run ~command:"generate" ~trace ~report @@ fun () ->
+    guard @@ fun () ->
+    Result.ok
+    @@ Observe.run ~command:"generate" ~trace ~report
+    @@ fun () ->
     let inst = build_instance graph n alpha sigma pattern seed in
     let text = Dcn_core.Serialize.instance_to_string inst in
     (match out with
@@ -289,8 +318,9 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate an instance file (see `solve --instance`).")
     Term.(
-      const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t $ out_t
-      $ Observe.trace_t $ Observe.report_t)
+      term_result
+        (const run $ topo_t $ flows_t $ alpha_t $ sigma_t $ pattern_t $ seed_t
+       $ out_t $ Observe.trace_t $ Observe.report_t))
 
 let solve_cmd =
   let instance_t =
@@ -303,6 +333,7 @@ let solve_cmd =
     Arg.(value & flag & info [ "gantt" ] ~doc:"Print ASCII Gantt charts of the RS schedule.")
   in
   let run graph n alpha sigma pattern seed instance_file gantt trace report jobs =
+    guard @@ fun () ->
     with_jobs jobs @@ fun pool ->
     Observe.run ~command:"solve" ~trace ~report @@ fun () ->
     let rng = Dcn_util.Prng.create seed in
@@ -401,6 +432,7 @@ let trace_summary_cmd =
           ~docv:"N")
   in
   let run file top =
+    guard @@ fun () ->
     with_records file @@ fun records ->
     print_string (Dcn_engine.Profile.summary ~top (Dcn_engine.Profile.of_records records));
     Ok ()
@@ -427,6 +459,7 @@ let trace_export_cmd =
       & info [ "o"; "out" ] ~doc:"Write to $(docv) instead of stdout." ~docv:"FILE")
   in
   let run file `Chrome out =
+    guard @@ fun () ->
     with_records file @@ fun records ->
     let text =
       Json.to_string ~pretty:true (Dcn_engine.Profile.to_chrome records)
@@ -452,6 +485,7 @@ let trace_diff_cmd =
           ~docv:"FRAC")
   in
   let run a b tolerance =
+    guard @@ fun () ->
     if tolerance < 0. then Error (`Msg "--tolerance must be >= 0")
     else
       with_records a @@ fun ra ->
@@ -520,6 +554,7 @@ let certify_cmd =
       & info [ "exclusive" ] ~doc:"Enforce virtual-circuit link exclusivity.")
   in
   let run instance_file schedule_file partial exclusive seed trace report =
+    guard @@ fun () ->
     let inst = Dcn_core.Serialize.instance_of_string (read_text instance_file) in
     let failed = ref "" in
     Observe.run ~command:"certify" ~trace ~report (fun () ->
@@ -607,13 +642,27 @@ let fuzz_cmd =
   let ensure_dir path =
     if not (Sys.file_exists path) then Sys.mkdir path 0o755
   in
-  let run runs seed out no_shrink trace report jobs =
+  let faults_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "faults" ]
+          ~doc:
+            "Additionally replay $(docv) fault-injection scenarios (commit, \
+             strike, repair, certify) from the same seed; uncertified repairs \
+             fail the run.  See $(b,dcn resilience) for the dedicated command."
+          ~docv:"N")
+  in
+  let run runs seed out no_shrink faults trace report jobs =
+    guard @@ fun () ->
     if runs < 1 then Error (`Msg "--runs must be >= 1")
+    else if faults < 0 then Error (`Msg "--faults must be >= 0")
     else
       Result.join
       @@ with_jobs jobs
       @@ fun pool ->
       let failures = ref 0 in
+      let campaign_failures = ref 0 in
       Observe.run ~command:"fuzz" ~trace ~report (fun () ->
           let cases = Dcn_check.Gen.batch ~seed ~n:runs in
           let reports = Dcn_check.Oracle.run_batch ~pool cases in
@@ -686,7 +735,27 @@ let fuzz_cmd =
             reports;
           Printf.printf "fuzz: %d/%d case(s) certified (seed %d)\n"
             (runs - !failures) runs seed;
-          [
+          let resilience_section =
+            if faults = 0 then []
+            else begin
+              let t =
+                Dcn_resilience.Campaign.run ~pool
+                  ~policy:Dcn_resilience.Repair.Drop_latest_deadline ~seed
+                  ~n:faults ()
+              in
+              campaign_failures := t.Dcn_resilience.Campaign.uncertified;
+              Printf.printf
+                "fuzz: %d/%d fault repair(s) certified (%d repaired, %d \
+                 degraded, %d irreparable)\n"
+                (faults - t.Dcn_resilience.Campaign.uncertified)
+                faults t.Dcn_resilience.Campaign.repaired
+                t.Dcn_resilience.Campaign.degraded
+                t.Dcn_resilience.Campaign.irreparable;
+              [ ("resilience", Dcn_resilience.Campaign.to_json t) ]
+            end
+          in
+          resilience_section
+          @ [
             ( "fuzz",
               Json.Obj
                 [
@@ -707,12 +776,17 @@ let fuzz_cmd =
                          !shrunk) );
                 ] );
           ]);
-      if !failures = 0 then Ok ()
-      else
+      if !failures = 0 && !campaign_failures = 0 then Ok ()
+      else if !failures > 0 then
         Error
           (`Msg
             (Printf.sprintf "fuzz: %d/%d case(s) failed certification" !failures
                runs))
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "fuzz: %d/%d fault repair(s) failed certification"
+               !campaign_failures faults))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -722,7 +796,108 @@ let fuzz_cmd =
           for a given --runs/--seed at every --jobs level.")
     Term.(
       term_result
-        (const run $ runs_t $ seed_t $ out_t $ no_shrink_t $ Observe.trace_t
+        (const run $ runs_t $ seed_t $ out_t $ no_shrink_t $ faults_t
+       $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+(* ---------------------------- resilience -------------------------- *)
+
+let resilience_cmd =
+  let module Campaign = Dcn_resilience.Campaign in
+  let module Repair = Dcn_resilience.Repair in
+  let faults_t =
+    Arg.(
+      value & opt int 50
+      & info [ "faults" ] ~doc:"Number of fault scenarios." ~docv:"N")
+  in
+  let policy_conv =
+    Arg.conv
+      ( (fun s ->
+          match Repair.policy_of_string s with
+          | Some p -> Ok p
+          | None ->
+            Error
+              (`Msg
+                "expected drop-latest-deadline | drop-largest-residual | \
+                 reject-new")),
+        fun ppf p -> Format.pp_print_string ppf (Repair.policy_to_string p) )
+  in
+  let policy_t =
+    Arg.(
+      value
+      & opt policy_conv Repair.Drop_latest_deadline
+      & info [ "policy" ]
+          ~doc:
+            "Admission policy under degradation: $(b,drop-latest-deadline), \
+             $(b,drop-largest-residual) or $(b,reject-new)."
+          ~docv:"POLICY")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ]
+          ~doc:
+            "Wall-clock budget in milliseconds for each scenario's commit \
+             solve; expired stages fall down the watchdog chain (exact -> \
+             random-schedule -> greedy-ear).  0 deterministically exercises \
+             the full fallback path."
+          ~docv:"MS")
+  in
+  let run faults seed policy budget trace report jobs =
+    guard @@ fun () ->
+    if faults < 1 then Error (`Msg "--faults must be >= 1")
+    else
+      Result.join
+      @@ with_jobs jobs
+      @@ fun pool ->
+      let campaign = ref None in
+      Observe.run ~command:"resilience" ~trace ~report (fun () ->
+          let t =
+            Campaign.run ~pool ?budget_ms:budget ~policy ~seed ~n:faults ()
+          in
+          campaign := Some t;
+          Array.iter
+            (fun (row : Campaign.row) ->
+              Printf.printf "%3d  %-44s %-12s %-11s %s\n" row.Campaign.index
+                row.Campaign.label
+                (Dcn_resilience.Fault.kind row.Campaign.event)
+                (Repair.outcome_kind row.Campaign.outcome)
+                (match row.Campaign.outcome with
+                | Repair.Repaired d | Repair.Degraded d ->
+                  Printf.sprintf "salvaged %.2f, dropped %d%s" d.Repair.salvaged
+                    (List.length d.Repair.dropped)
+                    (if d.Repair.violations = [] then ""
+                     else Printf.sprintf ", %d VIOLATION(S)"
+                         (List.length d.Repair.violations))
+                | Repair.Irreparable { reason; _ } -> reason))
+            t.Campaign.rows;
+          Printf.printf
+            "resilience: %d scenario(s): %d repaired, %d degraded, %d \
+             irreparable (policy %s, seed %d)\n"
+            faults t.Campaign.repaired t.Campaign.degraded t.Campaign.irreparable
+            (Repair.policy_to_string policy)
+            seed;
+          [ ("resilience", Campaign.to_json t) ]);
+      match !campaign with
+      | Some t when not (Campaign.ok t) ->
+        Error
+          (`Msg
+            (Printf.sprintf "resilience: %d repair(s) failed certification"
+               t.Campaign.uncertified))
+      | _ -> Ok ()
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Run a deterministic fault-injection campaign: commit a schedule \
+          (under an optional watchdog budget), strike it with a seeded fault \
+          (cable cut, capacity degradation, flow burst), repair with graceful \
+          degradation, and certify every re-plan.  Bit-identical for a given \
+          --faults/--seed at every --jobs level; non-zero exit if any repair \
+          fails certification.")
+    Term.(
+      term_result
+        (const run $ faults_t $ seed_t $ policy_t $ budget_t $ Observe.trace_t
        $ Observe.report_t $ jobs_t))
 
 let () =
@@ -744,4 +919,5 @@ let () =
             trace_cmd;
             certify_cmd;
             fuzz_cmd;
+            resilience_cmd;
           ]))

@@ -46,6 +46,9 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
   let explored = ref 0 in
   let rec enumerate i =
     if i = n then begin
+      (* One watchdog poll per routing combination: the exhaustive
+         search is the stage most likely to blow a wall-clock budget. *)
+      Dcn_engine.Deadline.check ();
       incr explored;
       let routing id =
         (* flows are sorted by id; binary search is overkill here *)

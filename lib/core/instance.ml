@@ -7,20 +7,84 @@ type t = {
   flows : Flow.t list;
 }
 
-let make ~graph ~power ~flows =
-  if flows = [] then invalid_arg "Instance.make: no flows";
-  let ids = List.map (fun f -> f.Flow.id) flows in
-  if List.length (List.sort_uniq compare ids) <> List.length ids then
-    invalid_arg "Instance.make: duplicate flow ids";
+type error =
+  | Empty_flows
+  | Duplicate_flow_id of { flow : int }
+  | Bad_endpoint of { flow : int; node : int }
+  | Empty_window of { flow : int; release : float; deadline : float }
+  | Nonpositive_volume of { flow : int; volume : float }
+  | Nonpositive_capacity of { cap : float }
+
+exception Invalid of error
+
+let pp_error ppf = function
+  | Empty_flows -> Format.fprintf ppf "no flows"
+  | Duplicate_flow_id { flow } -> Format.fprintf ppf "duplicate flow id %d" flow
+  | Bad_endpoint { flow; node } ->
+    Format.fprintf ppf "flow %d: endpoint %d is not a node of the graph" flow node
+  | Empty_window { flow; release; deadline } ->
+    Format.fprintf ppf
+      "flow %d: empty transmission window [%g,%g] (release must precede the \
+       deadline)"
+      flow release deadline
+  | Nonpositive_volume { flow; volume } ->
+    Format.fprintf ppf "flow %d: non-positive volume %g" flow volume
+  | Nonpositive_capacity { cap } ->
+    Format.fprintf ppf "non-positive link capacity %g" cap
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let validate ~graph ~power ~flows =
+  let ( let* ) = Result.bind in
+  let* () = if flows = [] then Error Empty_flows else Ok () in
+  let* () =
+    let cap = power.Dcn_power.Model.cap in
+    if cap > 0. then Ok () else Error (Nonpositive_capacity { cap })
+  in
+  let* () =
+    let seen = Hashtbl.create 16 in
+    List.fold_left
+      (fun acc (f : Flow.t) ->
+        let* () = acc in
+        if Hashtbl.mem seen f.Flow.id then
+          Error (Duplicate_flow_id { flow = f.Flow.id })
+        else begin
+          Hashtbl.add seen f.Flow.id ();
+          Ok ()
+        end)
+      (Ok ()) flows
+  in
   let n = Graph.num_nodes graph in
-  List.iter
-    (fun f ->
-      if f.Flow.src < 0 || f.Flow.src >= n || f.Flow.dst < 0 || f.Flow.dst >= n then
-        invalid_arg
-          (Printf.sprintf "Instance.make: flow %d has endpoints outside the graph"
-             f.Flow.id))
-    flows;
-  { graph; power; flows }
+  List.fold_left
+    (fun acc (f : Flow.t) ->
+      let* () = acc in
+      let bad_node v = v < 0 || v >= n in
+      if bad_node f.Flow.src then
+        Error (Bad_endpoint { flow = f.Flow.id; node = f.Flow.src })
+      else if bad_node f.Flow.dst then
+        Error (Bad_endpoint { flow = f.Flow.id; node = f.Flow.dst })
+      else if not (f.Flow.volume > 0.) then
+        Error (Nonpositive_volume { flow = f.Flow.id; volume = f.Flow.volume })
+      else if
+        (* [Flow.make] already rejects [release >= deadline]; this also
+           catches windows so short the density overflows, which is the
+           division the solvers would otherwise blow up on. *)
+        f.Flow.deadline <= f.Flow.release
+        || not (Float.is_finite (Flow.density f))
+      then
+        Error
+          (Empty_window
+             { flow = f.Flow.id; release = f.Flow.release; deadline = f.Flow.deadline })
+      else Ok ())
+    (Ok ()) flows
+
+let make_result ~graph ~power ~flows =
+  Result.map (fun () -> { graph; power; flows }) (validate ~graph ~power ~flows)
+
+let make ~graph ~power ~flows =
+  match make_result ~graph ~power ~flows with
+  | Ok t -> t
+  | Error e -> raise (Invalid e)
 
 let horizon t = Flow.horizon t.flows
 

@@ -153,6 +153,9 @@ let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng 
   let best_infeasible = ref None in
   let k = ref 0 in
   while !first_feasible = None && !k < config.attempts do
+    (* Watchdog poll between attempt batches (the draws themselves are
+       cheap; the budget-heavy relaxation polls inside Frank–Wolfe). *)
+    Dcn_engine.Deadline.check ();
     let hi = min config.attempts (!k + batch) in
     let evals = Pool.map pool evaluate (Array.init (hi - !k) (fun i -> !k + i)) in
     Array.iter

@@ -32,70 +32,119 @@ let instance_to_string (inst : Instance.t) =
     inst.flows;
   Buffer.contents buf
 
-let parse_float ~at s =
+type parse_error = { line : int; position : int; message : string }
+
+let parse_error_to_string e =
+  if e.line = 0 then e.message
+  else Printf.sprintf "line %d (byte %d): %s" e.line e.position e.message
+
+exception Bad of parse_error
+
+let bad ~at ~position fmt =
+  Printf.ksprintf (fun message -> raise (Bad { line = at; position; message })) fmt
+
+(* Iterate the input line by line, tracking each line's starting byte
+   offset so errors can point at the exact position of the defect.
+   Nothing [f] raises except [Bad] escapes: [Invalid_argument] from the
+   graph builder / [Flow.make] and the typed [Instance.Invalid] are
+   rewritten into positioned errors, so truncated or corrupted input
+   yields a typed result, never an exception leak. *)
+let iter_lines text f =
+  let n = String.length text in
+  let offset = ref 0 in
+  let at = ref 0 in
+  while !offset <= n do
+    let stop =
+      match String.index_from_opt text !offset '\n' with Some i -> i | None -> n
+    in
+    incr at;
+    let raw = String.sub text !offset (stop - !offset) in
+    let position = !offset in
+    (try f ~at:!at ~position raw with
+    | Bad _ as e -> raise e
+    | Invalid_argument m | Failure m -> bad ~at:!at ~position "%s" m
+    | Instance.Invalid e -> bad ~at:!at ~position "%s" (Instance.error_to_string e));
+    offset := stop + 1
+  done
+
+let parse_float ~at ~position s =
   if s = "inf" then infinity
   else
     match float_of_string_opt s with
     | Some x -> x
-    | None -> failwith (Printf.sprintf "line %d: bad number %S" at s)
+    | None -> bad ~at ~position "bad number %S" s
 
-let parse_int ~at s =
+let parse_int ~at ~position s =
   match int_of_string_opt s with
   | Some x -> x
-  | None -> failwith (Printf.sprintf "line %d: bad integer %S" at s)
+  | None -> bad ~at ~position "bad integer %S" s
 
-let instance_of_string text =
-  let lines = String.split_on_char '\n' text in
+let instance_of_string_result text =
   let builder = Graph.Builder.create () in
   let next_node = ref 0 in
   let power = ref None in
   let flows = ref [] in
   let seen_header = ref false in
-  List.iteri
-    (fun idx raw ->
-      let at = idx + 1 in
-      let trimmed = String.trim raw in
-      if trimmed = "" || trimmed.[0] = '#' then ()
-      else if not !seen_header then
-        if trimmed = header then seen_header := true
-        else failwith (Printf.sprintf "line %d: expected %S" at header)
-      else
-        match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
-        | "node" :: id :: kind :: rest ->
-          let id = parse_int ~at id in
-          if id <> !next_node then
-            failwith (Printf.sprintf "line %d: node ids must be dense (got %d)" at id);
-          let name = match rest with [] -> None | n :: _ -> Some n in
-          let kind =
-            if kind = "host" then Graph.Host
-            else
-              match String.split_on_char ':' kind with
-              | [ "switch"; tier ] -> Graph.Switch { tier = parse_int ~at tier }
-              | _ -> failwith (Printf.sprintf "line %d: bad node kind %S" at kind)
-          in
-          ignore (Graph.Builder.add_node builder ?name kind);
-          incr next_node
-        | [ "cable"; u; v ] ->
-          ignore (Graph.Builder.add_cable builder (parse_int ~at u) (parse_int ~at v))
-        | [ "power"; sigma; mu; alpha; cap ] ->
-          power :=
-            Some
-              (Model.make ~sigma:(parse_float ~at sigma) ~mu:(parse_float ~at mu)
-                 ~alpha:(parse_float ~at alpha) ~cap:(parse_float ~at cap) ())
-        | [ "flow"; id; src; dst; volume; release; deadline ] ->
-          flows :=
-            Flow.make ~id:(parse_int ~at id) ~src:(parse_int ~at src)
-              ~dst:(parse_int ~at dst) ~volume:(parse_float ~at volume)
-              ~release:(parse_float ~at release) ~deadline:(parse_float ~at deadline)
-            :: !flows
-        | token :: _ -> failwith (Printf.sprintf "line %d: unknown directive %S" at token)
-        | [] -> ())
-    lines;
-  if not !seen_header then failwith "empty input: missing header";
-  let graph = Graph.Builder.finish builder in
-  match !power with
-  | None -> failwith "missing 'power' line"
-  | Some power -> Instance.make ~graph ~power ~flows:(List.rev !flows)
+  let last = ref { line = 0; position = 0; message = "" } in
+  try
+    iter_lines text (fun ~at ~position raw ->
+        last := { line = at; position; message = "" };
+        let trimmed = String.trim raw in
+        if trimmed = "" || trimmed.[0] = '#' then ()
+        else if not !seen_header then
+          if trimmed = header then seen_header := true
+          else bad ~at ~position "expected %S" header
+        else
+          let parse_float = parse_float ~at ~position in
+          let parse_int = parse_int ~at ~position in
+          match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
+          | "node" :: id :: kind :: rest ->
+            let id = parse_int id in
+            if id <> !next_node then
+              bad ~at ~position "node ids must be dense (got %d)" id;
+            let name = match rest with [] -> None | n :: _ -> Some n in
+            let kind =
+              if kind = "host" then Graph.Host
+              else
+                match String.split_on_char ':' kind with
+                | [ "switch"; tier ] -> Graph.Switch { tier = parse_int tier }
+                | _ -> bad ~at ~position "bad node kind %S" kind
+            in
+            ignore (Graph.Builder.add_node builder ?name kind);
+            incr next_node
+          | [ "cable"; u; v ] ->
+            ignore (Graph.Builder.add_cable builder (parse_int u) (parse_int v))
+          | [ "power"; sigma; mu; alpha; cap ] ->
+            power :=
+              Some
+                (Model.make ~sigma:(parse_float sigma) ~mu:(parse_float mu)
+                   ~alpha:(parse_float alpha) ~cap:(parse_float cap) ())
+          | [ "flow"; id; src; dst; volume; release; deadline ] ->
+            flows :=
+              Flow.make ~id:(parse_int id) ~src:(parse_int src) ~dst:(parse_int dst)
+                ~volume:(parse_float volume) ~release:(parse_float release)
+                ~deadline:(parse_float deadline)
+              :: !flows
+          | token :: _ -> bad ~at ~position "unknown directive %S" token
+          | [] -> ());
+    if not !seen_header then
+      Error { line = 0; position = 0; message = "empty input: missing header" }
+    else
+      let graph = Graph.Builder.finish builder in
+      match !power with
+      | None -> Error { line = 0; position = 0; message = "missing 'power' line" }
+      | Some power -> (
+        match Instance.make_result ~graph ~power ~flows:(List.rev !flows) with
+        | Ok inst -> Ok inst
+        | Error e ->
+          Error
+            { !last with message = Instance.error_to_string e })
+  with Bad e -> Error e
+
+let instance_of_string text =
+  match instance_of_string_result text with
+  | Ok inst -> inst
+  | Error e -> failwith (parse_error_to_string e)
 
 let schedule_header = "dcnsched-schedule v1"
 
@@ -115,12 +164,12 @@ let schedule_to_string (sched : Schedule.t) =
     sched.plans;
   Buffer.contents buf
 
-let schedule_of_string (inst : Instance.t) text =
-  let lines = String.split_on_char '\n' text in
+let schedule_of_string_result (inst : Instance.t) text =
   let seen_header = ref false in
   let plans = ref [] in
   (* The plan being assembled: flow, path, slots in reverse. *)
   let current = ref None in
+  let last = ref { line = 0; position = 0; message = "" } in
   let flush () =
     match !current with
     | None -> ()
@@ -128,46 +177,64 @@ let schedule_of_string (inst : Instance.t) text =
       plans := { Schedule.flow; path; slots = List.rev slots } :: !plans;
       current := None
   in
-  List.iteri
-    (fun idx raw ->
-      let at = idx + 1 in
-      let trimmed = String.trim raw in
-      if trimmed = "" || trimmed.[0] = '#' then ()
-      else if not !seen_header then
-        if trimmed = schedule_header then seen_header := true
-        else failwith (Printf.sprintf "line %d: expected %S" at schedule_header)
-      else
-        match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
-        | "plan" :: id :: path ->
-          flush ();
-          let id = parse_int ~at id in
-          let flow =
-            match Instance.find_flow_opt inst id with
-            | Some f -> f
-            | None -> failwith (Printf.sprintf "line %d: unknown flow id %d" at id)
-          in
-          current := Some (flow, List.map (parse_int ~at) path, [])
-        | [ "slot"; start; stop; rate ] -> (
-          match !current with
-          | None -> failwith (Printf.sprintf "line %d: slot before any plan" at)
-          | Some (flow, path, slots) ->
-            current :=
-              Some
-                ( flow,
-                  path,
-                  {
-                    Schedule.start = parse_float ~at start;
-                    stop = parse_float ~at stop;
-                    rate = parse_float ~at rate;
-                  }
-                  :: slots ))
-        | token :: _ -> failwith (Printf.sprintf "line %d: unknown directive %S" at token)
-        | [] -> ())
-    lines;
-  if not !seen_header then failwith "empty input: missing header";
-  flush ();
-  Schedule.make ~graph:inst.Instance.graph ~power:inst.Instance.power
-    ~horizon:(Instance.horizon inst) (List.rev !plans)
+  try
+    iter_lines text (fun ~at ~position raw ->
+        last := { line = at; position; message = "" };
+        let trimmed = String.trim raw in
+        if trimmed = "" || trimmed.[0] = '#' then ()
+        else if not !seen_header then
+          if trimmed = schedule_header then seen_header := true
+          else bad ~at ~position "expected %S" schedule_header
+        else
+          let parse_float = parse_float ~at ~position in
+          let parse_int = parse_int ~at ~position in
+          match String.split_on_char ' ' trimmed |> List.filter (fun s -> s <> "") with
+          | "plan" :: id :: path ->
+            flush ();
+            let id = parse_int id in
+            let flow =
+              match Instance.find_flow_opt inst id with
+              | Some f -> f
+              | None -> bad ~at ~position "unknown flow id %d" id
+            in
+            current := Some (flow, List.map parse_int path, [])
+          | [ "slot"; start; stop; rate ] -> (
+            match !current with
+            | None -> bad ~at ~position "slot before any plan"
+            | Some (flow, path, slots) ->
+              current :=
+                Some
+                  ( flow,
+                    path,
+                    {
+                      Schedule.start = parse_float start;
+                      stop = parse_float stop;
+                      rate = parse_float rate;
+                    }
+                    :: slots ))
+          | token :: _ -> bad ~at ~position "unknown directive %S" token
+          | [] -> ());
+    if not !seen_header then
+      Error { line = 0; position = 0; message = "empty input: missing header" }
+    else begin
+      flush ();
+      (* [Schedule.make] validates paths against the graph; rewrite its
+         [Invalid_argument] into a typed error pointing at the last
+         parsed line rather than letting it escape. *)
+      match
+        Schedule.make ~graph:inst.Instance.graph ~power:inst.Instance.power
+          ~horizon:(Instance.horizon inst) (List.rev !plans)
+      with
+      | sched -> Ok sched
+      | exception (Invalid_argument m | Failure m) ->
+        Error { !last with message = m }
+    end
+  with Bad e -> Error e
+
+let schedule_of_string inst text =
+  match schedule_of_string_result inst text with
+  | Ok sched -> sched
+  | Error e -> failwith (parse_error_to_string e)
 
 (* ------------------------- JSON reports --------------------------- *)
 

@@ -17,24 +17,44 @@
 
 val instance_to_string : Instance.t -> string
 
+type parse_error = {
+  line : int;  (** 1-based line of the defect; [0] for whole-input errors *)
+  position : int;  (** byte offset of that line's start in the input *)
+  message : string;
+}
+(** Where and why parsing failed.  Produced by the [_result] parsers for
+    any malformed, truncated or semantically invalid input — including
+    defects only caught by downstream validation ({!Instance.validate},
+    [Schedule.make]), which are rewritten into a positioned error rather
+    than escaping as an exception. *)
+
+val parse_error_to_string : parse_error -> string
+
+val instance_of_string_result : string -> (Instance.t, parse_error) result
+(** Never raises on malformed input. *)
+
 val instance_of_string : string -> Instance.t
-(** @raise Failure with a line number on malformed input. *)
+(** {!instance_of_string_result}, raising.
+    @raise Failure with the position on malformed input. *)
 
 val schedule_to_string : Dcn_sched.Schedule.t -> string
 (** One [plan] line per flow (id, path link ids) followed by its
     [slot] lines (start stop rate).  (CSV export of experiment series
     lives next to the experiments, see {!Dcn_experiments.Fig2}.) *)
 
-val schedule_of_string : Instance.t -> string -> Dcn_sched.Schedule.t
+val schedule_of_string_result :
+  Instance.t -> string -> (Dcn_sched.Schedule.t, parse_error) result
 (** Re-import a schedule against the instance it was solved from: flow
     ids resolve through the instance, and the graph, power model and
     horizon are the instance's, so
-    [schedule_of_string inst (schedule_to_string s)] round-trips any
-    schedule of [inst].
-    @raise Failure with a line number on malformed input or an unknown
-    flow id.
-    @raise Invalid_argument if a plan's path does not connect its flow's
-    endpoints in the instance's graph. *)
+    [schedule_of_string_result inst (schedule_to_string s)] round-trips
+    any schedule of [inst].  Malformed input, unknown flow ids and plans
+    whose path does not connect their flow's endpoints all yield a typed
+    error — never an exception. *)
+
+val schedule_of_string : Instance.t -> string -> Dcn_sched.Schedule.t
+(** {!schedule_of_string_result}, raising.
+    @raise Failure with the position on malformed input. *)
 
 val schedule_to_json : Dcn_sched.Schedule.t -> Dcn_engine.Json.t
 (** Horizon + plans (flow, links, slots) as JSON. *)

@@ -1,0 +1,43 @@
+type t = { expires_at : float }  (* absolute, on the clamped process clock *)
+
+exception Expired
+
+(* Per-domain clock clamp: gettimeofday can step backwards (NTP); a
+   deadline that was observed expired must stay expired, so each domain
+   never reports a time earlier than one it already reported. *)
+let last_now : float ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0.)
+
+let now () =
+  let last = Domain.DLS.get last_now in
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let after ~ms =
+  if Float.is_nan ms then invalid_arg "Deadline.after: ms is NaN";
+  { expires_at = now () +. (ms /. 1000.) }
+
+let never = { expires_at = infinity }
+
+let expired t = t.expires_at < infinity && now () >= t.expires_at
+
+let remaining_ms t =
+  if t.expires_at = infinity then infinity else (t.expires_at -. now ()) *. 1000.
+
+let check_t t = if expired t then raise Expired
+
+(* The ambient deadline of each domain.  [Pool.map] re-installs the
+   caller's ambient around every task it fans out. *)
+let dls : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let ambient () = Domain.DLS.get dls
+
+let check () =
+  match Domain.DLS.get dls with None -> () | Some t -> check_t t
+
+let with_deadline t f =
+  let previous = Domain.DLS.get dls in
+  Domain.DLS.set dls (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls previous) f
+
+let with_budget ~ms f = with_deadline (after ~ms) f

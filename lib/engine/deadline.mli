@@ -1,0 +1,61 @@
+(** Wall-clock budgets with cooperative cancellation — the primitive
+    under the resilience watchdog ([Dcn_resilience.Watchdog]).
+
+    A deadline is an absolute point on the process clock.  Long-running
+    solver loops poll {!check} at their natural iteration boundaries
+    (Frank–Wolfe iterations, Random-Schedule attempt batches, exact
+    enumeration leaves); when the {e ambient} deadline of the calling
+    domain has passed, {!check} raises {!Expired} and the caller
+    unwinds.  Nothing is pre-empted: cancellation is cooperative, so a
+    stage that never polls is never interrupted.
+
+    {b Ambient deadlines are per-domain} (domain-local storage, like
+    the span stacks of {!Trace}).  {!Pool.map} bridges the gap: it
+    captures the caller's ambient deadline when a batch is submitted
+    and re-installs it around every task, whichever worker domain runs
+    it, checking once more before each task starts — the pool-level
+    per-task deadline.  Without an ambient deadline {!check} costs one
+    branch, so instrumented loops are free in normal runs.
+
+    The clock is [Unix.gettimeofday] clamped non-decreasing per domain
+    (the same discipline as {!Trace} timestamps), so a stepping
+    wall-clock can delay an expiry but never un-expire a deadline. *)
+
+type t
+(** An absolute deadline.  Immutable. *)
+
+exception Expired
+(** Raised by {!check} (and {!check_t}) when the deadline has passed. *)
+
+val after : ms:float -> t
+(** A deadline [ms] milliseconds from now.  Non-positive budgets yield
+    an already-expired deadline (the watchdog's 0 ms determinism case).
+    @raise Invalid_argument if [ms] is NaN. *)
+
+val never : t
+(** A deadline that never expires. *)
+
+val expired : t -> bool
+
+val remaining_ms : t -> float
+(** Milliseconds until expiry; negative once passed, [infinity] for
+    {!never}. *)
+
+val check_t : t -> unit
+(** @raise Expired if [t] has passed. *)
+
+val ambient : unit -> t option
+(** The calling domain's installed deadline, if any. *)
+
+val check : unit -> unit
+(** {!check_t} on the ambient deadline; one branch when none is
+    installed.  The polling point solvers call. *)
+
+val with_deadline : t -> (unit -> 'a) -> 'a
+(** Install [t] as the calling domain's ambient deadline, run, restore
+    the previous one (also on exception).  Nested deadlines do not
+    merge: the innermost wins — a watchdog stage that wants to honour
+    an enclosing budget should pass the tighter of the two. *)
+
+val with_budget : ms:float -> (unit -> 'a) -> 'a
+(** [with_deadline (after ~ms)]. *)

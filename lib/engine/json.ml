@@ -97,7 +97,12 @@ let to_string ?(pretty = false) json =
 
 exception Bad of int * string
 
-let of_string text =
+type parse_error = { offset : int; message : string }
+
+let parse_error_to_string e =
+  Printf.sprintf "at byte %d: %s" e.offset e.message
+
+let parse text =
   let n = String.length text in
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
@@ -264,8 +269,14 @@ let of_string text =
     let v = parse_value () in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
-    v
-  with Bad (at, msg) -> failwith (Printf.sprintf "Json.of_string: at %d: %s" at msg)
+    Ok v
+  with Bad (at, msg) -> Error { offset = at; message = msg }
+
+let of_string text =
+  match parse text with
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "Json.of_string: at %d: %s" e.offset e.message)
 
 (* ---------------------------- accessors --------------------------- *)
 

@@ -29,11 +29,20 @@ val float : float -> t
 val to_string : ?pretty:bool -> t -> string
 (** Compact by default; [~pretty:true] indents with two spaces. *)
 
-val of_string : string -> t
+type parse_error = { offset : int;  (** byte offset of the failure *) message : string }
+
+val parse_error_to_string : parse_error -> string
+
+val parse : string -> (t, parse_error) result
 (** Strict parser for the JSON subset {!to_string} emits plus standard
     escapes and [\uXXXX] (decoded to UTF-8).  Numbers without [.], [e]
     or a leading [-0] prefix that fit an OCaml [int] parse as [Int].
-    @raise Failure with a character offset on malformed input. *)
+    Truncated or malformed input yields a typed error carrying the byte
+    offset of the failure — it never raises. *)
+
+val of_string : string -> t
+(** {!parse}, raising.
+    @raise Failure with the byte offset on malformed input. *)
 
 val member : string -> t -> t option
 (** Field of an [Obj]; [None] for absent fields or non-objects. *)

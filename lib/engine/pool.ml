@@ -97,6 +97,18 @@ let map pool f xs =
     if Trace.on () then
       Trace.event "pool.map"
         ~fields:[ ("tasks", Json.Int n); ("jobs", Json.Int (jobs pool)) ];
+    (* Ambient deadlines are domain-local; carry the caller's over to
+       whichever worker runs each task, and refuse to start a task at
+       all once it has passed (the per-task deadline).  The [Expired]
+       raised either way surfaces in the caller like any task error. *)
+    let f =
+      match Deadline.ambient () with
+      | None -> f
+      | Some d ->
+        fun x ->
+          Deadline.check_t d;
+          Deadline.with_deadline d (fun () -> f x)
+    in
     let results = Array.make n None in
     let remaining = ref n in
     let batch_mutex = Mutex.create () in

@@ -40,7 +40,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map.  If any tasks raise, the exception of
     the lowest-index failing element is re-raised in the caller (with
     its backtrace) after all tasks have finished; the pool remains
-    usable. *)
+    usable.
+
+    The caller's ambient {!Deadline} (if any) is re-installed around
+    every task on whichever domain runs it, and checked once before
+    each task starts — so a pool fan-out honours the watchdog budget
+    per task, and an expired budget surfaces as {!Deadline.Expired} in
+    the caller like any other task failure. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over a list. *)

@@ -136,6 +136,10 @@ let solve ?(config = default_config) problem =
   let iterations = ref 0 in
   (try
      for iter = 1 to config.max_iters do
+       (* Cooperative cancellation: the watchdog's budget is polled at
+          iteration boundaries, so an expired run unwinds with
+          [Deadline.Expired] instead of finishing the sweep. *)
+       Dcn_engine.Deadline.check ();
        iterations := iter;
        (* Marginal costs at the current loads; a tiny hop bias breaks the
           ties that arise where the derivative vanishes at load 0. *)

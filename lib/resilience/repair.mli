@@ -1,0 +1,83 @@
+(** Schedule repair after a fault — salvage, re-plan, degrade gracefully.
+
+    Given a committed schedule and a {!Fault.event} striking at time
+    [t], repair proceeds in three steps:
+
+    + {b salvage}: everything the committed schedule delivered before
+      [t] is kept — per flow, the residual volume is
+      [w_i - delivered_before_t];
+    + {b residual instance}: flows with volume left become fresh flows
+      released at [max r_i t] on the post-fault topology (cables
+      removed, capacity clamped, burst arrivals admitted per policy);
+    + {b re-solve}: the residual instance goes back through the normal
+      pipeline ({!Dcn_core.Relaxation} + {!Dcn_core.Random_schedule});
+      while no feasible draw exists the admission {!policy} drops one
+      flow at a time — graceful degradation rather than failure.
+
+    The result is a typed {!outcome} — never an exception: even solver
+    blow-ups on pathological residuals are folded into [Irreparable]
+    (only {!Dcn_engine.Deadline.Expired} is re-raised, so a watchdog
+    budget above a repair still works).  A repaired schedule is a
+    schedule {e of the residual instance}: certify it with
+    {!Dcn_check.Certify.solution} against [detail.residual] — the
+    salvaged prefix needs no new certificate, it is the committed
+    schedule the fault interrupted. *)
+
+type policy =
+  | Drop_latest_deadline
+      (** shed the flow with the most distant deadline first *)
+  | Drop_largest_residual
+      (** shed the flow with the most volume left first *)
+  | Reject_new
+      (** never shed a pre-fault flow; refuse burst arrivals instead,
+          and report [Irreparable] if the old flows cannot be served *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type detail = {
+  residual : Dcn_core.Instance.t option;
+      (** the re-solved instance; [None] when nothing was left to do *)
+  solution : Dcn_core.Solution.t option;
+      (** the re-plan; [None] iff [residual] is [None] or every
+          residual flow was dropped *)
+  salvaged : float;  (** volume delivered before the fault, kept as-is *)
+  dropped : Dcn_flow.Flow.t list;  (** admission casualties, id order *)
+  violations : Dcn_check.Certify.violation list;
+      (** certification of [solution] against [residual]; [[]] when
+          there is no solution to certify *)
+}
+
+type outcome =
+  | Repaired of detail  (** every residual flow re-planned; no drops *)
+  | Degraded of detail  (** re-planned after shedding [detail.dropped] *)
+  | Irreparable of { reason : string; salvaged : float }
+      (** no admissible re-plan exists under the policy *)
+
+val outcome_kind : outcome -> string
+(** ["repaired"], ["degraded"] or ["irreparable"]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_json : outcome -> Dcn_engine.Json.t
+
+type config = {
+  attempts : int;  (** Random-Schedule redraws per admission round *)
+  fw_config : Dcn_mcf.Frank_wolfe.config;
+  volume_eps : float;
+      (** relative slack below which a residual counts as delivered *)
+}
+
+val default_config : config
+
+val repair :
+  ?config:config ->
+  policy:policy ->
+  rng:Dcn_util.Prng.t ->
+  committed:Dcn_sched.Schedule.t ->
+  event:Fault.event ->
+  Dcn_core.Instance.t ->
+  outcome
+(** Deterministic given [(rng, committed, event, instance, policy)].
+    Solvers run sequentially so repairs parallelise at the campaign
+    level without nesting pools. *)

@@ -124,6 +124,64 @@ let check_fuzz path =
   | Json.Obj _ -> ()
   | _ -> fail "%s: counters is not an object" path
 
+(* Report of `dcn resilience --report FILE`: a fault campaign — every
+   scenario row carries the injected event, the watchdog's answer and a
+   typed repair outcome, the counts partition the rows, and the
+   campaign must have certified. *)
+let check_resilience path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "resilience") -> ()
+  | _ -> fail "%s: command is not \"resilience\"" path);
+  let res = get path "resilience" json in
+  ignore (Json.to_int (get path "seed" res));
+  ignore (Json.to_str (get path "policy" res));
+  let scenarios = Json.to_int (get path "scenarios" res) in
+  if scenarios < 1 then fail "%s: scenarios < 1" path;
+  let rows = Json.to_list (get path "rows" res) in
+  if List.length rows <> scenarios then
+    fail "%s: %d row(s), expected %d" path (List.length rows) scenarios;
+  let count k = Json.to_int (get path k res) in
+  if count "repaired" + count "degraded" + count "irreparable" <> scenarios then
+    fail "%s: outcome counts do not partition the scenarios" path;
+  List.iter
+    (fun r ->
+      ignore (Json.to_int (get path "index" r));
+      ignore (Json.to_str (get path "label" r));
+      let event = get path "event" r in
+      ignore (Json.to_str (get path "kind" event));
+      ignore (Json.to_float (get path "at" event));
+      let watchdog = get path "watchdog" r in
+      ignore (Json.to_str (get path "algorithm" watchdog));
+      let energy = Json.to_float (get path "energy" watchdog) in
+      if not (Float.is_finite energy) || energy < 0. then
+        fail "%s: non-finite or negative watchdog energy" path;
+      let attempts = Json.to_list (get path "attempts" watchdog) in
+      if attempts = [] then fail "%s: watchdog recorded no attempts" path;
+      List.iter
+        (fun a ->
+          ignore (Json.to_str (get path "stage" a));
+          ignore (Json.to_str (get path "status" a)))
+        attempts;
+      ignore (Json.to_list (get path "timed_out" watchdog));
+      let repair = get path "repair" r in
+      let outcome = Json.to_str (get path "outcome" repair) in
+      if not (List.mem outcome [ "repaired"; "degraded"; "irreparable" ]) then
+        fail "%s: unknown repair outcome %S" path outcome;
+      if outcome <> "irreparable" then begin
+        ignore (Json.to_float (get path "salvaged" repair));
+        ignore (Json.to_list (get path "dropped" repair));
+        if Json.to_list (get path "violations" repair) <> [] then
+          fail "%s: a %s schedule carries certifier violations" path outcome
+      end)
+    rows;
+  (match Json.member "ok" res with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: fault campaign did not certify (resilience.ok != true)" path);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
 (* Report of `dcn certify --instance FILE` (oracle mode). *)
 let check_certify path =
   let json = parse path in
@@ -155,6 +213,9 @@ let () =
   | [| _; "--certify"; report |] ->
     check_certify report;
     print_endline "check-json: certify report OK"
+  | [| _; "--resilience"; report |] ->
+    check_resilience report;
+    print_endline "check-json: resilience report OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -168,5 +229,6 @@ let () =
     prerr_endline
       "usage: check_json.exe TRACE.json REPORT.json [CHROME.json]\n\
       \       check_json.exe --fuzz FUZZ-REPORT.json\n\
-      \       check_json.exe --certify CERTIFY-REPORT.json";
+      \       check_json.exe --certify CERTIFY-REPORT.json\n\
+      \       check_json.exe --resilience RESILIENCE-REPORT.json";
     exit 2

@@ -21,4 +21,5 @@ let () =
          Test_trace.suite;
          Test_profile.suite;
          Test_check.suite;
+         Test_resilience.suite;
        ])

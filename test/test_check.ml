@@ -121,6 +121,70 @@ let test_corpus_replay () =
           expected)
     expectations
 
+(* Truncated / malformed fixtures must come back as typed, positioned
+   parse errors — never as an escaped exception. *)
+let test_corpus_truncated () =
+  let instance_error name =
+    match
+      Serialize.instance_of_string_result
+        (read_file ("corpus/" ^ name ^ ".instance"))
+    with
+    | Ok _ -> Alcotest.failf "%s: parsed despite being malformed" name
+    | Error e -> e
+  in
+  let e = instance_error "truncated-node" in
+  Alcotest.(check int) "truncated-node line" 2 e.Serialize.line;
+  Alcotest.(check int) "truncated-node position" 21 e.Serialize.position;
+  let e = instance_error "truncated-flow" in
+  Alcotest.(check int) "truncated-flow line" 6 e.Serialize.line;
+  let e = instance_error "bad-window" in
+  Alcotest.(check int) "bad-window line" 7 e.Serialize.line;
+  (* The schedule parser likewise: a slot with a malformed rate. *)
+  let inst, _ = corpus "pass" in
+  (match
+     Serialize.schedule_of_string_result inst
+       (read_file "corpus/truncated-slot.schedule")
+   with
+  | Ok _ -> Alcotest.fail "truncated-slot: parsed despite being malformed"
+  | Error e -> Alcotest.(check int) "truncated-slot line" 3 e.Serialize.line);
+  (* Truncating a well-formed fixture at every prefix length must never
+     raise — each prefix either parses or yields a typed error. *)
+  let text = read_file "corpus/pass.instance" in
+  for len = 0 to String.length text - 1 do
+    ignore (Serialize.instance_of_string_result (String.sub text 0 len))
+  done;
+  (* The raising wrapper stays [Failure]-compatible. *)
+  Alcotest.(check bool) "wrapper raises Failure" true
+    (try
+       ignore (Serialize.instance_of_string "dcnsched-instance v1\nnode x");
+       false
+     with Failure _ -> true)
+
+let test_json_truncated () =
+  let module Json = Dcn_engine.Json in
+  let err s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "%S: parsed despite being malformed" s
+    | Error e -> e
+  in
+  let e = err "{\"a\":1," in
+  Alcotest.(check int) "object cut after comma" 7 e.Json.offset;
+  let e = err "[1,2" in
+  Alcotest.(check int) "list cut" 4 e.Json.offset;
+  let e = err "\"unterminated" in
+  Alcotest.(check bool) "string cut" true (e.Json.offset > 0);
+  (* Every prefix of an emitted report parses or errors — never raises. *)
+  let text =
+    Json.to_string
+      (Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.float nan ]); ("s", Json.Str "a\"b") ])
+  in
+  for len = 0 to String.length text do
+    ignore (Json.parse (String.sub text 0 len))
+  done;
+  match Json.parse text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "full report failed: %s" (Json.parse_error_to_string e)
+
 (* ------------------------------ shrink ----------------------------- *)
 
 (* A predicate that certifies a deliberately under-delivering schedule
@@ -262,6 +326,8 @@ let suite =
         Alcotest.test_case "certify energy mismatch" `Quick test_certify_energy_mismatch;
         Alcotest.test_case "certify LB violation" `Quick test_certify_lb_violation;
         Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+        Alcotest.test_case "corpus truncated fixtures" `Quick test_corpus_truncated;
+        Alcotest.test_case "json truncated input" `Quick test_json_truncated;
         Alcotest.test_case "shrink corrupt fixture" `Quick test_shrink_corrupt_fixture;
         Alcotest.test_case "shrink no-op when passing" `Quick test_shrink_noop_when_passing;
         Alcotest.test_case "shrink exception is false" `Quick test_shrink_exception_is_false;

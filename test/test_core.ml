@@ -44,14 +44,37 @@ let test_instance_basic () =
 
 let test_instance_invalid () =
   let graph = Builders.line 3 in
-  let invalid f = Alcotest.(check bool) "invalid" true (try ignore (f ()); false with Invalid_argument _ -> true) in
-  invalid (fun () -> Instance.make ~graph ~power:Model.quadratic ~flows:[]);
-  invalid (fun () ->
+  let invalid expect f =
+    let got =
+      try
+        ignore (f ());
+        None
+      with Instance.Invalid e -> Some e
+    in
+    match got with
+    | Some e when e = expect -> ()
+    | Some e ->
+      Alcotest.failf "wrong error: %s (wanted %s)" (Instance.error_to_string e)
+        (Instance.error_to_string expect)
+    | None -> Alcotest.failf "accepted: %s" (Instance.error_to_string expect)
+  in
+  invalid Instance.Empty_flows (fun () ->
+      Instance.make ~graph ~power:Model.quadratic ~flows:[]);
+  invalid (Instance.Bad_endpoint { flow = 0; node = 9 }) (fun () ->
       let f = Flow.make ~id:0 ~src:0 ~dst:9 ~volume:1. ~release:0. ~deadline:1. in
       Instance.make ~graph ~power:Model.quadratic ~flows:[ f ]);
-  invalid (fun () ->
+  invalid (Instance.Duplicate_flow_id { flow = 0 }) (fun () ->
       let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:1. ~release:0. ~deadline:1. in
-      Instance.make ~graph ~power:Model.quadratic ~flows:[ f; f ])
+      Instance.make ~graph ~power:Model.quadratic ~flows:[ f; f ]);
+  (* validate is the non-raising face of the same clauses. *)
+  let f = Flow.make ~id:0 ~src:0 ~dst:1 ~volume:1. ~release:0. ~deadline:1. in
+  (match Instance.validate ~graph ~power:Model.quadratic ~flows:[ f ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate rejected: %s" (Instance.error_to_string e));
+  match Instance.make_result ~graph ~power:Model.quadratic ~flows:[] with
+  | Error Instance.Empty_flows -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Instance.error_to_string e)
+  | Ok _ -> Alcotest.fail "make_result accepted an empty flow list"
 
 (* ------------------------------------------------------------------ *)
 (* Most-Critical-First                                                *)
