@@ -48,6 +48,29 @@ let jobs_t =
            environment variable (a positive integer, or 0 for one per core) and \
            falls back to 1. Results are bit-identical for every value.")
 
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Dcn_resilience.Repair.policy_of_string s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+              "expected drop-latest-deadline | drop-largest-residual | \
+               reject-new")),
+      fun ppf p ->
+        Format.pp_print_string ppf (Dcn_resilience.Repair.policy_to_string p) )
+
+let policy_t =
+  Arg.(
+    value
+    & opt policy_conv Dcn_resilience.Repair.Drop_latest_deadline
+    & info [ "policy" ]
+        ~doc:
+          "Admission policy under degradation: $(b,drop-latest-deadline), \
+           $(b,drop-largest-residual) or $(b,reject-new)."
+        ~docv:"POLICY")
+
 (* Every subcommand resolves --jobs the same way and tears the pool down
    on the way out.  Returns a [result] so commands plug into
    [Term.term_result] and bad arguments exit through cmdliner's standard
@@ -809,28 +832,6 @@ let resilience_cmd =
       value & opt int 50
       & info [ "faults" ] ~doc:"Number of fault scenarios." ~docv:"N")
   in
-  let policy_conv =
-    Arg.conv
-      ( (fun s ->
-          match Repair.policy_of_string s with
-          | Some p -> Ok p
-          | None ->
-            Error
-              (`Msg
-                "expected drop-latest-deadline | drop-largest-residual | \
-                 reject-new")),
-        fun ppf p -> Format.pp_print_string ppf (Repair.policy_to_string p) )
-  in
-  let policy_t =
-    Arg.(
-      value
-      & opt policy_conv Repair.Drop_latest_deadline
-      & info [ "policy" ]
-          ~doc:
-            "Admission policy under degradation: $(b,drop-latest-deadline), \
-             $(b,drop-largest-residual) or $(b,reject-new)."
-          ~docv:"POLICY")
-  in
   let budget_t =
     Arg.(
       value
@@ -900,6 +901,183 @@ let resilience_cmd =
         (const run $ faults_t $ seed_t $ policy_t $ budget_t $ Observe.trace_t
        $ Observe.report_t $ jobs_t))
 
+(* --------------------------- serve / replay ----------------------- *)
+
+(* One newline-delimited JSON event per line.  Positioned diagnostics:
+   a malformed line is reported with its line number, the byte offset of
+   the failure within the line (from Json.parse), and the absolute
+   offset in the stream.  --strict stops at the first bad line; the
+   default skips it and keeps serving. *)
+let serve_stream ~session ~strict ~on_outcome ic =
+  let line_no = ref 0 and base = ref 0 in
+  let parse_errors = ref 0 and fatal = ref None in
+  (try
+     while !fatal = None do
+       let line = input_line ic in
+       incr line_no;
+       let line_base = !base in
+       base := !base + String.length line + 1;
+       if String.trim line <> "" then
+         let bad msg =
+           incr parse_errors;
+           if strict then fatal := Some msg
+           else Printf.eprintf "[serve] skipping event at %s\n%!" msg
+         in
+         match Json.parse line with
+         | Error e ->
+           bad
+             (Printf.sprintf "line %d, byte %d (stream offset %d): %s" !line_no
+                e.Json.offset
+                (line_base + e.Json.offset)
+                e.Json.message)
+         | Ok json -> (
+           match Dcn_serve.Event.of_json json with
+           | Error m -> bad (Printf.sprintf "line %d: %s" !line_no m)
+           | Ok event ->
+             on_outcome ~seq:!line_no event
+               (Dcn_serve.Session.apply session event))
+     done
+   with End_of_file -> ());
+  (!parse_errors, !fatal)
+
+let cap_t =
+  Arg.(
+    value
+    & opt float infinity
+    & info [ "cap" ]
+        ~doc:
+          "Link capacity; arrivals that would push a link beyond it go \
+           through the admission policy.  Default: unbounded."
+        ~docv:"C")
+
+let strict_t =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Stop at the first malformed event line (default: report the \
+           position on stderr and keep going).")
+
+let serve_session_result ~command ~strict ~parse_errors ~fatal session =
+  match fatal with
+  | Some msg -> Error (`Msg (Printf.sprintf "%s: malformed event at %s" command msg))
+  | None ->
+    if not (Dcn_serve.Session.ok session) then
+      Error (`Msg (Printf.sprintf "%s: some committed epochs failed certification" command))
+    else if strict && parse_errors > 0 then
+      Error (`Msg (Printf.sprintf "%s: %d malformed event line(s)" command parse_errors))
+    else Ok ()
+
+let serve_section ~strict ~parse_errors session =
+  Json.Obj
+    [
+      ("strict", Json.Bool strict);
+      ("parse_errors", Json.Int parse_errors);
+      ("session", Dcn_serve.Session.report session);
+    ]
+
+let serve_cmd =
+  let run graph alpha sigma cap policy seed strict trace report jobs =
+    guard @@ fun () ->
+    Result.join
+    @@ with_jobs jobs
+    @@ fun pool ->
+    let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+    let session =
+      Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
+    in
+    let outcome = ref (0, None) in
+    Observe.run ~command:"serve" ~trace ~report (fun () ->
+        let on_outcome ~seq event out =
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  (("seq", Json.Int seq)
+                   :: ("event", Json.Str (Dcn_serve.Event.kind event))
+                   ::
+                   (match Dcn_serve.Session.outcome_to_json out with
+                   | Json.Obj fields -> fields
+                   | j -> [ ("outcome", j) ]))))
+        in
+        outcome := serve_stream ~session ~strict ~on_outcome stdin;
+        let parse_errors, _ = !outcome in
+        [ ("serve", serve_section ~strict ~parse_errors session) ]);
+    let parse_errors, fatal = !outcome in
+    serve_session_result ~command:"serve" ~strict ~parse_errors ~fatal session
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived scheduler session: newline-delimited JSON events \
+          (arrival, cancel, advance) on stdin, one JSON outcome (schedule \
+          delta, drops, certification) per event on stdout.  Arrivals are \
+          admitted under --policy; each event re-solves only the timeline \
+          intervals its flow's span overlaps, warm-started from the previous \
+          fractional solution; every committed epoch is independently \
+          re-certified.  Bit-identical for a given event stream and --seed at \
+          every --jobs level; non-zero exit if any epoch fails certification.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
+       $ strict_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+let replay_cmd =
+  let events_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS"
+          ~doc:"An event log: one JSON event per line (see $(b,dcn serve)).")
+  in
+  let run graph alpha sigma cap policy seed strict events_file trace report jobs
+      =
+    guard @@ fun () ->
+    Result.join
+    @@ with_jobs jobs
+    @@ fun pool ->
+    let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+    let session =
+      Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
+    in
+    let outcome = ref (0, None) in
+    let committed = ref 0 and degraded = ref 0 and rejected = ref 0 in
+    Observe.run ~command:"replay" ~trace ~report (fun () ->
+        let on_outcome ~seq event out =
+          (match out with
+          | Dcn_serve.Session.Committed _ -> incr committed
+          | Dcn_serve.Session.Degraded _ -> incr degraded
+          | Dcn_serve.Session.Rejected _ -> incr rejected);
+          Format.printf "%4d  %-8s %a@." seq
+            (Dcn_serve.Event.kind event)
+            Dcn_serve.Session.pp_outcome out
+        in
+        let ic = open_in events_file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> outcome := serve_stream ~session ~strict ~on_outcome ic);
+        let parse_errors, _ = !outcome in
+        Printf.printf
+          "replay: %d committed, %d degraded, %d rejected, %d malformed \
+           (policy %s, seed %d)\n"
+          !committed !degraded !rejected parse_errors
+          (Dcn_resilience.Repair.policy_to_string policy)
+          seed;
+        [ ("replay", serve_section ~strict ~parse_errors session) ]);
+    let parse_errors, fatal = !outcome in
+    serve_session_result ~command:"replay" ~strict ~parse_errors ~fatal session
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a recorded event log through a scheduler session offline — \
+          same admission, incremental re-solve and per-epoch certification as \
+          $(b,dcn serve), with a human-readable outcome per event.  \
+          Bit-identical for a given log and --seed at every --jobs level.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
+       $ strict_t $ events_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
 let () =
   (* DCN_SELFCHECK=1 makes every solver certify its own output. *)
   Dcn_check.Certify.selfcheck_from_env ();
@@ -920,4 +1098,6 @@ let () =
             certify_cmd;
             fuzz_cmd;
             resilience_cmd;
+            serve_cmd;
+            replay_cmd;
           ]))

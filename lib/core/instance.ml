@@ -95,7 +95,6 @@ let flow_array t =
   Array.sort (fun (f : Flow.t) g -> compare f.id g.Flow.id) a;
   a
 
-let find_flow t id = List.find (fun f -> f.Flow.id = id) t.flows
 let find_flow_opt t id = List.find_opt (fun f -> f.Flow.id = id) t.flows
 
 let timeline t = Dcn_flow.Timeline.make t.flows

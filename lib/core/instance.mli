@@ -63,10 +63,6 @@ val flow_array : t -> Dcn_flow.Flow.t array
 val find_flow_opt : t -> int -> Dcn_flow.Flow.t option
 (** The flow with the given id, or [None]. *)
 
-val find_flow : t -> int -> Dcn_flow.Flow.t
-(** @deprecated Use {!find_flow_opt}; this partial version remains for
-    existing callers.
-    @raise Not_found for an unknown flow id. *)
 
 val timeline : t -> Dcn_flow.Timeline.t
 (** Interval structure of the instance (computed fresh). *)

@@ -253,5 +253,4 @@ let solve ?(algorithm = "mcf") inst ~routing =
   Selfcheck.solution inst sol;
   sol
 
-let rate_of = Solution.rate_of
 let find_rate = Solution.find_rate

@@ -54,6 +54,3 @@ val find_rate : Solution.t -> int -> float option
 (** Alias of {!Solution.find_rate}, kept for callers reading Algorithm 1
     results. *)
 
-val rate_of : Solution.t -> int -> float
-(** @deprecated Use {!find_rate}.
-    @raise Not_found for an unknown flow id. *)

@@ -37,6 +37,8 @@ let candidate_paths relax (f : Flow.t) =
   (* Deterministic order for reproducible sampling. *)
   List.sort compare all
 
+(* Exposed (see mli): the serving layer samples a path for one new flow
+   from the warm relaxation with exactly this distribution. *)
 let build_schedule inst chosen =
   let t0, t1 = Instance.horizon inst in
   let plans =

@@ -29,6 +29,17 @@ type config = {
 
 val default_config : config
 
+val candidate_paths :
+  Relaxation.t ->
+  Dcn_flow.Flow.t ->
+  (Dcn_topology.Graph.link list * float) list
+(** The flow's candidate routing paths across all intervals of the
+    relaxation, each with the paper's combined weight
+    [w̄_P = sum over k of w_P(k) |I_k| / (d_i - r_i)] — the sampling
+    distribution of step 3.  Deterministically ordered.  Exposed for
+    the serving layer, which draws a path for a newly admitted flow
+    from the warm relaxation without re-rounding committed flows. *)
+
 val solve :
   ?config:config ->
   ?pool:Dcn_engine.Pool.t ->

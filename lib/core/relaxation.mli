@@ -33,3 +33,32 @@ val solve :
 (** [pool] fans the independent per-interval F-MCF programs across
     worker domains (default: sequential).  The result is bit-identical
     for every pool size. *)
+
+type reuse_stats = {
+  resolved : int;  (** intervals whose F-MCF was (re-)solved *)
+  reused : int;  (** intervals copied verbatim from [previous] *)
+}
+
+val resolve :
+  ?pool:Dcn_engine.Pool.t ->
+  ?fw_config:Dcn_mcf.Frank_wolfe.config ->
+  previous:t ->
+  window:float * float ->
+  Instance.t ->
+  t * reuse_stats
+(** Incremental re-solve after a local change to the flow set (an
+    arrival, cancellation or retirement whose span is [window]), given
+    the [previous] relaxation of the pre-change instance.
+
+    Intervals of the {e new} timeline that do not overlap [window]
+    reuse the previous solution of the interval covering their midpoint
+    — per-interval quantities are per unit time, so intervals split by
+    new breakpoints outside the window inherit the old solution on both
+    halves exactly.  Reuse is guarded: if the previous solution's flow
+    set does not match the interval's active set (a caller gave too
+    narrow a window), the interval is re-solved rather than reused, so
+    [resolve] never returns a stale solution.  Overlapping intervals
+    are re-solved with {!Dcn_mcf.Frank_wolfe}'s warm start seeded from
+    the previous fractional paths of every flow both instances share.
+
+    Bit-identical for every pool size, like {!solve}. *)

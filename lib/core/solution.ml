@@ -33,7 +33,6 @@ type t = {
   meta : meta;
 }
 
-let rate_of t id = List.assoc id t.per_flow_rates
 let find_rate t id = List.assoc_opt id t.per_flow_rates
 
 let placement_complete t =

@@ -49,10 +49,6 @@ val find_rate : t -> int -> float option
 (** The flow's constant transmission rate, or [None] for an unknown
     flow id. *)
 
-val rate_of : t -> int -> float
-(** @deprecated Use {!find_rate}; this partial version remains for
-    existing callers.
-    @raise Not_found for an unknown flow id. *)
 
 val placement_complete : t -> bool
 (** MCF detail; [true] for Random-Schedule results (Theorem 4 packs

@@ -71,7 +71,7 @@ let trace_iter iter gap objective step =
     Trace.counter "fw.iters" 1.
   end
 
-let solve ?(config = default_config) problem =
+let solve ?(config = default_config) ?(warm_start = fun _ -> []) problem =
   let g = problem.graph in
   let m = Graph.num_links g in
   let commodities = problem.commodities in
@@ -108,7 +108,11 @@ let solve ?(config = default_config) problem =
   let add_path flows_i amount path =
     List.iter (fun l -> flows_i.(l) <- flows_i.(l) +. amount) path
   in
-  (* Initial point: hop-count shortest paths. *)
+  (* Initial point: the caller's warm-start paths where given (rescaled
+     to the demand, so conservation holds by construction), hop-count
+     shortest paths otherwise.  Reachability is validated for every
+     commodity either way — the all-or-nothing step needs it. *)
+  let warm_used = ref 0 in
   List.iter
     (fun src ->
       let tree = Paths.shortest_tree g ~src in
@@ -119,9 +123,27 @@ let solve ?(config = default_config) problem =
             invalid_arg
               (Printf.sprintf "Frank_wolfe.solve: node %d unreachable from %d" c.dst
                  c.src)
-          | Some path -> add_path flows.(c.index) c.demand path)
+          | Some path -> (
+            let warm = warm_start c.index in
+            let total =
+              List.fold_left
+                (fun acc (wp : Decompose.weighted_path) -> acc +. wp.weight)
+                0. warm
+            in
+            if total > 0. then begin
+              incr warm_used;
+              let scale = c.demand /. total in
+              List.iter
+                (fun (wp : Decompose.weighted_path) ->
+                  add_path flows.(c.index) (wp.weight *. scale) wp.links)
+                warm
+            end
+            else add_path flows.(c.index) c.demand path))
         (Hashtbl.find by_src src))
     sources;
+  if !warm_used > 0 && Trace.on () then
+    Trace.event "fw.warm_start"
+      ~fields:[ ("commodities", Json.Int !warm_used) ];
   for e = 0 to m - 1 do
     loads.(e) <- 0.;
     for i = 0 to nc - 1 do

@@ -45,8 +45,21 @@ type solution = {
   max_overload : float;  (** [max over links of (load - capacity)], <= 0 if respected *)
 }
 
-val solve : ?config:config -> problem -> solution
-(** @raise Invalid_argument if some commodity's destination is
+val solve :
+  ?config:config ->
+  ?warm_start:(int -> Decompose.weighted_path list) ->
+  problem ->
+  solution
+(** [warm_start i] supplies an initial fractional routing for commodity
+    [i] as weighted paths (e.g. the decomposition of a previous solve of
+    a nearby problem); weights are rescaled so they sum to the
+    commodity's demand, which keeps flow conservation by construction.
+    An empty list (the default) falls back to the cold start: the
+    hop-count shortest path.  Warm starts change only the starting
+    point, never the optimum the method converges to — they buy
+    iterations, not correctness.
+
+    @raise Invalid_argument if some commodity's destination is
     unreachable from its source, or the commodity array is empty. *)
 
 val lower_bound_cost : problem -> solution -> float

@@ -171,6 +171,8 @@ let casualty policy ~is_new flows =
   | Drop_largest_residual -> last largest_volume flows
   | Reject_new -> last latest_deadline (List.filter (fun (f : Flow.t) -> is_new f.id) flows)
 
+let next_casualty = casualty
+
 let repair ?(config = default_config) ~policy ~rng ~committed ~event inst =
   Trace.span
     ~fields:[ ("event", Json.Str (Fault.kind event)) ]

@@ -35,6 +35,16 @@ type policy =
 val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 
+val next_casualty :
+  policy -> is_new:(int -> bool) -> Dcn_flow.Flow.t list -> Dcn_flow.Flow.t option
+(** The policy's next victim among the given flows — the admission
+    decision {!repair}'s degradation loop takes one round at a time,
+    exposed so other admission loops (the serving layer's per-arrival
+    admit/degrade cycle) shed flows under exactly the same typed
+    policies.  [is_new] marks flows that arrived after commitment
+    (burst arrivals, live arrivals); [None] means the policy refuses to
+    shed further — [Reject_new] never sheds a pre-existing flow. *)
+
 type detail = {
   residual : Dcn_core.Instance.t option;
       (** the re-solved instance; [None] when nothing was left to do *)

@@ -38,7 +38,6 @@ let make ~graph ~power ~horizon plans =
     plans;
   { graph; power; horizon; plans }
 
-let plan_of t id = List.find (fun p -> p.flow.Flow.id = id) t.plans
 let find_plan t id = List.find_opt (fun p -> p.flow.Flow.id = id) t.plans
 
 (* Slots carried by each link, as (start, stop, rate, flow id). *)

@@ -45,12 +45,9 @@ val delivered : plan -> float
 (** Data carried by the plan's slots. *)
 
 val find_plan : t -> int -> plan option
-(** Plan of the flow with the given id, or [None]. *)
-
-val plan_of : t -> int -> plan
-(** @deprecated Use {!find_plan}; this partial version remains for
-    existing callers.
-    @raise Not_found for an unknown flow id. *)
+(** Plan of the flow with the given id, or [None].  To compare two
+    schedules plan-by-plan, use {!Schedule_delta.diff} rather than
+    paired lookups. *)
 
 val link_profile : t -> Dcn_topology.Graph.link -> Profile.t
 (** Aggregate rate profile of one link. *)

@@ -1,0 +1,78 @@
+module Json = Dcn_engine.Json
+module Flow = Dcn_flow.Flow
+
+type t =
+  | Flow_arrival of Flow.t
+  | Flow_cancel of { flow : int }
+  | Advance_clock of { clock : float }
+
+let kind = function
+  | Flow_arrival _ -> "arrival"
+  | Flow_cancel _ -> "cancel"
+  | Advance_clock _ -> "advance"
+
+let pp ppf = function
+  | Flow_arrival f -> Format.fprintf ppf "arrival %a" Flow.pp f
+  | Flow_cancel { flow } -> Format.fprintf ppf "cancel flow %d" flow
+  | Advance_clock { clock } -> Format.fprintf ppf "advance to %g" clock
+
+let to_json = function
+  | Flow_arrival (f : Flow.t) ->
+    Json.Obj
+      [
+        ("event", Json.Str "arrival");
+        ("id", Json.Int f.id);
+        ("src", Json.Int f.src);
+        ("dst", Json.Int f.dst);
+        ("volume", Json.float f.volume);
+        ("release", Json.float f.release);
+        ("deadline", Json.float f.deadline);
+      ]
+  | Flow_cancel { flow } ->
+    Json.Obj [ ("event", Json.Str "cancel"); ("id", Json.Int flow) ]
+  | Advance_clock { clock } ->
+    Json.Obj [ ("event", Json.Str "advance"); ("to", Json.float clock) ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let field name =
+    match Json.member name json with
+    | Some v -> Ok v
+    | None -> err "missing field %S" name
+  in
+  let num name =
+    let* v = field name in
+    match v with
+    | Json.Int i -> Ok (float_of_int i)
+    | Json.Float x -> Ok x
+    | _ -> err "field %S is not a number" name
+  in
+  let int name =
+    let* v = field name in
+    match v with Json.Int i -> Ok i | _ -> err "field %S is not an integer" name
+  in
+  match json with
+  | Json.Obj _ -> (
+    let* tag = field "event" in
+    match tag with
+    | Json.Str "arrival" ->
+      let* id = int "id" in
+      let* src = int "src" in
+      let* dst = int "dst" in
+      let* volume = num "volume" in
+      let* release = num "release" in
+      let* deadline = num "deadline" in
+      (match Flow.make ~id ~src ~dst ~volume ~release ~deadline with
+      | f -> Ok (Flow_arrival f)
+      | exception Invalid_argument m -> err "bad arrival: %s" m)
+    | Json.Str "cancel" ->
+      let* flow = int "id" in
+      Ok (Flow_cancel { flow })
+    | Json.Str "advance" ->
+      let* clock = num "to" in
+      if Float.is_finite clock then Ok (Advance_clock { clock })
+      else err "field \"to\" is not finite"
+    | Json.Str other -> err "unknown event kind %S" other
+    | _ -> err "field \"event\" is not a string")
+  | _ -> Error "event is not a JSON object"

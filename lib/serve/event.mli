@@ -1,0 +1,34 @@
+(** The typed events a scheduler session absorbs.
+
+    A serving session is driven by a stream of these — one JSON object
+    per line on [dcn serve]'s stdin, one list element in a replayed
+    log.  The wire shapes are:
+
+    {v
+    {"event":"arrival","id":1,"src":0,"dst":4,"volume":6,"release":0,"deadline":4}
+    {"event":"cancel","id":1}
+    {"event":"advance","to":2.5}
+    v}
+
+    [of_json] is total: malformed shapes and field values that
+    {!Dcn_flow.Flow.make} rejects (non-positive volume, empty window,
+    equal endpoints, non-finite numbers) come back as [Error] with a
+    message, never an exception.  Positioned errors (line and byte
+    offset of a malformed stream line) are the transport's job — see
+    {!Dcn_engine.Json.parse} and the [dcn serve]/[dcn replay] loop. *)
+
+type t =
+  | Flow_arrival of Dcn_flow.Flow.t
+      (** admit this flow (subject to the session's policy) *)
+  | Flow_cancel of { flow : int }  (** withdraw a committed flow *)
+  | Advance_clock of { clock : float }
+      (** move the session clock forward; completed flows retire *)
+
+val kind : t -> string
+(** ["arrival"], ["cancel"] or ["advance"] — the wire tag. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Dcn_engine.Json.t
+
+val of_json : Dcn_engine.Json.t -> (t, string) result

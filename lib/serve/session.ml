@@ -1,0 +1,478 @@
+module Json = Dcn_engine.Json
+module Deadline = Dcn_engine.Deadline
+module Trace = Dcn_engine.Trace
+module Pool = Dcn_engine.Pool
+module Prng = Dcn_util.Prng
+module Graph = Dcn_topology.Graph
+module Paths = Dcn_topology.Paths
+module Flow = Dcn_flow.Flow
+module Model = Dcn_power.Model
+module Fw = Dcn_mcf.Frank_wolfe
+module Instance = Dcn_core.Instance
+module Relaxation = Dcn_core.Relaxation
+module Random_schedule = Dcn_core.Random_schedule
+module Schedule = Dcn_sched.Schedule
+module Schedule_delta = Dcn_sched.Schedule_delta
+module Certify = Dcn_check.Certify
+module Repair = Dcn_resilience.Repair
+
+type config = { attempts : int; fw_config : Fw.config; certify : bool }
+
+let default_config =
+  {
+    attempts = 10;
+    fw_config = { Fw.default_config with max_iters = 60; gap_tol = 1e-3 };
+    certify = true;
+  }
+
+type stats = {
+  mutable events : int;
+  mutable committed : int;
+  mutable degraded : int;
+  mutable rejected : int;
+  mutable admitted : int;
+  mutable cancelled : int;
+  mutable retired : int;
+  mutable dropped : int;
+  mutable resolved_intervals : int;
+  mutable reused_intervals : int;
+  mutable certified_epochs : int;
+  mutable uncertified_epochs : int;
+}
+
+type t = {
+  graph : Graph.t;
+  power : Model.t;
+  policy : Repair.policy;
+  config : config;
+  pool : Pool.t;
+  rng : Prng.t;
+  mutable clock : float;
+  mutable flows : Flow.t list;  (* ascending id *)
+  mutable paths : (int * Graph.link list) list;  (* flow id -> committed path *)
+  mutable relaxation : Relaxation.t option;
+  mutable schedule : Schedule.t option;
+  stats : stats;
+}
+
+let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
+    ~policy ~seed () =
+  if config.attempts < 1 then
+    invalid_arg "Session.create: config.attempts must be >= 1";
+  {
+    graph;
+    power;
+    policy;
+    config;
+    pool;
+    rng = Prng.create seed;
+    clock = 0.;
+    flows = [];
+    paths = [];
+    relaxation = None;
+    schedule = None;
+    stats =
+      {
+        events = 0;
+        committed = 0;
+        degraded = 0;
+        rejected = 0;
+        admitted = 0;
+        cancelled = 0;
+        retired = 0;
+        dropped = 0;
+        resolved_intervals = 0;
+        reused_intervals = 0;
+        certified_epochs = 0;
+        uncertified_epochs = 0;
+      };
+  }
+
+type detail = {
+  delta : Schedule_delta.t;
+  dropped : Flow.t list;
+  retired : int list;
+  violations : Certify.violation list;
+  resolved_intervals : int;
+  reused_intervals : int;
+  energy : float;
+}
+
+type outcome =
+  | Committed of detail
+  | Degraded of detail
+  | Rejected of { reason : string }
+
+let outcome_kind = function
+  | Committed _ -> "committed"
+  | Degraded _ -> "degraded"
+  | Rejected _ -> "rejected"
+
+let pp_outcome ppf = function
+  | Committed d ->
+    Format.fprintf ppf "committed: %s, %d resolved / %d reused interval(s)"
+      (Schedule_delta.summary d.delta)
+      d.resolved_intervals d.reused_intervals
+  | Degraded d ->
+    Format.fprintf ppf "degraded: %s, dropped %s"
+      (Schedule_delta.summary d.delta)
+      (String.concat ","
+         (List.map (fun (f : Flow.t) -> string_of_int f.id) d.dropped))
+  | Rejected { reason } -> Format.fprintf ppf "rejected: %s" reason
+
+let outcome_to_json o =
+  match o with
+  | Committed d | Degraded d ->
+    Json.Obj
+      [
+        ("outcome", Json.Str (outcome_kind o));
+        ("delta", Schedule_delta.to_json d.delta);
+        ( "dropped",
+          Json.List (List.map (fun (f : Flow.t) -> Json.Int f.id) d.dropped) );
+        ("retired", Json.List (List.map (fun id -> Json.Int id) d.retired));
+        ("certified", Json.Bool (d.violations = []));
+        ( "violations",
+          Json.List (List.map Certify.violation_to_json d.violations) );
+        ("resolved_intervals", Json.Int d.resolved_intervals);
+        ("reused_intervals", Json.Int d.reused_intervals);
+        ("energy", Json.float d.energy);
+      ]
+  | Rejected { reason } ->
+    Json.Obj [ ("outcome", Json.Str "rejected"); ("reason", Json.Str reason) ]
+
+let clock t = t.clock
+let active_flows t = t.flows
+let schedule t = t.schedule
+
+let total_intervals t =
+  match t.relaxation with
+  | None -> 0
+  | Some r -> Array.length r.Relaxation.intervals
+
+let ok t = t.stats.uncertified_epochs = 0
+
+let by_id (a : Flow.t) (b : Flow.t) = compare a.id b.id
+let tiny x = 1e-9 *. Float.max 1. (Float.abs x)
+
+(* Interval re-solve against the committed relaxation; a drained session
+   (no previous relaxation) solves from scratch. *)
+let resolve_relaxation t ~window inst =
+  Trace.span "serve.resolve" @@ fun () ->
+  let relax, (rs : Relaxation.reuse_stats) =
+    match t.relaxation with
+    | Some previous ->
+      Relaxation.resolve ~pool:t.pool ~fw_config:t.config.fw_config ~previous
+        ~window inst
+    | None ->
+      let relax = Relaxation.solve ~pool:t.pool ~fw_config:t.config.fw_config inst in
+      (relax, { Relaxation.resolved = Array.length relax.intervals; reused = 0 })
+  in
+  Trace.counter "serve.resolved_intervals" (float_of_int rs.resolved);
+  Trace.counter "serve.reused_intervals" (float_of_int rs.reused);
+  (relax, rs)
+
+(* Interval-density plan: the flow transmits at D_i over its whole span
+   on its one committed path (Algorithm 2's schedule shape). *)
+let density_plan (f : Flow.t) path =
+  let rate = f.volume /. (f.deadline -. f.release) in
+  {
+    Schedule.flow = f;
+    path;
+    slots = [ { Schedule.start = f.release; stop = f.deadline; rate } ];
+  }
+
+let build_schedule t inst paths =
+  let plans =
+    List.map
+      (fun (f : Flow.t) -> density_plan f (List.assoc f.id paths))
+      inst.Instance.flows
+  in
+  Schedule.make ~graph:t.graph ~power:t.power ~horizon:(Instance.horizon inst)
+    plans
+
+let feasible t sched =
+  let cap = t.power.Model.cap in
+  (not (Float.is_finite cap))
+  || Schedule.max_link_rate sched -. cap <= 1e-6 *. Float.max 1. cap
+
+(* Absorb a committed epoch: mutate the session, account, certify. *)
+let commit t ~flows ~paths ~relax ~sched ~inst ~dropped ~retired
+    ~(rstats : Relaxation.reuse_stats) =
+  let delta = Schedule_delta.diff ~before:t.schedule ~after:sched in
+  let violations =
+    match (t.config.certify, inst, sched) with
+    | true, Some inst, Some sched -> Certify.schedule inst sched
+    | _ -> []
+  in
+  t.flows <- flows;
+  t.paths <- paths;
+  t.relaxation <- relax;
+  t.schedule <- sched;
+  let s = t.stats in
+  s.resolved_intervals <- s.resolved_intervals + rstats.resolved;
+  s.reused_intervals <- s.reused_intervals + rstats.reused;
+  s.dropped <- s.dropped + List.length dropped;
+  s.retired <- s.retired + List.length retired;
+  if t.config.certify && Option.is_some sched then
+    if violations = [] then s.certified_epochs <- s.certified_epochs + 1
+    else s.uncertified_epochs <- s.uncertified_epochs + 1;
+  let energy = match sched with None -> 0. | Some sc -> Schedule.energy sc in
+  let detail =
+    {
+      delta;
+      dropped = List.sort by_id dropped;
+      retired = List.sort compare retired;
+      violations;
+      resolved_intervals = rstats.resolved;
+      reused_intervals = rstats.reused;
+      energy;
+    }
+  in
+  if dropped = [] then Committed detail else Degraded detail
+
+(* Graceful admission: re-solve only the intervals overlapping the
+   change window, draw the arrival's path from the warm relaxation, and
+   while no feasible draw exists shed one flow per round under the
+   session's policy — exactly Repair's degradation loop, live. *)
+let admit t (arrival : Flow.t) =
+  let rec go candidate dropped ((wlo, whi) as window) =
+    match
+      Instance.make_result ~graph:t.graph ~power:t.power ~flows:candidate
+    with
+    | Error e -> Rejected { reason = Instance.error_to_string e }
+    | Ok inst -> (
+      let relax, rstats = resolve_relaxation t ~window inst in
+      let candidates = Random_schedule.candidate_paths relax arrival in
+      let keep =
+        List.filter
+          (fun (id, _) ->
+            List.exists (fun (f : Flow.t) -> f.id = id) candidate)
+          t.paths
+      in
+      let draw =
+        match candidates with
+        | [] -> None
+        | _ ->
+          let weights = Array.of_list (List.map snd candidates) in
+          let paths = Array.of_list (List.map fst candidates) in
+          let rngs = Pool.split_rngs (Prng.split t.rng) t.config.attempts in
+          let rec try_draw i =
+            if i >= t.config.attempts then None
+            else
+              let idx = Prng.pick_weighted rngs.(i) ~weights in
+              let assoc = (arrival.Flow.id, paths.(idx)) :: keep in
+              let sched = build_schedule t inst assoc in
+              if feasible t sched then Some (sched, assoc)
+              else try_draw (i + 1)
+          in
+          try_draw 0
+      in
+      match draw with
+      | Some (sched, assoc) ->
+        t.stats.admitted <- t.stats.admitted + 1;
+        commit t ~flows:candidate
+          ~paths:(List.sort (fun (a, _) (b, _) -> compare a b) assoc)
+          ~relax:(Some relax) ~sched:(Some sched) ~inst:(Some inst) ~dropped
+          ~retired:[] ~rstats
+      | None -> (
+        match
+          Repair.next_casualty t.policy
+            ~is_new:(fun id -> id = arrival.Flow.id)
+            candidate
+        with
+        | None ->
+          Rejected
+            { reason = "no feasible plan; the policy refuses to shed" }
+        | Some victim when victim.Flow.id = arrival.Flow.id ->
+          Rejected
+            { reason = "no feasible plan within the redraw budget" }
+        | Some victim ->
+          Trace.event
+            ~fields:[ ("flow", Json.Int victim.Flow.id) ]
+            "serve.drop";
+          go
+            (List.filter
+               (fun (f : Flow.t) -> f.id <> victim.Flow.id)
+               candidate)
+            (victim :: dropped)
+            ( Float.min wlo victim.Flow.release,
+              Float.max whi victim.Flow.deadline )))
+  in
+  go
+    (List.sort by_id (arrival :: t.flows))
+    []
+    (arrival.Flow.release, arrival.Flow.deadline)
+
+let on_arrival t (f : Flow.t) =
+  let n = Graph.num_nodes t.graph in
+  let tn = tiny (Float.max (Float.abs t.clock) (Float.abs f.deadline)) in
+  if f.src < 0 || f.src >= n || f.dst < 0 || f.dst >= n then
+    Rejected
+      { reason = Printf.sprintf "flow %d: endpoint outside the fabric" f.id }
+  else if f.deadline <= t.clock +. tn then
+    Rejected
+      {
+        reason =
+          Printf.sprintf "flow %d: deadline %g at or before clock %g" f.id
+            f.deadline t.clock;
+      }
+  else if List.exists (fun (g : Flow.t) -> g.id = f.id) t.flows then
+    Rejected { reason = Printf.sprintf "flow %d already committed" f.id }
+  else if Option.is_none (Paths.shortest_path t.graph ~src:f.src ~dst:f.dst)
+  then
+    Rejected
+      {
+        reason =
+          Printf.sprintf "flow %d: no path from %d to %d" f.id f.src f.dst;
+      }
+  else
+    (* A release in the past cannot be honoured: clamp to the clock. *)
+    let f =
+      if f.release < t.clock then
+        Flow.make ~id:f.id ~src:f.src ~dst:f.dst ~volume:f.volume
+          ~release:t.clock ~deadline:f.deadline
+      else f
+    in
+    admit t f
+
+let drain t ~cancelled ~retired =
+  let delta = Schedule_delta.diff ~before:t.schedule ~after:None in
+  t.flows <- [];
+  t.paths <- [];
+  t.relaxation <- None;
+  t.schedule <- None;
+  let s = t.stats in
+  s.cancelled <- s.cancelled + List.length cancelled;
+  s.retired <- s.retired + List.length retired;
+  Committed
+    {
+      delta;
+      dropped = [];
+      retired = List.sort compare retired;
+      violations = [];
+      resolved_intervals = 0;
+      reused_intervals = 0;
+      energy = 0.;
+    }
+
+let on_cancel t id =
+  match List.find_opt (fun (g : Flow.t) -> g.id = id) t.flows with
+  | None -> Rejected { reason = Printf.sprintf "unknown flow %d" id }
+  | Some f -> (
+    let rest = List.filter (fun (g : Flow.t) -> g.id <> id) t.flows in
+    match rest with
+    | [] -> drain t ~cancelled:[ id ] ~retired:[]
+    | _ -> (
+      match
+        Instance.make_result ~graph:t.graph ~power:t.power ~flows:rest
+      with
+      | Error e -> Rejected { reason = Instance.error_to_string e }
+      | Ok inst ->
+        let relax, rstats =
+          resolve_relaxation t ~window:(f.release, f.deadline) inst
+        in
+        let paths = List.filter (fun (pid, _) -> pid <> id) t.paths in
+        let sched = build_schedule t inst paths in
+        t.stats.cancelled <- t.stats.cancelled + 1;
+        commit t ~flows:rest ~paths ~relax:(Some relax) ~sched:(Some sched)
+          ~inst:(Some inst) ~dropped:[] ~retired:[] ~rstats))
+
+let on_advance t to_ =
+  let tn = tiny (Float.max (Float.abs t.clock) (Float.abs to_)) in
+  if to_ < t.clock -. tn then
+    Rejected
+      {
+        reason =
+          Printf.sprintf "clock cannot move backwards (%g < %g)" to_ t.clock;
+      }
+  else begin
+    let retired_flows, rest =
+      List.partition (fun (g : Flow.t) -> g.deadline <= to_ +. tn) t.flows
+    in
+    t.clock <- Float.max t.clock to_;
+    match retired_flows with
+    | [] ->
+      (* Nothing completed: the committed schedule stands unchanged. *)
+      Committed
+        {
+          delta = Schedule_delta.diff ~before:t.schedule ~after:t.schedule;
+          dropped = [];
+          retired = [];
+          violations = [];
+          resolved_intervals = 0;
+          reused_intervals = 0;
+          energy =
+            (match t.schedule with None -> 0. | Some sc -> Schedule.energy sc);
+        }
+    | _ -> (
+      let retired = List.map (fun (g : Flow.t) -> g.id) retired_flows in
+      match rest with
+      | [] -> drain t ~cancelled:[] ~retired
+      | _ -> (
+        match
+          Instance.make_result ~graph:t.graph ~power:t.power ~flows:rest
+        with
+        | Error e -> Rejected { reason = Instance.error_to_string e }
+        | Ok inst ->
+          let window =
+            List.fold_left
+              (fun (lo, hi) (g : Flow.t) ->
+                (Float.min lo g.release, Float.max hi g.deadline))
+              (Float.infinity, Float.neg_infinity)
+              retired_flows
+          in
+          let relax, rstats = resolve_relaxation t ~window inst in
+          let keep =
+            List.filter (fun (pid, _) -> not (List.mem pid retired)) t.paths
+          in
+          let sched = build_schedule t inst keep in
+          commit t ~flows:rest ~paths:keep ~relax:(Some relax)
+            ~sched:(Some sched) ~inst:(Some inst) ~dropped:[] ~retired ~rstats))
+  end
+
+let apply t event =
+  t.stats.events <- t.stats.events + 1;
+  let outcome =
+    Trace.span
+      ~fields:[ ("kind", Json.Str (Event.kind event)) ]
+      "serve.event"
+    @@ fun () ->
+    try
+      match event with
+      | Event.Flow_arrival f -> on_arrival t f
+      | Event.Flow_cancel { flow } -> on_cancel t flow
+      | Event.Advance_clock { clock } -> on_advance t clock
+    with
+    | Deadline.Expired -> raise Deadline.Expired
+    | e -> Rejected { reason = Printexc.to_string e }
+  in
+  (match outcome with
+  | Committed _ -> t.stats.committed <- t.stats.committed + 1
+  | Degraded _ -> t.stats.degraded <- t.stats.degraded + 1
+  | Rejected _ -> t.stats.rejected <- t.stats.rejected + 1);
+  outcome
+
+let report t =
+  let s = t.stats in
+  Json.Obj
+    [
+      ("clock", Json.float t.clock);
+      ("policy", Json.Str (Repair.policy_to_string t.policy));
+      ("flows", Json.Int (List.length t.flows));
+      ( "energy",
+        Json.float
+          (match t.schedule with None -> 0. | Some sc -> Schedule.energy sc) );
+      ("events", Json.Int s.events);
+      ("committed", Json.Int s.committed);
+      ("degraded", Json.Int s.degraded);
+      ("rejected", Json.Int s.rejected);
+      ("admitted", Json.Int s.admitted);
+      ("cancelled", Json.Int s.cancelled);
+      ("retired", Json.Int s.retired);
+      ("dropped", Json.Int s.dropped);
+      ("resolved_intervals", Json.Int s.resolved_intervals);
+      ("reused_intervals", Json.Int s.reused_intervals);
+      ("certified_epochs", Json.Int s.certified_epochs);
+      ("uncertified_epochs", Json.Int s.uncertified_epochs);
+      ("ok", Json.Bool (s.uncertified_epochs = 0));
+    ]

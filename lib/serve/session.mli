@@ -1,0 +1,106 @@
+(** A long-running scheduler session: the event-driven API over the
+    batch solvers.
+
+    A session holds the committed state of one fabric under live
+    traffic — the admitted flow set, each flow's routing path, the
+    breakpoint timeline with the last fractional per-interval F-MCF
+    solution, the committed schedule, and a monotone clock.  Events
+    ({!Event.t}) drive it through {!apply}:
+
+    - a {b flow arrival} is admitted through the typed policies of
+      {!Dcn_resilience.Repair} (shedding one flow per round under
+      [Drop_latest_deadline]/[Drop_largest_residual]; [Reject_new]
+      refuses the arrival instead of touching committed flows);
+    - a {b cancellation} withdraws one committed flow;
+    - a {b clock advance} retires flows whose deadline has passed.
+
+    Each committed epoch re-solves {e only} the timeline intervals
+    overlapping the changed flow's span ({!Dcn_core.Relaxation.resolve}
+    — warm-started from the previous fractional solution, everything
+    else reused verbatim), keeps every other flow's committed path,
+    draws the new flow's path from the warm relaxation
+    ({!Dcn_core.Random_schedule.candidate_paths}), and is independently
+    re-certified by {!Dcn_check.Certify}.  The result is a typed
+    {!outcome} carrying a {!Dcn_sched.Schedule_delta.t} — never an
+    exception, mirroring [Repair]'s [Repaired]/[Degraded]/[Irreparable]
+    discipline (only {!Dcn_engine.Deadline.Expired} is re-raised, so a
+    watchdog budget above a session still works).
+
+    Determinism: a session is a pure function of
+    [(seed, policy, config, event sequence)] — path draws come from a
+    pre-split PRNG stream per admission round, and the incremental
+    re-solve is index-ordered over the pool — so reports are
+    byte-identical at every [--jobs] level. *)
+
+type config = {
+  attempts : int;  (** path redraws per admission round, >= 1 *)
+  fw_config : Dcn_mcf.Frank_wolfe.config;
+  certify : bool;
+      (** re-certify every committed epoch with {!Dcn_check.Certify} *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  ?pool:Dcn_engine.Pool.t ->
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  policy:Dcn_resilience.Repair.policy ->
+  seed:int ->
+  unit ->
+  t
+(** A fresh session at clock 0 with no committed flows.
+    @raise Invalid_argument if [config.attempts < 1]. *)
+
+type detail = {
+  delta : Dcn_sched.Schedule_delta.t;
+      (** what this epoch changed in the committed schedule *)
+  dropped : Dcn_flow.Flow.t list;
+      (** committed flows shed by the admission policy, id order *)
+  retired : int list;  (** flows completed by a clock advance, id order *)
+  violations : Dcn_check.Certify.violation list;
+      (** certification of the new committed schedule; [[]] = certified *)
+  resolved_intervals : int;  (** timeline intervals re-solved this epoch *)
+  reused_intervals : int;  (** intervals reused from the previous epoch *)
+  energy : float;  (** Eq. (5) energy of the committed schedule; 0 if none *)
+}
+
+type outcome =
+  | Committed of detail  (** event absorbed, nothing shed *)
+  | Degraded of detail  (** absorbed after shedding [detail.dropped] *)
+  | Rejected of { reason : string }
+      (** event refused; the committed state is unchanged *)
+
+val outcome_kind : outcome -> string
+(** ["committed"], ["degraded"] or ["rejected"]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_json : outcome -> Dcn_engine.Json.t
+
+val apply : t -> Event.t -> outcome
+(** Absorb one event.  Never raises (see above); a [Rejected] outcome
+    leaves the session exactly as it was. *)
+
+val clock : t -> float
+
+val active_flows : t -> Dcn_flow.Flow.t list
+(** Committed flows, ascending id. *)
+
+val schedule : t -> Dcn_sched.Schedule.t option
+(** The committed schedule; [None] when no flows are committed. *)
+
+val total_intervals : t -> int
+(** Timeline intervals of the committed relaxation (0 when drained). *)
+
+val report : t -> Dcn_engine.Json.t
+(** The rolling report: clock, committed flows, energy, event and
+    outcome counts, admission casualties, interval re-solve/reuse
+    totals, certified epochs.  Deterministic for a given event
+    sequence at every pool size. *)
+
+val ok : t -> bool
+(** Every committed epoch so far certified clean. *)

@@ -182,6 +182,55 @@ let check_resilience path =
   | Json.Obj _ -> ()
   | _ -> fail "%s: counters is not an object" path
 
+(* Report of `dcn serve --report FILE` or `dcn replay EVENTS --report
+   FILE`: the envelope plus the session's rolling report — outcome
+   counts partition the events, interval accounting is consistent, and
+   every committed epoch must have certified. *)
+let check_serve path =
+  let json = parse path in
+  let command =
+    match Json.member "command" json with
+    | Some (Json.Str ("serve" as c)) | Some (Json.Str ("replay" as c)) -> c
+    | _ -> fail "%s: command is neither \"serve\" nor \"replay\"" path
+  in
+  let serve = get path command json in
+  (match get path "strict" serve with
+  | Json.Bool _ -> ()
+  | _ -> fail "%s: strict is not a bool" path);
+  if Json.to_int (get path "parse_errors" serve) < 0 then
+    fail "%s: negative parse_errors" path;
+  let session = get path "session" serve in
+  let count k =
+    let n = Json.to_int (get path k session) in
+    if n < 0 then fail "%s: negative session count %S" path k;
+    n
+  in
+  let clock = Json.to_float (get path "clock" session) in
+  if not (Float.is_finite clock) || clock < 0. then
+    fail "%s: non-finite or negative clock" path;
+  ignore (Json.to_str (get path "policy" session));
+  let energy = Json.to_float (get path "energy" session) in
+  if not (Float.is_finite energy) || energy < 0. then
+    fail "%s: non-finite or negative energy" path;
+  if count "committed" + count "degraded" + count "rejected" <> count "events"
+  then fail "%s: outcome counts do not partition the events" path;
+  if count "events" < 1 then fail "%s: session absorbed no events" path;
+  if count "resolved_intervals" < 1 then
+    fail "%s: session never solved an interval" path;
+  (* The incremental path must have reused previous interval solutions —
+     a session that re-solves everything has lost the warm-start. *)
+  if count "reused_intervals" < 1 then
+    fail "%s: no interval reuse — incremental re-solve regressed" path;
+  if count "uncertified_epochs" <> 0 then
+    fail "%s: %d committed epoch(s) failed certification" path
+      (count "uncertified_epochs");
+  (match Json.member "ok" session with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: session did not certify (session.ok != true)" path);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
 (* Report of `dcn certify --instance FILE` (oracle mode). *)
 let check_certify path =
   let json = parse path in
@@ -216,6 +265,9 @@ let () =
   | [| _; "--resilience"; report |] ->
     check_resilience report;
     print_endline "check-json: resilience report OK"
+  | [| _; "--serve"; report |] ->
+    check_serve report;
+    print_endline "check-json: serve report OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -230,5 +282,6 @@ let () =
       "usage: check_json.exe TRACE.json REPORT.json [CHROME.json]\n\
       \       check_json.exe --fuzz FUZZ-REPORT.json\n\
       \       check_json.exe --certify CERTIFY-REPORT.json\n\
-      \       check_json.exe --resilience RESILIENCE-REPORT.json";
+      \       check_json.exe --resilience RESILIENCE-REPORT.json\n\
+      \       check_json.exe --serve SERVE-REPORT.json";
     exit 2

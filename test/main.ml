@@ -22,4 +22,5 @@ let () =
          Test_profile.suite;
          Test_check.suite;
          Test_resilience.suite;
+         Test_serve.suite;
        ])

@@ -72,7 +72,7 @@ let test_timeline_shared_breakpoints () =
 
 (* --- schedule lookups ---------------------------------------------- *)
 
-let test_schedule_plan_of_missing () =
+let test_schedule_find_plan_missing () =
   let g = Builders.line 3 in
   let f = Flow.make ~id:3 ~src:0 ~dst:2 ~volume:1. ~release:0. ~deadline:1. in
   let p =
@@ -83,8 +83,10 @@ let test_schedule_plan_of_missing () =
     }
   in
   let s = Schedule.make ~graph:g ~power:Model.quadratic ~horizon:(0., 1.) [ p ] in
-  Alcotest.(check bool) "raises Not_found" true
-    (try ignore (Schedule.plan_of s 99); false with Not_found -> true)
+  Alcotest.(check bool) "missing id is None" true
+    (Schedule.find_plan s 99 = None);
+  Alcotest.(check bool) "present id is found" true
+    (match Schedule.find_plan s 3 with Some q -> q.Schedule.flow.Flow.id = 3 | None -> false)
 
 (* --- serialization details ------------------------------------------ *)
 
@@ -243,7 +245,7 @@ let suite =
         Alcotest.test_case "timeline single flow" `Quick test_timeline_single_flow;
         Alcotest.test_case "timeline shared breakpoints" `Quick
           test_timeline_shared_breakpoints;
-        Alcotest.test_case "plan_of missing" `Quick test_schedule_plan_of_missing;
+        Alcotest.test_case "find_plan missing" `Quick test_schedule_find_plan_missing;
         Alcotest.test_case "serialize precision" `Quick
           test_serialize_preserves_float_precision;
         Alcotest.test_case "fig2 csv" `Slow test_fig2_csv;

@@ -1,0 +1,385 @@
+(* Dcn_serve: event wire format, schedule deltas, session admission,
+   incremental re-solve, per-epoch certification and jobs-invariance. *)
+
+module Json = Dcn_engine.Json
+module Pool = Dcn_engine.Pool
+module Graph = Dcn_topology.Graph
+module Builders = Dcn_topology.Builders
+module Paths = Dcn_topology.Paths
+module Model = Dcn_power.Model
+module Flow = Dcn_flow.Flow
+module Schedule = Dcn_sched.Schedule
+module Schedule_delta = Dcn_sched.Schedule_delta
+module Event = Dcn_serve.Event
+module Session = Dcn_serve.Session
+module Repair = Dcn_resilience.Repair
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_lines name =
+  String.split_on_char '\n' (read_file ("corpus/" ^ name))
+  |> List.filter (fun l -> String.trim l <> "")
+
+let flow ?(src = 0) ?(dst = 4) ~id ~volume ~release ~deadline () =
+  Flow.make ~id ~src ~dst ~volume ~release ~deadline
+
+let arrival ?src ?dst ~id ~volume ~release ~deadline () =
+  Event.Flow_arrival (flow ?src ?dst ~id ~volume ~release ~deadline ())
+
+let session ?(cap = 6.) ?(sigma = 1.) ?(policy = Repair.Drop_latest_deadline)
+    ?(pool = Pool.sequential) ?(seed = 42) () =
+  Session.create ~pool ~graph:(Builders.line 5)
+    ~power:(Model.make ~sigma ~mu:1. ~alpha:2. ~cap ())
+    ~policy ~seed ()
+
+(* ------------------------------ events ----------------------------- *)
+
+let test_event_round_trip () =
+  let events =
+    [
+      arrival ~id:7 ~volume:6. ~release:0.5 ~deadline:4.25 ();
+      Event.Flow_cancel { flow = 7 };
+      Event.Advance_clock { clock = 2.5 };
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Event.of_json (Event.to_json e) with
+      | Ok e' ->
+        Alcotest.(check string)
+          "round trip"
+          (Json.to_string (Event.to_json e))
+          (Json.to_string (Event.to_json e'))
+      | Error m -> Alcotest.failf "round trip failed: %s" m)
+    events
+
+let test_event_of_json_total () =
+  let bad =
+    [
+      Json.Str "arrival";
+      Json.Obj [ ("event", Json.Str "teleport") ];
+      Json.Obj [ ("event", Json.Int 3) ];
+      Json.Obj [ ("event", Json.Str "cancel") ];
+      Json.Obj [ ("event", Json.Str "advance"); ("to", Json.Str "soon") ];
+      (* Flow.make rejects: empty window, equal endpoints, volume <= 0 *)
+      Event.to_json (arrival ~id:1 ~volume:1. ~release:0. ~deadline:4. ())
+      |> (function
+           | Json.Obj fs ->
+             Json.Obj
+               (List.map
+                  (fun (k, v) -> if k = "deadline" then (k, Json.Float 0.) else (k, v))
+                  fs)
+           | j -> j);
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Event.of_json j with
+      | Error _ -> ()
+      | Ok e -> Alcotest.failf "accepted %s as %s" (Json.to_string j) (Event.kind e))
+    bad
+
+(* The malformed-stream corpus: every line after the first valid event
+   is rejected in a typed way — Json.parse reports a byte offset for
+   truncated JSON, Event.of_json a message for well-formed JSON of the
+   wrong shape. *)
+let test_truncated_corpus () =
+  let lines = corpus_lines "serve-truncated.events" in
+  Alcotest.(check int) "fixture lines" 7 (List.length lines);
+  let classify line =
+    match Json.parse line with
+    | Error e ->
+      Alcotest.(check bool) "offset within line" true
+        (e.Json.offset >= 0 && e.Json.offset <= String.length line);
+      `Parse_error
+    | Ok json -> (
+      match Event.of_json json with Ok _ -> `Event | Error _ -> `Bad_shape)
+  in
+  Alcotest.(check (list string))
+    "line classes"
+    [ "event"; "parse"; "shape"; "shape"; "shape"; "shape"; "event" ]
+    (List.map
+       (fun l ->
+         match classify l with
+         | `Event -> "event"
+         | `Parse_error -> "parse"
+         | `Bad_shape -> "shape")
+       lines)
+
+(* --------------------------- schedule deltas ----------------------- *)
+
+let schedule_of plans ~horizon =
+  Schedule.make ~graph:(Builders.line 5)
+    ~power:(Model.make ~sigma:1. ~mu:1. ~alpha:2. ())
+    ~horizon plans
+
+let density_plan f =
+  let path =
+    Option.get (Paths.shortest_path (Builders.line 5) ~src:f.Flow.src ~dst:f.Flow.dst)
+  in
+  {
+    Schedule.flow = f;
+    path;
+    slots =
+      [
+        {
+          Schedule.start = f.Flow.release;
+          stop = f.Flow.deadline;
+          rate = f.Flow.volume /. (f.Flow.deadline -. f.Flow.release);
+        };
+      ];
+  }
+
+let test_delta_round_trip () =
+  let f1 = flow ~id:1 ~volume:6. ~release:0. ~deadline:4. () in
+  let f2 = flow ~id:2 ~src:1 ~dst:3 ~volume:4. ~release:1. ~deadline:3. () in
+  let f2' = flow ~id:2 ~src:1 ~dst:3 ~volume:2. ~release:1. ~deadline:3. () in
+  let f3 = flow ~id:3 ~src:0 ~dst:2 ~volume:2. ~release:2. ~deadline:6. () in
+  let before =
+    Some (schedule_of [ density_plan f1; density_plan f2 ] ~horizon:(0., 4.))
+  in
+  let after =
+    Some (schedule_of [ density_plan f2'; density_plan f3 ] ~horizon:(1., 6.))
+  in
+  let delta = Schedule_delta.diff ~before ~after in
+  Alcotest.(check int) "added" 1 (List.length delta.Schedule_delta.added);
+  Alcotest.(check int) "removed" 1 (List.length delta.Schedule_delta.removed);
+  Alcotest.(check int) "changed" 1 (List.length delta.Schedule_delta.changed);
+  (* Applying the diff to the before-state reproduces the after-state. *)
+  let graph = Builders.line 5 in
+  let power = Model.make ~sigma:1. ~mu:1. ~alpha:2. () in
+  (match Schedule_delta.apply ~graph ~power ~before delta with
+  | Error m -> Alcotest.failf "apply failed: %s" m
+  | Ok got ->
+    let plans s =
+      match s with
+      | None -> []
+      | Some (s : Schedule.t) ->
+        List.map
+          (fun (p : Schedule.plan) -> (p.Schedule.flow.Flow.id, p))
+          s.Schedule.plans
+        |> List.sort compare
+    in
+    Alcotest.(check int) "same plan count" (List.length (plans after))
+      (List.length (plans got));
+    List.iter2
+      (fun (i, p) (j, q) ->
+        Alcotest.(check int) "same flow" i j;
+        Alcotest.(check bool) "same plan" true (Schedule_delta.equal_plan p q))
+      (plans after) (plans got));
+  (* Applying against the wrong before-state is a typed error, and the
+     empty diff is identity. *)
+  (match Schedule_delta.apply ~graph ~power ~before:after delta with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "applied a delta against the wrong base");
+  let empty = Schedule_delta.diff ~before ~after:before in
+  Alcotest.(check bool) "self diff empty" true (Schedule_delta.is_empty empty)
+
+let test_delta_json_shape () =
+  let f1 = flow ~id:1 ~volume:6. ~release:0. ~deadline:4. () in
+  let before = None
+  and after = Some (schedule_of [ density_plan f1 ] ~horizon:(0., 4.)) in
+  let j = Schedule_delta.to_json (Schedule_delta.diff ~before ~after) in
+  match (Json.member "added" j, Json.member "removed" j, Json.member "horizon" j) with
+  | Some (Json.List [ _ ]), Some (Json.List []), Some (Json.List [ _; _ ]) -> ()
+  | _ -> Alcotest.failf "unexpected delta json: %s" (Json.to_string j)
+
+(* ------------------------- admission edge cases -------------------- *)
+
+let reason = function
+  | Session.Rejected { reason } -> reason
+  | o -> Alcotest.failf "expected rejection, got %s" (Session.outcome_kind o)
+
+let test_admission_edges () =
+  let s = session () in
+  (* Arrivals in a fresh session. *)
+  ignore (reason (Session.apply s (Event.Flow_cancel { flow = 9 })));
+  (match Session.apply s (arrival ~id:1 ~volume:6. ~release:0. ~deadline:4. ()) with
+  | Session.Committed d ->
+    Alcotest.(check bool) "certified" true (d.Session.violations = []);
+    Alcotest.(check int) "solved something" 1 d.Session.resolved_intervals
+  | o -> Alcotest.failf "first arrival not committed: %s" (Session.outcome_kind o));
+  (* Duplicate id. *)
+  ignore (reason (Session.apply s (arrival ~id:1 ~volume:1. ~release:0. ~deadline:4. ())));
+  (* Advance, then an arrival whose deadline already passed. *)
+  (match Session.apply s (Event.Advance_clock { clock = 2. }) with
+  | Session.Committed _ -> ()
+  | o -> Alcotest.failf "advance failed: %s" (Session.outcome_kind o));
+  Alcotest.(check (float 0.)) "clock" 2. (Session.clock s);
+  ignore (reason (Session.apply s (arrival ~id:2 ~volume:1. ~release:0. ~deadline:1.5 ())));
+  (* Clock never moves backwards. *)
+  ignore (reason (Session.apply s (Event.Advance_clock { clock = 1. })));
+  Alcotest.(check (float 0.)) "clock unchanged" 2. (Session.clock s);
+  (* A release in the past is clamped to the clock on admission. *)
+  (match Session.apply s (arrival ~id:3 ~src:1 ~dst:2 ~volume:1. ~release:0. ~deadline:5. ()) with
+  | Session.Committed _ ->
+    let f =
+      List.find (fun (f : Flow.t) -> f.id = 3) (Session.active_flows s)
+    in
+    Alcotest.(check (float 1e-9)) "release clamped" 2. f.Flow.release
+  | o -> Alcotest.failf "late-release arrival: %s" (Session.outcome_kind o));
+  (* The committed state survives every rejection above. *)
+  Alcotest.(check int) "two committed flows" 2
+    (List.length (Session.active_flows s));
+  Alcotest.(check bool) "all epochs certified" true (Session.ok s)
+
+let test_admission_degrades_and_rejects () =
+  (* line:3, cap 5: two committed flows, then a tight heavy arrival.
+     drop-latest-deadline sheds the id-2 flow (deadline 10); reject-new
+     refuses the arrival and keeps the committed pair. *)
+  let graph = Builders.line 3 in
+  let power = Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap:5. () in
+  let run policy =
+    let s =
+      Session.create ~graph ~power ~policy ~seed:42 ()
+    in
+    let c1 =
+      Session.apply s (arrival ~dst:2 ~id:1 ~volume:8. ~release:0. ~deadline:8. ())
+    in
+    let c2 =
+      Session.apply s (arrival ~dst:2 ~id:2 ~volume:8. ~release:0. ~deadline:10. ())
+    in
+    Alcotest.(check string) "c1" "committed" (Session.outcome_kind c1);
+    Alcotest.(check string) "c2" "committed" (Session.outcome_kind c2);
+    (s, Session.apply s (arrival ~dst:2 ~id:3 ~volume:11.9 ~release:0. ~deadline:3. ()))
+  in
+  (match run Repair.Drop_latest_deadline with
+  | s, Session.Degraded d ->
+    Alcotest.(check (list int))
+      "victim is the latest deadline"
+      [ 2 ]
+      (List.map (fun (f : Flow.t) -> f.Flow.id) d.Session.dropped);
+    Alcotest.(check bool) "certified" true (d.Session.violations = []);
+    Alcotest.(check (list int)) "flows now 1,3" [ 1; 3 ]
+      (List.map (fun (f : Flow.t) -> f.Flow.id) (Session.active_flows s))
+  | _, o -> Alcotest.failf "expected degraded, got %s" (Session.outcome_kind o));
+  match run Repair.Reject_new with
+  | s, Session.Rejected _ ->
+    Alcotest.(check (list int)) "committed flows untouched" [ 1; 2 ]
+      (List.map (fun (f : Flow.t) -> f.Flow.id) (Session.active_flows s))
+  | _, o -> Alcotest.failf "expected rejected, got %s" (Session.outcome_kind o)
+
+(* ------------------------ replay the corpus log -------------------- *)
+
+let replay_corpus ?pool ?seed () =
+  let s = session ?pool ?seed () in
+  let outcomes =
+    List.map
+      (fun line ->
+        match Event.of_json (Json.of_string line) with
+        | Error m -> Alcotest.failf "corpus line rejected: %s" m
+        | Ok e -> Session.apply s e)
+      (corpus_lines "serve-100.events")
+  in
+  (s, outcomes)
+
+let test_replay_every_epoch_certifies () =
+  let s, outcomes = replay_corpus () in
+  Alcotest.(check int) "100 events" 100 (List.length outcomes);
+  List.iter
+    (fun o ->
+      match o with
+      | Session.Committed d | Session.Degraded d ->
+        Alcotest.(check (list string)) "epoch certificate clean" []
+          (List.map Dcn_check.Certify.kind d.Session.violations)
+      | Session.Rejected _ -> ())
+    outcomes;
+  Alcotest.(check bool) "session ok" true (Session.ok s);
+  (* The incremental path did real work: across the log, strictly fewer
+     intervals were re-solved than a from-scratch solve of every epoch
+     would have needed (each epoch's timeline has resolved + reused
+     intervals). *)
+  let resolved, naive =
+    List.fold_left
+      (fun (r, n) o ->
+        match o with
+        | Session.Committed d | Session.Degraded d ->
+          ( r + d.Session.resolved_intervals,
+            n + d.Session.resolved_intervals + d.Session.reused_intervals )
+        | Session.Rejected _ -> (r, n))
+      (0, 0) outcomes
+  in
+  Alcotest.(check bool) "incremental strictly below total" true
+    (resolved < naive)
+
+let test_replay_jobs_invariant () =
+  let report pool =
+    let s, outcomes = replay_corpus ~pool () in
+    ( Json.to_string (Session.report s),
+      List.map (fun o -> Json.to_string (Session.outcome_to_json o)) outcomes )
+  in
+  let seq = report Pool.sequential in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> report pool) in
+  Alcotest.(check string) "report byte-identical" (fst seq) (fst par);
+  List.iter2
+    (Alcotest.(check string) "outcome byte-identical")
+    (snd seq) (snd par)
+
+let test_replay_deterministic_and_seeded () =
+  let a, _ = replay_corpus ~seed:42 () in
+  let b, _ = replay_corpus ~seed:42 () in
+  Alcotest.(check string) "same seed, same report"
+    (Json.to_string (Session.report a))
+    (Json.to_string (Session.report b));
+  (* Path draws change with the seed, but the event accounting is a
+     function of the admission decisions only; check a field that must
+     not depend on rng state at all. *)
+  let c, _ = replay_corpus ~seed:7 () in
+  match (Session.report a, Session.report c) with
+  | Json.Obj fa, Json.Obj fc ->
+    Alcotest.(check bool) "both replays certify" true
+      (List.assoc "ok" fa = Json.Bool true && List.assoc "ok" fc = Json.Bool true)
+  | _ -> Alcotest.fail "report is not an object"
+
+let test_drain_clears_state () =
+  let s = session () in
+  ignore (Session.apply s (arrival ~id:1 ~volume:2. ~release:0. ~deadline:2. ()));
+  Alcotest.(check bool) "schedule present" true
+    (Option.is_some (Session.schedule s));
+  Alcotest.(check bool) "intervals present" true (Session.total_intervals s > 0);
+  (match Session.apply s (Event.Flow_cancel { flow = 1 }) with
+  | Session.Committed d ->
+    Alcotest.(check int) "delta removes the plan" 1
+      (List.length d.Session.delta.Schedule_delta.removed)
+  | o -> Alcotest.failf "cancel failed: %s" (Session.outcome_kind o));
+  Alcotest.(check bool) "drained schedule" true
+    (Option.is_none (Session.schedule s));
+  Alcotest.(check int) "drained timeline" 0 (Session.total_intervals s);
+  (* A drained session accepts new work from scratch. *)
+  Alcotest.(check string) "re-arms" "committed"
+    (Session.outcome_kind
+       (Session.apply s (arrival ~id:2 ~volume:2. ~release:0. ~deadline:2. ())))
+
+let suite =
+  [
+    ( "serve.event",
+      [
+        Alcotest.test_case "round trip" `Quick test_event_round_trip;
+        Alcotest.test_case "of_json is total" `Quick test_event_of_json_total;
+        Alcotest.test_case "truncated corpus" `Quick test_truncated_corpus;
+      ] );
+    ( "serve.delta",
+      [
+        Alcotest.test_case "diff/apply round trip" `Quick test_delta_round_trip;
+        Alcotest.test_case "json shape" `Quick test_delta_json_shape;
+      ] );
+    ( "serve.session",
+      [
+        Alcotest.test_case "admission edge cases" `Quick test_admission_edges;
+        Alcotest.test_case "degrade and reject-new" `Quick
+          test_admission_degrades_and_rejects;
+        Alcotest.test_case "drain clears state" `Quick test_drain_clears_state;
+      ] );
+    ( "serve.replay",
+      [
+        Alcotest.test_case "every epoch certifies" `Quick
+          test_replay_every_epoch_certifies;
+        Alcotest.test_case "jobs-invariant" `Quick test_replay_jobs_invariant;
+        Alcotest.test_case "deterministic" `Quick
+          test_replay_deterministic_and_seeded;
+      ] );
+  ]
