@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (DESIGN.md experiments E1-E8) and times the algorithms
+   evaluation (DESIGN.md experiments E1-E14) and times the algorithms
    with Bechamel (E9).
 
    Scale knobs (environment):
@@ -299,7 +299,9 @@ let theorem4 () =
                 Dcn_core.Random_schedule.attempts = 20;
                 fw_config = Dcn_experiments.Fig2.experiment_fw_config;
               }
-            ~rng inst
+            ~instance:inst
+            ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+            ~deadline:Dcn_engine.Deadline.never ()
         in
         let report = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
         [
@@ -432,7 +434,9 @@ let runtime_benchmarks () =
     ignore
       (Dcn_core.Random_schedule.solve
          ~config:{ Dcn_core.Random_schedule.attempts = 5; fw_config = fw_cfg }
-         ~rng inst)
+         ~instance:inst
+         ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+         ~deadline:Dcn_engine.Deadline.never ())
   in
   let mk_mcf inst () = ignore (Dcn_core.Baselines.sp_mcf inst) in
   let mk_fw n () =
@@ -500,6 +504,132 @@ let runtime_benchmarks () =
   print_endline
     (Dcn_util.Table.render ~headers:[ "algorithm"; "time (ms/run)" ]
        ~rows:(List.concat rows) ())
+
+(* ----------------------------- E14 -------------------------------- *)
+
+(* Kernel scaling: the same fractional MCF per fat-tree scale, solved
+   by both Frank-Wolfe engines from identical inputs.  The flat-kernel
+   run must reproduce the reference run bit for bit (loads and cost
+   compared exactly — the kernel replays the reference's float
+   operations), and the wall-time ratio is the tracked speedup.  All
+   timings sit in a "seconds" subtree, which the baseline gate skips;
+   the stable facts (scale, commodity count, iterations, cost,
+   bit-identicality) are gated. *)
+let kernel_scaling () =
+  section "E14. Kernel scaling: flat-Bigarray Frank-Wolfe vs reference";
+  let scales =
+    (* (fat-tree k, commodities).  Quick keeps the gate cheap but still
+       covers the k=16 target; the full run sweeps the ROADMAP scale
+       goals with 10k-100k commodities. *)
+    if quick then [ (4, 64); (8, 256); (16, 512) ]
+    else [ (8, 10_000); (16, 25_000); (24, 50_000); (32, 100_000) ]
+  in
+  let power = Dcn_power.Model.quadratic in
+  let piecewise = Dcn_core.Relaxation.piecewise_of power in
+  let fw_cfg =
+    {
+      Dcn_mcf.Frank_wolfe.default_config with
+      max_iters = (if quick then 20 else 8);
+      line_search_iters = 24;
+    }
+  in
+  let workspace = Dcn_mcf.Kernel.Workspace.create () in
+  let rows, json_rows =
+    List.split
+      (List.map
+         (fun (k, nc) ->
+           let graph = Dcn_topology.Builders.fat_tree k in
+           let rng = Dcn_util.Prng.create (1000 + k) in
+           let hosts = Dcn_topology.Graph.hosts graph in
+           let commodities =
+             Array.init nc (fun index ->
+                 let src = Dcn_util.Prng.pick rng hosts in
+                 let rec dst () =
+                   let d = Dcn_util.Prng.pick rng hosts in
+                   if d = src then dst () else d
+                 in
+                 Dcn_mcf.Commodity.make ~index ~src ~dst:(dst ())
+                   ~demand:(0.5 +. Dcn_util.Prng.float rng 2.))
+           in
+           let problem =
+             {
+               Dcn_mcf.Frank_wolfe.graph;
+               commodities;
+               cost = Dcn_power.Model.envelope power;
+               cost_deriv = Dcn_power.Model.envelope_deriv power;
+               capacity = power.Dcn_power.Model.cap;
+             }
+           in
+           let time f =
+             let t0 = Unix.gettimeofday () in
+             let r = f () in
+             (r, Unix.gettimeofday () -. t0)
+           in
+           (* Warm-up solve so the kernel arena is grown once and the
+              timed runs measure the steady state (arena reuse). *)
+           ignore
+             (Dcn_mcf.Frank_wolfe.solve
+                ~config:{ fw_cfg with max_iters = 2 }
+                ~workspace ~piecewise problem);
+           let kernel, kernel_s =
+             time (fun () ->
+                 Dcn_mcf.Frank_wolfe.solve ~config:fw_cfg ~workspace
+                   ~piecewise problem)
+           in
+           let reference, reference_s =
+             time (fun () ->
+                 Dcn_mcf.Frank_wolfe.solve_reference ~config:fw_cfg problem)
+           in
+           let open Dcn_mcf.Frank_wolfe in
+           let bit_identical =
+             Int64.bits_of_float kernel.cost
+             = Int64.bits_of_float reference.cost
+             && Array.length kernel.loads = Array.length reference.loads
+             && Array.for_all2
+                  (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+                  kernel.loads reference.loads
+           in
+           let speedup = reference_s /. Float.max 1e-9 kernel_s in
+           ( [
+               string_of_int k;
+               string_of_int nc;
+               string_of_int kernel.iterations;
+               Printf.sprintf "%.3f" kernel_s;
+               Printf.sprintf "%.3f" reference_s;
+               Printf.sprintf "%.2fx" speedup;
+               (if bit_identical then "bit-identical" else "DIVERGES");
+             ],
+             Json.Obj
+               [
+                 ("k", Json.Int k);
+                 ("commodities", Json.Int nc);
+                 ("iterations", Json.Int kernel.iterations);
+                 ("cost", Json.float kernel.cost);
+                 ("bit_identical", Json.Bool bit_identical);
+                 ( "seconds",
+                   Json.Obj
+                     [
+                       ("kernel", Json.float kernel_s);
+                       ("reference", Json.float reference_s);
+                       ("speedup", Json.float speedup);
+                     ] );
+               ] ))
+         scales)
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:
+         [
+           "fat-tree k";
+           "commodities";
+           "iters";
+           "kernel (s)";
+           "reference (s)";
+           "speedup";
+           "agreement";
+         ]
+       ~rows ());
+  report "kernel_scaling" (Json.List json_rows)
 
 (* ---------------------- parallel scaling ------------------------- *)
 
@@ -653,6 +783,7 @@ let () =
   parallel_scaling ();
   serving ();
   runtime_benchmarks ();
+  kernel_scaling ();
   section "Engine wall-time counters (Dcn_engine.Metrics)";
   print_endline (Dcn_engine.Metrics.render ());
   Dcn_engine.Pool.shutdown pool;

@@ -374,7 +374,11 @@ let solve_cmd =
     let sp = Dcn_core.Baselines.sp_mcf inst in
     Printf.printf "SP+MCF : energy %.4f (placement %s)\n" sp.Dcn_core.Solution.energy
       (if Dcn_core.Solution.placement_complete sp then "complete" else "partial");
-    let rs = Dcn_core.Random_schedule.solve ~pool ~rng inst in
+    let rs =
+      Dcn_core.Random_schedule.solve ~instance:inst
+        ~workspace:(Dcn_core.Solver_api.workspace ~pool ~rng ())
+        ~deadline:Dcn_engine.Deadline.never ()
+    in
     Printf.printf "RS     : energy %.4f (%s, %d attempt(s))\n"
       rs.Dcn_core.Solution.energy
       (if rs.Dcn_core.Solution.feasible then "feasible" else "INFEASIBLE")

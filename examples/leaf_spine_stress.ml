@@ -28,7 +28,13 @@ let () =
           ~volume:15. ()
       in
       let inst = Dcn_core.Instance.make ~graph ~power ~flows in
-      let rs = RS.solve ~config:{ RS.default_config with attempts = 50 } ~rng inst in
+      let rs =
+        RS.solve
+          ~config:{ RS.default_config with attempts = 50 }
+          ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+          ~deadline:Dcn_engine.Deadline.never ()
+      in
       let peak = Schedule.max_link_rate rs.Solution.schedule in
       let report = Dcn_sim.Fluid.run rs.Solution.schedule in
       Format.printf

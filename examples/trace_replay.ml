@@ -29,7 +29,11 @@ let () =
   Format.printf "flow sizes: %a@.@." Dcn_util.Stats.pp_summary
     (Dcn_util.Stats.summarize vols);
 
-  let rs = Dcn_core.Random_schedule.solve ~rng inst in
+  let rs =
+    Dcn_core.Random_schedule.solve ~instance:inst
+      ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+      ~deadline:Dcn_engine.Deadline.never ()
+  in
   let lb =
     (Dcn_core.Lower_bound.of_relaxation
        (Option.get (Dcn_core.Solution.relaxation rs)))
@@ -37,12 +41,16 @@ let () =
   in
   let sp = Dcn_core.Baselines.sp_mcf inst in
   let ecmp = Dcn_core.Baselines.ecmp_mcf ~rng inst in
-  let ear = Dcn_core.Greedy_ear.solve inst in
+  let ear =
+    Dcn_core.Greedy_ear.solve ~instance:inst
+      ~workspace:(Dcn_core.Solver_api.workspace ())
+      ~deadline:Dcn_engine.Deadline.never ()
+  in
   let rows =
     [
       ("lower bound", lb);
       ("Random-Schedule", rs.Dcn_core.Solution.energy);
-      ("Greedy-EAR (online)", ear.Dcn_core.Greedy_ear.energy);
+      ("Greedy-EAR (online)", ear.Dcn_core.Solution.energy);
       ("ECMP + MCF", ecmp.Dcn_core.Solution.energy);
       ("SP + MCF", sp.Dcn_core.Solution.energy);
     ]

@@ -306,6 +306,11 @@ let solution ?(eps = default.eps) ?lower_bound inst (sol : Solution.t) =
       (* Interval densities: links are shared; Theorem 4 claims
          capacity feasibility (when the draw was feasible). *)
       { default with eps; exclusive = false; check_capacity = true }
+    | Solution.Routed _ ->
+      (* Same interval-density regime as Rounding.  A feasible Routed
+         result admitted every flow (so partial coverage never arises
+         here; infeasible ones take the partial branch below). *)
+      { default with eps; exclusive = false; check_capacity = true }
   in
   if not sol.Solution.feasible then
     (* An infeasible result claims nothing beyond structure: check the

@@ -6,6 +6,7 @@ module Graph = Dcn_topology.Graph
 module Frank_wolfe = Dcn_mcf.Frank_wolfe
 module Instance = Dcn_core.Instance
 module Solution = Dcn_core.Solution
+module Solver_api = Dcn_core.Solver_api
 module Baselines = Dcn_core.Baselines
 module Most_critical_first = Dcn_core.Most_critical_first
 module Random_schedule = Dcn_core.Random_schedule
@@ -28,6 +29,7 @@ type cross_violation =
   | Lb_violated of { solver : string; energy : float; lower_bound : float }
   | Mcf_not_reproducible of { solver : string; energy : float; resolved : float }
   | Meta_inconsistent of { solver : string; what : string }
+  | Kernel_divergence of { what : string; kernel : float; reference : float }
 
 type t = {
   label : string;
@@ -44,6 +46,7 @@ let cross_kind = function
   | Lb_violated _ -> "cross_lb_violated"
   | Mcf_not_reproducible _ -> "cross_mcf_not_reproducible"
   | Meta_inconsistent _ -> "cross_meta_inconsistent"
+  | Kernel_divergence _ -> "cross_kernel_divergence"
 
 let violation_kinds t =
   let per_solver =
@@ -65,6 +68,10 @@ let pp_cross ppf = function
       solver resolved energy
   | Meta_inconsistent { solver; what } ->
     Format.fprintf ppf "%s metadata inconsistent: %s" solver what
+  | Kernel_divergence { what; kernel; reference } ->
+    Format.fprintf ppf
+      "flat-kernel Frank-Wolfe diverges from the reference engine on %s: %h <> %h"
+      what kernel reference
 
 (* ----------------------------- helpers ----------------------------- *)
 
@@ -103,7 +110,16 @@ let meta_checks inst (sol : Solution.t) ~rs_attempts =
     if path_ids <> ids then add "rounding paths do not cover the flow set";
     if detail.Solution.attempts_used < 1
        || detail.Solution.attempts_used > rs_attempts
-    then add "attempts_used outside the redraw budget");
+    then add "attempts_used outside the redraw budget"
+  | Solution.Routed detail ->
+    let covered =
+      List.sort compare (detail.Solution.accepted @ detail.Solution.rejected)
+    in
+    if covered <> ids then add "accepted + rejected does not cover the flow set";
+    if
+      sorted_ids (List.map fst detail.Solution.paths)
+      <> List.sort compare detail.Solution.accepted
+    then add "routed paths do not match the accepted set");
   get ()
 
 (* Theorem 1: MCF is deterministic given its routing — re-solving on the
@@ -113,7 +129,7 @@ let mcf_reproducibility inst (sol : Solution.t) =
   else
     let paths = Solution.paths sol in
     match
-      Most_critical_first.solve inst ~routing:(fun id -> List.assoc id paths)
+      Most_critical_first.solve_routed inst ~routing:(fun id -> List.assoc id paths)
     with
     | exception _ ->
       [
@@ -150,22 +166,32 @@ let run ?(rs_attempts = 10) ?(fw_config = fuzz_fw_config) ?exact ~solver_seed
   let relaxation = Relaxation.solve ~fw_config inst in
   let lb = (Lower_bound.of_relaxation relaxation).Lower_bound.value in
   let rngs = Pool.split_rngs (Prng.create solver_seed) 2 in
+  let never = Dcn_engine.Deadline.never in
+  let ws ?rng () = Solver_api.workspace ?rng () in
   let sp = Baselines.sp_mcf inst in
-  let ecmp = Baselines.ecmp_mcf ~rng:rngs.(0) inst in
+  let ecmp =
+    Baselines.Ecmp_mcf.solve ~instance:inst ~workspace:(ws ~rng:rngs.(0) ())
+      ~deadline:never ()
+  in
   let rs =
     Random_schedule.solve
       ~config:{ Random_schedule.attempts = rs_attempts; fw_config }
-      ~relaxation ~rng:rngs.(1) inst
+      ~relaxation ~instance:inst ~workspace:(ws ~rng:rngs.(1) ())
+      ~deadline:never ()
   in
   let refined = Random_schedule.refine inst rs in
-  let greedy = Greedy_ear.solve inst in
-  let online = Online.solve inst in
+  let greedy =
+    Greedy_ear.solve ~instance:inst ~workspace:(ws ()) ~deadline:never ()
+  in
+  let online =
+    Online.solve ~instance:inst ~workspace:(ws ()) ~deadline:never ()
+  in
   let want_exact =
     match exact with Some b -> b | None -> exact_gate inst
   in
   let exact_result =
     if not want_exact then None
-    else match Exact.solve inst with
+    else match Exact.search inst with
       | r -> Some r
       | exception Invalid_argument _ -> None
   in
@@ -180,23 +206,23 @@ let run ?(rs_attempts = 10) ?(fw_config = fuzz_fw_config) ?exact ~solver_seed
   let greedy_result =
     {
       solver = "greedy-ear";
-      energy = greedy.Greedy_ear.energy;
-      feasible = true;
+      energy = greedy.Solution.energy;
+      feasible = greedy.Solution.feasible;
       violations =
-        Certify.schedule ~reported_energy:greedy.Greedy_ear.energy inst
-          greedy.Greedy_ear.schedule;
+        Certify.schedule ~reported_energy:greedy.Solution.energy inst
+          greedy.Solution.schedule;
     }
   in
-  let online_rejects = online.Online.rejected <> [] in
+  let online_rejects = Solution.rejected online <> [] in
   let online_result =
     {
       solver = "online";
-      energy = online.Online.energy;
-      feasible = true;
+      energy = online.Solution.energy;
+      feasible = online.Solution.feasible;
       violations =
         Certify.schedule
           ~config:{ Certify.default with partial = true }
-          ~reported_energy:online.Online.energy inst online.Online.schedule;
+          ~reported_energy:online.Solution.energy inst online.Solution.schedule;
     }
   in
   let solutions =
@@ -221,13 +247,13 @@ let run ?(rs_attempts = 10) ?(fw_config = fuzz_fw_config) ?exact ~solver_seed
      exempt.  Random-Schedule's own certificate already carries the
      clause (it derives the bound from its relaxation). *)
   if (not online_rejects)
-     && online.Online.energy < lb -. (rtol *. Float.max 1. lb)
+     && online.Solution.energy < lb -. (rtol *. Float.max 1. lb)
   then
-    add (Lb_violated { solver = "online"; energy = online.Online.energy; lower_bound = lb });
-  if greedy.Greedy_ear.energy < lb -. (rtol *. Float.max 1. lb) then
+    add (Lb_violated { solver = "online"; energy = online.Solution.energy; lower_bound = lb });
+  if greedy.Solution.energy < lb -. (rtol *. Float.max 1. lb) then
     add
       (Lb_violated
-         { solver = "greedy-ear"; energy = greedy.Greedy_ear.energy; lower_bound = lb });
+         { solver = "greedy-ear"; energy = greedy.Solution.energy; lower_bound = lb });
   (* Corollary 1: the exhaustive minimum over routings bounds every
      fixed-routing virtual-circuit result. *)
   (match exact_result with
@@ -256,12 +282,39 @@ let run ?(rs_attempts = 10) ?(fw_config = fuzz_fw_config) ?exact ~solver_seed
     solutions;
   let all_ids = flow_ids inst in
   if
-    List.sort compare (online.Online.accepted @ online.Online.rejected)
+    List.sort compare (Solution.accepted online @ Solution.rejected online)
     <> all_ids
   then
     add
       (Meta_inconsistent
          { solver = "online"; what = "accepted + rejected != flow set" });
+  (* The flat-kernel Frank-Wolfe engine must reproduce the reference
+     engine bit for bit (the Dcn_mcf.Kernel contract): re-solve the
+     relaxation on the boxed reference path and compare the certified
+     series. *)
+  let reference_relax =
+    Relaxation.solve
+      ~fw_config:
+        { fw_config with Frank_wolfe.engine = Frank_wolfe.Reference }
+      inst
+  in
+  let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  if not (feq relaxation.Relaxation.cost reference_relax.Relaxation.cost) then
+    add
+      (Kernel_divergence
+         {
+           what = "relaxation cost";
+           kernel = relaxation.Relaxation.cost;
+           reference = reference_relax.Relaxation.cost;
+         });
+  if not (feq relaxation.Relaxation.lb reference_relax.Relaxation.lb) then
+    add
+      (Kernel_divergence
+         {
+           what = "relaxation lower bound";
+           kernel = relaxation.Relaxation.lb;
+           reference = reference_relax.Relaxation.lb;
+         });
   let cross = List.rev !cross in
   if cross <> [] then
     Trace.counter "check.cross_violations" (float_of_int (List.length cross));
@@ -302,6 +355,12 @@ let cross_to_json c =
       ]
     | Meta_inconsistent { solver; what } ->
       [ ("solver", Json.Str solver); ("what", Json.Str what) ]
+    | Kernel_divergence { what; kernel; reference } ->
+      [
+        ("what", Json.Str what);
+        ("kernel", Json.float kernel);
+        ("reference", Json.float reference);
+      ]
   in
   Json.Obj (("kind", Json.Str (cross_kind c)) :: fields)
 

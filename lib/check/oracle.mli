@@ -36,6 +36,9 @@ type cross_violation =
   | Lb_violated of { solver : string; energy : float; lower_bound : float }
   | Mcf_not_reproducible of { solver : string; energy : float; resolved : float }
   | Meta_inconsistent of { solver : string; what : string }
+  | Kernel_divergence of { what : string; kernel : float; reference : float }
+      (** the flat-kernel Frank–Wolfe engine failed to reproduce the
+          boxed reference engine bit for bit on this instance *)
 
 type t = {
   label : string;

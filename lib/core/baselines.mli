@@ -27,3 +27,11 @@ val ecmp_routing :
 
 val ecmp_mcf : ?fanout:int -> rng:Dcn_util.Prng.t -> Instance.t -> Solution.t
 (** ECMP routing followed by Most-Critical-First. *)
+
+module Sp_mcf : Solver_api.S
+(** {!sp_mcf} as a {!Solver_api.S}; deterministic, ignores the
+    workspace and [previous]. *)
+
+module Ecmp_mcf : Solver_api.S
+(** {!ecmp_mcf} as a {!Solver_api.S}; draws path choices from
+    [workspace.rng]. *)

@@ -9,8 +9,8 @@ type result = {
   combinations : int;
 }
 
-let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
-  Dcn_engine.Trace.span "exact.solve"
+let search ?(max_hops = 8) ?(max_combinations = 50_000) inst =
+  Dcn_engine.Trace.span "exact.search"
     ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
   @@ fun () ->
   let g = inst.Instance.graph in
@@ -24,7 +24,7 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
         in
         if ps = [] then
           invalid_arg
-            (Printf.sprintf "Exact.solve: flow %d has no path within %d hops" f.id
+            (Printf.sprintf "Exact.search: flow %d has no path within %d hops" f.id
                max_hops);
         Array.of_list ps)
       flows
@@ -35,7 +35,7 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
         let acc = acc * Array.length ps in
         if acc > max_combinations then
           invalid_arg
-            (Printf.sprintf "Exact.solve: more than %d routing combinations"
+            (Printf.sprintf "Exact.search: more than %d routing combinations"
                max_combinations)
         else acc)
       1 choices
@@ -58,7 +58,7 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
         in
         find 0
       in
-      let res = Most_critical_first.solve ~algorithm:"exact" inst ~routing in
+      let res = Most_critical_first.solve_routed ~algorithm:"exact" inst ~routing in
       match !best with
       | Some (e, _, _) when e <= res.Solution.energy -> ()
       | _ ->
@@ -95,3 +95,10 @@ let solve ?(max_hops = 8) ?(max_combinations = 50_000) inst =
       best = best_res;
       combinations = !explored;
     }
+
+let name = "exact"
+
+let solve ?max_hops ?max_combinations ~instance ~workspace:(_ : Solver_api.workspace)
+    ~deadline ?previous:(_ : Solution.t option) () =
+  Solver_api.under_deadline deadline @@ fun () ->
+  (search ?max_hops ?max_combinations instance).best

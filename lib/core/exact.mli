@@ -14,8 +14,25 @@ type result = {
   combinations : int;  (** routing combinations explored *)
 }
 
-val solve : ?max_hops:int -> ?max_combinations:int -> Instance.t -> result
+val search : ?max_hops:int -> ?max_combinations:int -> Instance.t -> result
 (** Enumerates every simple path per flow (up to [max_hops], default 8)
-    and every combination (up to [max_combinations], default 50_000).
+    and every combination (up to [max_combinations], default 50_000),
+    polling the ambient deadline once per combination.
     @raise Invalid_argument if a flow has no path within [max_hops] or
     the product of path counts exceeds the budget. *)
+
+val name : string
+(** ["exact"] *)
+
+val solve :
+  ?max_hops:int ->
+  ?max_combinations:int ->
+  instance:Instance.t ->
+  workspace:Solver_api.workspace ->
+  deadline:Dcn_engine.Deadline.t ->
+  ?previous:Solution.t ->
+  unit ->
+  Solution.t
+(** The {!Solver_api.S}-shaped entry: [{(search ...).best}] under
+    [deadline].  [workspace] and [previous] are ignored (the
+    enumeration has nothing to warm-start from). *)

@@ -5,13 +5,11 @@ module Timeline = Dcn_flow.Timeline
 module Model = Dcn_power.Model
 module Schedule = Dcn_sched.Schedule
 
-type t = {
-  schedule : Schedule.t;
-  paths : (int * Graph.link list) list;
-  energy : float;
-}
+let name = "greedy-ear"
 
-let solve inst =
+let solve ~instance:inst ~workspace:(_ : Solver_api.workspace) ~deadline
+    ?previous:(_ : Solution.t option) () =
+  Solver_api.under_deadline deadline @@ fun () ->
   Dcn_engine.Trace.span "greedy_ear.solve"
     ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
   @@ fun () ->
@@ -31,6 +29,8 @@ let solve inst =
   let chosen = Hashtbl.create 16 in
   List.iter
     (fun (f : Flow.t) ->
+      (* One watchdog poll per routed flow. *)
+      Dcn_engine.Deadline.check ();
       let d = Flow.density f in
       let my_intervals = Timeline.interval_indices_of tl f in
       (* Marginal energy of adding density d to link e across the flow's
@@ -76,8 +76,27 @@ let solve inst =
   in
   let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) plans in
   Selfcheck.schedule ~label:"greedy-ear" ~partial:false inst schedule;
+  let paths =
+    List.map
+      (fun (f : Flow.t) -> (f.id, Hashtbl.find chosen f.id))
+      inst.Instance.flows
+  in
+  (* The greedy admits every flow; it may overshoot link capacity where
+     a capacity-aware solver would have spread the load. *)
+  let cap = power.Model.cap in
+  let overload = Schedule.max_link_rate schedule -. cap in
   {
-    schedule;
-    paths = List.map (fun (f : Flow.t) -> (f.id, Hashtbl.find chosen f.id)) inst.Instance.flows;
+    Solution.algorithm = name;
     energy = Schedule.energy schedule;
+    feasible = overload <= 1e-6 *. Float.max 1. cap;
+    schedule;
+    per_flow_rates =
+      List.map (fun (f : Flow.t) -> (f.id, Flow.density f)) inst.Instance.flows;
+    meta =
+      Solution.Routed
+        {
+          paths;
+          accepted = List.sort compare (List.map fst paths);
+          rejected = [];
+        };
   }

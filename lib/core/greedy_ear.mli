@@ -13,14 +13,23 @@
 
     Against Random-Schedule it isolates the value of the fractional
     relaxation: both spread load energy-aware, but the greedy commits
-    per flow with no global view and no randomisation. *)
+    per flow with no global view and no randomisation.
 
-type t = {
-  schedule : Dcn_sched.Schedule.t;
-  paths : (int * Dcn_topology.Graph.link list) list;
-  energy : float;  (** Eq. (5) *)
-}
+    Implements {!Solver_api.S} directly. *)
 
-val solve : Instance.t -> t
-(** Deterministic (ties broken by Dijkstra's fixed order).
+val name : string
+(** ["greedy-ear"] *)
+
+val solve :
+  instance:Instance.t ->
+  workspace:Solver_api.workspace ->
+  deadline:Dcn_engine.Deadline.t ->
+  ?previous:Solution.t ->
+  unit ->
+  Solution.t
+(** Deterministic (ties broken by Dijkstra's fixed order); [workspace]
+    and [previous] are ignored.  [meta] is {!Solution.Routed} with
+    every flow accepted; [feasible] reports whether the greedy's loads
+    happen to respect link capacity (it is not capacity-aware).  Polls
+    [deadline] once per routed flow.
     @raise Invalid_argument if some flow's endpoints are disconnected. *)

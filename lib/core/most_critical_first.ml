@@ -31,7 +31,7 @@ let eps = 1e-9
    congestion a consistent placement may not exist — (P1) is "the lower
    bound of the energy consumption by SP routing" in the paper's own
    words — and the result is then flagged via [placement_complete]. *)
-let solve ?(algorithm = "mcf") inst ~routing =
+let solve_routed ?(algorithm = "mcf") inst ~routing =
   Dcn_engine.Metrics.time "core.mcf" @@ fun () ->
   Trace.span "mcf.solve"
     ~fields:
@@ -51,7 +51,7 @@ let solve ?(algorithm = "mcf") inst ~routing =
         let p = routing f.id in
         if not (Graph.is_path g ~src:f.src ~dst:f.dst p) then
           invalid_arg
-            (Printf.sprintf "Most_critical_first.solve: bad route for flow %d" f.id);
+            (Printf.sprintf "Most_critical_first.solve_routed: bad route for flow %d" f.id);
         Array.of_list p)
       flows
   in

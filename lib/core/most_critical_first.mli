@@ -35,12 +35,17 @@ type group = Solution.mcf_group = {
   flow_ids : int list;  (** members, ascending *)
 }
 
-val solve :
+val solve_routed :
   ?algorithm:string ->
   Instance.t ->
   routing:(int -> Dcn_topology.Graph.link list) ->
   Solution.t
-(** [routing id] is the path of the flow with that id.  The result's
+(** The routing-specific core: schedule optimally {e given} a routing.
+    Complete solvers built on it ({!Baselines.Sp_mcf},
+    {!Baselines.Ecmp_mcf}, {!Exact}) implement {!Solver_api.S} by
+    choosing the routing first.
+
+    [routing id] is the path of the flow with that id.  The result's
     [energy] is Eq. (5),
     [sigma |Ea| (T1-T0) + sum_i |P_i| w_i mu s_i^(alpha-1)], which
     equals [Schedule.energy] of the returned schedule when placement is

@@ -5,15 +5,11 @@ module Timeline = Dcn_flow.Timeline
 module Model = Dcn_power.Model
 module Schedule = Dcn_sched.Schedule
 
-type t = {
-  schedule : Schedule.t;
-  accepted : int list;
-  rejected : int list;
-  energy : float;
-  acceptance_rate : float;
-}
+let name = "online"
 
-let solve inst =
+let solve ~instance:inst ~workspace:(_ : Solver_api.workspace) ~deadline
+    ?previous:(_ : Solution.t option) () =
+  Solver_api.under_deadline deadline @@ fun () ->
   Dcn_engine.Trace.span "online.solve"
     ~fields:[ ("flows", Dcn_engine.Json.Int (Instance.num_flows inst)) ]
   @@ fun () ->
@@ -33,6 +29,8 @@ let solve inst =
   let plans = ref [] in
   List.iter
     (fun (f : Flow.t) ->
+      (* One watchdog poll per arrival. *)
+      Dcn_engine.Deadline.check ();
       let d = Flow.density f in
       let my_intervals = Timeline.interval_indices_of tl f in
       (* A link is admissible if the flow's density fits under the cap
@@ -78,13 +76,28 @@ let solve inst =
           :: !plans)
     ordered;
   let t0, t1 = Instance.horizon inst in
-  let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) (List.rev !plans) in
+  let plans = List.rev !plans in
+  let schedule = Schedule.make ~graph:g ~power ~horizon:(t0, t1) plans in
   Selfcheck.schedule ~label:"online" ~partial:true inst schedule;
-  let n_acc = List.length !accepted and n_rej = List.length !rejected in
+  let rejected = List.sort compare !rejected in
   {
-    schedule;
-    accepted = List.sort compare !accepted;
-    rejected = List.sort compare !rejected;
+    Solution.algorithm = name;
     energy = Schedule.energy schedule;
-    acceptance_rate = float_of_int n_acc /. float_of_int (max 1 (n_acc + n_rej));
+    (* Capacity holds by construction; feasibility means nothing was
+       turned away. *)
+    feasible = rejected = [];
+    schedule;
+    per_flow_rates =
+      List.map
+        (fun (p : Schedule.plan) ->
+          (p.flow.Flow.id, Flow.density p.flow))
+        plans;
+    meta =
+      Solution.Routed
+        {
+          paths =
+            List.map (fun (p : Schedule.plan) -> (p.flow.Flow.id, p.path)) plans;
+          accepted = List.sort compare !accepted;
+          rejected;
+        };
   }

@@ -10,16 +10,23 @@
     if no such path exists the flow is rejected (better never than
     late).  Accepted flows transmit at their densities, so all accepted
     deadlines are met (Theorem 4 reasoning) and the capacity constraint
-    holds by construction. *)
+    holds by construction.
 
-type t = {
-  schedule : Dcn_sched.Schedule.t;  (** accepted flows only *)
-  accepted : int list;  (** flow ids, ascending *)
-  rejected : int list;  (** flow ids, ascending *)
-  energy : float;  (** Eq. (5) of the accepted schedule *)
-  acceptance_rate : float;
-}
+    Implements {!Solver_api.S} directly. *)
 
-val solve : Instance.t -> t
-(** Deterministic.  With infinite capacity nothing is rejected and the
-    result coincides with {!Greedy_ear}. *)
+val name : string
+(** ["online"] *)
+
+val solve :
+  instance:Instance.t ->
+  workspace:Solver_api.workspace ->
+  deadline:Dcn_engine.Deadline.t ->
+  ?previous:Solution.t ->
+  unit ->
+  Solution.t
+(** Deterministic; [workspace] and [previous] are ignored.  The
+    schedule, [per_flow_rates] and [Routed.paths] cover accepted flows
+    only; [Solution.rejected] lists the declined ids and [feasible]
+    means nothing was rejected (capacity always holds by construction).
+    Polls [deadline] once per arrival.  With infinite capacity nothing
+    is rejected and the result coincides with {!Greedy_ear}. *)

@@ -72,16 +72,33 @@ type attempt = {
   a_overload : float;
 }
 
-let solve ?(config = default_config) ?(pool = Pool.sequential) ?relaxation ~rng inst
-    =
+let name = "random-schedule"
+
+let solve ?(config = default_config) ?relaxation ~instance:inst
+    ~workspace:(ws : Solver_api.workspace) ~deadline ?previous () =
   if config.attempts < 1 then
     invalid_arg
       (Printf.sprintf "Random_schedule.solve: attempts must be >= 1 (got %d)"
          config.attempts);
+  Solver_api.under_deadline deadline @@ fun () ->
+  let pool = ws.Solver_api.pool and rng = ws.Solver_api.rng in
   let relax =
     match relaxation with
     | Some r -> r
-    | None -> Relaxation.solve ~pool ~fw_config:config.fw_config inst
+    | None -> (
+      (* A previous solution of a nearby instance warm-starts the
+         relaxation: every interval is re-solved (the full-horizon
+         window marks them all dirty), seeded from the previous
+         fractional paths of every flow both instances share. *)
+      match Option.bind previous Solution.relaxation with
+      | Some prev ->
+        fst
+          (Relaxation.resolve ~pool ~fw_config:config.fw_config
+             ~workspace:ws.Solver_api.kernel ~previous:prev
+             ~window:(Instance.horizon inst) inst)
+      | None ->
+        Relaxation.solve ~pool ~fw_config:config.fw_config
+          ~workspace:ws.Solver_api.kernel inst)
   in
   Dcn_engine.Metrics.time "core.rounding" @@ fun () ->
   Trace.span "rs.solve"
@@ -212,6 +229,14 @@ let refine inst (t : Solution.t) =
   match t.Solution.meta with
   | Solution.Rounding { paths; _ } ->
     let routing id = List.assoc id paths in
-    Most_critical_first.solve ~algorithm:"rs+refine" inst ~routing
-  | Solution.Mcf _ ->
+    Most_critical_first.solve_routed ~algorithm:"rs+refine" inst ~routing
+  | Solution.Mcf _ | Solution.Routed _ ->
     invalid_arg "Random_schedule.refine: expected a Random-Schedule solution"
+
+(* The Solver_api face: default config, no pre-solved relaxation. *)
+module Api = struct
+  let name = name
+
+  let solve ~instance ~workspace ~deadline ?previous () =
+    solve ~instance ~workspace ~deadline ?previous ()
+end

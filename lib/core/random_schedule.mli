@@ -40,28 +40,44 @@ val candidate_paths :
     the serving layer, which draws a path for a newly admitted flow
     from the warm relaxation without re-rounding committed flows. *)
 
+val name : string
+(** ["random-schedule"] *)
+
 val solve :
   ?config:config ->
-  ?pool:Dcn_engine.Pool.t ->
   ?relaxation:Relaxation.t ->
-  rng:Dcn_util.Prng.t ->
-  Instance.t ->
+  instance:Instance.t ->
+  workspace:Solver_api.workspace ->
+  deadline:Dcn_engine.Deadline.t ->
+  ?previous:Solution.t ->
+  unit ->
   Solution.t
 (** Returns a {!Solution.t} whose [meta] is {!Solution.Rounding}: the
     chosen paths, redraws consumed and the fractional relaxation (for LB
     reuse).  [per_flow_rates] are the interval densities [D_i].
 
     [relaxation] short-circuits step 1 when the caller already solved it
-    (e.g. to share it with {!Lower_bound}).
+    (e.g. to share it with {!Lower_bound}).  Otherwise, a [previous]
+    solution carrying a relaxation (an earlier Random-Schedule run on a
+    nearby instance) warm-starts step 1 through
+    {!Relaxation.resolve} over the full horizon: every interval is
+    re-solved, seeded from the previous fractional paths of the flows
+    both instances share.
 
-    [pool] parallelises both the per-interval relaxation programs and
-    the rounding redraws.  Redraws get one pre-split PRNG stream each
-    and are evaluated in index-ordered batches, keeping the paper's
-    first-feasible semantics (the lowest-index feasible draw wins), so
-    the solution is bit-identical for every pool size — including the
-    sequential default.
+    [workspace.pool] parallelises both the per-interval relaxation
+    programs and the rounding redraws; [workspace.kernel] supplies the
+    flat Frank–Wolfe arenas, reused across calls.  Redraws get one
+    pre-split PRNG stream each (off [workspace.rng]) and are evaluated
+    in index-ordered batches, keeping the paper's first-feasible
+    semantics (the lowest-index feasible draw wins), so the solution is
+    bit-identical for every pool size — including the sequential
+    default.  [deadline] is polled between attempt batches and inside
+    Frank–Wolfe.
 
     @raise Invalid_argument if [config.attempts < 1]. *)
+
+module Api : Solver_api.S
+(** [solve] with default [config] and no pre-solved relaxation. *)
 
 val refine : Instance.t -> Solution.t -> Solution.t
 (** Ablation (not in the paper): keep Random-Schedule's routing but

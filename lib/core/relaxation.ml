@@ -59,9 +59,21 @@ let trace_interval (s : interval_solution) ~active ~iterations =
           ("fw_iterations", Json.Int iterations);
         ]
 
+(* The power model's envelope in closed form, so the kernel engine can
+   inline the cost arithmetic (see Frank_wolfe.piecewise). *)
+let piecewise_of power =
+  let r = Model.r_hat power in
+  {
+    Fw.threshold = r;
+    slope = (if r > 0. then Model.power_rate power r else 0.);
+    sigma = power.Model.sigma;
+    mu = power.Model.mu;
+    alpha = power.Model.alpha;
+  }
+
 (* One interval's F-MCF program.  [warm] supplies a previous fractional
    routing per flow (an empty list means cold-start that flow). *)
-let solve_interval ~g ~power ~tl ~flows ~fw_config ~warm k =
+let solve_interval ~g ~power ~tl ~flows ~fw_config ~workspace ~warm k =
   let bounds = Timeline.bounds tl k in
   let active = Timeline.active tl flows k in
   match active with
@@ -97,7 +109,10 @@ let solve_interval ~g ~power ~tl ~flows ~fw_config ~warm k =
         capacity = power.Model.cap;
       }
     in
-    let sol = Fw.solve ~config:fw_config ~warm_start problem in
+    let sol =
+      Fw.solve ~config:fw_config ~warm_start ?workspace
+        ~piecewise:(piecewise_of power) problem
+    in
     let flow_paths =
       List.mapi
         (fun i (f : Flow.t) ->
@@ -127,7 +142,8 @@ let weighted intervals part =
       acc +. ((hi -. lo) *. part s))
     0. intervals
 
-let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) inst =
+let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
+    ?workspace inst =
   Dcn_engine.Metrics.time "core.relaxation" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
@@ -142,7 +158,7 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) 
      not depend on the pool size). *)
   let intervals =
     Dcn_engine.Pool.map pool
-      (solve_interval ~g ~power ~tl ~flows ~fw_config ~warm:cold)
+      (solve_interval ~g ~power ~tl ~flows ~fw_config ~workspace ~warm:cold)
       (Array.init (Timeline.num_intervals tl) Fun.id)
   in
   {
@@ -153,7 +169,7 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config) 
   }
 
 let resolve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
-    ~previous ~window inst =
+    ?workspace ~previous ~window inst =
   Dcn_engine.Metrics.time "core.relaxation" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
@@ -206,7 +222,7 @@ let resolve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config
         | None -> []
         | Some p -> Option.value ~default:[] (List.assoc_opt f.id p.flow_paths)
       in
-      (solve_interval ~g ~power ~tl ~flows ~fw_config ~warm k, false)
+      (solve_interval ~g ~power ~tl ~flows ~fw_config ~workspace ~warm k, false)
   in
   let results =
     Dcn_engine.Pool.map pool solve_one

@@ -28,11 +28,22 @@ type t = {
   lb : float;  (** [sum over k of |I_k| * lb_k] — the paper's LB series *)
 }
 
+val piecewise_of : Dcn_power.Model.t -> Dcn_mcf.Frank_wolfe.piecewise
+(** The model's lower convex envelope in the closed form the kernel
+    engine inlines; describes exactly [Model.envelope(_deriv)]. *)
+
 val solve :
-  ?pool:Dcn_engine.Pool.t -> ?fw_config:Dcn_mcf.Frank_wolfe.config -> Instance.t -> t
+  ?pool:Dcn_engine.Pool.t ->
+  ?fw_config:Dcn_mcf.Frank_wolfe.config ->
+  ?workspace:Dcn_mcf.Kernel.Workspace.t ->
+  Instance.t ->
+  t
 (** [pool] fans the independent per-interval F-MCF programs across
     worker domains (default: sequential).  The result is bit-identical
-    for every pool size. *)
+    for every pool size and either FW engine.  [workspace] supplies the
+    kernel engine's arenas, reused across the intervals (and safely
+    across the pool's domains); without one the process-wide default
+    workspace is used. *)
 
 type reuse_stats = {
   resolved : int;  (** intervals whose F-MCF was (re-)solved *)
@@ -42,6 +53,7 @@ type reuse_stats = {
 val resolve :
   ?pool:Dcn_engine.Pool.t ->
   ?fw_config:Dcn_mcf.Frank_wolfe.config ->
+  ?workspace:Dcn_mcf.Kernel.Workspace.t ->
   previous:t ->
   window:float * float ->
   Instance.t ->

@@ -36,5 +36,5 @@ val schedule :
 
 val without : (unit -> 'a) -> 'a
 (** Run [f] with self-checking suppressed (restored afterwards, also on
-    exception).  {!Exact.solve} uses this around its enumeration so only
+    exception).  {!Exact.search} uses this around its enumeration so only
     the winning routing is certified, not all 50k candidates. *)

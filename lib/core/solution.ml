@@ -20,9 +20,16 @@ type rounding_detail = {
   relaxation : Relaxation.t;
 }
 
+type routed_detail = {
+  paths : (int * Graph.link list) list;
+  accepted : int list;
+  rejected : int list;
+}
+
 type meta =
   | Mcf of mcf_detail
   | Rounding of rounding_detail
+  | Routed of routed_detail
 
 type t = {
   algorithm : string;
@@ -39,25 +46,38 @@ let placement_complete t =
   match t.meta with
   | Mcf { placement_complete; _ } -> placement_complete
   | Rounding _ -> true
+  | Routed { rejected; _ } -> rejected = []
 
-let groups t = match t.meta with Mcf { groups; _ } -> groups | Rounding _ -> []
+let groups t = match t.meta with Mcf { groups; _ } -> groups | _ -> []
 
 let paths t =
   match t.meta with
   | Rounding { paths; _ } -> paths
+  | Routed { paths; _ } -> paths
   | Mcf _ ->
     List.map
       (fun (p : Schedule.plan) -> (p.flow.Dcn_flow.Flow.id, p.path))
       t.schedule.Schedule.plans
 
 let candidates t =
-  match t.meta with Rounding { candidates; _ } -> candidates | Mcf _ -> []
+  match t.meta with Rounding { candidates; _ } -> candidates | _ -> []
 
 let attempts_used t =
-  match t.meta with Rounding { attempts_used; _ } -> attempts_used | Mcf _ -> 1
+  match t.meta with Rounding { attempts_used; _ } -> attempts_used | _ -> 1
 
 let relaxation t =
-  match t.meta with Rounding { relaxation; _ } -> Some relaxation | Mcf _ -> None
+  match t.meta with Rounding { relaxation; _ } -> Some relaxation | _ -> None
+
+let accepted t =
+  match t.meta with
+  | Routed { accepted; _ } -> accepted
+  | Mcf _ | Rounding _ -> List.sort compare (List.map fst t.per_flow_rates)
+
+let rejected t = match t.meta with Routed { rejected; _ } -> rejected | _ -> []
+
+let acceptance_rate t =
+  let a = List.length (accepted t) and r = List.length (rejected t) in
+  float_of_int a /. float_of_int (max 1 (a + r))
 
 let pp ppf t =
   Format.fprintf ppf "%s: energy %.4f (%s)" t.algorithm t.energy

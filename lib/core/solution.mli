@@ -1,12 +1,13 @@
 (** The unified result of every solver in this library.
 
-    {!Baselines.sp_mcf}, {!Baselines.ecmp_mcf},
-    {!Most_critical_first.solve}, {!Random_schedule.solve} and
-    {!Random_schedule.refine} all return a {!t}: callers read [energy],
+    Every {!Solver_api.S} implementation — the baselines, the
+    Most-Critical-First pipeline, {!Random_schedule}, {!Greedy_ear},
+    {!Online} and {!Exact} — returns a {!t}: callers read [energy],
     [feasible], [schedule] and [per_flow_rates] uniformly instead of
     reaching into algorithm-specific records.  Algorithm-specific detail
     (MCF's critical groups, Random-Schedule's chosen paths and
-    relaxation) lives in [meta], with total accessors below. *)
+    relaxation, admission-control outcomes) lives in [meta], with total
+    accessors below. *)
 
 type mcf_group = {
   link : Dcn_topology.Graph.link;  (** the critical link *)
@@ -29,16 +30,28 @@ type rounding_detail = {
   relaxation : Relaxation.t;  (** the fractional solution (for LB reuse) *)
 }
 
+type routed_detail = {
+  paths : (int * Dcn_topology.Graph.link list) list;
+      (** flow id -> chosen path, admitted flows only *)
+  accepted : int list;  (** flow ids served by the schedule, ascending *)
+  rejected : int list;
+      (** flow ids declined up front (admission control), ascending;
+          [[]] for solvers that admit everything *)
+}
+
 type meta =
   | Mcf of mcf_detail  (** Most-Critical-First (Algorithm 1) *)
   | Rounding of rounding_detail  (** Random-Schedule (Algorithm 2) *)
+  | Routed of routed_detail
+      (** one-path-per-flow heuristics ({!Greedy_ear}, {!Online}) *)
 
 type t = {
   algorithm : string;  (** short human-readable name, e.g. ["sp+mcf"] *)
   energy : float;  (** Eq. (5) objective of the returned schedule *)
   feasible : bool;
       (** MCF: the slot placement is complete; RS: the draw respects
-          link capacity *)
+          link capacity; Routed: every flow admitted and capacity
+          respected *)
   schedule : Dcn_sched.Schedule.t;
   per_flow_rates : (int * float) list;
       (** flow id -> constant transmission rate *)
@@ -70,6 +83,18 @@ val attempts_used : t -> int
 
 val relaxation : t -> Relaxation.t option
 (** The fractional relaxation, when the algorithm solved one. *)
+
+val accepted : t -> int list
+(** Flow ids the schedule serves, ascending.  The whole flow set for
+    solvers without admission control. *)
+
+val rejected : t -> int list
+(** Flow ids declined up front; [[]] for solvers without admission
+    control. *)
+
+val acceptance_rate : t -> float
+(** [|accepted| / (|accepted| + |rejected|)]; [1.] when nothing was
+    rejected. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: algorithm, energy, feasibility. *)

@@ -1,0 +1,40 @@
+(* The one entry-point shape every solver in this library implements.
+   See solver_api.mli for the contract; Solvers holds the registry. *)
+
+module Deadline = Dcn_engine.Deadline
+
+type workspace = {
+  pool : Dcn_engine.Pool.t;
+  kernel : Dcn_mcf.Kernel.Workspace.t;
+  rng : Dcn_util.Prng.t;
+}
+
+let workspace ?(pool = Dcn_engine.Pool.sequential) ?rng
+    ?(kernel = Dcn_mcf.Kernel.Workspace.default) () =
+  let rng = match rng with Some r -> r | None -> Dcn_util.Prng.create 0 in
+  { pool; kernel; rng }
+
+module type S = sig
+  val name : string
+
+  val solve :
+    instance:Instance.t ->
+    workspace:workspace ->
+    deadline:Deadline.t ->
+    ?previous:Solution.t ->
+    unit ->
+    Solution.t
+end
+
+(* Install the tighter of [deadline] and the ambient one: a solver run
+   under a watchdog stage must never loosen the stage's budget by
+   installing its own [Deadline.never]. *)
+let under_deadline deadline f =
+  let d =
+    match Deadline.ambient () with
+    | Some outer
+      when Deadline.remaining_ms outer < Deadline.remaining_ms deadline ->
+      outer
+    | _ -> deadline
+  in
+  Deadline.with_deadline d f

@@ -1,0 +1,66 @@
+(** The unified solver entry-point signature.
+
+    Every complete solver in this library — {!Random_schedule} (the
+    paper's Algorithm 2), the SP+MCF / ECMP+MCF baselines of
+    {!Baselines}, {!Greedy_ear}, {!Online} and {!Exact} — exposes a
+    [solve] of exactly this shape, so drivers (the CLI, the serving
+    layer, the watchdog, the differential oracle) can hold a
+    [(module Solver_api.S)] and treat algorithms uniformly.  The
+    registry lives in {!Solvers}.
+
+    The inputs every solver receives:
+
+    - [instance] — the problem (topology, power model, flow set);
+    - [workspace] — the reusable execution resources: the domain
+      {!Dcn_engine.Pool} for fan-out, the {!Dcn_mcf.Kernel.Workspace}
+      arenas of the flat Frank–Wolfe engine (reused across calls so the
+      hot loop allocates nothing), and the PRNG stream for randomised
+      solvers;
+    - [deadline] — a wall-clock budget the solver polls cooperatively
+      ({!Dcn_engine.Deadline.check}); deterministic solvers without
+      inner loops may finish regardless;
+    - [?previous] — an earlier solution of a {e nearby} instance.
+      Solvers that can warm-start (Random-Schedule re-solving after a
+      local change reuses the previous fractional relaxation) exploit
+      it; others ignore it.  Correctness never depends on it. *)
+
+type workspace = {
+  pool : Dcn_engine.Pool.t;  (** worker domains for per-interval fan-out *)
+  kernel : Dcn_mcf.Kernel.Workspace.t;
+      (** flat-kernel Frank–Wolfe arenas, reused across calls *)
+  rng : Dcn_util.Prng.t;  (** stream for randomised solvers *)
+}
+
+val workspace :
+  ?pool:Dcn_engine.Pool.t ->
+  ?rng:Dcn_util.Prng.t ->
+  ?kernel:Dcn_mcf.Kernel.Workspace.t ->
+  unit ->
+  workspace
+(** Defaults: sequential pool, [Prng.create 0], the process-wide
+    {!Dcn_mcf.Kernel.Workspace.default}.  Deterministic solvers ignore
+    [rng], so the default seed only matters for randomised ones. *)
+
+module type S = sig
+  val name : string
+  (** Stable identifier, e.g. ["random-schedule"]; equals the
+      [algorithm] field of returned solutions. *)
+
+  val solve :
+    instance:Instance.t ->
+    workspace:workspace ->
+    deadline:Dcn_engine.Deadline.t ->
+    ?previous:Solution.t ->
+    unit ->
+    Solution.t
+  (** May raise {!Dcn_engine.Deadline.Expired} (budget blown) or
+      [Invalid_argument] (malformed instance for this solver, e.g.
+      disconnected endpoints). *)
+end
+
+val under_deadline : Dcn_engine.Deadline.t -> (unit -> 'a) -> 'a
+(** Run under the {e tighter} of [deadline] and the caller's ambient
+    deadline.  Solvers wrap their body in this: passing
+    [Deadline.never] inside a watchdog stage must not loosen the
+    stage's budget (nested [with_deadline] alone would — the innermost
+    wins). *)

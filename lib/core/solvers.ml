@@ -1,0 +1,26 @@
+(* The registry of Solver_api implementations, in the order the
+   evaluation tables print them. *)
+
+(* Exact.solve carries extra optional budgets, so it needs an explicit
+   default-budget face to match the signature. *)
+module Exact_api = struct
+  let name = Exact.name
+
+  let solve ~instance ~workspace ~deadline ?previous () =
+    Exact.solve ~instance ~workspace ~deadline ?previous ()
+end
+
+let all : (module Solver_api.S) list =
+  [
+    (module Random_schedule.Api);
+    (module Baselines.Sp_mcf);
+    (module Baselines.Ecmp_mcf);
+    (module Greedy_ear);
+    (module Online);
+    (module Exact_api);
+  ]
+
+let names = List.map (fun (module M : Solver_api.S) -> M.name) all
+
+let find name =
+  List.find_opt (fun (module M : Solver_api.S) -> M.name = name) all

@@ -1,0 +1,14 @@
+(** Registry of every {!Solver_api.S} implementation.
+
+    Drivers that let the user pick an algorithm by name (the CLI, the
+    differential oracle's sweep) resolve it here instead of hard-coding
+    the module list. *)
+
+val all : (module Solver_api.S) list
+(** Every registered solver, in presentation order. *)
+
+val names : string list
+(** Their {!Solver_api.S.name}s, same order. *)
+
+val find : string -> (module Solver_api.S) option
+(** Look a solver up by name. *)

@@ -20,7 +20,9 @@ let run ?(alpha = 2.) ?(seed = 5) ~ns () =
       let rs =
         Dcn_core.Random_schedule.solve
           ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config = Fig2.experiment_fw_config }
-          ~rng inst
+          ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+          ~deadline:Dcn_engine.Deadline.never ()
       in
       let lb =
         (Dcn_core.Lower_bound.of_relaxation

@@ -24,11 +24,13 @@ let three_partition ?(seed = 3) ?(m = 2) ?(b = 20) ?(alpha = 2.) () =
      while still allowing a wrong (energy-wasting) spread. *)
   let inst = Gadgets.three_partition_instance ~alpha ~links:(m + 1) tp in
   let closed_form = Gadgets.three_partition_opt_energy ~alpha tp in
-  let exact = (Dcn_core.Exact.solve ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
+  let exact = (Dcn_core.Exact.search ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
   let rs =
     Dcn_core.Random_schedule.solve
       ~config:{ Dcn_core.Random_schedule.attempts = 50; fw_config = Fig2.experiment_fw_config }
-      ~rng inst
+      ~instance:inst
+      ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+      ~deadline:Dcn_engine.Deadline.never ()
   in
   {
     m = tp.Gadgets.m;
@@ -69,7 +71,7 @@ let partition ?(alpha = 2.) ?(integers = [ 3; 4; 5; 3; 4; 5 ]) () =
   @@ fun () ->
   let p = Gadgets.make_partition ~integers in
   let inst = Gadgets.partition_instance ~alpha ~links:4 p in
-  let exact = (Dcn_core.Exact.solve ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
+  let exact = (Dcn_core.Exact.search ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
   {
     total = p.Gadgets.total;
     yes_energy = Gadgets.partition_yes_energy ~alpha p;

@@ -32,12 +32,14 @@ let run ?(alpha = 2.) ?(n_flows = 4) ?(links = 3) ~seeds () =
               ~release:r ~deadline:d)
       in
       let inst = Dcn_core.Instance.make ~graph ~power ~flows in
-      let exact = (Dcn_core.Exact.solve inst).Dcn_core.Exact.energy in
+      let exact = (Dcn_core.Exact.search inst).Dcn_core.Exact.energy in
       let rs =
         Dcn_core.Random_schedule.solve
           ~config:
             { Dcn_core.Random_schedule.attempts = 20; fw_config = Fig2.experiment_fw_config }
-          ~rng inst
+          ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+          ~deadline:Dcn_engine.Deadline.never ()
       in
       let rs_energy = rs.Dcn_core.Solution.energy in
       { seed; n_flows; exact; rs = rs_energy; ratio = rs_energy /. exact })

@@ -23,7 +23,9 @@ let run ?(alpha = 2.) ?(seed = 77) ?(horizon = 60.) ~loads () =
         Dcn_core.Random_schedule.solve
           ~config:
             { Dcn_core.Random_schedule.attempts = 20; fw_config = Fig2.experiment_fw_config }
-          ~rng inst
+          ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ~rng ())
+          ~deadline:Dcn_engine.Deadline.never ()
       in
       let lb =
         (Dcn_core.Lower_bound.of_relaxation
@@ -32,14 +34,18 @@ let run ?(alpha = 2.) ?(seed = 77) ?(horizon = 60.) ~loads () =
       in
       let sp = Dcn_core.Baselines.sp_mcf inst in
       let ecmp = Dcn_core.Baselines.ecmp_mcf ~rng inst in
-      let ear = Dcn_core.Greedy_ear.solve inst in
+      let ear =
+        Dcn_core.Greedy_ear.solve ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ())
+          ~deadline:Dcn_engine.Deadline.never ()
+      in
       let sim = Dcn_sim.Fluid.run rs.Dcn_core.Solution.schedule in
       {
         load;
         n_flows = List.length flows;
         sp = sp.Dcn_core.Solution.energy /. lb;
         ecmp = ecmp.Dcn_core.Solution.energy /. lb;
-        ear = ear.Dcn_core.Greedy_ear.energy /. lb;
+        ear = ear.Dcn_core.Solution.energy /. lb;
         rs = rs.Dcn_core.Solution.energy /. lb;
         deadlines_met = sim.Dcn_sim.Fluid.all_deadlines_met;
       })

@@ -2,6 +2,7 @@ module Graph = Dcn_topology.Graph
 module Paths = Dcn_topology.Paths
 module Trace = Dcn_engine.Trace
 module Json = Dcn_engine.Json
+module Ba = Bigarray
 
 type problem = {
   graph : Graph.t;
@@ -11,15 +12,32 @@ type problem = {
   capacity : float;
 }
 
+type engine = Kernel | Reference
+
 type config = {
   max_iters : int;
   gap_tol : float;
   penalty : float;
   line_search_iters : int;
+  engine : engine;
 }
 
 let default_config =
-  { max_iters = 200; gap_tol = 1e-4; penalty = 1e3; line_search_iters = 48 }
+  {
+    max_iters = 200;
+    gap_tol = 1e-4;
+    penalty = 1e3;
+    line_search_iters = 48;
+    engine = Kernel;
+  }
+
+type piecewise = {
+  threshold : float;
+  slope : float;
+  sigma : float;
+  mu : float;
+  alpha : float;
+}
 
 type solution = {
   flows : float array array;
@@ -71,12 +89,17 @@ let trace_iter iter gap objective step =
     Trace.counter "fw.iters" 1.
   end
 
-let solve ?(config = default_config) ?(warm_start = fun _ -> []) problem =
+(* ------------------------------------------------------------------ *)
+(* Reference path: boxed graph walks and per-call allocations.  Kept
+   verbatim as the semantic ground truth; the kernel path below replays
+   exactly these float operations, and Dcn_check.Oracle plus the
+   @check-kernel alias assert bit-identical agreement. *)
+
+let reference_impl ~config ~warm_start problem =
   let g = problem.graph in
   let m = Graph.num_links g in
   let commodities = problem.commodities in
   let nc = Array.length commodities in
-  if nc = 0 then invalid_arg "Frank_wolfe.solve: no commodities";
   Trace.span "fw.solve"
     ~fields:[ ("commodities", Json.Int nc); ("links", Json.Int m) ]
   @@ fun () ->
@@ -236,5 +259,391 @@ let solve ?(config = default_config) ?(warm_start = fun _ -> []) problem =
           ("max_overload", Json.float max_overload);
         ];
   { flows; loads; cost; gap = !final_gap; iterations = !iterations; max_overload }
+
+(* ------------------------------------------------------------------ *)
+(* Kernel path: the same float operations in the same order, on the
+   flat arenas of {!Kernel}, with the piecewise envelope + capacity
+   penalty arithmetic inlined so the loop body neither calls closures
+   nor boxes floats.  Loop-carried float state folds through the
+   arena's [acc] cells ([float array] stores are unboxed; [float ref]
+   assignments are not).  See DESIGN.md for the bit-identicality
+   argument. *)
+
+(* How often the flat loop polls the ambient deadline: iterations
+   1, 1+N, 1+2N, ... so a zero budget still expires before any work
+   and a watchdog preempts within N iterations. *)
+let deadline_poll_period = 4
+
+let kernel_impl ~config ~warm_start ~workspace ~(pw : piecewise) problem =
+  let g = problem.graph in
+  let m = Graph.num_links g in
+  let n = Graph.num_nodes g in
+  let commodities = problem.commodities in
+  let nc = Array.length commodities in
+  Trace.span "fw.solve"
+    ~fields:[ ("commodities", Json.Int nc); ("links", Json.Int m) ]
+  @@ fun () ->
+  Trace.span "fw.kernel"
+    ~fields:[ ("commodities", Json.Int nc); ("links", Json.Int m) ]
+  @@ fun () ->
+  let a = Kernel.acquire workspace ~graph:g ~nc in
+  let acc = a.Kernel.acc in
+  (* Inlined cost arithmetic: constants hoisted, expression trees
+     identical to Model.envelope(_deriv) and the reference's penalty. *)
+  let cap = problem.capacity in
+  let r = pw.threshold in
+  let slope = pw.slope in
+  let sigma = pw.sigma and mu = pw.mu and alpha = pw.alpha in
+  let am = alpha *. mu in
+  let alpha1 = alpha -. 1. in
+  let penalty = config.penalty in
+  let pen2 = 2. *. penalty in
+  (* Commodity vectors. *)
+  let com_src = a.Kernel.com_src
+  and com_dst = a.Kernel.com_dst
+  and demand = a.Kernel.demand in
+  for i = 0 to nc - 1 do
+    let c = commodities.(i) in
+    if c.Commodity.index <> i then
+      invalid_arg "Frank_wolfe.solve: commodity indices must be dense";
+    Ba.Array1.unsafe_set com_src i c.Commodity.src;
+    Ba.Array1.unsafe_set com_dst i c.Commodity.dst;
+    Ba.Array1.unsafe_set demand i c.Commodity.demand
+  done;
+  (* Evaluation order: sources ascending, commodity index descending
+     within a source — the reference's Hashtbl-of-prepended-lists
+     traversal — via a counting sort filled back-to-front. *)
+  let order = a.Kernel.order and count = a.Kernel.count in
+  for v = 0 to n do
+    Ba.Array1.unsafe_set count v 0
+  done;
+  for i = 0 to nc - 1 do
+    let s = Ba.Array1.unsafe_get com_src i in
+    Ba.Array1.unsafe_set count s (Ba.Array1.unsafe_get count s + 1)
+  done;
+  let run = ref 0 in
+  for v = 0 to n - 1 do
+    let c = Ba.Array1.unsafe_get count v in
+    Ba.Array1.unsafe_set count v !run;
+    run := !run + c
+  done;
+  for i = nc - 1 downto 0 do
+    let s = Ba.Array1.unsafe_get com_src i in
+    let at = Ba.Array1.unsafe_get count s in
+    Ba.Array1.unsafe_set order at i;
+    Ba.Array1.unsafe_set count s (at + 1)
+  done;
+  let flows = a.Kernel.flows
+  and loads = a.Kernel.loads
+  and aon_loads = a.Kernel.aon_loads
+  and weights = a.Kernel.weights
+  and path_off = a.Kernel.path_off
+  and path_len = a.Kernel.path_len in
+  for idx = 0 to (nc * m) - 1 do
+    Ba.Array1.unsafe_set flows idx 0.
+  done;
+  (* Initial point (see the reference): warm-start paths rescaled to the
+     demand where given, hop-count shortest paths otherwise, with
+     reachability validated per commodity. *)
+  let warm_used = ref 0 in
+  let s = ref 0 in
+  while !s < nc do
+    let src = Ba.Array1.unsafe_get com_src (Ba.Array1.unsafe_get order !s) in
+    Kernel.dijkstra a ~src ~use_weights:false ~tie:0.;
+    while
+      !s < nc
+      && Ba.Array1.unsafe_get com_src (Ba.Array1.unsafe_get order !s) = src
+    do
+      let i = Ba.Array1.unsafe_get order !s in
+      let dst = Ba.Array1.unsafe_get com_dst i in
+      if not (Kernel.reachable a ~dst) then
+        invalid_arg
+          (Printf.sprintf "Frank_wolfe.solve: node %d unreachable from %d" dst src);
+      let warm = warm_start i in
+      let total =
+        List.fold_left
+          (fun acc (wp : Decompose.weighted_path) -> acc +. wp.weight)
+          0. warm
+      in
+      let base = i * m in
+      if total > 0. then begin
+        incr warm_used;
+        let scale = Ba.Array1.unsafe_get demand i /. total in
+        List.iter
+          (fun (wp : Decompose.weighted_path) ->
+            let amount = wp.Decompose.weight *. scale in
+            List.iter
+              (fun l ->
+                Ba.Array1.unsafe_set flows (base + l)
+                  (Ba.Array1.unsafe_get flows (base + l) +. amount))
+              wp.Decompose.links)
+          warm
+      end
+      else begin
+        let d = Ba.Array1.unsafe_get demand i in
+        let v = ref dst in
+        while Ba.Array1.unsafe_get a.Kernel.pred !v >= 0 do
+          let l = Ba.Array1.unsafe_get a.Kernel.pred !v in
+          Ba.Array1.unsafe_set flows (base + l)
+            (Ba.Array1.unsafe_get flows (base + l) +. d);
+          v := Ba.Array1.unsafe_get a.Kernel.lsrc l
+        done
+      end;
+      incr s
+    done
+  done;
+  if !warm_used > 0 && Trace.on () then
+    Trace.event "fw.warm_start"
+      ~fields:[ ("commodities", Json.Int !warm_used) ];
+  (* Initial loads; per cell the summands arrive in ascending commodity
+     order, as in the reference (the loop nest is swapped for cache
+     locality, which permutes only writes to distinct cells). *)
+  for e = 0 to m - 1 do
+    Ba.Array1.unsafe_set loads e 0.
+  done;
+  for i = 0 to nc - 1 do
+    let base = i * m in
+    for e = 0 to m - 1 do
+      Ba.Array1.unsafe_set loads e
+        (Ba.Array1.unsafe_get loads e +. Ba.Array1.unsafe_get flows (base + e))
+    done
+  done;
+  (* acc cells: 0 scratch (max_w / gap / objective), 1-6 golden-section
+     state (a, b, x1, x2, f1, f2), 7 blend argument, 8 blend result. *)
+  let final_gap = ref infinity in
+  let iterations = ref 0 in
+  let minor0 = Gc.minor_words () in
+  (* pc(x) at the blend point acc.(7), accumulated into acc.(8); the
+     unit argument keeps every float in arrays or registers. *)
+  let blend_eval () =
+    let theta = acc.(7) in
+    let one_t = 1. -. theta in
+    acc.(8) <- 0.;
+    for e = 0 to m - 1 do
+      let x =
+        (one_t *. Ba.Array1.unsafe_get loads e)
+        +. (theta *. Ba.Array1.unsafe_get aon_loads e)
+      in
+      let c =
+        if x = 0. then 0.
+        else if r = 0. then mu *. (x ** alpha)
+        else if x <= r then x *. slope
+        else sigma +. (mu *. (x ** alpha))
+      in
+      let p =
+        if cap = infinity then 0.
+        else
+          let over = x -. cap in
+          if over > 0. then penalty *. over *. over else 0.
+      in
+      acc.(8) <- acc.(8) +. (c +. p)
+    done
+  in
+  (try
+     for iter = 1 to config.max_iters do
+       (* Cooperative cancellation, polled every few iterations (the
+          flat loop is fast; the first iteration is always checked so a
+          zero budget expires before any work). *)
+       if iter mod deadline_poll_period = 1 then Dcn_engine.Deadline.check ();
+       iterations := iter;
+       (* Marginal costs at the current loads. *)
+       acc.(0) <- 0.;
+       for e = 0 to m - 1 do
+         let x = Ba.Array1.unsafe_get loads e in
+         let d =
+           if r = 0. then am *. (x ** alpha1)
+           else if x <= r then slope
+           else am *. (x ** alpha1)
+         in
+         let p =
+           if cap = infinity then 0.
+           else
+             let over = x -. cap in
+             if over > 0. then pen2 *. over else 0.
+         in
+         let w = d +. p in
+         Ba.Array1.unsafe_set weights e w;
+         if w > acc.(0) then acc.(0) <- w
+       done;
+       let tie = 1e-9 *. Float.max 1. acc.(0) in
+       for e = 0 to m - 1 do
+         Ba.Array1.unsafe_set aon_loads e 0.
+       done;
+       (* All-or-nothing step: one Dijkstra per source, paths recorded
+          in the incidence store and accumulated in evaluation order. *)
+       let slot = ref 0 in
+       let s = ref 0 in
+       while !s < nc do
+         let src =
+           Ba.Array1.unsafe_get com_src (Ba.Array1.unsafe_get order !s)
+         in
+         Kernel.dijkstra a ~src ~use_weights:true ~tie;
+         while
+           !s < nc
+           && Ba.Array1.unsafe_get com_src (Ba.Array1.unsafe_get order !s) = src
+         do
+           let i = Ba.Array1.unsafe_get order !s in
+           let d = Ba.Array1.unsafe_get demand i in
+           Ba.Array1.unsafe_set path_off i !slot;
+           let v = ref (Ba.Array1.unsafe_get com_dst i) in
+           while Ba.Array1.unsafe_get a.Kernel.pred !v >= 0 do
+             let l = Ba.Array1.unsafe_get a.Kernel.pred !v in
+             Kernel.push_path_link a ~slot:!slot l;
+             incr slot;
+             Ba.Array1.unsafe_set aon_loads l
+               (Ba.Array1.unsafe_get aon_loads l +. d);
+             v := Ba.Array1.unsafe_get a.Kernel.lsrc l
+           done;
+           Ba.Array1.unsafe_set path_len i
+             (!slot - Ba.Array1.unsafe_get path_off i);
+           incr s
+         done
+       done;
+       (* Duality gap <grad, x - s>. *)
+       acc.(0) <- 0.;
+       for e = 0 to m - 1 do
+         acc.(0) <-
+           acc.(0)
+           +. Ba.Array1.unsafe_get weights e
+              *. (Ba.Array1.unsafe_get loads e -. Ba.Array1.unsafe_get aon_loads e)
+       done;
+       final_gap := Float.max 0. acc.(0);
+       (* Objective at the current loads. *)
+       acc.(0) <- 0.;
+       for e = 0 to m - 1 do
+         let x = Ba.Array1.unsafe_get loads e in
+         let c =
+           if x = 0. then 0.
+           else if r = 0. then mu *. (x ** alpha)
+           else if x <= r then x *. slope
+           else sigma +. (mu *. (x ** alpha))
+         in
+         let p =
+           if cap = infinity then 0.
+           else
+             let over = x -. cap in
+             if over > 0. then penalty *. over *. over else 0.
+         in
+         acc.(0) <- acc.(0) +. (c +. p)
+       done;
+       let obj_now = acc.(0) in
+       if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then begin
+         trace_iter iter !final_gap obj_now 0.;
+         raise Exit
+       end;
+       (* Golden-section line search towards the all-or-nothing point;
+          same update sequence as [golden_section], state in acc. *)
+       acc.(1) <- 0.;
+       acc.(2) <- 1.;
+       acc.(3) <- 1. -. golden;
+       acc.(4) <- golden;
+       acc.(7) <- acc.(3);
+       blend_eval ();
+       acc.(5) <- acc.(8);
+       acc.(7) <- acc.(4);
+       blend_eval ();
+       acc.(6) <- acc.(8);
+       for _ = 1 to config.line_search_iters do
+         if acc.(5) < acc.(6) then begin
+           acc.(2) <- acc.(4);
+           acc.(4) <- acc.(3);
+           acc.(6) <- acc.(5);
+           acc.(3) <- acc.(2) -. (golden *. (acc.(2) -. acc.(1)));
+           acc.(7) <- acc.(3);
+           blend_eval ();
+           acc.(5) <- acc.(8)
+         end
+         else begin
+           acc.(1) <- acc.(3);
+           acc.(3) <- acc.(4);
+           acc.(5) <- acc.(6);
+           acc.(4) <- acc.(1) +. (golden *. (acc.(2) -. acc.(1)));
+           acc.(7) <- acc.(4);
+           blend_eval ();
+           acc.(6) <- acc.(8)
+         end
+       done;
+       let theta0 = (acc.(1) +. acc.(2)) /. 2. in
+       acc.(7) <- theta0;
+       blend_eval ();
+       let theta = if acc.(8) < obj_now then theta0 else 0. in
+       trace_iter iter !final_gap obj_now theta;
+       if theta <= 1e-12 then raise Exit;
+       (* Convex blend of the per-commodity flows and the loads. *)
+       for i = 0 to nc - 1 do
+         let base = i * m in
+         for e = 0 to m - 1 do
+           Ba.Array1.unsafe_set flows (base + e)
+             (Ba.Array1.unsafe_get flows (base + e) *. (1. -. theta))
+         done;
+         let amount = theta *. Ba.Array1.unsafe_get demand i in
+         let off = Ba.Array1.unsafe_get path_off i in
+         for idx = off to off + Ba.Array1.unsafe_get path_len i - 1 do
+           let l = Ba.Array1.unsafe_get a.Kernel.path_links idx in
+           Ba.Array1.unsafe_set flows (base + l)
+             (Ba.Array1.unsafe_get flows (base + l) +. amount)
+         done
+       done;
+       for e = 0 to m - 1 do
+         Ba.Array1.unsafe_set loads e
+           (((1. -. theta) *. Ba.Array1.unsafe_get loads e)
+           +. (theta *. Ba.Array1.unsafe_get aon_loads e))
+       done
+     done
+   with Exit -> ());
+  if Trace.on () && !iterations > 0 then
+    Trace.counter "fw.kernel_minor_words"
+      ((Gc.minor_words () -. minor0) /. float_of_int !iterations);
+  (* Copy out in the reference's shapes; the final cost goes through
+     the caller's closure, like the reference. *)
+  let flows_out =
+    Array.init nc (fun i ->
+        let base = i * m in
+        Array.init m (fun e -> Ba.Array1.unsafe_get flows (base + e)))
+  in
+  let loads_out = Array.init m (fun e -> Ba.Array1.unsafe_get loads e) in
+  let cost = Array.fold_left (fun acc x -> acc +. problem.cost x) 0. loads_out in
+  let max_overload =
+    if problem.capacity = infinity then neg_infinity
+    else
+      Array.fold_left
+        (fun acc x -> Float.max acc (x -. problem.capacity))
+        neg_infinity loads_out
+  in
+  if Trace.on () then
+    Trace.event "fw.done"
+      ~fields:
+        [
+          ("iterations", Json.Int !iterations);
+          ("gap", Json.float !final_gap);
+          ("cost", Json.float cost);
+          ("max_overload", Json.float max_overload);
+        ];
+  {
+    flows = flows_out;
+    loads = loads_out;
+    cost;
+    gap = !final_gap;
+    iterations = !iterations;
+    max_overload;
+  }
+
+let solve_reference ?(config = default_config) ?(warm_start = fun _ -> []) problem
+    =
+  let nc = Array.length problem.commodities in
+  if nc = 0 then invalid_arg "Frank_wolfe.solve: no commodities";
+  reference_impl ~config ~warm_start problem
+
+let solve ?(config = default_config) ?(warm_start = fun _ -> []) ?workspace
+    ?piecewise problem =
+  let nc = Array.length problem.commodities in
+  if nc = 0 then invalid_arg "Frank_wolfe.solve: no commodities";
+  match (config.engine, piecewise) with
+  | Kernel, Some pw ->
+    let workspace =
+      match workspace with Some w -> w | None -> Kernel.Workspace.default
+    in
+    kernel_impl ~config ~warm_start ~workspace ~pw problem
+  | _ -> reference_impl ~config ~warm_start problem
 
 let lower_bound_cost _problem solution = Float.max 0. (solution.cost -. solution.gap)

@@ -27,14 +27,45 @@ type problem = {
   capacity : float;  (** per-link load bound; [infinity] to disable *)
 }
 
+type engine =
+  | Kernel
+      (** Flat-[Bigarray] kernels ({!Kernel}): zero-allocation iteration
+          loop, arena-reused workspaces.  Requires a [piecewise] cost
+          spec; falls back to [Reference] without one. *)
+  | Reference
+      (** The boxed solver, kept as semantic ground truth: the kernel
+          replays exactly its float operations, so both engines agree
+          bit-for-bit (asserted by [Dcn_check.Oracle] and the
+          [@check-kernel] alias). *)
+
 type config = {
   max_iters : int;  (** default 200 *)
   gap_tol : float;  (** relative duality-gap target, default 1e-4 *)
   penalty : float;  (** capacity-penalty coefficient, default 1e3 *)
   line_search_iters : int;  (** golden-section refinements, default 48 *)
+  engine : engine;  (** default [Kernel] *)
 }
 
 val default_config : config
+
+type piecewise = {
+  threshold : float;  (** [r_hat]: the envelope's linear/curved kink *)
+  slope : float;  (** envelope slope below the threshold *)
+  sigma : float;
+  mu : float;
+  alpha : float;
+}
+(** The power model's lower convex envelope in closed form, so the
+    kernel engine can inline the cost arithmetic instead of calling the
+    [cost]/[cost_deriv] closures (a closure call boxes its float
+    argument and result — death by allocation in the hot loop).  Must
+    describe the same function as the problem's closures; [Relaxation]
+    builds it from [Dcn_power.Model]. *)
+
+val deadline_poll_period : int
+(** The kernel engine polls [Dcn_engine.Deadline] on iterations
+    [1, 1 + p, 1 + 2p, ...]; the reference engine polls every
+    iteration. *)
 
 type solution = {
   flows : float array array;  (** [flows.(i).(e)]: commodity i's flow on link e *)
@@ -48,6 +79,8 @@ type solution = {
 val solve :
   ?config:config ->
   ?warm_start:(int -> Decompose.weighted_path list) ->
+  ?workspace:Kernel.Workspace.t ->
+  ?piecewise:piecewise ->
   problem ->
   solution
 (** [warm_start i] supplies an initial fractional routing for commodity
@@ -59,8 +92,22 @@ val solve :
     point, never the optimum the method converges to — they buy
     iterations, not correctness.
 
+    With [engine = Kernel] and a [piecewise] spec, the solve runs on the
+    flat kernels using [workspace]'s arenas (the process-wide
+    {!Kernel.Workspace.default} if none is threaded); commodity [index]
+    fields must then be dense in [0, n).  Otherwise the reference
+    implementation runs.  Both produce bit-identical solutions.
+
     @raise Invalid_argument if some commodity's destination is
     unreachable from its source, or the commodity array is empty. *)
+
+val solve_reference :
+  ?config:config ->
+  ?warm_start:(int -> Decompose.weighted_path list) ->
+  problem ->
+  solution
+(** The boxed reference engine, regardless of [config.engine].  The
+    differential harnesses compare this against {!solve}. *)
 
 val lower_bound_cost : problem -> solution -> float
 (** A certified lower bound on the optimal objective from Frank–Wolfe

@@ -242,7 +242,9 @@ let repair ?(config = default_config) ~policy ~rng ~committed ~event inst =
           Random_schedule.solve
             ~config:
               { Random_schedule.attempts = config.attempts; fw_config = config.fw_config }
-            ~rng:(Prng.split rng) residual
+            ~instance:residual
+            ~workspace:(Dcn_core.Solver_api.workspace ~rng:(Prng.split rng) ())
+            ~deadline:Deadline.never ()
         with
         | sol when sol.Solution.feasible -> Ok (residual, sol)
         | _ -> Error "no feasible draw within the redraw budget"

@@ -8,6 +8,7 @@ module Solution = Dcn_core.Solution
 module Random_schedule = Dcn_core.Random_schedule
 module Greedy_ear = Dcn_core.Greedy_ear
 module Exact = Dcn_core.Exact
+module Solver_api = Dcn_core.Solver_api
 
 type status = Answered | Timed_out | Skipped | Failed of string
 
@@ -109,7 +110,7 @@ let solve ?(config = default_config) ~rng inst =
     else
       let v, a =
         guarded deadline "exact" (fun () ->
-            match Exact.solve inst with
+            match Exact.search inst with
             | r -> Some (Ok r)
             | exception Invalid_argument m -> Some (Error m))
       in
@@ -137,7 +138,9 @@ let solve ?(config = default_config) ~rng inst =
                    Random_schedule.attempts = config.rs_attempts;
                    fw_config = config.fw_config;
                  }
-               ~rng:(Prng.split rng) inst))
+               ~instance:inst
+               ~workspace:(Solver_api.workspace ~rng:(Prng.split rng) ())
+               ~deadline ()))
     in
     let rs_answer =
       match v with
@@ -158,11 +161,21 @@ let solve ?(config = default_config) ~rng inst =
     match rs_answer with
     | Some answer -> answer
     | None ->
-      (* Stage 3: the unguarded fallback — always answers. *)
-      let g = Greedy_ear.solve inst in
+      (* Stage 3: the unguarded fallback — always answers.  [feasible]
+         keeps its historical meaning here (deadlines met; the greedy
+         is not capacity-aware, its own flag lives in the solution). *)
+      let g =
+        (* Escape the ambient budget entirely (solvers take the tighter
+           of their argument and the ambient deadline, and the fallback
+           must answer even when the enclosing budget has expired). *)
+        Deadline.with_deadline Deadline.never (fun () ->
+            Greedy_ear.solve ~instance:inst
+              ~workspace:(Solver_api.workspace ())
+              ~deadline:Deadline.never ())
+      in
       record { stage = "greedy-ear"; status = Answered };
-      answered ~algorithm:"greedy-ear" ~solution:None
-        ~schedule:g.Greedy_ear.schedule ~energy:g.Greedy_ear.energy
+      answered ~algorithm:"greedy-ear" ~solution:(Some g)
+        ~schedule:g.Solution.schedule ~energy:g.Solution.energy
         ~feasible:true)
 
 let answer_to_json t =

@@ -47,6 +47,8 @@ type t = {
   config : config;
   pool : Pool.t;
   rng : Prng.t;
+  (* Flat Frank-Wolfe arenas, reused across every epoch's re-solve. *)
+  workspace : Dcn_mcf.Kernel.Workspace.t;
   mutable clock : float;
   mutable flows : Flow.t list;  (* ascending id *)
   mutable paths : (int * Graph.link list) list;  (* flow id -> committed path *)
@@ -66,6 +68,7 @@ let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
     config;
     pool;
     rng = Prng.create seed;
+    workspace = Dcn_mcf.Kernel.Workspace.create ();
     clock = 0.;
     flows = [];
     paths = [];
@@ -161,10 +164,13 @@ let resolve_relaxation t ~window inst =
   let relax, (rs : Relaxation.reuse_stats) =
     match t.relaxation with
     | Some previous ->
-      Relaxation.resolve ~pool:t.pool ~fw_config:t.config.fw_config ~previous
-        ~window inst
+      Relaxation.resolve ~pool:t.pool ~fw_config:t.config.fw_config
+        ~workspace:t.workspace ~previous ~window inst
     | None ->
-      let relax = Relaxation.solve ~pool:t.pool ~fw_config:t.config.fw_config inst in
+      let relax =
+        Relaxation.solve ~pool:t.pool ~fw_config:t.config.fw_config
+          ~workspace:t.workspace inst
+      in
       (relax, { Relaxation.resolved = Array.length relax.intervals; reused = 0 })
   in
   Trace.counter "serve.resolved_intervals" (float_of_int rs.resolved);

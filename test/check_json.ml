@@ -247,6 +247,65 @@ let check_certify path =
   if Json.to_list (get path "cross" cert) <> [] then
     fail "%s: unexpected cross-solver violations" path
 
+(* Trace of `check_kernel.exe --trace FILE`: two back-to-back
+   kernel-engine solves.  The flat engine must have traced its
+   [fw.kernel] spans (every one closed), and the workspace counters
+   must show both an arena growth (first solve) and a reuse (second
+   solve) — losing either means the kernel ran boxed or the arenas are
+   being rebuilt per solve. *)
+let check_kernel_trace path =
+  let json = parse path in
+  (match Json.member "version" json with
+  | Some (Json.Int 1) -> ()
+  | _ -> fail "%s: version is not 1" path);
+  let events = Json.to_list (get path "events" json) in
+  if events = [] then fail "%s: no events recorded" path;
+  let prev = ref (-1) in
+  List.iter
+    (fun e ->
+      let seq = Json.to_int (get path "seq" e) in
+      if seq <= !prev then fail "%s: seq %d out of order" path seq;
+      prev := seq;
+      ignore (Json.to_int (get path "t_ns" e));
+      ignore (Json.to_int (get path "domain" e));
+      ignore (Json.to_str (get path "type" e)))
+    events;
+  let typed ty e = Json.member "type" e = Some (Json.Str ty) in
+  let named name e = Json.member "name" e = Some (Json.Str name) in
+  let kernel_spans =
+    List.filter (fun e -> typed "span_open" e && named "fw.kernel" e) events
+  in
+  if List.length kernel_spans < 2 then
+    fail "%s: expected >= 2 fw.kernel spans, got %d" path
+      (List.length kernel_spans);
+  let closed_ids =
+    List.filter_map
+      (fun e ->
+        if typed "span_close" e then Option.map Json.to_int (Json.member "id" e)
+        else None)
+      events
+  in
+  List.iter
+    (fun s ->
+      let id = Json.to_int (get path "id" s) in
+      if not (List.mem id closed_ids) then
+        fail "%s: fw.kernel span %d never closed" path id)
+    kernel_spans;
+  let counter_total name =
+    List.fold_left
+      (fun acc e ->
+        if typed "counter" e && named name e then
+          acc +. Json.to_float (get path "delta" e)
+        else acc)
+      0. events
+  in
+  if counter_total "ws.grow" < 1. then
+    fail "%s: no ws.grow counter — arena growth untraced" path;
+  if counter_total "ws.reuse" < 1. then
+    fail "%s: no ws.reuse counter — workspace reuse regressed" path;
+  if counter_total "fw.iters" < 1. then
+    fail "%s: no fw.iters counter — the kernel loop went silent" path
+
 (* The Chrome export of the same trace must pass the strict shape check
    (known phases, balanced B/E per tid, monotone timestamps, ...). *)
 let check_chrome path =
@@ -268,6 +327,9 @@ let () =
   | [| _; "--serve"; report |] ->
     check_serve report;
     print_endline "check-json: serve report OK"
+  | [| _; "--kernel"; trace |] ->
+    check_kernel_trace trace;
+    print_endline "check-json: kernel trace OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -283,5 +345,6 @@ let () =
       \       check_json.exe --fuzz FUZZ-REPORT.json\n\
       \       check_json.exe --certify CERTIFY-REPORT.json\n\
       \       check_json.exe --resilience RESILIENCE-REPORT.json\n\
-      \       check_json.exe --serve SERVE-REPORT.json";
+      \       check_json.exe --serve SERVE-REPORT.json\n\
+      \       check_json.exe --kernel KERNEL-TRACE.json";
     exit 2

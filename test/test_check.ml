@@ -51,7 +51,9 @@ let test_certify_clean_solutions () =
   let rs =
     Dcn_core.Random_schedule.solve
       ~config:{ Dcn_core.Random_schedule.attempts = 5; fw_config = quick_fw }
-      ~rng:(Prng.create 7) inst
+      ~instance:inst
+      ~workspace:(Dcn_core.Solver_api.workspace ~rng:(Prng.create 7) ())
+      ~deadline:Dcn_engine.Deadline.never ()
   in
   Alcotest.(check (list string)) "rs certifies" [] (kinds (Certify.solution inst rs))
 
@@ -296,6 +298,60 @@ let test_oracle_flags_divergence () =
   Alcotest.(check (list string)) "no kinds" [] (Oracle.violation_kinds o);
   Alcotest.(check bool) "lower bound positive" true (o.Oracle.lower_bound > 0.)
 
+(* ------------------------- kernel engine --------------------------- *)
+
+(* The per-interval fractional link loads implied by a relaxation: the
+   sum of weighted-path weights over the paths crossing each link. *)
+let interval_loads (r : Dcn_core.Relaxation.t) =
+  Array.map
+    (fun (i : Dcn_core.Relaxation.interval_solution) ->
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (_, paths) ->
+          List.iter
+            (fun (wp : Dcn_mcf.Decompose.weighted_path) ->
+              List.iter
+                (fun link ->
+                  let prev = try Hashtbl.find tbl link with Not_found -> 0. in
+                  Hashtbl.replace tbl link (prev +. wp.Dcn_mcf.Decompose.weight))
+                wp.Dcn_mcf.Decompose.links)
+            paths)
+        i.Dcn_core.Relaxation.flow_paths;
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
+    r.Dcn_core.Relaxation.intervals
+
+let close a b =
+  Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+(* The flat-kernel Frank-Wolfe engine must reproduce the reference
+   engine on generator instances — energy and per-link loads within
+   1e-9 (they are in fact bit-identical; see check_kernel.exe) — and
+   the agreement must hold on a 1-job and a 4-job pool alike. *)
+let prop_kernel_matches_reference =
+  QCheck.Test.make
+    ~name:"kernel FW = reference FW (energy + per-link loads, jobs 1 and 4)"
+    ~count:6
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let inst = Gen.(batch ~seed ~n:1).(0).Gen.instance in
+      let reference_fw = { quick_fw with Dcn_mcf.Frank_wolfe.engine = Dcn_mcf.Frank_wolfe.Reference } in
+      List.for_all
+        (fun jobs ->
+          Dcn_engine.Pool.with_pool ~jobs (fun pool ->
+              let k = Dcn_core.Relaxation.solve ~pool ~fw_config:quick_fw inst in
+              let r = Dcn_core.Relaxation.solve ~pool ~fw_config:reference_fw inst in
+              let lk = interval_loads k and lr = interval_loads r in
+              close k.Dcn_core.Relaxation.cost r.Dcn_core.Relaxation.cost
+              && Array.length lk = Array.length lr
+              && Array.for_all2
+                   (fun a b ->
+                     List.length a = List.length b
+                     && List.for_all2
+                          (fun (la, xa) (lb, xb) -> la = lb && close xa xb)
+                          a b)
+                   lk lr))
+        [ 1; 4 ])
+
 (* ----------------------------- selfcheck --------------------------- *)
 
 let test_selfcheck_hooks () =
@@ -335,6 +391,7 @@ let suite =
         Alcotest.test_case "gen deterministic" `Quick test_gen_deterministic;
         Alcotest.test_case "oracle certifies batch" `Quick test_oracle_certifies_batch;
         Alcotest.test_case "oracle on the small instance" `Quick test_oracle_flags_divergence;
+        QCheck_alcotest.to_alcotest prop_kernel_matches_reference;
         Alcotest.test_case "selfcheck hooks" `Quick test_selfcheck_hooks;
       ] );
   ]

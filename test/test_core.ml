@@ -24,6 +24,20 @@ let quick_fw =
 
 let rs_config = { Random_schedule.attempts = 20; fw_config = quick_fw }
 
+(* Shorthands for the labelled Solver_api entry points used throughout. *)
+let never = Dcn_engine.Deadline.never
+let ws ?pool ?rng () = Solver_api.workspace ?pool ?rng ()
+
+let rs_solve ?(config = rs_config) ?relaxation ~rng inst =
+  Random_schedule.solve ~config ?relaxation ~instance:inst
+    ~workspace:(ws ~rng ()) ~deadline:never ()
+
+let ear_solve inst =
+  Greedy_ear.solve ~instance:inst ~workspace:(ws ()) ~deadline:never ()
+
+let online_solve inst =
+  Online.solve ~instance:inst ~workspace:(ws ()) ~deadline:never ()
+
 (* ------------------------------------------------------------------ *)
 (* Instance                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -152,7 +166,7 @@ let p1_reference ~alpha inst ~routing = Numeric_ref.p1_energy ~alpha inst ~routi
 let test_mcf_matches_p1_example1 () =
   let inst = example1 () in
   let routing = Baselines.shortest_path_routing inst in
-  let res = Most_critical_first.solve inst ~routing in
+  let res = Most_critical_first.solve_routed inst ~routing in
   let reference = p1_reference ~alpha:2. inst ~routing in
   Alcotest.(check bool)
     (Printf.sprintf "mcf %.4f vs numeric %.4f" res.Solution.energy reference)
@@ -177,7 +191,7 @@ let prop_mcf_close_to_p1 =
       in
       let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
       let routing = Baselines.shortest_path_routing inst in
-      let res = Most_critical_first.solve inst ~routing in
+      let res = Most_critical_first.solve_routed inst ~routing in
       let reference = p1_reference ~alpha:2. inst ~routing in
       (* The numeric solution is feasible for (P1), so MCF (claimed
          optimal) must not exceed it by more than solver slack; and it
@@ -195,7 +209,7 @@ let prop_mcf_close_to_p1_fat_tree =
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:3 () in
       let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
       let routing = Baselines.shortest_path_routing inst in
-      let res = Most_critical_first.solve inst ~routing in
+      let res = Most_critical_first.solve_routed inst ~routing in
       let reference = p1_reference ~alpha:2. inst ~routing in
       res.Solution.energy <= reference *. 1.02
       && res.Solution.energy >= reference *. 0.9)
@@ -243,7 +257,7 @@ let small_instance ?(n = 8) ?(alpha = 2.) seed =
 let test_rs_example1 () =
   let inst = example1 () in
   let rng = Prng.create 42 in
-  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let rs = rs_solve ~rng inst in
   Alcotest.(check bool) "feasible" true rs.Solution.feasible;
   (* On a line both flows have exactly one candidate path. *)
   List.iter
@@ -257,7 +271,7 @@ let test_rs_deterministic () =
   let inst, _ = small_instance 3 in
   let run () =
     let rng = Prng.create 99 in
-    let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+    let rs = rs_solve ~rng inst in
     (rs.Solution.energy, (Solution.paths rs))
   in
   let e1, p1 = run () in
@@ -267,7 +281,7 @@ let test_rs_deterministic () =
 
 let test_rs_schedule_meets_deadlines () =
   let inst, rng = small_instance 17 in
-  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let rs = rs_solve ~rng inst in
   Alcotest.(check int) "no deadline violations" 0
     (List.length (Schedule.Check.deadlines rs.Solution.schedule))
 
@@ -276,7 +290,7 @@ let prop_rs_theorem4_deadlines =
     QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
     (fun seed ->
       let inst, rng = small_instance ~n:(4 + (seed mod 8)) seed in
-      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      let rs = rs_solve ~rng inst in
       Schedule.Check.deadlines rs.Solution.schedule = [])
 
 let prop_rs_at_least_lb =
@@ -284,7 +298,7 @@ let prop_rs_at_least_lb =
     QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
     (fun seed ->
       let inst, rng = small_instance seed in
-      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      let rs = rs_solve ~rng inst in
       let lb = Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)) in
       rs.Solution.energy >= lb.Lower_bound.value -. 1e-6)
 
@@ -293,7 +307,7 @@ let prop_rs_paths_from_candidates =
     QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
     (fun seed ->
       let inst, rng = small_instance seed in
-      let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+      let rs = rs_solve ~rng inst in
       List.for_all
         (fun (id, path) ->
           let f = Option.get (Instance.find_flow_opt inst id) in
@@ -304,7 +318,7 @@ let test_rs_refine_feasible () =
   (* Seed chosen so the MCF refinement's virtual-circuit placement
      completes (it is a heuristic and fails on roughly half the draws). *)
   let inst, rng = small_instance 24 in
-  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let rs = rs_solve ~rng inst in
   let refined = Random_schedule.refine inst rs in
   Alcotest.(check bool) "refined schedule meets deadlines" true
     (Schedule.Check.deadlines refined.Solution.schedule = [])
@@ -359,7 +373,7 @@ let test_relaxation_gap_interval () =
        relax.Relaxation.intervals.(1).Relaxation.flow_paths);
   (* Random-Schedule still produces a feasible schedule. *)
   let rng = Prng.create 3 in
-  let rs = Random_schedule.solve ~config:rs_config ~relaxation:relax ~rng inst in
+  let rs = rs_solve ~relaxation:relax ~rng inst in
   Alcotest.(check int) "deadline violations" 0
     (List.length (Schedule.Check.deadlines rs.Solution.schedule))
 
@@ -368,12 +382,12 @@ let test_rs_reuses_relaxation () =
   let relax = Relaxation.solve ~fw_config:quick_fw inst in
   let solve () =
     let rng = Prng.create 5 in
-    (Random_schedule.solve ~config:rs_config ~relaxation:relax ~rng inst)
+    (rs_solve ~relaxation:relax ~rng inst)
       .Solution.energy
   in
   let fresh () =
     let rng = Prng.create 5 in
-    (Random_schedule.solve ~config:rs_config ~rng inst).Solution.energy
+    (rs_solve ~rng inst).Solution.energy
   in
   (* Same fw config, same rng stream: passing the relaxation must not
      change the outcome. *)
@@ -482,7 +496,7 @@ let test_exact_separates_flows () =
   let power = Model.quadratic in
   let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:1. in
   let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
-  let res = Exact.solve inst in
+  let res = Exact.search inst in
   check_float "energy 8 (one flow per link at rate 2)" 8. res.Exact.energy;
   let l0 = List.assoc 0 res.Exact.routing and l1 = List.assoc 1 res.Exact.routing in
   Alcotest.(check bool) "different links" true (l0 <> l1)
@@ -494,7 +508,7 @@ let test_exact_combination_budget () =
     Instance.make ~graph ~power:Model.quadratic ~flows:(List.init 6 mk)
   in
   Alcotest.(check bool) "budget enforced" true
-    (try ignore (Exact.solve ~max_combinations:1000 inst); false
+    (try ignore (Exact.search ~max_combinations:1000 inst); false
      with Invalid_argument _ -> true)
 
 let prop_exact_below_heuristics =
@@ -513,9 +527,9 @@ let prop_exact_below_heuristics =
               ~deadline:d)
       in
       let inst = Instance.make ~graph ~power ~flows in
-      let exact = (Exact.solve inst).Exact.energy in
+      let exact = (Exact.search inst).Exact.energy in
       let sp = (Baselines.sp_mcf inst).Solution.energy in
-      let rs = (Random_schedule.solve ~config:rs_config ~rng inst).Solution.energy in
+      let rs = (rs_solve ~rng inst).Solution.energy in
       (* On single-hop networks any fluid schedule is dominated by the
          circuit optimum, so exact <= both heuristics. *)
       exact <= sp +. 1e-6 && exact <= rs +. 1e-6)
@@ -527,8 +541,8 @@ let prop_exact_below_heuristics =
 let test_ear_line_energy () =
   (* Forced routes on Example 1: interval-density scheduling gives the
      same 92 as Random-Schedule there. *)
-  let ear = Greedy_ear.solve (example1 ()) in
-  check_float "energy" 92. ear.Greedy_ear.energy
+  let ear = ear_solve (example1 ()) in
+  check_float "energy" 92. ear.Solution.energy
 
 let test_ear_spreads_speed_scaling () =
   (* sigma = 0, two identical concurrent flows, two parallel links: the
@@ -536,11 +550,11 @@ let test_ear_spreads_speed_scaling () =
   let graph = Builders.parallel ~links:2 in
   let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:2. in
   let inst = Instance.make ~graph ~power:Model.quadratic ~flows:[ mk 0; mk 1 ] in
-  let ear = Greedy_ear.solve inst in
-  let p0 = List.assoc 0 ear.Greedy_ear.paths and p1 = List.assoc 1 ear.Greedy_ear.paths in
+  let ear = ear_solve inst in
+  let p0 = List.assoc 0 (Solution.paths ear) and p1 = List.assoc 1 (Solution.paths ear) in
   Alcotest.(check bool) "different links" true (p0 <> p1);
   (* Each link at rate 2 for 2s: energy 2 * 4 * 2 = 16. *)
-  check_float "energy" 16. ear.Greedy_ear.energy
+  check_float "energy" 16. ear.Solution.energy
 
 let test_ear_consolidates_power_down () =
   (* Large sigma: sharing a warm link beats switching on a cold one
@@ -549,26 +563,26 @@ let test_ear_consolidates_power_down () =
   let power = Model.make ~sigma:100. ~mu:1. ~alpha:2. () in
   let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:4. ~release:0. ~deadline:2. in
   let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
-  let ear = Greedy_ear.solve inst in
-  let p0 = List.assoc 0 ear.Greedy_ear.paths and p1 = List.assoc 1 ear.Greedy_ear.paths in
+  let ear = ear_solve inst in
+  let p0 = List.assoc 0 (Solution.paths ear) and p1 = List.assoc 1 (Solution.paths ear) in
   Alcotest.(check bool) "same link" true (p0 = p1);
   Alcotest.(check int) "one active direction" 1
-    (List.length (Schedule.active_links ear.Greedy_ear.schedule))
+    (List.length (Schedule.active_links ear.Solution.schedule))
 
 let test_ear_deadlines () =
   let inst, _ = small_instance 59 in
-  let ear = Greedy_ear.solve inst in
+  let ear = ear_solve inst in
   Alcotest.(check int) "no deadline violations" 0
-    (List.length (Schedule.Check.deadlines ear.Greedy_ear.schedule))
+    (List.length (Schedule.Check.deadlines ear.Solution.schedule))
 
 let prop_ear_above_lb =
   QCheck.Test.make ~name:"greedy-ear: energy at least the fractional LB" ~count:10
     QCheck.(make (fun st -> 1 + QCheck.Gen.int_bound 100000 st))
     (fun seed ->
       let inst, _ = small_instance seed in
-      let ear = Greedy_ear.solve inst in
+      let ear = ear_solve inst in
       let lb = Lower_bound.compute ~fw_config:quick_fw inst in
-      ear.Greedy_ear.energy >= lb.Lower_bound.value -. 1e-6)
+      ear.Solution.energy >= lb.Lower_bound.value -. 1e-6)
 
 (* ------------------------------------------------------------------ *)
 (* Online admission                                                   *)
@@ -576,12 +590,12 @@ let prop_ear_above_lb =
 
 let test_online_no_cap_accepts_all () =
   let inst, _ = small_instance 73 in
-  let online = Online.solve inst in
-  Alcotest.(check int) "no rejections" 0 (List.length online.Online.rejected);
-  check_float "acceptance 1" 1. online.Online.acceptance_rate;
+  let online = online_solve inst in
+  Alcotest.(check int) "no rejections" 0 (List.length (Solution.rejected online));
+  check_float "acceptance 1" 1. (Solution.acceptance_rate online);
   (* Coincides with Greedy-EAR when nothing is rejected. *)
-  let ear = Greedy_ear.solve inst in
-  check_float "same energy as EAR" ear.Greedy_ear.energy online.Online.energy
+  let ear = ear_solve inst in
+  check_float "same energy as EAR" ear.Solution.energy online.Solution.energy
 
 let test_online_tight_cap_rejects () =
   (* Single link of capacity 1; two concurrent density-1 flows: the
@@ -590,10 +604,10 @@ let test_online_tight_cap_rejects () =
   let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:1. () in
   let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:2. in
   let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
-  let online = Online.solve inst in
-  Alcotest.(check (list int)) "first accepted" [ 0 ] online.Online.accepted;
-  Alcotest.(check (list int)) "second rejected" [ 1 ] online.Online.rejected;
-  check_float "half accepted" 0.5 online.Online.acceptance_rate
+  let online = online_solve inst in
+  Alcotest.(check (list int)) "first accepted" [ 0 ] (Solution.accepted online);
+  Alcotest.(check (list int)) "second rejected" [ 1 ] (Solution.rejected online);
+  check_float "half accepted" 0.5 (Solution.acceptance_rate online)
 
 let test_online_reroutes_to_fit () =
   (* Two parallel links of capacity 1: both flows fit on separate links. *)
@@ -601,8 +615,8 @@ let test_online_reroutes_to_fit () =
   let power = Model.make ~sigma:0. ~mu:1. ~alpha:2. ~cap:1. () in
   let mk id = Flow.make ~id ~src:0 ~dst:1 ~volume:2. ~release:0. ~deadline:2. in
   let inst = Instance.make ~graph ~power ~flows:[ mk 0; mk 1 ] in
-  let online = Online.solve inst in
-  Alcotest.(check int) "all accepted" 2 (List.length online.Online.accepted)
+  let online = online_solve inst in
+  Alcotest.(check int) "all accepted" 2 (List.length (Solution.accepted online))
 
 let prop_online_accepted_feasible =
   QCheck.Test.make ~name:"online: accepted schedule respects caps and deadlines"
@@ -614,8 +628,8 @@ let prop_online_accepted_feasible =
       let rng = Prng.create seed in
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:20 () in
       let inst = Instance.make ~graph ~power ~flows in
-      let online = Online.solve inst in
-      Schedule.Check.is_feasible ~exclusive:false online.Online.schedule)
+      let online = online_solve inst in
+      Schedule.Check.is_feasible ~exclusive:false online.Solution.schedule)
 
 (* ------------------------------------------------------------------ *)
 (* Bounds                                                             *)
@@ -635,7 +649,7 @@ let test_bounds_dominate_measured () =
   (* The worst-case term must dominate the measured ratio by a wide
      margin on any reasonable instance. *)
   let inst, rng = small_instance 53 in
-  let rs = Random_schedule.solve ~config:rs_config ~rng inst in
+  let rs = rs_solve ~rng inst in
   let lb = Lower_bound.of_relaxation (Option.get (Solution.relaxation rs)) in
   let measured = rs.Solution.energy /. lb.Lower_bound.value in
   let b = Bounds.compute inst in
@@ -670,7 +684,7 @@ let test_gadget_exact_matches_closed_form () =
   let rng = Prng.create 12 in
   let tp = Gadgets.solvable_three_partition ~m:2 ~b:20 ~rng in
   let inst = Gadgets.three_partition_instance ~links:3 tp in
-  let exact = (Exact.solve ~max_combinations:100_000 inst).Exact.energy in
+  let exact = (Exact.search ~max_combinations:100_000 inst).Exact.energy in
   check_float "Theorem 2 optimum" (Gadgets.three_partition_opt_energy tp) exact
 
 let test_gadget_inapprox_ratio () =

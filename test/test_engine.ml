@@ -103,7 +103,9 @@ let test_random_schedule_jobs_invariant () =
         let inst = Dcn_core.Instance.make ~graph ~power ~flows in
         Dcn_core.Random_schedule.solve
           ~config:{ Dcn_core.Random_schedule.attempts = 20; fw_config = quick_fw }
-          ~pool ~rng inst)
+          ~instance:inst
+          ~workspace:(Dcn_core.Solver_api.workspace ~pool ~rng ())
+          ~deadline:Dcn_engine.Deadline.never ())
   in
   let base = solve 1 in
   List.iter
@@ -168,7 +170,9 @@ let test_rs_rejects_bad_attempts () =
       ignore
         (Dcn_core.Random_schedule.solve
            ~config:{ Dcn_core.Random_schedule.attempts = 0; fw_config = quick_fw }
-           ~rng:(Prng.create 1) inst))
+           ~instance:inst
+           ~workspace:(Dcn_core.Solver_api.workspace ~rng:(Prng.create 1) ())
+           ~deadline:Dcn_engine.Deadline.never ()))
 
 let suite =
   [

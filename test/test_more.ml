@@ -144,8 +144,8 @@ let test_greedy_ear_deterministic () =
   let rng = Prng.create 37 in
   let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:12 () in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows in
-  let e1 = (Dcn_core.Greedy_ear.solve inst).Dcn_core.Greedy_ear.energy in
-  let e2 = (Dcn_core.Greedy_ear.solve inst).Dcn_core.Greedy_ear.energy in
+  let e1 = (Dcn_core.Greedy_ear.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never ()).Dcn_core.Solution.energy in
+  let e2 = (Dcn_core.Greedy_ear.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never ()).Dcn_core.Solution.energy in
   check_float "deterministic" e1 e2
 
 let test_online_deterministic () =
@@ -154,9 +154,9 @@ let test_online_deterministic () =
   let rng = Prng.create 41 in
   let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:15 () in
   let inst = Dcn_core.Instance.make ~graph ~power ~flows in
-  let r1 = Dcn_core.Online.solve inst and r2 = Dcn_core.Online.solve inst in
-  Alcotest.(check (list int)) "same accepted" r1.Dcn_core.Online.accepted
-    r2.Dcn_core.Online.accepted
+  let r1 = Dcn_core.Online.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never () and r2 = Dcn_core.Online.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never () in
+  Alcotest.(check (list int)) "same accepted" (Dcn_core.Solution.accepted r1)
+    (Dcn_core.Solution.accepted r2)
 
 (* --- fluid simulator with fragmented slots --------------------------- *)
 

@@ -43,7 +43,7 @@ let test_mcf_alpha4_matches_numeric () =
   in
   let inst = Dcn_core.Instance.make ~graph ~power ~flows in
   let routing = Dcn_core.Baselines.shortest_path_routing inst in
-  let res = Dcn_core.Most_critical_first.solve inst ~routing in
+  let res = Dcn_core.Most_critical_first.solve_routed inst ~routing in
   let reference = Numeric_ref.p1_energy ~alpha:4. inst ~routing in
   Alcotest.(check bool)
     (Printf.sprintf "mcf %.4f vs numeric %.4f"
@@ -102,7 +102,7 @@ let test_gadget_alpha4 () =
   let rng = Prng.create 15 in
   let tp = Dcn_core.Gadgets.solvable_three_partition ~m:2 ~b:20 ~rng in
   let inst = Dcn_core.Gadgets.three_partition_instance ~alpha:4. ~links:3 tp in
-  let exact = (Dcn_core.Exact.solve ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
+  let exact = (Dcn_core.Exact.search ~max_combinations:100_000 inst).Dcn_core.Exact.energy in
   check_float "Theorem 2 closed form at alpha 4"
     (Dcn_core.Gadgets.three_partition_opt_energy ~alpha:4. tp)
     exact
@@ -120,7 +120,7 @@ let test_exact_max_hops_no_path () =
   let f = Flow.make ~id:0 ~src:0 ~dst:4 ~volume:1. ~release:0. ~deadline:1. in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f ] in
   Alcotest.(check bool) "max_hops too small raises" true
-    (try ignore (Dcn_core.Exact.solve ~max_hops:2 inst); false
+    (try ignore (Dcn_core.Exact.search ~max_hops:2 inst); false
      with Invalid_argument _ -> true)
 
 (* --- RS link rates are interval density sums --------------------------- *)
@@ -133,7 +133,7 @@ let test_rs_link_rates_are_density_sums () =
   let f2 = Flow.make ~id:1 ~src:0 ~dst:1 ~volume:6. ~release:1. ~deadline:3. in
   let inst = Dcn_core.Instance.make ~graph ~power:Model.quadratic ~flows:[ f1; f2 ] in
   let rng = Prng.create 1 in
-  let rs = Dcn_core.Random_schedule.solve ~rng inst in
+  let rs = Dcn_core.Random_schedule.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ~rng ()) ~deadline:Dcn_engine.Deadline.never () in
   let profile = Schedule.link_profile rs.Dcn_core.Solution.schedule 0 in
   check_float "outside overlap" 1. (Dcn_sched.Profile.rate_at profile 0.5);
   check_float "during overlap D1+D2" 4. (Dcn_sched.Profile.rate_at profile 2.);
@@ -158,7 +158,7 @@ let test_energy_split_consistency () =
   let rng = Prng.create 19 in
   let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:10 () in
   let inst = Dcn_core.Instance.make ~graph ~power ~flows in
-  let rs = Dcn_core.Random_schedule.solve ~rng inst in
+  let rs = Dcn_core.Random_schedule.solve ~instance:inst ~workspace:(Dcn_core.Solver_api.workspace ~rng ()) ~deadline:Dcn_engine.Deadline.never () in
   let s = rs.Dcn_core.Solution.schedule in
   check_float "idle + dynamic = total"
     (Schedule.idle_energy s +. Schedule.dynamic_energy s)

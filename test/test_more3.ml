@@ -36,12 +36,12 @@ let test_sparse_ids_mcf () =
 let test_sparse_ids_rs_and_friends () =
   let inst = sparse_example1 () in
   let rng = Prng.create 42 in
-  let rs = Random_schedule.solve ~rng inst in
+  let rs = Random_schedule.solve ~instance:inst ~workspace:(Solver_api.workspace ~rng ()) ~deadline:Dcn_engine.Deadline.never () in
   check_float "RS energy" 92. rs.Solution.energy;
-  let ear = Greedy_ear.solve inst in
-  check_float "EAR energy" 92. ear.Greedy_ear.energy;
-  let online = Online.solve inst in
-  Alcotest.(check (list int)) "online accepts both" [ 7; 1000 ] online.Online.accepted;
+  let ear = Greedy_ear.solve ~instance:inst ~workspace:(Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never () in
+  check_float "EAR energy" 92. ear.Solution.energy;
+  let online = Online.solve ~instance:inst ~workspace:(Solver_api.workspace ()) ~deadline:Dcn_engine.Deadline.never () in
+  Alcotest.(check (list int)) "online accepts both" [ 7; 1000 ] (Solution.accepted online);
   let back = Serialize.instance_of_string (Serialize.instance_to_string inst) in
   Alcotest.(check int) "serialize keeps ids" 1000 (Option.get (Instance.find_flow_opt back 1000)).Flow.id
 
@@ -114,7 +114,7 @@ let prop_quantize_exact_ladder_no_overhead =
       let rng = Prng.create seed in
       let flows = Dcn_flow.Workload.paper_random ~rng ~graph ~n:6 () in
       let inst = Instance.make ~graph ~power:Model.quadratic ~flows in
-      let rs = Random_schedule.solve ~rng inst in
+      let rs = Random_schedule.solve ~instance:inst ~workspace:(Solver_api.workspace ~rng ()) ~deadline:Dcn_engine.Deadline.never () in
       let sched = rs.Solution.schedule in
       (* Collect every distinct positive segment rate as a level. *)
       let rates = ref [] in
