@@ -58,16 +58,18 @@ let bench_trace =
 let collecting = report_path <> None || baseline_path <> None
 let report_sections : (string * Json.t) list ref = ref []
 
-(* Per-experiment engine metrics: a [Metrics.since] cut at every section
-   banner and at every [report] call, so each reported experiment gets
-   only the stages it ran itself instead of everything accumulated by
-   earlier sections.  The cumulative table at the end is untouched. *)
+(* Per-experiment stage metrics: a [Dcn_obs.Stage.since] cut at every
+   section banner and at every [report] call, so each reported
+   experiment gets only the stages it ran itself instead of everything
+   accumulated by earlier sections.  The cumulative table at the end is
+   untouched.  Stages only record while the metrics registry is enabled;
+   E15 turns it on (after its telemetry-off leg) and leaves it on. *)
 let last_metrics = ref []
 let section_metrics : (string * Json.t) list ref = ref []
 
 let metrics_cut () =
-  let now = Dcn_engine.Metrics.snapshot () in
-  let delta = Dcn_engine.Metrics.since ~base:!last_metrics now in
+  let now = Dcn_obs.Stage.snapshot () in
+  let delta = Dcn_obs.Stage.since ~base:!last_metrics now in
   last_metrics := now;
   delta
 
@@ -77,7 +79,7 @@ let report name json =
     report_sections := (name, json) :: !report_sections;
     if delta <> [] then
       section_metrics :=
-        (name, Dcn_engine.Metrics.snapshot_to_json delta) :: !section_metrics
+        (name, Dcn_obs.Stage.snapshot_to_json delta) :: !section_metrics
   end
 
 (* Atomic, like bin/observe.ml: the gate must never read a truncated
@@ -208,7 +210,7 @@ let flush_observability () =
         (("command", Json.Str "bench")
          :: List.rev !report_sections
         @ [
-            ("metrics", Dcn_engine.Metrics.to_json ());
+            ("metrics", Dcn_obs.Stage.to_json ());
             ("section_metrics", Json.Obj (List.rev !section_metrics));
           ])
     in
@@ -676,46 +678,50 @@ let parallel_scaling () =
 (* ------------------------- serving sessions ----------------------- *)
 
 (* A deterministic synthetic event stream through Dcn_serve.Session:
-   arrivals/cancels/advances on line:5 under a finite cap.  The column
-   to watch is re-solved vs total intervals — the incremental re-solve
-   only rebuilds the timeline intervals each event's flow span overlaps,
-   so "resolved" must stay strictly below "total" (the from-scratch
-   cost), and every committed epoch must certify. *)
+   arrivals/cancels/advances on line:5 under a finite cap.  Shared by
+   E13 (incremental re-solve) and E15 (telemetry overhead). *)
+let synthetic_session () =
+  Dcn_serve.Session.create ~pool ~graph:(Dcn_topology.Builders.line 5)
+    ~power:(Dcn_power.Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap:6. ())
+    ~policy:Dcn_resilience.Repair.Drop_latest_deadline ~seed:7 ()
+
+let synthetic_events n =
+  let rng = Dcn_util.Prng.create 42 in
+  let now = ref 0. and next_id = ref 1 and live = ref [] in
+  List.init n (fun _ ->
+      match Dcn_util.Prng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+        let src = Dcn_util.Prng.int rng 5 in
+        let dst = (src + 1 + Dcn_util.Prng.int rng 4) mod 5 in
+        let release = !now +. Dcn_util.Prng.float rng 0.5 in
+        let deadline = release +. 1.5 +. Dcn_util.Prng.float rng 4.5 in
+        let f =
+          Dcn_flow.Flow.make ~id:!next_id ~src ~dst
+            ~volume:(0.5 +. Dcn_util.Prng.float rng 5.5)
+            ~release ~deadline
+        in
+        incr next_id;
+        live := f.Dcn_flow.Flow.id :: !live;
+        Dcn_serve.Event.Flow_arrival f
+      | 6 | 7 when !live <> [] ->
+        let i = Dcn_util.Prng.int rng (List.length !live) in
+        let id = List.nth !live i in
+        live := List.filter (fun j -> j <> id) !live;
+        Dcn_serve.Event.Flow_cancel { flow = id }
+      | _ ->
+        now := !now +. 0.3 +. Dcn_util.Prng.float rng 1.2;
+        Dcn_serve.Event.Advance_clock { clock = !now })
+
+(* The column to watch is re-solved vs total intervals — the
+   incremental re-solve only rebuilds the timeline intervals each
+   event's flow span overlaps, so "resolved" must stay strictly below
+   "total" (the from-scratch cost), and every committed epoch must
+   certify. *)
 let serving () =
   section "E13. Serving: incremental re-solve per live event (Dcn_serve)";
   let n_events = if quick then 30 else 80 in
-  let rng = Dcn_util.Prng.create 42 in
-  let session =
-    Dcn_serve.Session.create ~pool ~graph:(Dcn_topology.Builders.line 5)
-      ~power:(Dcn_power.Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap:6. ())
-      ~policy:Dcn_resilience.Repair.Drop_latest_deadline ~seed:7 ()
-  in
-  let now = ref 0. and next_id = ref 1 and live = ref [] in
-  let events =
-    List.init n_events (fun _ ->
-        match Dcn_util.Prng.int rng 10 with
-        | 0 | 1 | 2 | 3 | 4 | 5 ->
-          let src = Dcn_util.Prng.int rng 5 in
-          let dst = (src + 1 + Dcn_util.Prng.int rng 4) mod 5 in
-          let release = !now +. Dcn_util.Prng.float rng 0.5 in
-          let deadline = release +. 1.5 +. Dcn_util.Prng.float rng 4.5 in
-          let f =
-            Dcn_flow.Flow.make ~id:!next_id ~src ~dst
-              ~volume:(0.5 +. Dcn_util.Prng.float rng 5.5)
-              ~release ~deadline
-          in
-          incr next_id;
-          live := f.Dcn_flow.Flow.id :: !live;
-          Dcn_serve.Event.Flow_arrival f
-        | 6 | 7 when !live <> [] ->
-          let i = Dcn_util.Prng.int rng (List.length !live) in
-          let id = List.nth !live i in
-          live := List.filter (fun j -> j <> id) !live;
-          Dcn_serve.Event.Flow_cancel { flow = id }
-        | _ ->
-          now := !now +. 0.3 +. Dcn_util.Prng.float rng 1.2;
-          Dcn_serve.Event.Advance_clock { clock = !now })
-  in
+  let session = synthetic_session () in
+  let events = synthetic_events n_events in
   let committed = ref 0 and degraded = ref 0 and rejected = ref 0 in
   let resolved = ref 0 and reused = ref 0 and uncertified = ref 0 in
   let t0 = Unix.gettimeofday () in
@@ -761,6 +767,52 @@ let serving () =
          ("uncertified_epochs", Json.Int !uncertified);
        ])
 
+(* What the telemetry layer costs the serving path: the same synthetic
+   stream applied twice, registry disabled (every Dcn_obs op is one
+   branch after the enabled check) and enabled (counters, a latency
+   histogram and a gauge refresh per event).  Must run before anything
+   else enables the registry, and leaves it enabled — the per-section
+   stage metrics above need it on.  Wall times stay under "seconds"
+   keys so the report section is baseline-safe (the gate skips them). *)
+let telemetry_overhead () =
+  section "E15. Telemetry overhead on the serving path (Dcn_obs)";
+  let n = if quick then 30 else 80 in
+  let events = synthetic_events n in
+  let time_run () =
+    let session = synthetic_session () in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun e -> ignore (Dcn_serve.Session.apply session e)) events;
+    Unix.gettimeofday () -. t0
+  in
+  (* Best of three per leg: one pass is ~10 ms here, well inside
+     scheduler-jitter territory. *)
+  let best () = Float.min (time_run ()) (Float.min (time_run ()) (time_run ())) in
+  let off = best () in
+  Dcn_obs.Registry.enable ();
+  let on = best () in
+  let row label dt =
+    [
+      label;
+      string_of_int n;
+      Printf.sprintf "%.2f" (1000. *. dt /. float_of_int n);
+      Printf.sprintf "%.1f" (float_of_int n /. dt);
+    ]
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:[ "telemetry"; "events"; "ms/event"; "events/s" ]
+       ~rows:[ row "off" off; row "on" on ]
+       ());
+  Printf.printf "overhead: %+.1f%% wall clock (expect noise level)\n"
+    (if off > 0. then 100. *. (on -. off) /. off else 0.);
+  report "telemetry_overhead"
+    (Json.Obj
+       [
+         ("events", Json.Int n);
+         ("off", Json.Obj [ ("seconds", Json.float off) ]);
+         ("on", Json.Obj [ ("seconds", Json.float on) ]);
+       ])
+
 let () =
   (* DCN_SELFCHECK=1: every solver run below certifies its own output. *)
   Dcn_check.Certify.selfcheck_from_env ();
@@ -770,6 +822,7 @@ let () =
     (if quick then "quick (fat-tree k=4)" else "paper scale (fat-tree k=8)")
     seeds
     (Dcn_engine.Pool.jobs pool);
+  telemetry_overhead ();
   example1 ();
   gadgets ();
   small_exact ();
@@ -784,8 +837,8 @@ let () =
   serving ();
   runtime_benchmarks ();
   kernel_scaling ();
-  section "Engine wall-time counters (Dcn_engine.Metrics)";
-  print_endline (Dcn_engine.Metrics.render ());
+  section "Engine wall-time counters (Dcn_obs.Stage)";
+  print_endline (Dcn_obs.Stage.render ());
   Dcn_engine.Pool.shutdown pool;
   flush_observability ();
   Printf.printf "\nDone.\n"

@@ -458,10 +458,24 @@ let trace_summary_cmd =
       & info [ "top" ] ~doc:"Show only the top $(docv) spans by self time (0 = all)."
           ~docv:"N")
   in
-  let run file top =
+  let format_t =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ]
+          ~doc:
+            "Output format: $(b,table) (human-readable) or $(b,json) (the \
+             same profile, machine-readable — the shape `dcn stats` shares).")
+  in
+  let run file top format =
     guard @@ fun () ->
     with_records file @@ fun records ->
-    print_string (Dcn_engine.Profile.summary ~top (Dcn_engine.Profile.of_records records));
+    let profile = Dcn_engine.Profile.of_records records in
+    (match format with
+    | `Table -> print_string (Dcn_engine.Profile.summary ~top profile)
+    | `Json ->
+      print_endline
+        (Json.to_string ~pretty:true (Dcn_engine.Profile.to_json ~top profile)));
     Ok ()
   in
   Cmd.v
@@ -469,7 +483,7 @@ let trace_summary_cmd =
        ~doc:
          "Profile a trace: per-span call counts, total/self time, latency \
           quantiles, GC allocation, counters.")
-    Term.(term_result (const run $ trace_file_t 0 "TRACE.json" $ top_t))
+    Term.(term_result (const run $ trace_file_t 0 "TRACE.json" $ top_t $ format_t))
 
 let trace_export_cmd =
   let format_t =
@@ -962,6 +976,96 @@ let strict_t =
           "Stop at the first malformed event line (default: report the \
            position on stderr and keep going).")
 
+(* Live telemetry surfaces (ROADMAP: observability).  --stats-every N
+   emits one snapshot line every N events; --stats FILE sends those
+   lines to FILE instead of interleaving with the outcome stream;
+   --metrics FILE rewrites a Prometheus text exposition atomically at
+   each snapshot.  Any of the three enables the registry; a final
+   snapshot always closes the run so short streams still yield data. *)
+
+let stats_every_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "stats-every" ]
+        ~doc:
+          "Emit a telemetry snapshot (one $(i,{\"stats\":...}) JSON line) \
+           every $(docv) events.  0 emits only the final snapshot (when \
+           --stats or --metrics is set)."
+        ~docv:"N")
+
+let stats_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ]
+        ~doc:
+          "Write snapshot lines to $(docv) instead of stdout; flushed per \
+           line, so $(b,dcn stats) can tail it live."
+        ~docv:"FILE")
+
+let metrics_file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ]
+        ~doc:
+          "Rewrite $(docv) atomically with the registry's Prometheus text \
+           exposition at every snapshot."
+        ~docv:"FILE")
+
+(* SIGUSR1 requests an immediate snapshot at the next event boundary;
+   guarded because not every platform exposes the signal. *)
+let usr1_snapshot = Atomic.make false
+
+let install_usr1 () =
+  try
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Atomic.set usr1_snapshot true))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* Run [f] with an [after_event] hook that drives the snapshot cadence.
+   When no stats surface was requested the hook is [ignore] and the
+   registry stays disabled — the serving loop pays one closure call per
+   event and {!Dcn_obs.Registry} ops stay one-branch no-ops. *)
+let with_stats ~stats_every ~stats_file ~metrics_file f =
+  if stats_every <= 0 && stats_file = None && metrics_file = None then
+    f ~after_event:ignore
+  else begin
+    Dcn_obs.Registry.enable ();
+    Atomic.set usr1_snapshot false;
+    install_usr1 ();
+    let oc, close =
+      match stats_file with
+      | None -> (stdout, ignore)
+      | Some path ->
+        let oc = open_out path in
+        (oc, fun () -> close_out oc)
+    in
+    let seq = ref 0 in
+    let snapshot () =
+      incr seq;
+      let snap = Dcn_obs.Snapshot.scrape ~seq:!seq () in
+      output_string oc (Dcn_obs.Expose.wire_line snap);
+      output_char oc '\n';
+      flush oc;
+      match metrics_file with
+      | None -> ()
+      | Some path ->
+        Dcn_obs.Expose.write_atomic ~path (Dcn_obs.Expose.prometheus snap)
+    in
+    let events = ref 0 in
+    let after_event () =
+      incr events;
+      if Atomic.exchange usr1_snapshot false then snapshot ()
+      else if stats_every > 0 && !events mod stats_every = 0 then snapshot ()
+    in
+    Fun.protect ~finally:close (fun () ->
+        let result = f ~after_event in
+        snapshot ();
+        result)
+  end
+
 let serve_session_result ~command ~strict ~parse_errors ~fatal session =
   match fatal with
   | Some msg -> Error (`Msg (Printf.sprintf "%s: malformed event at %s" command msg))
@@ -981,11 +1085,14 @@ let serve_section ~strict ~parse_errors session =
     ]
 
 let serve_cmd =
-  let run graph alpha sigma cap policy seed strict trace report jobs =
+  let run graph alpha sigma cap policy seed strict stats_every stats_file
+      metrics_file trace report jobs =
     guard @@ fun () ->
     Result.join
     @@ with_jobs jobs
     @@ fun pool ->
+    with_stats ~stats_every ~stats_file ~metrics_file
+    @@ fun ~after_event ->
     let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
     let session =
       Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
@@ -997,11 +1104,14 @@ let serve_cmd =
             (Json.to_string
                (Json.Obj
                   (("seq", Json.Int seq)
+                   :: ( "uptime_ms",
+                        Json.float (Dcn_serve.Session.uptime_ms session) )
                    :: ("event", Json.Str (Dcn_serve.Event.kind event))
                    ::
                    (match Dcn_serve.Session.outcome_to_json out with
                    | Json.Obj fields -> fields
-                   | j -> [ ("outcome", j) ]))))
+                   | j -> [ ("outcome", j) ]))));
+          after_event ()
         in
         outcome := serve_stream ~session ~strict ~on_outcome stdin;
         let parse_errors, _ = !outcome in
@@ -1019,11 +1129,16 @@ let serve_cmd =
           intervals its flow's span overlaps, warm-started from the previous \
           fractional solution; every committed epoch is independently \
           re-certified.  Bit-identical for a given event stream and --seed at \
-          every --jobs level; non-zero exit if any epoch fails certification.")
+          every --jobs level (outcome lines carry a wall-clock uptime_ms \
+          field, which is the one exception); non-zero exit if any epoch \
+          fails certification.  --stats-every/--stats/--metrics stream live \
+          telemetry (see $(b,dcn stats)); SIGUSR1 forces a snapshot at the \
+          next event.")
     Term.(
       term_result
         (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
-       $ strict_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+       $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t
+       $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 let replay_cmd =
   let events_t =
@@ -1033,12 +1148,14 @@ let replay_cmd =
       & info [] ~docv:"EVENTS"
           ~doc:"An event log: one JSON event per line (see $(b,dcn serve)).")
   in
-  let run graph alpha sigma cap policy seed strict events_file trace report jobs
-      =
+  let run graph alpha sigma cap policy seed strict stats_every stats_file
+      metrics_file events_file trace report jobs =
     guard @@ fun () ->
     Result.join
     @@ with_jobs jobs
     @@ fun pool ->
+    with_stats ~stats_every ~stats_file ~metrics_file
+    @@ fun ~after_event ->
     let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
     let session =
       Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
@@ -1053,7 +1170,8 @@ let replay_cmd =
           | Dcn_serve.Session.Rejected _ -> incr rejected);
           Format.printf "%4d  %-8s %a@." seq
             (Dcn_serve.Event.kind event)
-            Dcn_serve.Session.pp_outcome out
+            Dcn_serve.Session.pp_outcome out;
+          after_event ()
         in
         let ic = open_in events_file in
         Fun.protect
@@ -1076,11 +1194,102 @@ let replay_cmd =
          "Replay a recorded event log through a scheduler session offline — \
           same admission, incremental re-solve and per-epoch certification as \
           $(b,dcn serve), with a human-readable outcome per event.  \
-          Bit-identical for a given log and --seed at every --jobs level.")
+          Bit-identical for a given log and --seed at every --jobs level.  \
+          --stats-every/--stats/--metrics stream the same live telemetry as \
+          $(b,dcn serve).")
     Term.(
       term_result
         (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
-       $ strict_t $ events_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+       $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t $ events_t
+       $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+let stats_cmd =
+  let file_t =
+    Arg.(
+      value
+      & pos 0 string "-"
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A snapshot stream: the stdout of $(b,dcn serve --stats-every) \
+             or its --stats file.  $(b,-) reads stdin (the default), so \
+             $(b,dcn serve ... | dcn stats) renders live.")
+  in
+  let top_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "top" ]
+          ~doc:"Show only the first $(docv) metrics by name (0 = all)."
+          ~docv:"N")
+  in
+  let last_t =
+    Arg.(
+      value & flag
+      & info [ "last" ] ~doc:"Render only the final snapshot of the stream.")
+  in
+  let run file top last strict =
+    guard @@ fun () ->
+    let render snap =
+      print_string (Dcn_obs.Expose.render_table ~top snap);
+      print_newline ()
+    in
+    (* Same line discipline as `dcn serve` reading events: malformed
+       stats lines are skipped with a position on stderr, --strict stops
+       at the first one.  Lines that are valid JSON but not stats lines
+       (interleaved per-event outcomes) are passed over silently. *)
+    let process ic =
+      let line_no = ref 0 and seen = ref 0 and fatal = ref None in
+      let last_snap = ref None in
+      (try
+         while !fatal = None do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then
+             let bad msg =
+               if strict then fatal := Some msg
+               else Printf.eprintf "[stats] skipping %s\n%!" msg
+             in
+             match Json.parse line with
+             | Error e ->
+               bad
+                 (Printf.sprintf "line %d, byte %d: %s" !line_no e.Json.offset
+                    e.Json.message)
+             | Ok (Json.Obj fields) when List.mem_assoc "stats" fields -> (
+               match Dcn_obs.Snapshot.of_json (Json.Obj fields) with
+               | Error m -> bad (Printf.sprintf "line %d: %s" !line_no m)
+               | Ok snap ->
+                 incr seen;
+                 if last then last_snap := Some snap else render snap)
+             | Ok _ -> ()
+         done
+       with End_of_file -> ());
+      (match !last_snap with Some snap -> render snap | None -> ());
+      (!seen, !fatal)
+    in
+    let seen, fatal =
+      if file = "-" then process stdin
+      else
+        let ic = open_in file in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> process ic)
+    in
+    match fatal with
+    | Some msg ->
+      Error (`Msg (Printf.sprintf "stats: malformed snapshot at %s" msg))
+    | None ->
+      if seen = 0 then Error (`Msg "stats: no snapshot lines in the stream")
+      else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Render a telemetry snapshot stream (from $(b,dcn serve \
+          --stats-every) or $(b,dcn replay)) as aligned tables: the SLO \
+          indicators — apply-latency quantiles, admission outcome rates, \
+          interval reuse, deadline slack, energy against the fractional \
+          lower bound — then the raw metrics.  Interleaved per-event \
+          outcome lines are skipped; --strict fails at the first malformed \
+          snapshot line.")
+    Term.(term_result (const run $ file_t $ top_t $ last_t $ strict_t))
 
 let () =
   (* DCN_SELFCHECK=1 makes every solver certify its own output. *)
@@ -1104,4 +1313,5 @@ let () =
             resilience_cmd;
             serve_cmd;
             replay_cmd;
+            stats_cmd;
           ]))

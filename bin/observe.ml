@@ -4,18 +4,26 @@
    the way out.
 
    The command body returns the report's sections (a [Json.field list]);
-   the wrapper prepends the command name and appends the engine's
-   {!Dcn_engine.Metrics} snapshot and the trace's counter totals, so
-   every report has the same envelope:
+   the wrapper prepends the command name and appends the stage
+   wall-time snapshot ({!Dcn_obs.Stage}) and the trace's counter
+   totals, so every report has the same envelope:
 
    {v
    { "command": "...", <sections>, "metrics": [...], "counters": {...} }
-   v} *)
+   v}
+
+   Counter accounting is unified in the metrics registry: the wrapper
+   enables {!Dcn_obs.Registry}, stage timings are registry counters,
+   and every [Trace.counter] emission feeds the registry through the
+   counter hook.  The envelope's ["counters"] object still reads
+   {!Trace.counters} — the trace is the record of {e this} command's
+   emissions, and its totals are deterministic where the registry also
+   carries wall-time metrics. *)
 
 open Cmdliner
 module Trace = Dcn_engine.Trace
 module Json = Dcn_engine.Json
-module Metrics = Dcn_engine.Metrics
+module Stage = Dcn_obs.Stage
 
 let trace_t =
   Arg.(
@@ -62,6 +70,9 @@ let run ~command ~trace ~report f =
   match (trace, report) with
   | None, None -> ignore (f ())
   | _ ->
+    (* Stage metrics for the report come from the registry; idempotent
+       if the subcommand (e.g. serve --stats-every) enabled it already. *)
+    Dcn_obs.Registry.enable ();
     let t = Trace.create () in
     Trace.install t;
     let sections = Fun.protect ~finally:Trace.uninstall f in
@@ -73,7 +84,7 @@ let run ~command ~trace ~report f =
       let json =
         Json.Obj
           ((("command", Json.Str command) :: sections)
-          @ [ ("metrics", Metrics.to_json ()); ("counters", counters_json t) ])
+          @ [ ("metrics", Stage.to_json ()); ("counters", counters_json t) ])
       in
       write_file path (Json.to_string ~pretty:true json)
     | None -> ())

@@ -32,7 +32,7 @@ let eps = 1e-9
    bound of the energy consumption by SP routing" in the paper's own
    words — and the result is then flagged via [placement_complete]. *)
 let solve_routed ?(algorithm = "mcf") inst ~routing =
-  Dcn_engine.Metrics.time "core.mcf" @@ fun () ->
+  Dcn_obs.Stage.time "core.mcf" @@ fun () ->
   Trace.span "mcf.solve"
     ~fields:
       [

@@ -100,7 +100,7 @@ let solve ?(config = default_config) ?relaxation ~instance:inst
         Relaxation.solve ~pool ~fw_config:config.fw_config
           ~workspace:ws.Solver_api.kernel inst)
   in
-  Dcn_engine.Metrics.time "core.rounding" @@ fun () ->
+  Dcn_obs.Stage.time "core.rounding" @@ fun () ->
   Trace.span "rs.solve"
     ~fields:
       [

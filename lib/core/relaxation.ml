@@ -135,6 +135,17 @@ let solve_interval ~g ~power ~tl ~flows ~fw_config ~workspace ~warm k =
     trace_interval s ~active:(List.length active) ~iterations:sol.Fw.iterations;
     s
 
+(* Live-telemetry counters (one-branch no-ops unless the registry is
+   enabled); incremented on the caller's domain after the pool barrier
+   so totals are identical at every [--jobs]. *)
+let obs_solved =
+  Dcn_obs.Registry.counter ~help:"intervals solved from scratch"
+    "relaxation.intervals_solved"
+
+let obs_reused =
+  Dcn_obs.Registry.counter ~help:"intervals reused verbatim"
+    "relaxation.intervals_reused"
+
 let weighted intervals part =
   Array.fold_left
     (fun acc s ->
@@ -144,7 +155,7 @@ let weighted intervals part =
 
 let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
     ?workspace inst =
-  Dcn_engine.Metrics.time "core.relaxation" @@ fun () ->
+  Dcn_obs.Stage.time "core.relaxation" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let tl = Instance.timeline inst in
@@ -161,6 +172,7 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
       (solve_interval ~g ~power ~tl ~flows ~fw_config ~workspace ~warm:cold)
       (Array.init (Timeline.num_intervals tl) Fun.id)
   in
+  Dcn_obs.Registry.incr ~by:(Array.length intervals) obs_solved;
   {
     timeline = tl;
     intervals;
@@ -170,7 +182,7 @@ let solve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
 
 let resolve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config)
     ?workspace ~previous ~window inst =
-  Dcn_engine.Metrics.time "core.relaxation" @@ fun () ->
+  Dcn_obs.Stage.time "core.relaxation" @@ fun () ->
   let g = inst.Instance.graph in
   let power = inst.Instance.power in
   let tl = Instance.timeline inst in
@@ -233,6 +245,8 @@ let resolve ?(pool = Dcn_engine.Pool.sequential) ?(fw_config = Fw.default_config
     Array.fold_left (fun acc (_, r) -> if r then acc + 1 else acc) 0 results
   in
   let stats = { resolved = Array.length results - reused; reused } in
+  Dcn_obs.Registry.incr ~by:stats.resolved obs_solved;
+  Dcn_obs.Registry.incr ~by:stats.reused obs_reused;
   ( {
       timeline = tl;
       intervals;

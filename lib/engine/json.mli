@@ -1,9 +1,9 @@
 (** A minimal JSON tree, emitter and parser — no external dependency.
 
     The machine-readable surface of the engine: {!Trace.to_json},
-    {!Metrics.to_json}, [Dcn_core.Serialize.solution_to_json] and the
-    CLI's [--report] files all build values of this type and print them
-    with {!to_string}.  The parser exists so tests (and the [check-json]
+    [Dcn_obs.Stage.to_json], [Dcn_core.Serialize.solution_to_json] and
+    the CLI's [--report] files all build values of this type and print
+    them with {!to_string}.  The parser exists so tests (and the [check-json]
     alias) can validate emitted reports without a third-party library.
 
     Floats are emitted with full [%.17g] precision so numbers

@@ -265,8 +265,7 @@ let summary ?(top = 0) p =
        p.record_count (List.length p.domains) (ms p.duration_ns)
        (if p.unclosed > 0 then Printf.sprintf " (%d unclosed span(s))" p.unclosed
         else ""));
-  let shown = if top > 0 then List.filteri (fun i _ -> i < top) p.spans else p.spans in
-  if shown <> [] then begin
+  if p.spans <> [] then begin
     let rows =
       List.map
         (fun s ->
@@ -281,19 +280,15 @@ let summary ?(top = 0) p =
             Printf.sprintf "%.0f" s.minor_words;
             Printf.sprintf "%.0f" s.major_words;
           ])
-        shown
+        p.spans
     in
     Buffer.add_char buf '\n';
     Buffer.add_string buf
-      (Dcn_util.Table.render
+      (Dcn_util.Table.render_top ~top ~what:"span names by self time"
          ~headers:
            [ "span"; "calls"; "total ms"; "self ms"; "p50 ms"; "p90 ms";
              "p99 ms"; "minor w"; "major w" ]
-         ~rows ());
-    if top > 0 && List.length p.spans > top then
-      Buffer.add_string buf
-        (Printf.sprintf "(top %d of %d span names by self time)\n" top
-           (List.length p.spans))
+         ~rows ())
   end;
   if p.events <> [] then begin
     Buffer.add_char buf '\n';
@@ -316,6 +311,55 @@ let summary ?(top = 0) p =
          ())
   end;
   Buffer.contents buf
+
+(* The machine-readable twin of [summary]: same aggregates, same order,
+   no truncation.  [dcn trace summary --format json] and [dcn stats]
+   both build on this shape. *)
+let to_json ?(top = 0) p =
+  let spans = if top > 0 then List.filteri (fun i _ -> i < top) p.spans else p.spans in
+  Json.Obj
+    [
+      ("records", Json.Int p.record_count);
+      ("domains", Json.List (List.map (fun d -> Json.Int d) p.domains));
+      ("duration_ms", Json.float (ms p.duration_ns));
+      ("unclosed", Json.Int p.unclosed);
+      ("span_names", Json.Int (List.length p.spans));
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.name);
+                   ("calls", Json.Int s.count);
+                   ("total_ms", Json.float (ms s.total_ns));
+                   ("self_ms", Json.float (ms s.self_ns));
+                   ("p50_ms", Json.float (ms (Hist.quantile s.hist 0.5)));
+                   ("p90_ms", Json.float (ms (Hist.quantile s.hist 0.9)));
+                   ("p99_ms", Json.float (ms (Hist.quantile s.hist 0.99)));
+                   ("minor_words", Json.float s.minor_words);
+                   ("major_words", Json.float s.major_words);
+                 ])
+             spans) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun (n, c) ->
+               Json.Obj [ ("name", Json.Str n); ("count", Json.Int c) ])
+             p.events) );
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (n, series) ->
+               let final = match List.rev series with [] -> 0. | p :: _ -> p.total in
+               Json.Obj
+                 [
+                   ("name", Json.Str n);
+                   ("final", Json.float final);
+                   ("points", Json.Int (List.length series));
+                 ])
+             p.counters) );
+    ]
 
 (* --------------------------- Chrome export ------------------------ *)
 

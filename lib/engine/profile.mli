@@ -88,6 +88,14 @@ val summary : ?top:int -> t -> string
 (** Aligned text tables: spans by self time ([top] > 0 truncates),
     event counts, counter totals. *)
 
+val to_json : ?top:int -> t -> Json.t
+(** The same aggregates as {!summary}, machine-readable: a
+    [{records, domains, duration_ms, unclosed, span_names, spans,
+    events, counters}] object where [spans] rows carry
+    [{name, calls, total_ms, self_ms, p50_ms, p90_ms, p99_ms,
+    minor_words, major_words}].  [top] > 0 truncates [spans] (the
+    untruncated name count stays in [span_names]). *)
+
 val to_chrome : Trace.record list -> Json.t
 (** Chrome trace-event JSON (load in Perfetto / [chrome://tracing]):
     spans as [ph:"B"]/[ph:"E"] pairs, point events as instants,

@@ -89,7 +89,7 @@ let run_one params ~graph ~n ~seed =
   }
 
 let run ?(progress = fun _ -> ()) ?(pool = Dcn_engine.Pool.sequential) params =
-  Dcn_engine.Metrics.time "experiments.fig2" @@ fun () ->
+  Dcn_obs.Stage.time "experiments.fig2" @@ fun () ->
   Trace.span "experiment.fig2"
     ~fields:
       [

@@ -73,10 +73,22 @@ let golden_section ~iters f =
   done;
   (!a +. !b) /. 2.
 
+(* Per-engine iteration counters for live telemetry; one-branch no-ops
+   while the registry is disabled, and incremented unconditionally (the
+   trace event below stays gated on an installed trace). *)
+let obs_iters_reference =
+  Dcn_obs.Registry.counter ~help:"Frank-Wolfe iterations"
+    ~labels:[ ("engine", "reference") ] "fw.iterations"
+
+let obs_iters_kernel =
+  Dcn_obs.Registry.counter ~help:"Frank-Wolfe iterations"
+    ~labels:[ ("engine", "kernel") ] "fw.iterations"
+
 (* One record per Frank–Wolfe iteration: the duality gap, the objective
    it was measured at, and the accepted line-search step (0 on the
    terminating iteration).  One branch when no trace is installed. *)
-let trace_iter iter gap objective step =
+let trace_iter obs iter gap objective step =
+  Dcn_obs.Registry.incr obs;
   if Trace.on () then begin
     Trace.event "fw.iter"
       ~fields:
@@ -217,7 +229,7 @@ let reference_impl ~config ~warm_start problem =
        final_gap := Float.max 0. !gap;
        let obj_now = objective loads in
        if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then begin
-         trace_iter iter !final_gap obj_now 0.;
+         trace_iter obs_iters_reference iter !final_gap obj_now 0.;
          raise Exit
        end;
        (* Line search over the segment towards the all-or-nothing point. *)
@@ -230,7 +242,7 @@ let reference_impl ~config ~warm_start problem =
        in
        let theta = golden_section ~iters:config.line_search_iters blend_obj in
        let theta = if blend_obj theta < obj_now then theta else 0. in
-       trace_iter iter !final_gap obj_now theta;
+       trace_iter obs_iters_reference iter !final_gap obj_now theta;
        if theta <= 1e-12 then raise Exit;
        for i = 0 to nc - 1 do
          let fi = flows.(i) in
@@ -528,7 +540,7 @@ let kernel_impl ~config ~warm_start ~workspace ~(pw : piecewise) problem =
        done;
        let obj_now = acc.(0) in
        if !final_gap <= config.gap_tol *. Float.max 1e-12 obj_now then begin
-         trace_iter iter !final_gap obj_now 0.;
+         trace_iter obs_iters_kernel iter !final_gap obj_now 0.;
          raise Exit
        end;
        (* Golden-section line search towards the all-or-nothing point;
@@ -567,7 +579,7 @@ let kernel_impl ~config ~warm_start ~workspace ~(pw : piecewise) problem =
        acc.(7) <- theta0;
        blend_eval ();
        let theta = if acc.(8) < obj_now then theta0 else 0. in
-       trace_iter iter !final_gap obj_now theta;
+       trace_iter obs_iters_kernel iter !final_gap obj_now theta;
        if theta <= 1e-12 then raise Exit;
        (* Convex blend of the per-commodity flows and the loads. *)
        for i = 0 to nc - 1 do

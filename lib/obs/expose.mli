@@ -1,0 +1,38 @@
+(** Telemetry surfaces: the newline-JSON wire line, Prometheus text
+    exposition, and the aligned table [dcn stats] renders.
+
+    One module owns every serialisation of a {!Snapshot} so the stream,
+    the scrape file and the live table cannot drift apart. *)
+
+val wire_line : Snapshot.t -> string
+(** One line (no trailing newline):
+    [{"stats": {version, seq, uptime_ms, metrics: [...], slo: {...}}}]
+    — the bare snapshot plus its derived {!Slo} section, wrapped under
+    ["stats"] so stats lines interleave with per-event outcome lines
+    unambiguously. *)
+
+val prometheus : Snapshot.t -> string
+(** Prometheus text exposition (version 0.0.4).  Metric names are
+    sanitised ([[a-zA-Z0-9_:]], everything else becomes ['_']) and
+    prefixed with [dcn_]; counters gain the conventional [_total]
+    suffix; histograms are exposed as [summary] metrics (p50/p90/p99
+    [quantile] series plus [_sum] and [_count]).  Non-finite values
+    render as [+Inf]/[-Inf]/[NaN]. *)
+
+val validate_prometheus : string -> (unit, string) result
+(** Line-by-line shape check of a {!prometheus} payload: well-formed
+    [# HELP]/[# TYPE] comments with known types, metric lines matching
+    [name{label="v",...} value], names in the legal charset, every
+    sample preceded by a [# TYPE] for its family.  [Error] carries the
+    first offending line. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write via a temp file in the target directory and [rename], so a
+    concurrent scraper never observes a torn file.  Silent (called once
+    per snapshot). *)
+
+val render_table : ?top:int -> Snapshot.t -> string
+(** The [dcn stats] rendering: a snapshot header, the {!Slo.rows}
+    indicator table, then the raw metrics sorted by name ([top] > 0
+    truncates, footer says how many were dropped — the
+    {!Dcn_util.Table.render_top} shape [dcn trace summary] uses). *)

@@ -1,0 +1,153 @@
+(* Registry scrapes frozen for the wire.  See snapshot.mli. *)
+
+module Json = Dcn_engine.Json
+
+type t = {
+  version : int;
+  seq : int;
+  uptime_ms : float;
+  metrics : Registry.sample list;
+}
+
+let wire_version = 1
+
+let scrape ~seq () =
+  {
+    version = wire_version;
+    seq;
+    uptime_ms = Registry.uptime_ms ();
+    metrics = Registry.samples ();
+  }
+
+(* ------------------------------ writing --------------------------- *)
+
+let sample_to_json (s : Registry.sample) =
+  let base = [ ("name", Json.Str s.s_name) ] in
+  let labels =
+    match s.s_labels with
+    | [] -> []
+    | ls -> [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ls)) ]
+  in
+  let help = match s.s_help with "" -> [] | h -> [ ("help", Json.Str h) ] in
+  let kind = [ ("kind", Json.Str (Registry.kind_to_string s.s_kind)) ] in
+  let value =
+    match s.s_value with
+    | Registry.Value v -> [ ("value", Json.float v) ]
+    | Registry.Dist d ->
+      [
+        ("count", Json.Int d.d_count);
+        ("sum", Json.float d.d_sum);
+        ("min", Json.float d.d_min);
+        ("max", Json.float d.d_max);
+        ("p50", Json.float d.d_p50);
+        ("p90", Json.float d.d_p90);
+        ("p99", Json.float d.d_p99);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ])
+               d.d_buckets) );
+      ]
+  in
+  Json.Obj (base @ labels @ kind @ help @ value)
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int t.version);
+      ("seq", Json.Int t.seq);
+      ("uptime_ms", Json.float t.uptime_ms);
+      ("metrics", Json.List (List.map sample_to_json t.metrics));
+    ]
+
+(* ------------------------------ reading --------------------------- *)
+
+let sample_of_json j : Registry.sample =
+  let name = Json.to_str (Json.get "name" j) in
+  let labels =
+    match Json.member "labels" j with
+    | None -> []
+    | Some o ->
+      List.sort compare (List.map (fun (k, v) -> (k, Json.to_str v)) (Json.to_obj o))
+  in
+  let help =
+    match Json.member "help" j with Some h -> Json.to_str h | None -> ""
+  in
+  let kind =
+    let k = Json.to_str (Json.get "kind" j) in
+    match Registry.kind_of_string k with
+    | Some k -> k
+    | None -> failwith (Printf.sprintf "unknown metric kind %S" k)
+  in
+  let value =
+    match kind with
+    | Registry.Counter | Registry.Gauge ->
+      Registry.Value (Json.to_float (Json.get "value" j))
+    | Registry.Histogram ->
+      Registry.Dist
+        {
+          d_count = Json.to_int (Json.get "count" j);
+          d_sum = Json.to_float (Json.get "sum" j);
+          d_min = Json.to_float (Json.get "min" j);
+          d_max = Json.to_float (Json.get "max" j);
+          d_p50 = Json.to_float (Json.get "p50" j);
+          d_p90 = Json.to_float (Json.get "p90" j);
+          d_p99 = Json.to_float (Json.get "p99" j);
+          d_buckets =
+            List.map
+              (fun pair ->
+                match Json.to_list pair with
+                | [ b; c ] -> (Json.to_int b, Json.to_int c)
+                | _ -> failwith "histogram bucket is not a [index, count] pair")
+              (Json.to_list (Json.get "buckets" j));
+        }
+  in
+  { s_name = name; s_labels = labels; s_kind = kind; s_help = help; s_value = value }
+
+let of_json j =
+  try
+    let body = match Json.member "stats" j with Some inner -> inner | None -> j in
+    let version =
+      match Json.member "version" j, Json.member "version" body with
+      | _, Some v | Some v, None -> Json.to_int v
+      | None, None -> failwith "missing snapshot version"
+    in
+    if version <> wire_version then
+      failwith (Printf.sprintf "unsupported snapshot version %d" version)
+    else
+      Ok
+        {
+          version;
+          seq = Json.to_int (Json.get "seq" body);
+          uptime_ms = Json.to_float (Json.get "uptime_ms" body);
+          metrics = List.map sample_of_json (Json.to_list (Json.get "metrics" body));
+        }
+  with Failure m -> Error m
+
+(* ------------------------------ lookups --------------------------- *)
+
+let find ?labels t name =
+  let labels = Option.map (List.sort compare) labels in
+  List.find_opt
+    (fun (s : Registry.sample) ->
+      s.s_name = name
+      && match labels with None -> true | Some ls -> s.s_labels = ls)
+    t.metrics
+
+let counter_total t name =
+  List.fold_left
+    (fun acc (s : Registry.sample) ->
+      match s.s_value with
+      | Registry.Value v when s.s_name = name -> acc +. v
+      | _ -> acc)
+    0. t.metrics
+
+let gauge_value t name =
+  match find t name with
+  | Some { s_value = Registry.Value v; s_kind = Registry.Gauge; _ } -> Some v
+  | _ -> None
+
+let dist t name =
+  match find t name with
+  | Some { s_value = Registry.Dist d; _ } -> Some d
+  | _ -> None

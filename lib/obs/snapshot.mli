@@ -1,0 +1,49 @@
+(** Self-contained telemetry snapshots: a scrape of the {!Registry}
+    frozen with a sequence number, ready for the newline-JSON stream
+    [dcn serve --stats-every] emits and [dcn stats] consumes.
+
+    A snapshot is a {e pure merge} of the registry's per-domain shards
+    — see {!Registry.samples} for the determinism contract.  The wire
+    shape (one JSON object per line, wrapped under a ["stats"] key so a
+    stats stream can be interleaved with per-event outcome lines and
+    still be told apart) is versioned; {!of_json} is total and ignores
+    unknown fields, so older readers survive newer writers. *)
+
+type t = {
+  version : int;  (** wire version, currently 1 *)
+  seq : int;  (** monotone per emitting process *)
+  uptime_ms : float;  (** since {!Registry.enable} *)
+  metrics : Registry.sample list;  (** sorted by [(name, labels)] *)
+}
+
+val wire_version : int
+
+val scrape : seq:int -> unit -> t
+(** Freeze the current registry contents. *)
+
+val to_json : t -> Dcn_engine.Json.t
+(** The {e bare} snapshot object
+    [{version, seq, uptime_ms, metrics: [...]}] — no ["stats"] wrapper,
+    no derived SLO section; [Expose.wire_line] composes the full wire
+    line. *)
+
+val of_json : Dcn_engine.Json.t -> (t, string) result
+(** Total reader for both the bare {!to_json} object and the wrapped
+    [{"stats": {...}}] wire line.  Unknown fields (e.g. ["slo"]) are
+    ignored; malformed metric rows, a missing version or an unsupported
+    version yield [Error]. *)
+
+(** {1 Lookups} *)
+
+val find : ?labels:(string * string) list -> t -> string -> Registry.sample option
+(** First metric with this name (and exactly these labels when
+    [labels] is given; label order is normalised). *)
+
+val counter_total : t -> string -> float
+(** Sum of the [Value] samples carrying this name across {e all} label
+    sets (0 when absent) — e.g. [fw.iterations] over its [engine]
+    label. *)
+
+val gauge_value : t -> string -> float option
+
+val dist : t -> string -> Registry.dist option

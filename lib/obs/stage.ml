@@ -1,37 +1,65 @@
+(* Stage wall-clock accounting as registry counter pairs.  See
+   stage.mli. *)
+
+module Json = Dcn_engine.Json
+
 type snapshot = { stage : string; calls : int; seconds : float }
 
+(* stage name -> (calls handle, seconds handle); cold path, mutex is
+   fine.  Registration is idempotent, so losing a race only costs a
+   duplicate lookup. *)
 let mutex = Mutex.create ()
-let table : (string, int * float) Hashtbl.t = Hashtbl.create 16
+let handles : (string, Registry.counter * Registry.counter) Hashtbl.t =
+  Hashtbl.create 16
 
-let record stage seconds =
+let handles_for stage =
   Mutex.lock mutex;
-  let calls, total =
-    match Hashtbl.find_opt table stage with Some c -> c | None -> (0, 0.)
+  let h =
+    match Hashtbl.find_opt handles stage with
+    | Some h -> h
+    | None ->
+      let c =
+        Registry.counter ~help:"stage call count" ~labels:[ ("stage", stage) ]
+          "stage.calls"
+      in
+      let s =
+        Registry.counter ~help:"stage cumulative wall seconds"
+          ~labels:[ ("stage", stage) ] "stage.seconds"
+      in
+      Hashtbl.replace handles stage (c, s);
+      (c, s)
   in
-  Hashtbl.replace table stage (calls + 1, total +. seconds);
-  Mutex.unlock mutex
+  Mutex.unlock mutex;
+  h
 
 let time stage f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> record stage (Unix.gettimeofday () -. t0)) f
+  if not (Registry.on ()) then f ()
+  else begin
+    let calls, seconds = handles_for stage in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        Registry.incr calls;
+        Registry.add seconds (Unix.gettimeofday () -. t0))
+      f
+  end
 
 let snapshot () =
   Mutex.lock mutex;
-  let all =
-    Hashtbl.fold
-      (fun stage (calls, seconds) acc -> { stage; calls; seconds } :: acc)
-      table []
-  in
+  let stages = Hashtbl.fold (fun k v acc -> (k, v) :: acc) handles [] in
   Mutex.unlock mutex;
+  let all =
+    List.filter_map
+      (fun (stage, (c, s)) ->
+        let calls = int_of_float (Registry.value c) in
+        if calls <= 0 then None
+        else Some { stage; calls; seconds = Registry.value s })
+      stages
+  in
   List.sort
     (fun a b ->
       match compare b.seconds a.seconds with 0 -> compare a.stage b.stage | c -> c)
     all
-
-let reset () =
-  Mutex.lock mutex;
-  Hashtbl.reset table;
-  Mutex.unlock mutex
 
 let since ~base now =
   let at_base = Hashtbl.create 16 in

@@ -1,0 +1,44 @@
+(** Per-stage wall-clock accounting on top of the {!Registry}.
+
+    The successor of the deleted [Dcn_engine.Metrics]: [time stage f]
+    charges [f]'s wall time to [stage], and the snapshot/JSON/table
+    shapes are unchanged so existing report consumers keep working.
+    Under the hood each stage is a pair of registry counters
+    ([stage.calls{stage=...}] and [stage.seconds{stage=...}]), so stage
+    timings appear in telemetry snapshots and Prometheus exposition for
+    free, and the totals merge across domains like every other counter.
+
+    Unlike the old module, nothing is recorded while the registry is
+    disabled — {!time} is then just [f ()] after one branch, meeting
+    the layer-wide zero-cost contract.  The CLI and bench enable the
+    registry whenever they want stage metrics in a report. *)
+
+type snapshot = {
+  stage : string;
+  calls : int;
+  seconds : float;  (** cumulative wall time, summed across domains *)
+}
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f ()] and charges its wall time to [stage]
+    (also on exception).  A one-branch no-op wrapper while the registry
+    is disabled. *)
+
+val snapshot : unit -> snapshot list
+(** Stages with at least one recorded call, sorted by descending
+    cumulative time then stage name. *)
+
+val since : base:snapshot list -> snapshot list -> snapshot list
+(** Per-stage delta [now - base]; stages with no new calls are dropped
+    (the bench harness attributes each stage's activity to exactly one
+    section with a chain of [since] cuts). *)
+
+val snapshot_to_json : snapshot list -> Dcn_engine.Json.t
+(** A JSON list of [{stage, calls, seconds}] objects, in list order. *)
+
+val to_json : unit -> Dcn_engine.Json.t
+(** [snapshot_to_json (snapshot ())]. *)
+
+val render : unit -> string
+(** The snapshot as an aligned text table (empty string when no stage
+    has been recorded). *)

@@ -173,8 +173,27 @@ let casualty policy ~is_new flows =
 
 let next_casualty = casualty
 
+(* Live telemetry: one increment per repair, labelled by outcome.
+   ([Deadline.Expired] escapes are not outcomes and stay uncounted.) *)
+let obs_outcome =
+  let mk outcome =
+    Dcn_obs.Registry.counter ~help:"schedule repair outcomes"
+      ~labels:[ ("outcome", outcome) ] "repair.outcomes"
+  in
+  let repaired = mk "repaired" in
+  let degraded = mk "degraded" in
+  let irreparable = mk "irreparable" in
+  fun r ->
+    Dcn_obs.Registry.incr
+      (match r with
+      | Repaired _ -> repaired
+      | Degraded _ -> degraded
+      | Irreparable _ -> irreparable);
+    r
+
 let repair ?(config = default_config) ~policy ~rng ~committed ~event inst =
-  Trace.span
+  obs_outcome
+  @@ Trace.span
     ~fields:[ ("event", Json.Str (Fault.kind event)) ]
     "resilience.repair"
   @@ fun () ->

@@ -50,6 +50,14 @@ let status_to_string = function
   | Skipped -> "skipped"
   | Failed m -> Printf.sprintf "failed: %s" m
 
+(* Live telemetry: solves started and stages lost to their budget. *)
+let obs_solves =
+  Dcn_obs.Registry.counter ~help:"watchdog fallback-chain solves"
+    "watchdog.solves"
+
+let obs_timeouts =
+  Dcn_obs.Registry.counter ~help:"watchdog stage timeouts" "watchdog.timeouts"
+
 (* Same gate as the differential oracle: exhaustion only where the
    enumeration budget is certainly small. *)
 let exact_gate inst =
@@ -63,10 +71,12 @@ let guarded deadline stage f =
   match Deadline.with_deadline deadline f with
   | v -> (v, { stage; status = Answered })
   | exception Deadline.Expired ->
+    Dcn_obs.Registry.incr obs_timeouts;
     Trace.event ~fields:[ ("stage", Json.Str stage) ] "watchdog.timeout";
     (None, { stage; status = Timed_out })
 
 let solve ?(config = default_config) ~rng inst =
+  Dcn_obs.Registry.incr obs_solves;
   Trace.span "watchdog.solve" @@ fun () ->
   (* Honour an enclosing budget: the guarded stages run under the
      tighter of the watchdog's own deadline and the ambient one. *)

@@ -15,7 +15,17 @@
     equal endpoints, non-finite numbers) come back as [Error] with a
     message, never an exception.  Positioned errors (line and byte
     offset of a malformed stream line) are the transport's job — see
-    {!Dcn_engine.Json.parse} and the [dcn serve]/[dcn replay] loop. *)
+    {!Dcn_engine.Json.parse} and the [dcn serve]/[dcn replay] loop.
+
+    {b Wire note (outcome direction).}  Since the telemetry release the
+    per-event outcome lines [dcn serve] writes carry two extra leading
+    fields stamped by the CLI layer: a monotone ["seq"] and
+    ["uptime_ms"] (wall-clock, the single nondeterministic outcome
+    field).  They are not part of this module — session outcomes stay
+    byte-identical across [--jobs] — and [of_json] here still accepts
+    exactly the three {e input} event shapes above, ignoring nothing:
+    readers of the outcome stream should tell stats lines apart by
+    their ["stats"] wrapper (see {!Dcn_obs.Snapshot}). *)
 
 type t =
   | Flow_arrival of Dcn_flow.Flow.t

@@ -40,6 +40,54 @@ type stats = {
   mutable uncertified_epochs : int;
 }
 
+(* Live-telemetry handles.  Counters/histograms are updated on the
+   caller's domain with values that are pure functions of the event
+   sequence (except wall time and allocation, which are genuinely
+   nondeterministic), so snapshot totals stay bit-identical at every
+   [--jobs].  [serve.resolved_intervals]/[serve.reused_intervals] reach
+   the registry through the [Trace.counter] hook instead — the
+   emissions in [resolve_relaxation] below are unconditional. *)
+let obs_events = Dcn_obs.Registry.counter ~help:"events applied" "serve.events"
+
+let obs_committed =
+  Dcn_obs.Registry.counter ~help:"events committed" "serve.committed"
+
+let obs_degraded =
+  Dcn_obs.Registry.counter ~help:"events absorbed after shedding" "serve.degraded"
+
+let obs_rejected =
+  Dcn_obs.Registry.counter ~help:"events refused" "serve.rejected"
+
+let obs_certified =
+  Dcn_obs.Registry.counter ~help:"epochs re-certified clean" "serve.certified"
+
+let obs_uncertified =
+  Dcn_obs.Registry.counter ~help:"epochs failing certification"
+    "serve.uncertified"
+
+let obs_apply_ms =
+  Dcn_obs.Registry.histogram ~help:"per-event apply latency (ms)"
+    "serve.apply_ms"
+
+let obs_apply_minor_words =
+  Dcn_obs.Registry.counter ~help:"minor-heap words allocated in apply"
+    "serve.apply_minor_words"
+
+let obs_energy =
+  Dcn_obs.Registry.gauge ~help:"committed schedule energy (Eq. 5)"
+    "serve.energy"
+
+let obs_energy_lb =
+  Dcn_obs.Registry.gauge ~help:"fractional relaxation lower bound"
+    "serve.energy_lb"
+
+let obs_min_slack =
+  Dcn_obs.Registry.gauge ~help:"min (deadline - clock) over committed flows"
+    "serve.min_slack"
+
+let obs_active_flows =
+  Dcn_obs.Registry.gauge ~help:"committed flows" "serve.active_flows"
+
 type t = {
   graph : Graph.t;
   power : Model.t;
@@ -49,6 +97,7 @@ type t = {
   rng : Prng.t;
   (* Flat Frank-Wolfe arenas, reused across every epoch's re-solve. *)
   workspace : Dcn_mcf.Kernel.Workspace.t;
+  created : float;  (* wall clock at [create], for [uptime_ms] *)
   mutable clock : float;
   mutable flows : Flow.t list;  (* ascending id *)
   mutable paths : (int * Graph.link list) list;  (* flow id -> committed path *)
@@ -69,6 +118,7 @@ let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
     pool;
     rng = Prng.create seed;
     workspace = Dcn_mcf.Kernel.Workspace.create ();
+    created = Unix.gettimeofday ();
     clock = 0.;
     flows = [];
     paths = [];
@@ -144,6 +194,7 @@ let outcome_to_json o =
     Json.Obj [ ("outcome", Json.Str "rejected"); ("reason", Json.Str reason) ]
 
 let clock t = t.clock
+let uptime_ms t = 1e3 *. (Unix.gettimeofday () -. t.created)
 let active_flows t = t.flows
 let schedule t = t.schedule
 
@@ -220,8 +271,14 @@ let commit t ~flows ~paths ~relax ~sched ~inst ~dropped ~retired
   s.dropped <- s.dropped + List.length dropped;
   s.retired <- s.retired + List.length retired;
   if t.config.certify && Option.is_some sched then
-    if violations = [] then s.certified_epochs <- s.certified_epochs + 1
-    else s.uncertified_epochs <- s.uncertified_epochs + 1;
+    if violations = [] then begin
+      s.certified_epochs <- s.certified_epochs + 1;
+      Dcn_obs.Registry.incr obs_certified
+    end
+    else begin
+      s.uncertified_epochs <- s.uncertified_epochs + 1;
+      Dcn_obs.Registry.incr obs_uncertified
+    end;
   let energy = match sched with None -> 0. | Some sc -> Schedule.energy sc in
   let detail =
     {
@@ -436,8 +493,35 @@ let on_advance t to_ =
             ~sched:(Some sched) ~inst:(Some inst) ~dropped:[] ~retired ~rstats))
   end
 
+(* SLO gauges refreshed after every event; guarded so a disabled
+   registry costs one branch and no recomputation.  Energy comes off
+   the outcome's detail — the commit path already paid for it, and the
+   refresh must not add an O(schedule) walk per event.  A [Rejected]
+   outcome leaves the committed state (and so the gauges) unchanged. *)
+let refresh_gauges t outcome =
+  if Dcn_obs.Registry.on () then begin
+    Dcn_obs.Registry.set obs_active_flows (float_of_int (List.length t.flows));
+    (match t.flows with
+    | [] -> ()
+    | fs ->
+      Dcn_obs.Registry.set obs_min_slack
+        (List.fold_left
+           (fun acc (f : Flow.t) -> Float.min acc (f.deadline -. t.clock))
+           infinity fs));
+    (match outcome with
+    | Committed d | Degraded d -> Dcn_obs.Registry.set obs_energy d.energy
+    | Rejected _ -> ());
+    match t.relaxation with
+    | Some r -> Dcn_obs.Registry.set obs_energy_lb r.Relaxation.lb
+    | None -> ()
+  end
+
 let apply t event =
   t.stats.events <- t.stats.events + 1;
+  Dcn_obs.Registry.incr obs_events;
+  let telemetry = Dcn_obs.Registry.on () in
+  let t0 = if telemetry then Unix.gettimeofday () else 0. in
+  let minor0 = if telemetry then Gc.minor_words () else 0. in
   let outcome =
     Trace.span
       ~fields:[ ("kind", Json.Str (Event.kind event)) ]
@@ -453,9 +537,20 @@ let apply t event =
     | e -> Rejected { reason = Printexc.to_string e }
   in
   (match outcome with
-  | Committed _ -> t.stats.committed <- t.stats.committed + 1
-  | Degraded _ -> t.stats.degraded <- t.stats.degraded + 1
-  | Rejected _ -> t.stats.rejected <- t.stats.rejected + 1);
+  | Committed _ ->
+    t.stats.committed <- t.stats.committed + 1;
+    Dcn_obs.Registry.incr obs_committed
+  | Degraded _ ->
+    t.stats.degraded <- t.stats.degraded + 1;
+    Dcn_obs.Registry.incr obs_degraded
+  | Rejected _ ->
+    t.stats.rejected <- t.stats.rejected + 1;
+    Dcn_obs.Registry.incr obs_rejected);
+  if telemetry then begin
+    Dcn_obs.Registry.observe obs_apply_ms (1e3 *. (Unix.gettimeofday () -. t0));
+    Dcn_obs.Registry.add obs_apply_minor_words (Gc.minor_words () -. minor0);
+    refresh_gauges t outcome
+  end;
   outcome
 
 let report t =

@@ -87,6 +87,13 @@ val apply : t -> Event.t -> outcome
 
 val clock : t -> float
 
+val uptime_ms : t -> float
+(** Wall-clock milliseconds since {!create}.  Nondeterministic by
+    nature; the CLI stamps it onto per-event outcome lines (the
+    [uptime_ms] wire field) but it never enters {!outcome_to_json} or
+    {!report}, which stay byte-identical across runs and [--jobs]
+    levels. *)
+
 val active_flows : t -> Dcn_flow.Flow.t list
 (** Committed flows, ascending id. *)
 

@@ -47,6 +47,14 @@ let render ?align ~headers ~rows () =
   List.iter emit_row rows;
   Buffer.contents buf
 
+let render_top ?align ?(top = 0) ~what ~headers ~rows () =
+  let total = List.length rows in
+  let truncated = top > 0 && total > top in
+  let shown = if truncated then List.filteri (fun i _ -> i < top) rows else rows in
+  let table = render ?align ~headers ~rows:shown () in
+  if truncated then table ^ Printf.sprintf "(top %d of %d %s)\n" top total what
+  else table
+
 let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
 
 type series = { label : string; values : float array }

@@ -11,6 +11,19 @@ val render : ?align:align list -> headers:string list -> rows:string list list -
     first column and [Right] for the rest (label + numeric columns).
     Rows shorter than the header are padded with empty cells. *)
 
+val render_top :
+  ?align:align list ->
+  ?top:int ->
+  what:string ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** {!render} showing at most [top] rows (all when [top <= 0]); when
+    rows were dropped a ["(top N of M <what>)"] footer says so.  The
+    shared shape of every top-N style listing ([dcn trace summary],
+    [dcn stats]). *)
+
 val cell_f : ?decimals:int -> float -> string
 (** Format a float for a table cell ([decimals] defaults to 3). *)
 

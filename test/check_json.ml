@@ -306,6 +306,83 @@ let check_kernel_trace path =
   if counter_total "fw.iters" < 1. then
     fail "%s: no fw.iters counter — the kernel loop went silent" path
 
+(* Snapshot stream + Prometheus exposition of `dcn replay --stats-every
+   --stats --metrics` (the @check-stats alias): every line a version-1
+   snapshot with strictly increasing seq and monotone uptime, the final
+   snapshot showing the serving path's live telemetry — events
+   absorbed, apply latencies observed, interval reuse (losing it means
+   the incremental path went dark), zero uncertified epochs — and the
+   Prometheus file passing the strict text-exposition validator with
+   the serving families present. *)
+let check_stats snapshots prom =
+  let module Snapshot = Dcn_obs.Snapshot in
+  let module Slo = Dcn_obs.Slo in
+  let snaps =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match Json.of_string line with
+          | exception Failure m -> fail "%s: bad snapshot line: %s" snapshots m
+          | json -> (
+            match Snapshot.of_json json with
+            | Ok s -> Some s
+            | Error m -> fail "%s: %s" snapshots m))
+      (String.split_on_char '\n' (read_file snapshots))
+  in
+  let last =
+    match List.rev snaps with
+    | [] -> fail "%s: no snapshot lines" snapshots
+    | s :: _ -> s
+  in
+  let prev_seq = ref 0 and prev_up = ref (-1.) in
+  List.iter
+    (fun (s : Snapshot.t) ->
+      if s.Snapshot.version <> Snapshot.wire_version then
+        fail "%s: wire version %d, expected %d" snapshots s.Snapshot.version
+          Snapshot.wire_version;
+      if s.Snapshot.seq <= !prev_seq then
+        fail "%s: snapshot seq %d out of order" snapshots s.Snapshot.seq;
+      prev_seq := s.Snapshot.seq;
+      if s.Snapshot.uptime_ms < !prev_up then
+        fail "%s: uptime went backwards at seq %d" snapshots s.Snapshot.seq;
+      prev_up := s.Snapshot.uptime_ms;
+      if s.Snapshot.metrics = [] then
+        fail "%s: snapshot #%d carries no metrics" snapshots s.Snapshot.seq)
+    snaps;
+  let slo = Slo.of_snapshot last in
+  if slo.Slo.events < 1 then fail "%s: serve.events never incremented" snapshots;
+  if slo.Slo.apply_count < 1 then
+    fail "%s: no apply-latency observations" snapshots;
+  if slo.Slo.reused_intervals < 1 then
+    fail "%s: no interval reuse — incremental re-solve telemetry went dark"
+      snapshots;
+  (match slo.Slo.reuse_ratio with
+  | Some r when r > 0. && r <= 1. -> ()
+  | _ -> fail "%s: reuse ratio missing or out of range" snapshots);
+  if slo.Slo.uncertified <> 0 then
+    fail "%s: %d uncertified epoch(s) in telemetry" snapshots slo.Slo.uncertified;
+  if slo.Slo.fw_iterations < 1 then
+    fail "%s: fw.iterations never incremented" snapshots;
+  let text = read_file prom in
+  (match Dcn_obs.Expose.validate_prometheus text with
+  | Ok () -> ()
+  | Error m -> fail "%s: invalid Prometheus exposition: %s" prom m);
+  List.iter
+    (fun family ->
+      if not (List.exists (fun l ->
+          String.length l > String.length family + 7
+          && String.sub l 0 7 = "# TYPE "
+          && String.sub l 7 (String.length family) = family)
+          (String.split_on_char '\n' text))
+      then fail "%s: family %S missing from exposition" prom family)
+    [
+      "dcn_serve_events_total";
+      "dcn_serve_apply_ms";
+      "dcn_fw_iterations_total";
+      "dcn_relaxation_intervals_reused_total";
+    ]
+
 (* The Chrome export of the same trace must pass the strict shape check
    (known phases, balanced B/E per tid, monotone timestamps, ...). *)
 let check_chrome path =
@@ -330,6 +407,9 @@ let () =
   | [| _; "--kernel"; trace |] ->
     check_kernel_trace trace;
     print_endline "check-json: kernel trace OK"
+  | [| _; "--stats"; snapshots; prom |] ->
+    check_stats snapshots prom;
+    print_endline "check-json: stats stream and Prometheus exposition OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -346,5 +426,6 @@ let () =
       \       check_json.exe --certify CERTIFY-REPORT.json\n\
       \       check_json.exe --resilience RESILIENCE-REPORT.json\n\
       \       check_json.exe --serve SERVE-REPORT.json\n\
-      \       check_json.exe --kernel KERNEL-TRACE.json";
+      \       check_json.exe --kernel KERNEL-TRACE.json\n\
+      \       check_json.exe --stats SNAPSHOTS.jsonl METRICS.prom";
     exit 2

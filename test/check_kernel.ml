@@ -141,6 +141,35 @@ let allocation () =
       failf "allocation: %.0f minor words per FW iteration (budget 1024)" per_iter
   end
 
+(* The telemetry layer's disabled contract: with the metrics registry
+   off (this harness never enables it), every Dcn_obs update must
+   return after a single branch without allocating.  The kernel loop
+   increments a registry counter per FW iteration, so an allocating
+   disabled path would also blow the per-iteration budget above — this
+   checks the contract directly, on every update helper.  (Constant
+   float arguments: caller-side boxing would be the caller's
+   allocation, not the registry's.) *)
+let registry_disabled_alloc () =
+  if Dcn_obs.Registry.on () then
+    failf "registry_disabled: registry unexpectedly enabled"
+  else begin
+    let c = Dcn_obs.Registry.counter "check.kernel.disabled" in
+    let g = Dcn_obs.Registry.gauge "check.kernel.disabled_gauge" in
+    let h = Dcn_obs.Registry.histogram "check.kernel.disabled_hist" in
+    let before = Gc.minor_words () in
+    for _ = 1 to 100_000 do
+      Dcn_obs.Registry.incr c;
+      Dcn_obs.Registry.add c 2.5;
+      Dcn_obs.Registry.set g 1.5;
+      Dcn_obs.Registry.observe h 0.25
+    done;
+    let delta = Gc.minor_words () -. before in
+    if delta > 0. then
+      failf "registry_disabled: %.0f minor words allocated while disabled" delta
+    else
+      Printf.printf "check_kernel: disabled-registry hot path allocation-free\n%!"
+  end
+
 let write_trace path =
   let t = Trace.create () in
   let problem, piecewise = alloc_problem () in
@@ -170,5 +199,6 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   differential ();
   allocation ();
+  registry_disabled_alloc ();
   Option.iter write_trace !trace_out;
   if !failures > 0 then exit 1

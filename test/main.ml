@@ -23,4 +23,5 @@ let () =
          Test_check.suite;
          Test_resilience.suite;
          Test_serve.suite;
+         Test_obs.suite;
        ])
