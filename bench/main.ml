@@ -813,6 +813,77 @@ let telemetry_overhead () =
          ("on", Json.Obj [ ("seconds", Json.float on) ]);
        ])
 
+(* ----------------------------- E16 -------------------------------- *)
+
+(* Coflow admission: a seeded shuffle/incast coflow trace walked in
+   sigma order all-or-nothing by both variants, at a loose and a tight
+   link capacity — the completion-rate / energy Pareto points the
+   coflow layer exists to trace.  Every admitted set is re-verified by
+   the conjunction certificate; an uncertified set fails the run.  Wall
+   times stay under "seconds" keys (the gate skips them). *)
+let coflow_admission () =
+  section "E16. Coflow admission: sigma-order all-or-nothing (Dcn_coflow)";
+  let graph = Dcn_topology.Builders.fat_tree 4 in
+  let jobs = if quick then 6 else 16 in
+  let cs =
+    Dcn_coflow.Coflow.shuffle_trace
+      ~rng:(Dcn_util.Prng.create 42)
+      ~graph ~jobs ~horizon:(0., 10.) ()
+  in
+  let caps = [ ("loose", infinity); ("tight", 16.) ] in
+  let rows, cells =
+    List.split
+      (List.concat_map
+         (fun (regime, cap) ->
+           let power = Dcn_power.Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap () in
+           List.map
+             (fun variant ->
+               let t0 = Unix.gettimeofday () in
+               let adm =
+                 Dcn_coflow.Admission.run ~seed:42 ~pool ~variant ~graph ~power
+                   cs
+               in
+               let dt = Unix.gettimeofday () -. t0 in
+               let cert =
+                 Dcn_coflow.Certificate.admission_result ~coflows:cs ~graph
+                   ~power adm
+               in
+               if not cert.Dcn_coflow.Certificate.ok then
+                 failwith
+                   (Printf.sprintf "E16: %s/%s failed its conjunction certificate"
+                      regime adm.Dcn_coflow.Admission.variant);
+               ( [
+                   regime;
+                   adm.Dcn_coflow.Admission.variant;
+                   Printf.sprintf "%d/%d"
+                     (List.length adm.Dcn_coflow.Admission.admitted)
+                     jobs;
+                   Printf.sprintf "%.0f%%"
+                     (100. *. adm.Dcn_coflow.Admission.completion_rate);
+                   Printf.sprintf "%.1f" adm.Dcn_coflow.Admission.energy;
+                 ],
+                 Json.Obj
+                   [
+                     ("regime", Json.Str regime);
+                     ("variant", Json.Str adm.Dcn_coflow.Admission.variant);
+                     ( "completion_rate",
+                       Json.float adm.Dcn_coflow.Admission.completion_rate );
+                     ("energy", Json.float adm.Dcn_coflow.Admission.energy);
+                     ( "admitted",
+                       Json.Int (List.length adm.Dcn_coflow.Admission.admitted)
+                     );
+                     ("seconds", Json.float dt);
+                   ] ))
+             [ Dcn_coflow.Admission.Baseline; Dcn_coflow.Admission.Energy_aware ])
+         caps)
+  in
+  print_endline
+    (Dcn_util.Table.render
+       ~headers:[ "capacity"; "variant"; "admitted"; "completion"; "energy" ]
+       ~rows ());
+  report "coflow_admission"
+    (Json.Obj [ ("coflows", Json.Int jobs); ("points", Json.List cells) ])
+
 let () =
   (* DCN_SELFCHECK=1: every solver run below certifies its own output. *)
   Dcn_check.Certify.selfcheck_from_env ();
@@ -837,6 +908,7 @@ let () =
   serving ();
   runtime_benchmarks ();
   kernel_scaling ();
+  coflow_admission ();
   section "Engine wall-time counters (Dcn_obs.Stage)";
   print_endline (Dcn_obs.Stage.render ());
   Dcn_engine.Pool.shutdown pool;

@@ -594,16 +594,49 @@ let certify_cmd =
       value & flag
       & info [ "exclusive" ] ~doc:"Enforce virtual-circuit link exclusivity.")
   in
-  let run instance_file schedule_file partial exclusive seed trace report =
+  let coflows_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "coflows" ]
+          ~doc:
+            "Membership file ({\"coflows\":[{\"id\":..,\"flows\":[..]},..]}); \
+             the certificate then also requires all-or-nothing admission: a \
+             schedule planning part of a coflow is a typed partial_coflow \
+             violation.  Requires --schedule; combine with --partial when \
+             the instance carries rejected coflows too."
+          ~docv:"FILE")
+  in
+  let run instance_file schedule_file coflows_file partial exclusive seed trace
+      report =
     guard @@ fun () ->
     let inst = Dcn_core.Serialize.instance_of_string (read_text instance_file) in
+    let members =
+      match coflows_file with
+      | None -> None
+      | Some path -> (
+        match
+          Dcn_coflow.Coflow.members_of_json (Json.of_string (read_text path))
+        with
+        | Ok members -> Some members
+        | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+    in
+    if members <> None && schedule_file = None then
+      failwith "--coflows requires --schedule";
     let failed = ref "" in
     Observe.run ~command:"certify" ~trace ~report (fun () ->
         match schedule_file with
         | Some path ->
           let sched = Dcn_core.Serialize.schedule_of_string inst (read_text path) in
           let config = { Dcn_check.Certify.default with partial; exclusive } in
-          let violations = Dcn_check.Certify.schedule ~config inst sched in
+          let violations =
+            Dcn_check.Certify.schedule ~config inst sched
+            @
+            match members with
+            | None -> []
+            | Some members ->
+              Dcn_check.Certify.coflow_consistency ~members sched
+          in
           if violations = [] then Printf.printf "certificate OK: %s\n" path
           else begin
             failed :=
@@ -616,12 +649,17 @@ let certify_cmd =
           [
             ( "certify",
               Json.Obj
-                [
-                  ("instance", Json.Str instance_file);
-                  ("schedule", Json.Str path);
-                  ( "certificate",
-                    Dcn_check.Certify.violations_to_json violations );
-                ] );
+                ([
+                   ("instance", Json.Str instance_file);
+                   ("schedule", Json.Str path);
+                 ]
+                @ (match coflows_file with
+                  | None -> []
+                  | Some f -> [ ("coflows", Json.Str f) ])
+                @ [
+                    ( "certificate",
+                      Dcn_check.Certify.violations_to_json violations );
+                  ]) );
           ]
         | None ->
           let label = Filename.basename instance_file in
@@ -658,8 +696,8 @@ let certify_cmd =
           an instance; non-zero exit on any violation.")
     Term.(
       term_result
-        (const run $ instance_t $ schedule_t $ partial_t $ exclusive_t $ seed_t
-       $ Observe.trace_t $ Observe.report_t))
+        (const run $ instance_t $ schedule_t $ coflows_t $ partial_t
+       $ exclusive_t $ seed_t $ Observe.trace_t $ Observe.report_t))
 
 let fuzz_cmd =
   let runs_t =
@@ -694,16 +732,31 @@ let fuzz_cmd =
              fail the run.  See $(b,dcn resilience) for the dedicated command."
           ~docv:"N")
   in
-  let run runs seed out no_shrink faults trace report jobs =
+  let coflows_t =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "coflows" ]
+          ~doc:
+            "Additionally draw $(docv) seeded coflow workloads and cross-check \
+             the all-or-nothing admission walk: both variants (sigma-greedy, \
+             sigma-energy) run on each case and every admitted set must pass \
+             the conjunction certificate — member clauses plus admission \
+             consistency.  A partially planned coflow fails the run."
+          ~docv:"N")
+  in
+  let run runs seed out no_shrink faults coflows trace report jobs =
     guard @@ fun () ->
     if runs < 1 then Error (`Msg "--runs must be >= 1")
     else if faults < 0 then Error (`Msg "--faults must be >= 0")
+    else if coflows < 0 then Error (`Msg "--coflows must be >= 0")
     else
       Result.join
       @@ with_jobs jobs
       @@ fun pool ->
       let failures = ref 0 in
       let campaign_failures = ref 0 in
+      let coflow_failures = ref 0 in
       Observe.run ~command:"fuzz" ~trace ~report (fun () ->
           let cases = Dcn_check.Gen.batch ~seed ~n:runs in
           let reports = Dcn_check.Oracle.run_batch ~pool cases in
@@ -795,7 +848,82 @@ let fuzz_cmd =
               [ ("resilience", Dcn_resilience.Campaign.to_json t) ]
             end
           in
-          resilience_section
+          let coflow_section =
+            if coflows = 0 then []
+            else begin
+              let cases = Dcn_check.Gen.coflow_batch ~seed ~n:coflows in
+              let rows =
+                Array.map
+                  (fun (case : Dcn_check.Gen.coflow_case) ->
+                    let cs =
+                      List.map
+                        (fun (job, flows) ->
+                          Dcn_coflow.Coflow.make ~id:job ~flows ())
+                        case.Dcn_check.Gen.jobs
+                    in
+                    let check variant =
+                      let adm =
+                        Dcn_coflow.Admission.run
+                          ~seed:case.Dcn_check.Gen.solver_seed ~pool ~variant
+                          ~graph:case.Dcn_check.Gen.graph
+                          ~power:case.Dcn_check.Gen.power cs
+                      in
+                      let cert =
+                        Dcn_coflow.Certificate.admission_result ~coflows:cs
+                          ~graph:case.Dcn_check.Gen.graph
+                          ~power:case.Dcn_check.Gen.power adm
+                      in
+                      if not cert.Dcn_coflow.Certificate.ok then
+                        Printf.eprintf "[fuzz] coflow case %d (%s) %s FAILED: %s\n%!"
+                          case.Dcn_check.Gen.index case.Dcn_check.Gen.label
+                          adm.Dcn_coflow.Admission.variant
+                          (String.concat ", "
+                             (List.map Dcn_check.Certify.kind
+                                cert.Dcn_coflow.Certificate.violations));
+                      (adm, cert)
+                    in
+                    let results =
+                      List.map check
+                        [
+                          Dcn_coflow.Admission.Baseline;
+                          Dcn_coflow.Admission.Energy_aware;
+                        ]
+                    in
+                    if
+                      not
+                        (List.for_all
+                           (fun (_, c) -> c.Dcn_coflow.Certificate.ok)
+                           results)
+                    then incr coflow_failures;
+                    Json.Obj
+                      [
+                        ("case", Json.Int case.Dcn_check.Gen.index);
+                        ("label", Json.Str case.Dcn_check.Gen.label);
+                        ( "pareto",
+                          Dcn_coflow.Admission.pareto_json (List.map fst results)
+                        );
+                        ( "ok",
+                          Json.Bool
+                            (List.for_all
+                               (fun (_, c) -> c.Dcn_coflow.Certificate.ok)
+                               results) );
+                      ])
+                  cases
+              in
+              Printf.printf "fuzz: %d/%d coflow case(s) certified (both variants)\n"
+                (coflows - !coflow_failures) coflows;
+              [
+                ( "coflow",
+                  Json.Obj
+                    [
+                      ("runs", Json.Int coflows);
+                      ("seed", Json.Int seed);
+                      ("cases", Json.List (Array.to_list rows));
+                    ] );
+              ]
+            end
+          in
+          resilience_section @ coflow_section
           @ [
             ( "fuzz",
               Json.Obj
@@ -817,17 +945,23 @@ let fuzz_cmd =
                          !shrunk) );
                 ] );
           ]);
-      if !failures = 0 && !campaign_failures = 0 then Ok ()
+      if !failures = 0 && !campaign_failures = 0 && !coflow_failures = 0 then
+        Ok ()
       else if !failures > 0 then
         Error
           (`Msg
             (Printf.sprintf "fuzz: %d/%d case(s) failed certification" !failures
                runs))
-      else
+      else if !campaign_failures > 0 then
         Error
           (`Msg
             (Printf.sprintf "fuzz: %d/%d fault repair(s) failed certification"
                !campaign_failures faults))
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "fuzz: %d/%d coflow case(s) failed certification"
+               !coflow_failures coflows))
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -838,7 +972,7 @@ let fuzz_cmd =
     Term.(
       term_result
         (const run $ runs_t $ seed_t $ out_t $ no_shrink_t $ faults_t
-       $ Observe.trace_t $ Observe.report_t $ jobs_t))
+       $ coflows_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 (* ---------------------------- resilience -------------------------- *)
 
@@ -1203,6 +1337,336 @@ let replay_cmd =
        $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t $ events_t
        $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
+(* ------------------------------ coflow ---------------------------- *)
+
+let coflow_count_t =
+  Arg.(
+    value
+    & opt int 6
+    & info [ "coflows" ]
+        ~doc:"Number of coflow jobs in the generated shuffle trace." ~docv:"N")
+
+let coflow_variant_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "variant" ]
+        ~doc:
+          "Run only $(docv): $(b,sigma-greedy) (the DCoflow-style baseline) \
+           or $(b,sigma-energy) (Relaxation + randomised rounding over the \
+           admitted set).  Default: both, for the completion/energy Pareto \
+           comparison."
+        ~docv:"V")
+
+let coflow_variants = function
+  | None ->
+    [ Dcn_coflow.Admission.Baseline; Dcn_coflow.Admission.Energy_aware ]
+  | Some s -> (
+    match Dcn_coflow.Admission.variant_of_string s with
+    | Ok v -> [ v ]
+    | Error m -> failwith m)
+
+(* The seeded shuffle-heavy trace every coflow subcommand shares: a pure
+   function of (topology, seed, count), so solve/report runs on the same
+   arguments see the same workload. *)
+let coflow_trace ~graph ~seed ~count =
+  let rng = Dcn_util.Prng.create seed in
+  Dcn_coflow.Coflow.shuffle_trace ~rng ~graph ~jobs:count ~horizon:(0., 10.) ()
+
+let coflow_run_variants ~pool ~graph ~power ~seed ~variants cs =
+  List.map
+    (fun variant ->
+      let adm = Dcn_coflow.Admission.run ~seed ~pool ~variant ~graph ~power cs in
+      let cert =
+        Dcn_coflow.Certificate.admission_result ~coflows:cs ~graph ~power adm
+      in
+      (adm, cert))
+    variants
+
+let render_admission (adm : Dcn_coflow.Admission.t)
+    (cert : Dcn_coflow.Certificate.report) =
+  Printf.printf
+    "%-12s  admitted %d/%d (completion %.0f%%), energy %.4f, certificate %s\n"
+    adm.Dcn_coflow.Admission.variant
+    (List.length adm.Dcn_coflow.Admission.admitted)
+    (List.length adm.Dcn_coflow.Admission.order)
+    (100. *. adm.Dcn_coflow.Admission.completion_rate)
+    adm.Dcn_coflow.Admission.energy
+    (if cert.Dcn_coflow.Certificate.ok then "OK"
+     else
+       Printf.sprintf "%d VIOLATION(S)"
+         (List.length cert.Dcn_coflow.Certificate.violations));
+  List.iter
+    (fun ((c : Dcn_coflow.Coflow.t), reason) ->
+      Printf.printf "              rejected coflow %d (%s): %s\n"
+        c.Dcn_coflow.Coflow.id c.Dcn_coflow.Coflow.label reason)
+    adm.Dcn_coflow.Admission.rejected
+
+let coflow_result_json (adm, cert) =
+  Json.Obj
+    [
+      ("admission", Dcn_coflow.Admission.to_json adm);
+      ("certificate", Dcn_coflow.Certificate.to_json cert);
+    ]
+
+let certs_ok results =
+  List.for_all (fun (_, c) -> c.Dcn_coflow.Certificate.ok) results
+
+let coflow_solve_cmd =
+  let dump_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ]
+          ~doc:
+            "Write the full-workload instance, the membership file and one \
+             schedule per variant under $(docv) — the inputs of $(b,dcn \
+             certify --partial --coflows)."
+          ~docv:"DIR")
+  in
+  let run graph alpha sigma cap count variant dump seed trace report jobs =
+    guard @@ fun () ->
+    if count < 1 then Error (`Msg "--coflows must be >= 1")
+    else
+      Result.join
+      @@ with_jobs jobs
+      @@ fun pool ->
+      let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+      let failed = ref false in
+      Observe.run ~command:"coflow-solve" ~trace ~report (fun () ->
+          let cs = coflow_trace ~graph ~seed ~count in
+          List.iter
+            (fun c -> Format.printf "%a@." Dcn_coflow.Coflow.pp c)
+            cs;
+          let results =
+            coflow_run_variants ~pool ~graph ~power ~seed
+              ~variants:(coflow_variants variant) cs
+          in
+          List.iter (fun (adm, cert) -> render_admission adm cert) results;
+          failed := not (certs_ok results);
+          (match dump with
+          | None -> ()
+          | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            let write name text =
+              let path = Filename.concat dir name in
+              Observe.write_file path text;
+              Printf.eprintf "wrote %s\n%!" path
+            in
+            let inst =
+              Dcn_core.Instance.make ~graph ~power
+                ~flows:(Dcn_coflow.Coflow.flatten cs)
+            in
+            write "coflow.instance" (Dcn_core.Serialize.instance_to_string inst);
+            write "coflow.members.json"
+              (Json.to_string ~pretty:true
+                 (Dcn_coflow.Coflow.members_to_json cs));
+            List.iter
+              (fun ((adm : Dcn_coflow.Admission.t), _) ->
+                match adm.Dcn_coflow.Admission.solution with
+                | None -> ()
+                | Some sol ->
+                  write
+                    (Printf.sprintf "coflow.%s.schedule"
+                       adm.Dcn_coflow.Admission.variant)
+                    (Dcn_core.Serialize.schedule_to_string
+                       sol.Dcn_core.Solution.schedule))
+              results);
+          [
+            ( "coflow",
+              Json.Obj
+                [
+                  ("coflows", Json.Int count);
+                  ("seed", Json.Int seed);
+                  ( "trace",
+                    Json.List (List.map Dcn_coflow.Coflow.to_json cs) );
+                  ("results", Json.List (List.map coflow_result_json results));
+                  ( "pareto",
+                    Dcn_coflow.Admission.pareto_json (List.map fst results) );
+                ] );
+          ]);
+      if !failed then
+        Error (`Msg "coflow solve: some admitted sets failed certification")
+      else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Generate a seeded shuffle/incast coflow trace and run sigma-order \
+          all-or-nothing admission on it — the DCoflow-style baseline \
+          (greedy-ear) and the energy-aware variant (Relaxation + randomised \
+          rounding) — reporting coflow completion rate and Eq. (5) energy \
+          for each, with every admitted set's conjunction certificate \
+          re-verified.  Deterministic for a given --seed at every --jobs \
+          level; non-zero exit on any violation.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ coflow_count_t
+       $ coflow_variant_t $ dump_t $ seed_t $ Observe.trace_t
+       $ Observe.report_t $ jobs_t))
+
+let coflow_replay_cmd =
+  let events_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS"
+          ~doc:
+            "An event log: one JSON event per line, including coflow \
+             arrivals/cancels (see $(b,dcn serve)).")
+  in
+  let run graph alpha sigma cap policy seed strict events_file trace report
+      jobs =
+    guard @@ fun () ->
+    Result.join
+    @@ with_jobs jobs
+    @@ fun pool ->
+    let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+    let session =
+      Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
+    in
+    let outcome = ref (0, None) in
+    Observe.run ~command:"coflow-replay" ~trace ~report (fun () ->
+        let on_outcome ~seq event out =
+          Format.printf "%4d  %-13s %a@." seq
+            (Dcn_serve.Event.kind event)
+            Dcn_serve.Session.pp_outcome out
+        in
+        let ic = open_in events_file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> outcome := serve_stream ~session ~strict ~on_outcome ic);
+        let parse_errors, _ = !outcome in
+        let report_json = Dcn_serve.Session.report session in
+        let live = Dcn_serve.Session.active_coflows session in
+        Printf.printf
+          "coflow replay: %d admitted, %d rejected, %d live coflow(s), %d \
+           malformed (policy %s, seed %d)\n"
+          (match Json.member "coflows_admitted" report_json with
+          | Some (Json.Int n) -> n
+          | _ -> 0)
+          (match Json.member "coflows_rejected" report_json with
+          | Some (Json.Int n) -> n
+          | _ -> 0)
+          (List.length live) parse_errors
+          (Dcn_resilience.Repair.policy_to_string policy)
+          seed;
+        (* All-or-nothing consistency of the live schedule, re-checked
+           from the raw plans against the session's membership table. *)
+        (match Dcn_serve.Session.schedule session with
+        | Some sched ->
+          let violations =
+            Dcn_check.Certify.coflow_consistency ~members:live sched
+          in
+          List.iter
+            (fun v ->
+              Format.printf "violation: %a@." Dcn_check.Certify.pp_violation v)
+            violations
+        | None -> ());
+        [ ("coflow-replay", serve_section ~strict ~parse_errors session) ]);
+    let parse_errors, fatal = !outcome in
+    serve_session_result ~command:"coflow-replay" ~strict ~parse_errors ~fatal
+      session
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay an event log with coflow arrivals through a scheduler \
+          session: groups admit all-or-nothing (one epoch commits every \
+          member or the coflow is rejected), shedding takes whole coflows, \
+          and the final schedule's admission consistency is re-checked.  \
+          Bit-identical for a given log and --seed at every --jobs level.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
+       $ strict_t $ events_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+let coflow_report_cmd =
+  let caps_t =
+    Arg.(
+      value
+      & opt (list float) [ infinity ]
+      & info [ "caps" ]
+          ~doc:
+            "Comma-separated link capacities to sweep; each level runs both \
+             variants on the same trace, tracing the completion-rate / \
+             energy Pareto frontier as capacity tightens."
+          ~docv:"C1,C2,..")
+  in
+  let run graph alpha sigma caps count seed trace report jobs =
+    guard @@ fun () ->
+    if count < 1 then Error (`Msg "--coflows must be >= 1")
+    else if caps = [] then Error (`Msg "--caps must not be empty")
+    else
+      Result.join
+      @@ with_jobs jobs
+      @@ fun pool ->
+      let failed = ref false in
+      Observe.run ~command:"coflow-report" ~trace ~report (fun () ->
+          let cs = coflow_trace ~graph ~seed ~count in
+          Printf.printf "%-10s %-12s %10s %12s %9s\n" "cap" "variant"
+            "admitted" "completion" "energy";
+          let sections =
+            List.map
+              (fun cap ->
+                let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+                let results =
+                  coflow_run_variants ~pool ~graph ~power ~seed
+                    ~variants:(coflow_variants None) cs
+                in
+                if not (certs_ok results) then failed := true;
+                List.iter
+                  (fun ((adm : Dcn_coflow.Admission.t), _) ->
+                    Printf.printf "%-10s %-12s %6d/%-3d %11.0f%% %9.3f\n"
+                      (if Float.is_finite cap then Printf.sprintf "%g" cap
+                       else "inf")
+                      adm.Dcn_coflow.Admission.variant
+                      (List.length adm.Dcn_coflow.Admission.admitted)
+                      (List.length adm.Dcn_coflow.Admission.order)
+                      (100. *. adm.Dcn_coflow.Admission.completion_rate)
+                      adm.Dcn_coflow.Admission.energy)
+                  results;
+                Json.Obj
+                  [
+                    ("cap", Json.float cap);
+                    ( "pareto",
+                      Dcn_coflow.Admission.pareto_json (List.map fst results) );
+                  ])
+              caps
+          in
+          [
+            ( "coflow",
+              Json.Obj
+                [
+                  ("coflows", Json.Int count);
+                  ("seed", Json.Int seed);
+                  ("sweep", Json.List sections);
+                ] );
+          ]);
+      if !failed then
+        Error (`Msg "coflow report: some admitted sets failed certification")
+      else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Sweep link capacity over a seeded coflow trace and report the \
+          completion-rate / energy Pareto frontier of both admission \
+          variants; every admitted set is certificate-checked.  \
+          Deterministic at every --jobs level.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ caps_t $ coflow_count_t
+       $ seed_t $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+let coflow_cmd =
+  Cmd.group
+    (Cmd.info "coflow"
+       ~doc:
+         "Coflow workloads: groups of flows under one collective deadline, \
+          admitted all-or-nothing (solve, replay, report).")
+    [ coflow_solve_cmd; coflow_replay_cmd; coflow_report_cmd ]
+
 let stats_cmd =
   let file_t =
     Arg.(
@@ -1313,5 +1777,6 @@ let () =
             resilience_cmd;
             serve_cmd;
             replay_cmd;
+            coflow_cmd;
             stats_cmd;
           ]))

@@ -23,6 +23,7 @@ type violation =
   | Horizon_mismatch of { expected : float * float; got : float * float }
   | Energy_mismatch of { source : string; reported : float; recomputed : float }
   | Lb_violated of { energy : float; lower_bound : float }
+  | Partial_coflow of { coflow : int; planned : int list; missing : int list }
 
 type config = {
   eps : float;
@@ -56,6 +57,7 @@ let kind = function
   | Horizon_mismatch _ -> "horizon_mismatch"
   | Energy_mismatch _ -> "energy_mismatch"
   | Lb_violated _ -> "lb_violated"
+  | Partial_coflow _ -> "partial_coflow"
 
 let pp_violation ppf = function
   | Unknown_flow { flow } -> Format.fprintf ppf "flow %d is not in the instance" flow
@@ -78,6 +80,11 @@ let pp_violation ppf = function
   | Lb_violated { energy; lower_bound } ->
     Format.fprintf ppf "energy %g below the fractional lower bound %g" energy
       lower_bound
+  | Partial_coflow { coflow; planned; missing } ->
+    Format.fprintf ppf
+      "coflow %d partially admitted: %d member(s) planned, %d missing (%s)"
+      coflow (List.length planned) (List.length missing)
+      (String.concat "," (List.map string_of_int missing))
 
 let violation_to_json v =
   let base = [ ("kind", Json.Str (kind v)) ] in
@@ -119,6 +126,12 @@ let violation_to_json v =
       ]
     | Lb_violated { energy; lower_bound } ->
       [ ("energy", Json.float energy); ("lower_bound", Json.float lower_bound) ]
+    | Partial_coflow { coflow; planned; missing } ->
+      [
+        ("coflow", Json.Int coflow);
+        ("planned", Json.List (List.map (fun id -> Json.Int id) planned));
+        ("missing", Json.List (List.map (fun id -> Json.Int id) missing));
+      ]
   in
   Json.Obj (base @ rest)
 
@@ -329,6 +342,30 @@ let solution ?(eps = default.eps) ?lower_bound inst (sol : Solution.t) =
   else
     schedule ~config:cfg ~reported_energy:sol.Solution.energy ?lower_bound inst
       sol.Solution.schedule
+
+(* ----------------------- coflow consistency ------------------------ *)
+
+(* All-or-nothing admission: a schedule speaks for a coflow only if it
+   plans {e every} member — delivering 37 of 40 member flows is worth
+   nothing (DCoflow).  The check is purely structural (membership vs
+   planned flow ids), so it composes with [schedule ~config:{partial =
+   true}] into the conjunction certificate of Dcn_coflow.Certificate:
+   member-level clauses come from the member plans, this clause rules
+   out the partially admitted middle ground. *)
+let coflow_consistency ~members (sched : Schedule.t) =
+  let planned = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Schedule.plan) -> Hashtbl.replace planned p.flow.Flow.id ())
+    sched.Schedule.plans;
+  List.filter_map
+    (fun (coflow, member_ids) ->
+      let planned_ids, missing =
+        List.partition (fun id -> Hashtbl.mem planned id) member_ids
+      in
+      if planned_ids <> [] && missing <> [] then
+        Some (Partial_coflow { coflow; planned = planned_ids; missing })
+      else None)
+    members
 
 (* --------------------------- selfcheck ----------------------------- *)
 

@@ -40,6 +40,9 @@ type violation =
   | Energy_mismatch of { source : string; reported : float; recomputed : float }
       (** [source] is ["solver"] or ["fluid-sim"] *)
   | Lb_violated of { energy : float; lower_bound : float }
+  | Partial_coflow of { coflow : int; planned : int list; missing : int list }
+      (** all-or-nothing admission broken: the schedule plans some but
+          not all member flows of a coflow (see {!coflow_consistency}) *)
 
 type config = {
   eps : float;  (** time/volume tolerance (relative), default 1e-6 *)
@@ -75,6 +78,18 @@ val schedule :
   Dcn_sched.Schedule.t ->
   violation list
 (** Certify a bare schedule against its instance. *)
+
+val coflow_consistency :
+  members:(int * int list) list -> Dcn_sched.Schedule.t -> violation list
+(** All-or-nothing admission consistency for coflow workloads: for each
+    [(coflow id, member flow ids)] pair the schedule must plan either
+    every member or none — a partially covered coflow yields a
+    {!Partial_coflow} violation.  Purely structural (no volume or
+    capacity claims), so it composes with [schedule ~config:{default
+    with partial = true}] into a coflow {e conjunction} certificate:
+    member clauses certify each planned member, this clause certifies
+    the admission decision itself (Dcn_coflow.Certificate does exactly
+    that). *)
 
 val solution :
   ?eps:float ->

@@ -90,3 +90,83 @@ let batch ~seed ~n =
   if n < 1 then invalid_arg (Printf.sprintf "Gen.batch: n must be >= 1 (got %d)" n);
   let streams = Dcn_engine.Pool.split_rngs (Prng.create seed) n in
   Array.init n (fun index -> case ~rng:streams.(index) ~index)
+
+(* Coflow instances: grouped workloads over topologies with at least
+   four hosts (one 2x2 shuffle), capacity finite half the time so the
+   all-or-nothing admission walk actually rejects groups.  Membership
+   is plain [(job, members)] data — the oracle layers a coflow library
+   on top; this module stays below it. *)
+
+type coflow_case = {
+  index : int;
+  label : string;
+  solver_seed : int;
+  graph : Graph.t;
+  power : Model.t;
+  jobs : (int * Dcn_flow.Flow.t list) list;
+}
+
+let coflow_topology rng =
+  match Prng.int rng 4 with
+  | 0 ->
+    let leaves = 4 + Prng.int rng 3 in
+    (Printf.sprintf "star:%d" leaves, Builders.star ~leaves)
+  | 1 ->
+    let hosts_per_leaf = 2 + Prng.int rng 2 in
+    ( Printf.sprintf "leaf-spine:2:2:%d" hosts_per_leaf,
+      Builders.leaf_spine ~spines:2 ~leaves:2 ~hosts_per_leaf )
+  | 2 -> ("fat-tree:4", Builders.fat_tree 4)
+  | _ ->
+    let n = 4 + Prng.int rng 3 in
+    (Printf.sprintf "line:%d" n, Builders.line n)
+
+let coflow_power rng =
+  let alpha = float_of_int (2 + Prng.int rng 2) in
+  let sigma = if Prng.int rng 3 = 0 then Prng.uniform rng ~lo:1. ~hi:10. else 0. in
+  let cap = if Prng.int rng 2 = 0 then Prng.uniform rng ~lo:4. ~hi:20. else infinity in
+  let label =
+    Printf.sprintf "a%g%s%s" alpha
+      (if sigma > 0. then "+s" else "")
+      (if cap < infinity then "+cap" else "")
+  in
+  (label, Model.make ~sigma ~mu:1. ~alpha ~cap ())
+
+let coflow_case ~rng ~index =
+  let topo_label, graph = coflow_topology rng in
+  let power_label, power = coflow_power rng in
+  let hosts = Array.length (Graph.hosts graph) in
+  let jobs_n = 2 + Prng.int rng 3 in
+  let next_id = ref 0 in
+  let jobs =
+    List.init jobs_n (fun job ->
+        let t0 = Prng.uniform rng ~lo:0. ~hi:6. in
+        let t1 = t0 +. 2. +. Prng.float rng 3. in
+        let horizon = (t0, t1) in
+        let first_flow_id = !next_id in
+        let _, flows =
+          if hosts >= 4 && Prng.int rng 2 = 0 then
+            Workload.shuffle_grouped ~volume:3. ~horizon ~job ~first_flow_id
+              ~rng ~graph ~mappers:2 ~reducers:2 ()
+          else
+            let sources = min (hosts - 1) (2 + Prng.int rng 2) in
+            Workload.incast_grouped ~volume:3. ~horizon ~job ~first_flow_id
+              ~rng ~graph ~sources ()
+        in
+        next_id := first_flow_id + List.length flows;
+        (job, flows))
+  in
+  let solver_seed = Prng.int rng 1_000_000_000 in
+  {
+    index;
+    label = Printf.sprintf "%s/jobs:%d/%s" topo_label jobs_n power_label;
+    solver_seed;
+    graph;
+    power;
+    jobs;
+  }
+
+let coflow_batch ~seed ~n =
+  if n < 1 then
+    invalid_arg (Printf.sprintf "Gen.coflow_batch: n must be >= 1 (got %d)" n);
+  let streams = Dcn_engine.Pool.split_rngs (Prng.create seed) n in
+  Array.init n (fun index -> coflow_case ~rng:streams.(index) ~index)

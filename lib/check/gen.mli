@@ -28,3 +28,28 @@ val case : rng:Dcn_util.Prng.t -> index:int -> case
 val batch : seed:int -> n:int -> case array
 (** [n] independent cases from pre-split streams of [seed].
     @raise Invalid_argument if [n < 1]. *)
+
+type coflow_case = {
+  index : int;  (** position in the batch *)
+  label : string;  (** topology × job count × power knobs *)
+  solver_seed : int;  (** seed for the admission walk's solver streams *)
+  graph : Dcn_topology.Graph.t;
+  power : Dcn_power.Model.t;
+  jobs : (int * Dcn_flow.Flow.t list) list;
+      (** [(job id, member flows)] — flow ids globally unique across
+          jobs.  Plain data on purpose: this module sits {e below} the
+          coflow library, so the fuzz oracle groups these into
+          [Dcn_coflow.Coflow.t] values itself and cross-checks the
+          all-or-nothing admission walk against them. *)
+}
+
+val coflow_case : rng:Dcn_util.Prng.t -> index:int -> coflow_case
+(** One random coflow workload: 2–4 grouped jobs (2×2 shuffles and
+    incasts from the grouped generators of {!Dcn_flow.Workload}) with
+    staggered horizons, on a topology with at least four hosts, with a
+    finite link capacity half the time so admission actually rejects. *)
+
+val coflow_batch : seed:int -> n:int -> coflow_case array
+(** [n] independent coflow cases from pre-split streams of [seed] — a
+    pure function of [(seed, n)] like {!batch}.
+    @raise Invalid_argument if [n < 1]. *)

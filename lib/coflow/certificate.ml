@@ -1,0 +1,108 @@
+module Json = Dcn_engine.Json
+module Certify = Dcn_check.Certify
+module Instance = Dcn_core.Instance
+module Solution = Dcn_core.Solution
+
+type report = {
+  violations : Certify.violation list;
+  per_coflow : (int * Certify.violation list) list;
+  ok : bool;
+}
+
+(* Which member flows a violation speaks about — the attribution key
+   mapping member clauses back to their coflow. *)
+let flows_of = function
+  | Certify.Unknown_flow { flow }
+  | Certify.Missing_flow { flow }
+  | Certify.Bad_path { flow }
+  | Certify.Slot_outside_window { flow; _ }
+  | Certify.Volume_mismatch { flow; _ } ->
+      [ flow ]
+  | Certify.Link_conflict { flows = a, b; _ } -> [ a; b ]
+  | Certify.Partial_coflow _ | Certify.Capacity_exceeded _
+  | Certify.Horizon_mismatch _ | Certify.Energy_mismatch _
+  | Certify.Lb_violated _ ->
+      []
+
+let attribute coflows violations =
+  let owner = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Coflow.t) ->
+      List.iter (fun f -> Hashtbl.replace owner f c.Coflow.id)
+        (Coflow.member_ids c))
+    coflows;
+  let by_coflow = Hashtbl.create 16 in
+  let record id v =
+    let prev = Option.value (Hashtbl.find_opt by_coflow id) ~default:[] in
+    Hashtbl.replace by_coflow id (v :: prev)
+  in
+  List.iter
+    (fun v ->
+      match v with
+      | Certify.Partial_coflow { coflow; _ } -> record coflow v
+      | _ ->
+          List.iter
+            (fun f ->
+              match Hashtbl.find_opt owner f with
+              | Some id -> record id v
+              | None -> ())
+            (flows_of v))
+    violations;
+  List.filter_map
+    (fun (c : Coflow.t) ->
+      match Hashtbl.find_opt by_coflow c.Coflow.id with
+      | Some vs -> Some (c.Coflow.id, List.rev vs)
+      | None -> None)
+    coflows
+
+let default_config = { Certify.default with Certify.partial = true }
+
+let conjunction ?(config = default_config) ?reported_energy ?lower_bound
+    ~coflows instance schedule =
+  let member_clauses =
+    Certify.schedule ~config ?reported_energy ?lower_bound instance schedule
+  in
+  let admission_clauses =
+    Certify.coflow_consistency ~members:(Coflow.members coflows) schedule
+  in
+  let violations = member_clauses @ admission_clauses in
+  {
+    violations;
+    per_coflow = attribute coflows violations;
+    ok = violations = [];
+  }
+
+let admission_result ?config ~coflows ~graph ~power (adm : Admission.t) =
+  match adm.Admission.solution with
+  | None -> { violations = []; per_coflow = []; ok = true }
+  | Some sol ->
+      (* The instance is exactly the admitted set, so the strict default
+         config applies: an unplanned admitted member is Missing_flow, a
+         planned rejected member is Unknown_flow — the admission
+         bookkeeping is checked by construction. *)
+      let instance =
+        Instance.make ~graph ~power
+          ~flows:(Coflow.flatten adm.Admission.admitted)
+      in
+      let config = Option.value config ~default:Certify.default in
+      conjunction ~config ~reported_energy:sol.Solution.energy ~coflows
+        instance sol.Solution.schedule
+
+let to_json t =
+  Json.Obj
+    [
+      ("ok", Json.Bool t.ok);
+      ( "violations",
+        Json.List (List.map Certify.violation_to_json t.violations) );
+      ( "per_coflow",
+        Json.List
+          (List.map
+             (fun (id, vs) ->
+               Json.Obj
+                 [
+                   ("coflow", Json.Int id);
+                   ( "violations",
+                     Json.List (List.map Certify.violation_to_json vs) );
+                 ])
+             t.per_coflow) );
+    ]

@@ -1,0 +1,58 @@
+(** The coflow conjunction certificate.
+
+    A coflow's certificate is the {e conjunction} of two kinds of
+    clause, both re-derived from the raw schedule:
+
+    - {e member clauses}: every planned member flow certifies under
+      {!Dcn_check.Certify.schedule} — paths, windows, volumes, link
+      capacity, energy re-integration;
+    - {e admission clause}: {!Dcn_check.Certify.coflow_consistency} —
+      the schedule plans either every member of a coflow or none, so an
+      all-or-nothing admission decision was actually honoured.
+
+    The default configuration sets [partial = true]: an instance may
+    carry the full workload (rejected coflows included) against a
+    schedule that only serves the admitted set — unplanned flows are
+    legal as long as no coflow is {e partially} planned.  A schedule
+    that quietly dropped 3 of a coflow's 40 members passes every member
+    clause and still fails the certificate, which is the point. *)
+
+type report = {
+  violations : Dcn_check.Certify.violation list;
+      (** the full conjunction — member clauses then admission clauses;
+          empty means certified *)
+  per_coflow : (int * Dcn_check.Certify.violation list) list;
+      (** violations attributed to a coflow (via member flow ids, or
+          directly for [Partial_coflow]); coflows with none are
+          omitted *)
+  ok : bool;
+}
+
+val conjunction :
+  ?config:Dcn_check.Certify.config ->
+  ?reported_energy:float ->
+  ?lower_bound:float ->
+  coflows:Coflow.t list ->
+  Dcn_core.Instance.t ->
+  Dcn_sched.Schedule.t ->
+  report
+(** Certify [schedule] against [instance] as a coflow workload.
+    [config] defaults to {!Dcn_check.Certify.default} with
+    [partial = true] (see above); pass an explicit config to tighten. *)
+
+val admission_result :
+  ?config:Dcn_check.Certify.config ->
+  coflows:Coflow.t list ->
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  Admission.t ->
+  report
+(** Certify an {!Admission.run} result: builds the admitted-set
+    instance, checks the solution's schedule under {!conjunction}
+    (cross-checking the solver-reported energy), and additionally
+    verifies the bookkeeping — every admitted member planned, no
+    rejected member planned.  An empty admitted set certifies
+    trivially. *)
+
+val to_json : report -> Dcn_engine.Json.t
+(** [{ "ok", "violations", "per_coflow" }]. *)

@@ -1,0 +1,181 @@
+module Prng = Dcn_util.Prng
+module Json = Dcn_engine.Json
+module Flow = Dcn_flow.Flow
+module Workload = Dcn_flow.Workload
+module Graph = Dcn_topology.Graph
+
+type t = {
+  id : int;
+  label : string;
+  deadline : float;
+  flows : Flow.t list;
+}
+
+let make ~id ?(label = "coflow") ~flows () =
+  if flows = [] then invalid_arg "Coflow.make: empty member list";
+  let flows =
+    List.sort (fun (a : Flow.t) (b : Flow.t) -> compare a.Flow.id b.Flow.id) flows
+  in
+  let rec dup = function
+    | (a : Flow.t) :: (b :: _ as rest) ->
+        if a.Flow.id = b.Flow.id then
+          invalid_arg
+            (Printf.sprintf "Coflow.make: duplicate member flow id %d" a.Flow.id)
+        else dup rest
+    | _ -> ()
+  in
+  dup flows;
+  let deadline =
+    List.fold_left (fun acc (f : Flow.t) -> Float.max acc f.Flow.deadline)
+      neg_infinity flows
+  in
+  { id; label; deadline; flows }
+
+let release t =
+  List.fold_left (fun acc (f : Flow.t) -> Float.min acc f.Flow.release) infinity
+    t.flows
+
+let volume t =
+  List.fold_left (fun acc (f : Flow.t) -> acc +. f.Flow.volume) 0. t.flows
+
+let member_ids t = List.map (fun (f : Flow.t) -> f.Flow.id) t.flows
+
+let slack t ~at = t.deadline -. at
+
+let members coflows = List.map (fun c -> (c.id, member_ids c)) coflows
+
+let flatten coflows =
+  let flows = List.concat_map (fun c -> c.flows) coflows in
+  let flows =
+    List.sort (fun (a : Flow.t) (b : Flow.t) -> compare a.Flow.id b.Flow.id) flows
+  in
+  let rec dup = function
+    | (a : Flow.t) :: (b :: _ as rest) ->
+        if a.Flow.id = b.Flow.id then
+          invalid_arg
+            (Printf.sprintf "Coflow.flatten: flow id %d belongs to two coflows"
+               a.Flow.id)
+        else dup rest
+    | _ -> ()
+  in
+  dup flows;
+  flows
+
+(* DCoflow's sigma: earliest collective deadline first; among equals the
+   lighter coflow is cheaper to fit, so it goes first; id breaks the
+   remaining ties to keep the order a pure function of the contents. *)
+let sigma_order coflows =
+  List.stable_sort
+    (fun a b ->
+      let c = Float.compare a.deadline b.deadline in
+      if c <> 0 then c
+      else
+        let c = Float.compare (volume a) (volume b) in
+        if c <> 0 then c else compare a.id b.id)
+    coflows
+
+let pp ppf t =
+  Format.fprintf ppf "coflow %d (%s): %d flows, volume %g, deadline %g" t.id
+    t.label (List.length t.flows) (volume t) t.deadline
+
+let to_json t =
+  Json.Obj
+    [
+      ("id", Json.Int t.id);
+      ("label", Json.Str t.label);
+      ("deadline", Json.float t.deadline);
+      ("release", Json.float (release t));
+      ("volume", Json.float (volume t));
+      ("flows", Json.List (List.map (fun id -> Json.Int id) (member_ids t)));
+    ]
+
+let members_to_json coflows =
+  Json.Obj
+    [
+      ( "coflows",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("id", Json.Int c.id);
+                   ( "flows",
+                     Json.List
+                       (List.map (fun id -> Json.Int id) (member_ids c)) );
+                 ])
+             coflows) );
+    ]
+
+let members_of_json json =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let entries =
+    match json with
+    | Json.List entries -> Ok entries
+    | Json.Obj _ as obj -> (
+        match Json.member "coflows" obj with
+        | Some (Json.List entries) -> Ok entries
+        | Some _ -> err "coflows: \"coflows\" must be a list"
+        | None -> err "coflows: missing \"coflows\" field")
+    | _ -> err "coflows: expected an object or a list"
+  in
+  let* entries = entries in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | entry :: rest ->
+        let* id =
+          match Json.member "id" entry with
+          | Some (Json.Int id) -> Ok id
+          | _ -> err "coflows: entry missing integer \"id\""
+        in
+        let* flows =
+          match Json.member "flows" entry with
+          | Some (Json.List flows) ->
+              List.fold_left
+                (fun acc f ->
+                  let* acc = acc in
+                  match f with
+                  | Json.Int f -> Ok (f :: acc)
+                  | _ -> err "coflows: coflow %d has a non-integer flow id" id)
+                (Ok []) flows
+              |> Result.map List.rev
+          | _ -> err "coflows: coflow %d missing \"flows\" list" id
+        in
+        parse ((id, flows) :: acc) rest
+  in
+  parse [] entries
+
+let shuffle_trace ?(volume = 10.) ?(mean_span = 4.) ~rng ~graph ~jobs
+    ~horizon:(t0, t1) () =
+  if jobs < 1 then invalid_arg "Coflow.shuffle_trace: jobs must be >= 1";
+  if t1 <= t0 then invalid_arg "Coflow.shuffle_trace: empty horizon";
+  if Array.length (Graph.hosts graph) < 5 then
+    invalid_arg "Coflow.shuffle_trace: graph needs at least 5 hosts";
+  (* One pre-split stream per job: job j's draws depend only on the
+     incoming rng state and j, never on how many draws earlier jobs
+     made, so the trace survives generator tweaks and --jobs levels. *)
+  let streams = Array.init jobs (fun _ -> Prng.split rng) in
+  let next_flow_id = ref 0 in
+  List.init jobs (fun job ->
+      let rng = streams.(job) in
+      let release = Prng.uniform rng ~lo:t0 ~hi:t1 in
+      let span = mean_span *. (0.5 +. Prng.float rng 1.0) in
+      let deadline = Float.min t1 (release +. Float.max 0.5 span) in
+      let release = Float.min release (deadline -. 0.25 *. Float.max 0.5 span) in
+      let release = Float.max t0 release in
+      let horizon = (release, deadline) in
+      let first_flow_id = !next_flow_id in
+      let label, (_, flows) =
+        if Prng.int rng 3 < 2 then
+          let mappers = 2 + Prng.int rng 2 and reducers = 2 in
+          ( Printf.sprintf "shuffle:%dx%d" mappers reducers,
+            Workload.shuffle_grouped ~volume ~horizon ~job ~first_flow_id ~rng
+              ~graph ~mappers ~reducers () )
+        else
+          let sources = 2 + Prng.int rng 2 in
+          ( Printf.sprintf "incast:%d" sources,
+            Workload.incast_grouped ~volume ~horizon ~job ~first_flow_id ~rng
+              ~graph ~sources () )
+      in
+      next_flow_id := first_flow_id + List.length flows;
+      make ~id:job ~label ~flows ())

@@ -1,0 +1,82 @@
+(** Coflows: groups of flows sharing one collective deadline.
+
+    Real datacenter jobs are {e coflows} (DCoflow, arXiv:2205.01229): a
+    MapReduce shuffle or a partition–aggregate fan-in is one semantic
+    unit, and delivering 37 of its 40 member flows is worth nothing.
+    This module is the workload layer over {!Dcn_flow.Flow}: a {!t}
+    groups member flows under one job id and collective deadline, the
+    generators below build shuffle-/incast-heavy coflow traces from the
+    grouped generators of {!Dcn_flow.Workload} (membership carried by
+    construction, never re-derived from flow ids), and {!sigma_order}
+    is the admission order of DCoflow's sigma heuristic that
+    {!Admission} consumes. *)
+
+type t = private {
+  id : int;  (** job id, unique within a trace *)
+  label : string;  (** human-readable: e.g. ["shuffle:3x2"] *)
+  deadline : float;  (** the collective deadline: max member deadline *)
+  flows : Dcn_flow.Flow.t list;  (** members, ascending id, non-empty *)
+}
+
+val make : id:int -> ?label:string -> flows:Dcn_flow.Flow.t list -> unit -> t
+(** Group [flows] into one coflow; the collective deadline is the
+    latest member deadline.  @raise Invalid_argument on an empty member
+    list or duplicate member ids. *)
+
+val release : t -> float
+(** Earliest member release. *)
+
+val volume : t -> float
+(** Total member volume. *)
+
+val member_ids : t -> int list
+(** Member flow ids, ascending. *)
+
+val slack : t -> at:float -> float
+(** [deadline - at] — how much collective headroom is left. *)
+
+val members : t list -> (int * int list) list
+(** The membership table [(coflow id, member flow ids)] — the shape
+    {!Dcn_check.Certify.coflow_consistency} and the [--coflows] wire
+    format consume. *)
+
+val flatten : t list -> Dcn_flow.Flow.t list
+(** Every member flow of every coflow, ascending id.
+    @raise Invalid_argument if two coflows share a member id. *)
+
+val sigma_order : t list -> t list
+(** DCoflow's admission order: ascending collective deadline, ties by
+    total volume (smaller first — cheapest to fit), then id.  A stable
+    pure function of the list contents. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Dcn_engine.Json.t
+
+val members_to_json : t list -> Dcn_engine.Json.t
+(** [{"coflows":[{"id":1,"flows":[...]},...]}] — the membership file
+    [dcn certify --coflows] reads. *)
+
+val members_of_json :
+  Dcn_engine.Json.t -> ((int * int list) list, string) result
+(** Total parser of the {!members_to_json} shape (bare list of
+    [{"id","flows"}] objects also accepted). *)
+
+val shuffle_trace :
+  ?volume:float ->
+  ?mean_span:float ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  jobs:int ->
+  horizon:float * float ->
+  unit ->
+  t list
+(** A shuffle-heavy coflow trace: [jobs] staggered jobs over the
+    horizon, each a MapReduce shuffle (2–3 mappers × 2 reducers, ~2/3
+    of jobs) or a partition–aggregate incast (2–3 sources), released
+    uniformly over the horizon with a span of roughly [mean_span]
+    (default 4) clipped to the horizon.  Flow ids are globally unique;
+    job [j] draws from its own pre-split PRNG stream, so the trace is a
+    pure function of the [rng] state and [jobs] at every later [--jobs]
+    level.  @raise Invalid_argument if [jobs < 1], the horizon is
+    empty, or the graph has fewer than 5 hosts. *)

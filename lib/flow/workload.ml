@@ -69,23 +69,36 @@ let sample_distinct rng hosts count =
   Prng.shuffle rng pool;
   Array.sub pool 0 count
 
-let incast ?(volume = 10.) ?(horizon = (0., 1.)) ~rng ~graph ~sources () =
+(* The grouped generators are the source of truth for job membership:
+   one call is one job (one incast fan-in, one shuffle stage), and the
+   returned job id travels with the member list so coflow layers group
+   by construction instead of re-deriving membership from flow ids.
+   [first_flow_id] keeps ids unique when several jobs share a trace. *)
+
+let incast_grouped ?(volume = 10.) ?(horizon = (0., 1.)) ?(job = 0)
+    ?(first_flow_id = 0) ~rng ~graph ~sources () =
   if sources < 1 then invalid_arg "Workload.incast: sources must be >= 1";
   let hosts = check_hosts graph (sources + 1) in
   let chosen = sample_distinct rng hosts (sources + 1) in
   let sink = chosen.(0) in
   let release, deadline = horizon in
-  List.init sources (fun i ->
-      Flow.make ~id:i ~src:chosen.(i + 1) ~dst:sink ~volume ~release ~deadline)
+  ( job,
+    List.init sources (fun i ->
+        Flow.make ~id:(first_flow_id + i) ~src:chosen.(i + 1) ~dst:sink ~volume
+          ~release ~deadline) )
 
-let shuffle ?(volume = 10.) ?(horizon = (0., 1.)) ~rng ~graph ~mappers ~reducers () =
+let incast ?volume ?horizon ~rng ~graph ~sources () =
+  snd (incast_grouped ?volume ?horizon ~rng ~graph ~sources ())
+
+let shuffle_grouped ?(volume = 10.) ?(horizon = (0., 1.)) ?(job = 0)
+    ?(first_flow_id = 0) ~rng ~graph ~mappers ~reducers () =
   if mappers < 1 || reducers < 1 then
     invalid_arg "Workload.shuffle: mappers and reducers must be >= 1";
   let hosts = check_hosts graph (mappers + reducers) in
   let chosen = sample_distinct rng hosts (mappers + reducers) in
   let release, deadline = horizon in
   let flows = ref [] in
-  let id = ref 0 in
+  let id = ref first_flow_id in
   for m = 0 to mappers - 1 do
     for r = 0 to reducers - 1 do
       flows :=
@@ -95,7 +108,10 @@ let shuffle ?(volume = 10.) ?(horizon = (0., 1.)) ~rng ~graph ~mappers ~reducers
       incr id
     done
   done;
-  List.rev !flows
+  (job, List.rev !flows)
+
+let shuffle ?volume ?horizon ~rng ~graph ~mappers ~reducers () =
+  snd (shuffle_grouped ?volume ?horizon ~rng ~graph ~mappers ~reducers ())
 
 let stride ?(volume = 10.) ?(horizon = (0., 1.)) ~graph ~stride () =
   let hosts = check_hosts graph 2 in

@@ -33,6 +33,25 @@ val all_to_all :
 (** One flow per ordered host pair, all sharing the horizon as span.
     Volume defaults to 10. *)
 
+val incast_grouped :
+  ?volume:float ->
+  ?horizon:float * float ->
+  ?job:int ->
+  ?first_flow_id:int ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  sources:int ->
+  unit ->
+  int * Flow.t list
+(** One partition–aggregate {e job}: the job id (default 0) together
+    with its member flows — [sources] distinct random hosts all sending
+    to one random aggregator within a common deadline.  Member ids start
+    at [first_flow_id] (default 0), so several jobs can share one trace
+    with globally unique flow ids.  This is the membership a coflow
+    layer groups by construction; {!incast} is the flat view.
+    @raise Invalid_argument if the graph has fewer than [sources + 1]
+    hosts. *)
+
 val incast :
   ?volume:float ->
   ?horizon:float * float ->
@@ -43,8 +62,26 @@ val incast :
   Flow.t list
 (** Partition–aggregate: [sources] distinct random hosts all send to one
     random aggregator host within a common deadline — the
-    request/response pattern of Section I.  @raise Invalid_argument if
-    the graph has fewer than [sources + 1] hosts. *)
+    request/response pattern of Section I.  Exactly
+    [snd (incast_grouped ...)].  @raise Invalid_argument if the graph
+    has fewer than [sources + 1] hosts. *)
+
+val shuffle_grouped :
+  ?volume:float ->
+  ?horizon:float * float ->
+  ?job:int ->
+  ?first_flow_id:int ->
+  rng:Dcn_util.Prng.t ->
+  graph:Dcn_topology.Graph.t ->
+  mappers:int ->
+  reducers:int ->
+  unit ->
+  int * Flow.t list
+(** One MapReduce shuffle {e job}: the job id (default 0) together with
+    its [mappers * reducers] member flows, ids starting at
+    [first_flow_id].  The membership a coflow layer groups by
+    construction; {!shuffle} is the flat view.  @raise Invalid_argument
+    if the graph has fewer than [mappers + reducers] hosts. *)
 
 val shuffle :
   ?volume:float ->
@@ -56,7 +93,8 @@ val shuffle :
   unit ->
   Flow.t list
 (** MapReduce shuffle: every one of [mappers] random hosts sends to every
-    one of [reducers] other random hosts.  @raise Invalid_argument if the
+    one of [reducers] other random hosts.  Exactly
+    [snd (shuffle_grouped ...)].  @raise Invalid_argument if the
     graph has fewer than [mappers + reducers] hosts. *)
 
 val stride :

@@ -7,6 +7,8 @@
     {v
     {"event":"arrival","id":1,"src":0,"dst":4,"volume":6,"release":0,"deadline":4}
     {"event":"cancel","id":1}
+    {"event":"coflow","id":7,"flows":[{"id":2,"src":0,"dst":4,"volume":6,"release":0,"deadline":4},...]}
+    {"event":"coflow-cancel","id":7}
     {"event":"advance","to":2.5}
     v}
 
@@ -31,11 +33,17 @@ type t =
   | Flow_arrival of Dcn_flow.Flow.t
       (** admit this flow (subject to the session's policy) *)
   | Flow_cancel of { flow : int }  (** withdraw a committed flow *)
+  | Coflow_arrival of { coflow : int; flows : Dcn_flow.Flow.t list }
+      (** admit this flow {e group} all-or-nothing: either every member
+          commits or the whole coflow is rejected *)
+  | Coflow_cancel of { coflow : int }
+      (** withdraw every member of a committed coflow *)
   | Advance_clock of { clock : float }
       (** move the session clock forward; completed flows retire *)
 
 val kind : t -> string
-(** ["arrival"], ["cancel"] or ["advance"] — the wire tag. *)
+(** ["arrival"], ["cancel"], ["coflow"], ["coflow-cancel"] or
+    ["advance"] — the wire tag. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -38,6 +38,8 @@ type stats = {
   mutable reused_intervals : int;
   mutable certified_epochs : int;
   mutable uncertified_epochs : int;
+  mutable coflows_admitted : int;
+  mutable coflows_rejected : int;
 }
 
 (* Live-telemetry handles.  Counters/histograms are updated on the
@@ -88,6 +90,24 @@ let obs_min_slack =
 let obs_active_flows =
   Dcn_obs.Registry.gauge ~help:"committed flows" "serve.active_flows"
 
+let obs_coflow_admitted =
+  Dcn_obs.Registry.counter ~help:"coflows admitted whole"
+    "serve.coflow_admitted"
+
+let obs_coflow_rejected =
+  Dcn_obs.Registry.counter ~help:"coflows rejected whole"
+    "serve.coflow_rejected"
+
+let obs_coflow_slack =
+  Dcn_obs.Registry.histogram
+    ~help:"collective slack (deadline - clock) at coflow admission"
+    "serve.coflow_slack"
+
+let obs_coflow_min_slack =
+  Dcn_obs.Registry.gauge
+    ~help:"min (collective deadline - clock) over committed coflows"
+    "serve.coflow_min_slack"
+
 type t = {
   graph : Graph.t;
   power : Model.t;
@@ -101,6 +121,10 @@ type t = {
   mutable clock : float;
   mutable flows : Flow.t list;  (* ascending id *)
   mutable paths : (int * Graph.link list) list;  (* flow id -> committed path *)
+  (* Committed coflow membership, ascending coflow id.  Members still in
+     flight; a member list only shrinks when members retire (complete),
+     because shedding and cancellation always take the whole group. *)
+  mutable coflows : (int * int list) list;
   mutable relaxation : Relaxation.t option;
   mutable schedule : Schedule.t option;
   stats : stats;
@@ -122,6 +146,7 @@ let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
     clock = 0.;
     flows = [];
     paths = [];
+    coflows = [];
     relaxation = None;
     schedule = None;
     stats =
@@ -138,6 +163,8 @@ let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
         reused_intervals = 0;
         certified_epochs = 0;
         uncertified_epochs = 0;
+        coflows_admitted = 0;
+        coflows_rejected = 0;
       };
   }
 
@@ -196,6 +223,7 @@ let outcome_to_json o =
 let clock t = t.clock
 let uptime_ms t = 1e3 *. (Unix.gettimeofday () -. t.created)
 let active_flows t = t.flows
+let active_coflows t = t.coflows
 let schedule t = t.schedule
 
 let total_intervals t =
@@ -263,6 +291,19 @@ let commit t ~flows ~paths ~relax ~sched ~inst ~dropped ~retired
   in
   t.flows <- flows;
   t.paths <- paths;
+  (* Members that left the committed set retired or were shed as a whole
+     group; either way the membership table tracks live members only,
+     and a group with none left is done. *)
+  t.coflows <-
+    List.filter_map
+      (fun (cid, ms) ->
+        let live =
+          List.filter
+            (fun id -> List.exists (fun (f : Flow.t) -> f.id = id) flows)
+            ms
+        in
+        if live = [] then None else Some (cid, live))
+      t.coflows;
   t.relaxation <- relax;
   t.schedule <- sched;
   let s = t.stats in
@@ -292,6 +333,18 @@ let commit t ~flows ~paths ~relax ~sched ~inst ~dropped ~retired
     }
   in
   if dropped = [] then Committed detail else Degraded detail
+
+(* All-or-nothing discipline for committed coflows: shedding any member
+   sheds the whole group, so a partially planned coflow never survives
+   an epoch.  A victim outside every coflow sheds alone (the pre-coflow
+   behaviour, bit-identical when no coflows are committed). *)
+let shed_set t (victim : Flow.t) candidate =
+  match
+    List.find_opt (fun (_, ms) -> List.mem victim.Flow.id ms) t.coflows
+  with
+  | None -> [ victim ]
+  | Some (_, ms) ->
+    List.filter (fun (f : Flow.t) -> List.mem f.Flow.id ms) candidate
 
 (* Graceful admission: re-solve only the intervals overlapping the
    change window, draw the arrival's path from the warm relaxation, and
@@ -350,16 +403,21 @@ let admit t (arrival : Flow.t) =
           Rejected
             { reason = "no feasible plan within the redraw budget" }
         | Some victim ->
-          Trace.event
-            ~fields:[ ("flow", Json.Int victim.Flow.id) ]
-            "serve.drop";
+          let shed = shed_set t victim candidate in
+          List.iter
+            (fun (f : Flow.t) ->
+              Trace.event ~fields:[ ("flow", Json.Int f.Flow.id) ] "serve.drop")
+            shed;
+          let shed_ids = List.map (fun (f : Flow.t) -> f.Flow.id) shed in
           go
             (List.filter
-               (fun (f : Flow.t) -> f.id <> victim.Flow.id)
+               (fun (f : Flow.t) -> not (List.mem f.id shed_ids))
                candidate)
-            (victim :: dropped)
-            ( Float.min wlo victim.Flow.release,
-              Float.max whi victim.Flow.deadline )))
+            (shed @ dropped)
+            (List.fold_left
+               (fun (lo, hi) (f : Flow.t) ->
+                 (Float.min lo f.Flow.release, Float.max hi f.Flow.deadline))
+               (wlo, whi) shed)))
   in
   go
     (List.sort by_id (arrival :: t.flows))
@@ -398,10 +456,192 @@ let on_arrival t (f : Flow.t) =
     in
     admit t f
 
+(* Group admission: the coflow's members commit as one unit.  Each
+   round draws a path per member from the warm relaxation (one weighted
+   draw each, all from the round's pre-split stream); if no joint draw
+   is feasible the policy may shed previously committed flows — whole
+   coflows at a time, via [shed_set] — but never a part of the arriving
+   group: its members are all new, so a new victim rejects the whole
+   coflow.  Either every member commits or none does. *)
+let admit_coflow t ~coflow (members : Flow.t list) =
+  let member_ids = List.map (fun (f : Flow.t) -> f.Flow.id) members in
+  let is_new id = List.mem id member_ids in
+  let rec go candidate dropped ((wlo, whi) as window) =
+    match
+      Instance.make_result ~graph:t.graph ~power:t.power ~flows:candidate
+    with
+    | Error e -> Rejected { reason = Instance.error_to_string e }
+    | Ok inst -> (
+      let relax, rstats = resolve_relaxation t ~window inst in
+      let member_candidates =
+        List.map
+          (fun (f : Flow.t) -> (f, Random_schedule.candidate_paths relax f))
+          members
+      in
+      let keep =
+        List.filter
+          (fun (id, _) ->
+            List.exists (fun (f : Flow.t) -> f.id = id) candidate)
+          t.paths
+      in
+      let draw =
+        if List.exists (fun (_, c) -> c = []) member_candidates then None
+        else
+          let prepared =
+            List.map
+              (fun ((f : Flow.t), cands) ->
+                ( f.Flow.id,
+                  Array.of_list (List.map fst cands),
+                  Array.of_list (List.map snd cands) ))
+              member_candidates
+          in
+          let rngs = Pool.split_rngs (Prng.split t.rng) t.config.attempts in
+          let rec try_draw i =
+            if i >= t.config.attempts then None
+            else
+              let assoc =
+                List.fold_left
+                  (fun acc (id, paths, weights) ->
+                    let idx = Prng.pick_weighted rngs.(i) ~weights in
+                    (id, paths.(idx)) :: acc)
+                  keep prepared
+              in
+              let sched = build_schedule t inst assoc in
+              if feasible t sched then Some (sched, assoc) else try_draw (i + 1)
+          in
+          try_draw 0
+      in
+      match draw with
+      | Some (sched, assoc) ->
+        t.stats.admitted <- t.stats.admitted + List.length members;
+        let outcome =
+          commit t ~flows:candidate
+            ~paths:(List.sort (fun (a, _) (b, _) -> compare a b) assoc)
+            ~relax:(Some relax) ~sched:(Some sched) ~inst:(Some inst) ~dropped
+            ~retired:[] ~rstats
+        in
+        (* [commit] pruned shed groups; the new one enters afterwards so
+           a [Rejected] round never leaves a trace of it. *)
+        t.coflows <-
+          List.merge
+            (fun (a, _) (b, _) -> compare a b)
+            t.coflows
+            [ (coflow, member_ids) ];
+        outcome
+      | None -> (
+        match Repair.next_casualty t.policy ~is_new candidate with
+        | None ->
+          Rejected
+            { reason = "no feasible plan; the policy refuses to shed" }
+        | Some victim when is_new victim.Flow.id ->
+          Rejected
+            {
+              reason =
+                Printf.sprintf
+                  "coflow %d: no feasible joint plan within the redraw budget"
+                  coflow;
+            }
+        | Some victim ->
+          let shed = shed_set t victim candidate in
+          List.iter
+            (fun (f : Flow.t) ->
+              Trace.event ~fields:[ ("flow", Json.Int f.Flow.id) ] "serve.drop")
+            shed;
+          let shed_ids = List.map (fun (f : Flow.t) -> f.Flow.id) shed in
+          go
+            (List.filter
+               (fun (f : Flow.t) -> not (List.mem f.id shed_ids))
+               candidate)
+            (shed @ dropped)
+            (List.fold_left
+               (fun (lo, hi) (f : Flow.t) ->
+                 (Float.min lo f.Flow.release, Float.max hi f.Flow.deadline))
+               (wlo, whi) shed)))
+  in
+  let window =
+    List.fold_left
+      (fun (lo, hi) (f : Flow.t) ->
+        (Float.min lo f.Flow.release, Float.max hi f.Flow.deadline))
+      (Float.infinity, Float.neg_infinity)
+      members
+  in
+  go (List.sort by_id (members @ t.flows)) [] window
+
+(* Per-member validation for a coflow arrival: the same clauses as
+   [on_arrival], reported with the coflow prefix, and checked for the
+   whole group before anything is admitted. *)
+let validate_new t (f : Flow.t) =
+  let n = Graph.num_nodes t.graph in
+  let tn = tiny (Float.max (Float.abs t.clock) (Float.abs f.deadline)) in
+  if f.src < 0 || f.src >= n || f.dst < 0 || f.dst >= n then
+    Some (Printf.sprintf "flow %d: endpoint outside the fabric" f.id)
+  else if f.deadline <= t.clock +. tn then
+    Some
+      (Printf.sprintf "flow %d: deadline %g at or before clock %g" f.id
+         f.deadline t.clock)
+  else if List.exists (fun (g : Flow.t) -> g.id = f.id) t.flows then
+    Some (Printf.sprintf "flow %d already committed" f.id)
+  else if Option.is_none (Paths.shortest_path t.graph ~src:f.src ~dst:f.dst)
+  then Some (Printf.sprintf "flow %d: no path from %d to %d" f.id f.src f.dst)
+  else None
+
+let on_coflow_arrival t ~coflow members =
+  let reject reason =
+    t.stats.coflows_rejected <- t.stats.coflows_rejected + 1;
+    Dcn_obs.Registry.incr obs_coflow_rejected;
+    Rejected { reason }
+  in
+  if List.mem_assoc coflow t.coflows then
+    reject (Printf.sprintf "coflow %d already committed" coflow)
+  else if members = [] then
+    reject (Printf.sprintf "coflow %d has no members" coflow)
+  else begin
+    let sorted_ids =
+      List.sort compare (List.map (fun (f : Flow.t) -> f.Flow.id) members)
+    in
+    let rec dup = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: rest -> dup rest
+      | [] -> None
+    in
+    match dup sorted_ids with
+    | Some id ->
+      reject (Printf.sprintf "coflow %d: duplicate member flow %d" coflow id)
+    | None -> (
+      match List.filter_map (validate_new t) members with
+      | reason :: _ -> reject (Printf.sprintf "coflow %d: %s" coflow reason)
+      | [] -> (
+        (* Releases in the past cannot be honoured: clamp to the clock. *)
+        let members =
+          List.map
+            (fun (f : Flow.t) ->
+              if f.release < t.clock then
+                Flow.make ~id:f.id ~src:f.src ~dst:f.dst ~volume:f.volume
+                  ~release:t.clock ~deadline:f.deadline
+              else f)
+            members
+        in
+        match admit_coflow t ~coflow members with
+        | Rejected { reason } -> reject reason
+        | outcome ->
+          t.stats.coflows_admitted <- t.stats.coflows_admitted + 1;
+          Dcn_obs.Registry.incr obs_coflow_admitted;
+          if Dcn_obs.Registry.on () then begin
+            let deadline =
+              List.fold_left
+                (fun acc (f : Flow.t) -> Float.max acc f.deadline)
+                neg_infinity members
+            in
+            Dcn_obs.Registry.observe obs_coflow_slack (deadline -. t.clock)
+          end;
+          outcome))
+  end
+
 let drain t ~cancelled ~retired =
   let delta = Schedule_delta.diff ~before:t.schedule ~after:None in
   t.flows <- [];
   t.paths <- [];
+  t.coflows <- [];
   t.relaxation <- None;
   t.schedule <- None;
   let s = t.stats in
@@ -421,6 +661,17 @@ let drain t ~cancelled ~retired =
 let on_cancel t id =
   match List.find_opt (fun (g : Flow.t) -> g.id = id) t.flows with
   | None -> Rejected { reason = Printf.sprintf "unknown flow %d" id }
+  | Some _
+    when List.exists (fun (_, ms) -> List.mem id ms) t.coflows ->
+    let cid, _ =
+      List.find (fun (_, ms) -> List.mem id ms) t.coflows
+    in
+    Rejected
+      {
+        reason =
+          Printf.sprintf
+            "flow %d belongs to coflow %d; cancel the coflow instead" id cid;
+      }
   | Some f -> (
     let rest = List.filter (fun (g : Flow.t) -> g.id <> id) t.flows in
     match rest with
@@ -437,6 +688,35 @@ let on_cancel t id =
         let paths = List.filter (fun (pid, _) -> pid <> id) t.paths in
         let sched = build_schedule t inst paths in
         t.stats.cancelled <- t.stats.cancelled + 1;
+        commit t ~flows:rest ~paths ~relax:(Some relax) ~sched:(Some sched)
+          ~inst:(Some inst) ~dropped:[] ~retired:[] ~rstats))
+
+let on_coflow_cancel t coflow =
+  match List.assoc_opt coflow t.coflows with
+  | None -> Rejected { reason = Printf.sprintf "unknown coflow %d" coflow }
+  | Some ms -> (
+    let cancelled_flows, rest =
+      List.partition (fun (f : Flow.t) -> List.mem f.id ms) t.flows
+    in
+    match rest with
+    | [] -> drain t ~cancelled:ms ~retired:[]
+    | _ -> (
+      match
+        Instance.make_result ~graph:t.graph ~power:t.power ~flows:rest
+      with
+      | Error e -> Rejected { reason = Instance.error_to_string e }
+      | Ok inst ->
+        let window =
+          List.fold_left
+            (fun (lo, hi) (f : Flow.t) ->
+              (Float.min lo f.release, Float.max hi f.deadline))
+            (Float.infinity, Float.neg_infinity)
+            cancelled_flows
+        in
+        let relax, rstats = resolve_relaxation t ~window inst in
+        let paths = List.filter (fun (pid, _) -> not (List.mem pid ms)) t.paths in
+        let sched = build_schedule t inst paths in
+        t.stats.cancelled <- t.stats.cancelled + List.length ms;
         commit t ~flows:rest ~paths ~relax:(Some relax) ~sched:(Some sched)
           ~inst:(Some inst) ~dropped:[] ~retired:[] ~rstats))
 
@@ -511,6 +791,22 @@ let refresh_gauges t outcome =
     (match outcome with
     | Committed d | Degraded d -> Dcn_obs.Registry.set obs_energy d.energy
     | Rejected _ -> ());
+    (match t.coflows with
+    | [] -> ()
+    | cs ->
+      let collective_deadline ms =
+        List.fold_left
+          (fun acc id ->
+            match List.find_opt (fun (f : Flow.t) -> f.id = id) t.flows with
+            | Some f -> Float.max acc f.deadline
+            | None -> acc)
+          neg_infinity ms
+      in
+      Dcn_obs.Registry.set obs_coflow_min_slack
+        (List.fold_left
+           (fun acc (_, ms) ->
+             Float.min acc (collective_deadline ms -. t.clock))
+           infinity cs));
     match t.relaxation with
     | Some r -> Dcn_obs.Registry.set obs_energy_lb r.Relaxation.lb
     | None -> ()
@@ -531,6 +827,9 @@ let apply t event =
       match event with
       | Event.Flow_arrival f -> on_arrival t f
       | Event.Flow_cancel { flow } -> on_cancel t flow
+      | Event.Coflow_arrival { coflow; flows } ->
+        on_coflow_arrival t ~coflow flows
+      | Event.Coflow_cancel { coflow } -> on_coflow_cancel t coflow
       | Event.Advance_clock { clock } -> on_advance t clock
     with
     | Deadline.Expired -> raise Deadline.Expired
@@ -575,5 +874,8 @@ let report t =
       ("reused_intervals", Json.Int s.reused_intervals);
       ("certified_epochs", Json.Int s.certified_epochs);
       ("uncertified_epochs", Json.Int s.uncertified_epochs);
+      ("coflows", Json.Int (List.length t.coflows));
+      ("coflows_admitted", Json.Int s.coflows_admitted);
+      ("coflows_rejected", Json.Int s.coflows_rejected);
       ("ok", Json.Bool (s.uncertified_epochs = 0));
     ]

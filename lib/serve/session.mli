@@ -11,6 +11,14 @@
       {!Dcn_resilience.Repair} (shedding one flow per round under
       [Drop_latest_deadline]/[Drop_largest_residual]; [Reject_new]
       refuses the arrival instead of touching committed flows);
+    - a {b coflow arrival} admits a whole flow group all-or-nothing:
+      every member commits in one epoch (one path draw per member from
+      the warm relaxation) or the whole group is rejected — a coflow
+      that would miss its collective deadline is worth nothing partly
+      delivered.  Once committed the group stays atomic: the shedding
+      policy takes whole coflows (never a strict subset), and a plain
+      cancel of a member is refused in favour of {b coflow cancel},
+      which withdraws every member at once;
     - a {b cancellation} withdraws one committed flow;
     - a {b clock advance} retires flows whose deadline has passed.
 
@@ -96,6 +104,14 @@ val uptime_ms : t -> float
 
 val active_flows : t -> Dcn_flow.Flow.t list
 (** Committed flows, ascending id. *)
+
+val active_coflows : t -> (int * int list) list
+(** Committed coflow membership, ascending coflow id — live members
+    only (a member leaves the list when it retires; shedding and
+    cancellation always remove whole groups).  Exactly the shape
+    {!Dcn_check.Certify.coflow_consistency} consumes, so a session's
+    committed schedule can be checked for all-or-nothing consistency at
+    any epoch. *)
 
 val schedule : t -> Dcn_sched.Schedule.t option
 (** The committed schedule; [None] when no flows are committed. *)

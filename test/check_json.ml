@@ -247,6 +247,65 @@ let check_certify path =
   if Json.to_list (get path "cross" cert) <> [] then
     fail "%s: unexpected cross-solver violations" path
 
+(* Report of `dcn coflow solve --report FILE`: the seeded trace, one
+   result per variant (admission + conjunction certificate, both of
+   which must have certified), and the Pareto view pairing each
+   variant's coflow completion rate with its Eq. (5) energy. *)
+let check_coflow path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "coflow-solve") -> ()
+  | _ -> fail "%s: command is not \"coflow-solve\"" path);
+  let coflow = get path "coflow" json in
+  let n = Json.to_int (get path "coflows" coflow) in
+  if n < 1 then fail "%s: coflows < 1" path;
+  ignore (Json.to_int (get path "seed" coflow));
+  let trace = Json.to_list (get path "trace" coflow) in
+  if List.length trace <> n then
+    fail "%s: %d trace row(s), expected %d" path (List.length trace) n;
+  List.iter
+    (fun c ->
+      ignore (Json.to_int (get path "id" c));
+      ignore (Json.to_str (get path "label" c));
+      let deadline = Json.to_float (get path "deadline" c) in
+      if not (Float.is_finite deadline) then
+        fail "%s: non-finite collective deadline" path;
+      if Json.to_list (get path "flows" c) = [] then
+        fail "%s: a coflow with no members" path)
+    trace;
+  let results = Json.to_list (get path "results" coflow) in
+  if results = [] then fail "%s: no variant results" path;
+  List.iter
+    (fun r ->
+      let adm = get path "admission" r in
+      ignore (Json.to_str (get path "variant" adm));
+      ignore (Json.to_str (get path "solver" adm));
+      let rate = Json.to_float (get path "completion_rate" adm) in
+      if not (rate >= 0. && rate <= 1.) then
+        fail "%s: completion rate %g out of [0, 1]" path rate;
+      let energy = Json.to_float (get path "energy" adm) in
+      if not (Float.is_finite energy) || energy < 0. then
+        fail "%s: non-finite or negative coflow energy" path;
+      let admitted = List.length (Json.to_list (get path "admitted" adm)) in
+      let rejected = List.length (Json.to_list (get path "rejected" adm)) in
+      if admitted + rejected <> n then
+        fail "%s: admitted + rejected (%d) do not partition the %d coflows"
+          path (admitted + rejected) n;
+      let cert = get path "certificate" r in
+      (match Json.member "ok" cert with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "%s: a variant's conjunction certificate failed" path);
+      if Json.to_list (get path "violations" cert) <> [] then
+        fail "%s: certificate carries violations" path)
+    results;
+  let pareto = Json.to_list (get path "pareto" coflow) in
+  if List.length pareto <> List.length results then
+    fail "%s: pareto has %d point(s), expected %d" path (List.length pareto)
+      (List.length results);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
 (* Trace of `check_kernel.exe --trace FILE`: two back-to-back
    kernel-engine solves.  The flat engine must have traced its
    [fw.kernel] spans (every one closed), and the workspace counters
@@ -404,6 +463,9 @@ let () =
   | [| _; "--serve"; report |] ->
     check_serve report;
     print_endline "check-json: serve report OK"
+  | [| _; "--coflow"; report |] ->
+    check_coflow report;
+    print_endline "check-json: coflow report OK"
   | [| _; "--kernel"; trace |] ->
     check_kernel_trace trace;
     print_endline "check-json: kernel trace OK"

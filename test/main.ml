@@ -23,5 +23,6 @@ let () =
          Test_check.suite;
          Test_resilience.suite;
          Test_serve.suite;
+         Test_coflow.suite;
          Test_obs.suite;
        ])

@@ -1,0 +1,394 @@
+(* Dcn_coflow: grouping round-trips, sigma order, all-or-nothing
+   admission edge cases, conjunction-certificate semantics, membership
+   wire format, jobs-invariance and the coflow event-log corpus. *)
+
+module Json = Dcn_engine.Json
+module Pool = Dcn_engine.Pool
+module Prng = Dcn_util.Prng
+module Graph = Dcn_topology.Graph
+module Builders = Dcn_topology.Builders
+module Model = Dcn_power.Model
+module Flow = Dcn_flow.Flow
+module Workload = Dcn_flow.Workload
+module Certify = Dcn_check.Certify
+module Coflow = Dcn_coflow.Coflow
+module Admission = Dcn_coflow.Admission
+module Certificate = Dcn_coflow.Certificate
+module Event = Dcn_serve.Event
+module Session = Dcn_serve.Session
+module Repair = Dcn_resilience.Repair
+
+let flow ?(src = 0) ?(dst = 4) ~id ~volume ~release ~deadline () =
+  Flow.make ~id ~src ~dst ~volume ~release ~deadline
+
+let graph = Builders.fat_tree 4
+let power ?(cap = infinity) () = Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap ()
+
+(* ----------------------------- grouping ---------------------------- *)
+
+let test_make_invariants () =
+  let f1 = flow ~id:3 ~volume:2. ~release:0. ~deadline:4. () in
+  let f2 = flow ~src:1 ~dst:5 ~id:1 ~volume:3. ~release:1. ~deadline:6. () in
+  let c = Coflow.make ~id:7 ~flows:[ f1; f2 ] () in
+  Alcotest.(check (list int)) "members ascend" [ 1; 3 ] (Coflow.member_ids c);
+  Alcotest.(check (float 1e-9)) "collective deadline = max" 6. c.deadline;
+  Alcotest.(check (float 1e-9)) "release = min" 0. (Coflow.release c);
+  Alcotest.(check (float 1e-9)) "volume = sum" 5. (Coflow.volume c);
+  Alcotest.(check (float 1e-9)) "slack" 3.5 (Coflow.slack c ~at:2.5);
+  Alcotest.check_raises "empty members" (Invalid_argument "Coflow.make: empty member list")
+    (fun () -> ignore (Coflow.make ~id:0 ~flows:[] ()));
+  (match Coflow.make ~id:0 ~flows:[ f1; f1 ] () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate member ids accepted")
+
+let test_grouped_generators_round_trip () =
+  let rng = Prng.create 5 in
+  let job, flows =
+    Workload.shuffle_grouped ~job:3 ~first_flow_id:10 ~rng ~graph ~mappers:3
+      ~reducers:2 ()
+  in
+  Alcotest.(check int) "job id exported" 3 job;
+  Alcotest.(check int) "mappers x reducers members" 6 (List.length flows);
+  let c = Coflow.make ~id:job ~flows () in
+  Alcotest.(check (list int))
+    "membership by construction"
+    (List.init 6 (fun i -> 10 + i))
+    (Coflow.member_ids c);
+  (* The flat view is exactly the grouped members. *)
+  let rng' = Prng.create 5 in
+  let flat = Workload.shuffle ~rng:rng' ~graph ~mappers:3 ~reducers:2 () in
+  Alcotest.(check (list int))
+    "flat view = snd grouped"
+    (List.map (fun (f : Flow.t) -> f.id) (snd
+       (Workload.shuffle_grouped ~rng:(Prng.create 5) ~graph ~mappers:3
+          ~reducers:2 ())))
+    (List.map (fun (f : Flow.t) -> f.id) flat)
+
+let test_members_flatten_round_trip () =
+  let mk id first =
+    Coflow.make ~id
+      ~flows:
+        [
+          flow ~id:first ~volume:1. ~release:0. ~deadline:2. ();
+          flow ~src:1 ~dst:5 ~id:(first + 1) ~volume:1. ~release:0. ~deadline:3. ();
+        ]
+      ()
+  in
+  let cs = [ mk 0 0; mk 1 10 ] in
+  Alcotest.(check (list (pair int (list int))))
+    "membership table"
+    [ (0, [ 0; 1 ]); (1, [ 10; 11 ]) ]
+    (Coflow.members cs);
+  Alcotest.(check (list int))
+    "flatten ascending" [ 0; 1; 10; 11 ]
+    (List.map (fun (f : Flow.t) -> f.id) (Coflow.flatten cs));
+  (match Coflow.flatten [ mk 0 0; mk 1 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shared member ids accepted");
+  (* JSON wire round trip, object wrapper and bare list both parse. *)
+  let json = Coflow.members_to_json cs in
+  (match Coflow.members_of_json json with
+  | Ok table ->
+    Alcotest.(check (list (pair int (list int))))
+      "wire round trip" (Coflow.members cs) table
+  | Error m -> Alcotest.failf "members_of_json: %s" m);
+  (match Coflow.members_of_json (Json.member "coflows" json |> Option.get) with
+  | Ok table ->
+    Alcotest.(check (list (pair int (list int))))
+      "bare list accepted" (Coflow.members cs) table
+  | Error m -> Alcotest.failf "bare list: %s" m);
+  match Coflow.members_of_json (Json.Str "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed membership accepted"
+
+let test_sigma_order () =
+  let mk id ~volume ~deadline =
+    Coflow.make ~id
+      ~flows:[ flow ~id:(100 + id) ~volume ~release:0. ~deadline () ]
+      ()
+  in
+  let cs =
+    [ mk 0 ~volume:9. ~deadline:5.; mk 1 ~volume:1. ~deadline:3.;
+      mk 2 ~volume:4. ~deadline:3.; mk 3 ~volume:4. ~deadline:3. ]
+  in
+  Alcotest.(check (list int))
+    "deadline, then volume, then id" [ 1; 2; 3; 0 ]
+    (List.map (fun (c : Coflow.t) -> c.id) (Coflow.sigma_order cs))
+
+let test_shuffle_trace_seeded () =
+  let trace seed =
+    Coflow.shuffle_trace ~rng:(Prng.create seed) ~graph ~jobs:6
+      ~horizon:(0., 10.) ()
+  in
+  let show cs = Json.to_string (Json.List (List.map Coflow.to_json cs)) in
+  Alcotest.(check string) "pure function of seed" (show (trace 9)) (show (trace 9));
+  Alcotest.(check bool) "seed matters" true (show (trace 9) <> show (trace 10));
+  let cs = trace 9 in
+  let ids = List.concat_map Coflow.member_ids cs in
+  Alcotest.(check int)
+    "flow ids globally unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun (c : Coflow.t) ->
+      Alcotest.(check bool) "deadline within horizon" true (c.deadline <= 10.))
+    cs;
+  match Coflow.shuffle_trace ~rng:(Prng.create 0) ~graph ~jobs:0 ~horizon:(0., 1.) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs = 0 accepted"
+
+(* ---------------------------- admission ---------------------------- *)
+
+let small_coflows () =
+  (* Three jobs on the fat-tree; with infinite capacity all fit, with a
+     tight capacity the big early-deadline shuffle cannot. *)
+  let mk id ~first ~volume ~deadline pairs =
+    Coflow.make ~id
+      ~flows:
+        (List.mapi
+           (fun i (src, dst) ->
+             flow ~src ~dst ~id:(first + i) ~volume ~release:0. ~deadline ())
+           pairs)
+      ()
+  in
+  [
+    mk 0 ~first:0 ~volume:30. ~deadline:2. [ (0, 4); (1, 4); (2, 4) ];
+    mk 1 ~first:10 ~volume:2. ~deadline:5. [ (5, 9); (6, 9) ];
+    mk 2 ~first:20 ~volume:3. ~deadline:8. [ (10, 14); (11, 15) ];
+  ]
+
+let test_admission_all_or_nothing () =
+  let cs = small_coflows () in
+  List.iter
+    (fun variant ->
+      (* Loose capacity: everything fits. *)
+      let adm = Admission.run ~variant ~graph ~power:(power ()) cs in
+      Alcotest.(check (float 1e-9)) "all admitted" 1. adm.completion_rate;
+      Alcotest.(check int) "no rejections" 0 (List.length adm.rejected);
+      (* Tight capacity: the incast with volume 30 by t = 2 needs rate 45
+         into one host link of capacity 6 — the whole group must go. *)
+      let adm = Admission.run ~variant ~graph ~power:(power ~cap:6. ()) cs in
+      let rejected_ids = List.map (fun ((c : Coflow.t), _) -> c.id) adm.rejected in
+      Alcotest.(check (list int)) "whole group rejected" [ 0 ] rejected_ids;
+      Alcotest.(check (float 1e-9)) "completion rate 2/3" (2. /. 3.)
+        adm.completion_rate;
+      (* No member of the rejected coflow appears in the final schedule. *)
+      (match adm.solution with
+      | None -> Alcotest.fail "admitted set has a schedule"
+      | Some sol ->
+        List.iter
+          (fun id ->
+            Alcotest.(check bool)
+              (Printf.sprintf "flow %d of rejected coflow unplanned" id)
+              false
+              (List.exists
+                 (fun (p : Dcn_sched.Schedule.plan) -> p.flow.id = id)
+                 sol.schedule.plans))
+          [ 0; 1; 2 ]);
+      (* The admission certificate (bookkeeping included) holds. *)
+      let cert =
+        Certificate.admission_result ~coflows:cs ~graph ~power:(power ~cap:6. ())
+          adm
+      in
+      Alcotest.(check bool) "certificate ok" true cert.ok)
+    [ Admission.Baseline; Admission.Energy_aware ]
+
+let test_admission_edge_cases () =
+  let adm = Admission.run ~variant:Baseline ~graph ~power:(power ()) [] in
+  Alcotest.(check (float 1e-9)) "empty workload completes" 1. adm.completion_rate;
+  Alcotest.(check bool) "no solution" true (adm.solution = None);
+  let cert = Certificate.admission_result ~coflows:[] ~graph ~power:(power ()) adm in
+  Alcotest.(check bool) "empty certifies trivially" true cert.ok;
+  (* An infeasible-by-construction member (deadline before any capacity
+     could move the volume) rejects its whole coflow with a reason. *)
+  let cs =
+    [
+      Coflow.make ~id:0
+        ~flows:
+          [
+            flow ~id:0 ~volume:100. ~release:0. ~deadline:0.1 ();
+            flow ~src:1 ~dst:5 ~id:1 ~volume:0.1 ~release:0. ~deadline:9. ();
+          ]
+        ();
+    ]
+  in
+  let adm = Admission.run ~variant:Baseline ~graph ~power:(power ~cap:2. ()) cs in
+  Alcotest.(check (float 1e-9)) "nothing admitted" 0. adm.completion_rate;
+  (match adm.rejected with
+  | [ (c, reason) ] ->
+    Alcotest.(check int) "the whole coflow" 0 c.Coflow.id;
+    Alcotest.(check bool) "has a reason" true (String.length reason > 0)
+  | _ -> Alcotest.fail "expected exactly one rejection");
+  Alcotest.(check bool) "no schedule" true (adm.solution = None)
+
+let test_admission_deterministic_and_jobs_invariant () =
+  let cs =
+    Coflow.shuffle_trace ~rng:(Prng.create 3) ~graph ~jobs:5 ~horizon:(0., 10.) ()
+  in
+  let report pool =
+    let adm =
+      Admission.run ~seed:7 ~pool ~variant:Energy_aware ~graph
+        ~power:(power ~cap:16. ()) cs
+    in
+    Json.to_string (Admission.to_json adm)
+  in
+  let seq = report Pool.sequential in
+  Alcotest.(check string) "same seed, same outcome" seq (report Pool.sequential);
+  let par = Pool.with_pool ~jobs:4 (fun pool -> report pool) in
+  Alcotest.(check string) "jobs-invariant (1 vs 4)" seq par
+
+(* --------------------------- certificate --------------------------- *)
+
+let test_conjunction_semantics () =
+  let cs = small_coflows () in
+  let adm = Admission.run ~variant:Baseline ~graph ~power:(power ~cap:6. ()) cs in
+  let sol = Option.get adm.solution in
+  (* Against the FULL workload instance (rejected coflows included) the
+     admitted-set schedule certifies under the default partial config:
+     whole coflows may be absent, none may be split. *)
+  let full = Dcn_core.Instance.make ~graph ~power:(power ~cap:6. ()) ~flows:(Coflow.flatten cs) in
+  let report = Certificate.conjunction ~coflows:cs full sol.schedule in
+  Alcotest.(check (list string)) "conjunction clean" []
+    (List.map Certify.kind report.violations);
+  (* Dropping one member of an admitted coflow flips exactly the
+     admission clause: a typed Partial_coflow violation attributed to
+     the owning coflow. *)
+  let truncated =
+    Dcn_sched.Schedule.make ~graph:sol.schedule.graph
+      ~power:sol.schedule.power ~horizon:sol.schedule.horizon
+      (List.filter
+         (fun (p : Dcn_sched.Schedule.plan) -> p.flow.id <> 10)
+         sol.schedule.plans)
+  in
+  let report = Certificate.conjunction ~coflows:cs full truncated in
+  Alcotest.(check bool) "partial admission caught" false report.ok;
+  (match
+     List.find_opt
+       (function Certify.Partial_coflow _ -> true | _ -> false)
+       report.violations
+   with
+  | Some (Certify.Partial_coflow { coflow; planned; missing }) ->
+    Alcotest.(check int) "owning coflow" 1 coflow;
+    Alcotest.(check (list int)) "planned members" [ 11 ] planned;
+    Alcotest.(check (list int)) "missing members" [ 10 ] missing
+  | _ -> Alcotest.fail "expected a Partial_coflow violation");
+  Alcotest.(check bool) "attributed to coflow 1" true
+    (List.mem_assoc 1 report.per_coflow);
+  (* Under a strict (partial = false) config the same absence is also a
+     per-member Missing_flow — the conjunction tightens monotonically. *)
+  let strict = { Certify.default with Certify.partial = false } in
+  let report = Certificate.conjunction ~config:strict ~coflows:cs full truncated in
+  Alcotest.(check bool) "strict config also fails" false report.ok;
+  Alcotest.(check bool) "missing member clause" true
+    (List.exists
+       (function Certify.Missing_flow _ -> true | _ -> false)
+       report.violations)
+
+(* ------------------------------ corpus ----------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_events name =
+  String.split_on_char '\n' (read_file ("corpus/" ^ name))
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun line ->
+         match Json.parse line with
+         | Ok json -> (
+           match Event.of_json json with
+           | Ok e -> e
+           | Error m -> Alcotest.failf "corpus event: %s" m)
+         | Error e ->
+           Alcotest.failf "corpus json: %s" (Json.parse_error_to_string e))
+
+let replay_corpus ?(pool = Pool.sequential) ?(seed = 11) () =
+  let session =
+    Session.create ~pool ~graph ~power:(power ())
+      ~policy:Repair.Drop_latest_deadline ~seed ()
+  in
+  let outcomes = List.map (Session.apply session) (corpus_events "coflow-mix.events") in
+  (session, outcomes)
+
+let test_corpus_replay () =
+  let s, outcomes = replay_corpus () in
+  Alcotest.(check int) "19 events" 19 (List.length outcomes);
+  (* The one plain cancel of a coflow member is refused; every other
+     event commits (all-or-nothing groups land whole). *)
+  let kinds = List.map Session.outcome_kind outcomes in
+  Alcotest.(check int) "exactly one rejection" 1
+    (List.length (List.filter (( = ) "rejected") kinds));
+  Alcotest.(check string) "the member cancel" "rejected" (List.nth kinds 4);
+  Alcotest.(check bool) "every epoch certified" true (Session.ok s);
+  Alcotest.(check (list (pair int (list int))))
+    "all coflows resolved by the end" [] (Session.active_coflows s);
+  let member name =
+    match Json.member name (Session.report s) with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.failf "report field %s" name
+  in
+  Alcotest.(check int) "six coflows admitted" 6 (member "coflows_admitted");
+  Alcotest.(check int) "none rejected" 0 (member "coflows_rejected")
+
+let test_corpus_replay_jobs_invariant () =
+  let report pool =
+    let s, outcomes = replay_corpus ~pool () in
+    ( Json.to_string (Session.report s),
+      List.map (fun o -> Json.to_string (Session.outcome_to_json o)) outcomes )
+  in
+  let seq = report Pool.sequential in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> report pool) in
+  Alcotest.(check string) "report byte-identical" (fst seq) (fst par);
+  List.iter2
+    (Alcotest.(check string) "outcome byte-identical")
+    (snd seq) (snd par)
+
+let test_mid_replay_consistency () =
+  (* After every event, the live schedule honours the membership table:
+     a committed coflow is never partially planned. *)
+  let session =
+    Session.create ~pool:Pool.sequential ~graph ~power:(power ())
+      ~policy:Repair.Drop_latest_deadline ~seed:11 ()
+  in
+  List.iter
+    (fun e ->
+      ignore (Session.apply session e);
+      match Session.schedule session with
+      | None -> ()
+      | Some sched ->
+        Alcotest.(check (list string))
+          "all-or-nothing at every epoch" []
+          (List.map Certify.kind
+             (Certify.coflow_consistency
+                ~members:(Session.active_coflows session) sched)))
+    (corpus_events "coflow-mix.events")
+
+let suite =
+  [
+    ( "coflow",
+      [
+        Alcotest.test_case "make invariants" `Quick test_make_invariants;
+        Alcotest.test_case "grouped generators" `Quick
+          test_grouped_generators_round_trip;
+        Alcotest.test_case "members/flatten round trip" `Quick
+          test_members_flatten_round_trip;
+        Alcotest.test_case "sigma order" `Quick test_sigma_order;
+        Alcotest.test_case "shuffle trace seeded" `Quick
+          test_shuffle_trace_seeded;
+        Alcotest.test_case "all-or-nothing admission" `Quick
+          test_admission_all_or_nothing;
+        Alcotest.test_case "admission edge cases" `Quick
+          test_admission_edge_cases;
+        Alcotest.test_case "admission jobs-invariant" `Quick
+          test_admission_deterministic_and_jobs_invariant;
+        Alcotest.test_case "conjunction certificate" `Quick
+          test_conjunction_semantics;
+        Alcotest.test_case "corpus replay" `Quick test_corpus_replay;
+        Alcotest.test_case "corpus replay jobs-invariant" `Quick
+          test_corpus_replay_jobs_invariant;
+        Alcotest.test_case "mid-replay consistency" `Quick
+          test_mid_replay_consistency;
+      ] );
+  ]
