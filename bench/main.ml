@@ -85,19 +85,7 @@ let report name json =
 (* Atomic, like bin/observe.ml: the gate must never read a truncated
    report. *)
 let write_file path text =
-  let tmp =
-    Filename.temp_file ~temp_dir:(Filename.dirname path)
-      ("." ^ Filename.basename path ^ ".") ".tmp"
-  in
-  (try
-     let oc = open_out tmp in
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc text)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path;
+  Dcn_util.Atomic_file.write ~path text;
   Printf.eprintf "wrote %s\n%!" path
 
 (* ------------------------- regression gate ------------------------ *)

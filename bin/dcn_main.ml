@@ -1060,11 +1060,11 @@ let resilience_cmd =
    the failure within the line (from Json.parse), and the absolute
    offset in the stream.  --strict stops at the first bad line; the
    default skips it and keeps serving. *)
-let serve_stream ~session ~strict ~on_outcome ic =
+let serve_stream ?(stop = fun () -> false) ~apply ~strict ~on_outcome ic =
   let line_no = ref 0 and base = ref 0 in
   let parse_errors = ref 0 and fatal = ref None in
   (try
-     while !fatal = None do
+     while !fatal = None && not (stop ()) do
        let line = input_line ic in
        incr line_no;
        let line_base = !base in
@@ -1085,9 +1085,7 @@ let serve_stream ~session ~strict ~on_outcome ic =
          | Ok json -> (
            match Dcn_serve.Event.of_json json with
            | Error m -> bad (Printf.sprintf "line %d: %s" !line_no m)
-           | Ok event ->
-             on_outcome ~seq:!line_no event
-               (Dcn_serve.Session.apply session event))
+           | Ok event -> on_outcome ~seq:!line_no event (apply event))
      done
    with End_of_file -> ());
   (!parse_errors, !fatal)
@@ -1158,6 +1156,36 @@ let install_usr1 () =
       (Sys.Signal_handle (fun _ -> Atomic.set usr1_snapshot true))
   with Invalid_argument _ | Sys_error _ -> ()
 
+(* SIGTERM/SIGINT request a graceful drain: the serving loop stops
+   taking input at the next event boundary, finishes in-flight events,
+   writes a final checkpoint (with --wal) and snapshot, and exits 0 — a
+   clean drain is a success, distinct from the guard's error statuses.
+   A second signal forces an immediate exit with status 130, skipping
+   the final checkpoint.  Guarded like SIGUSR1 for platforms without
+   the signals. *)
+let drain_requested = Atomic.make false
+let drain_since = ref Float.nan
+
+let obs_drain_ms =
+  Dcn_obs.Registry.gauge ~help:"graceful drain duration" "serve.drain_ms"
+
+let install_drain () =
+  let handle _ =
+    if Atomic.exchange drain_requested true then Stdlib.exit 130
+    else drain_since := Dcn_engine.Deadline.now ()
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+(* Stamp [serve.drain_ms] once the loop has wound down. *)
+let finish_drain () =
+  if Atomic.get drain_requested then
+    Dcn_obs.Registry.set obs_drain_ms
+      (Float.max 0. (1e3 *. (Dcn_engine.Deadline.now () -. !drain_since)))
+
 (* Run [f] with an [after_event] hook that drives the snapshot cadence.
    When no stats surface was requested the hook is [ignore] and the
    registry stays disabled — the serving loop pays one closure call per
@@ -1218,9 +1246,89 @@ let serve_section ~strict ~parse_errors session =
       ("session", Dcn_serve.Session.report session);
     ]
 
+(* ----------------------- durable serve flags ---------------------- *)
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ]
+        ~doc:
+          "Serve the event protocol on a Unix-domain socket at $(docv) \
+           instead of stdin: any number of clients, one JSON event per line \
+           in, one JSON reply line per event out, per connection.  Malformed \
+           lines earn a positioned error reply; a client disconnecting — \
+           even mid-line — never ends the session.  The server runs until \
+           SIGTERM/SIGINT."
+        ~docv:"PATH")
+
+let wal_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ]
+        ~doc:
+          "Make the session crash-safe: append every accepted event to a \
+           write-ahead log in $(docv), fsync'd $(i,before) it is applied, \
+           and checkpoint periodically.  On start, recover the previous \
+           session from the latest checkpoint plus the WAL tail — \
+           bit-identical to an uninterrupted run; torn tails are detected by \
+           checksum and truncated, never crashed on."
+        ~docv:"DIR")
+
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "checkpoint-every" ]
+        ~doc:"With --wal: checkpoint the session every $(docv) committed events."
+        ~docv:"N")
+
+let queue_t =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ]
+        ~doc:
+          "Socket mode: pending-event queue capacity; overflow is shed per \
+           --shed-policy with a typed reply."
+        ~docv:"N")
+
+let shed_policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match Dcn_resilience.Repair.shed_policy_of_string s with
+        | Some p -> Ok p
+        | None -> Error (`Msg "expected shed-newest | shed-oldest")),
+      fun ppf p ->
+        Format.pp_print_string ppf
+          (Dcn_resilience.Repair.shed_policy_to_string p) )
+
+let shed_policy_t =
+  Arg.(
+    value
+    & opt shed_policy_conv Dcn_resilience.Repair.Shed_newest
+    & info [ "shed-policy" ]
+        ~doc:
+          "Overload-shedding policy when the socket queue is full: \
+           $(b,shed-newest) refuses the arriving event, $(b,shed-oldest) \
+           evicts the oldest queued one."
+        ~docv:"POLICY")
+
+let idle_timeout_t =
+  Arg.(
+    value
+    & opt float 30.
+    & info [ "idle-timeout" ]
+        ~doc:
+          "Socket mode: drop a connection silent for more than $(docv) \
+           seconds (0 disables)."
+        ~docv:"SECONDS")
+
 let serve_cmd =
   let run graph alpha sigma cap policy seed strict stats_every stats_file
-      metrics_file trace report jobs =
+      metrics_file socket wal checkpoint_every queue shed_policy idle_timeout
+      trace report jobs =
     guard @@ fun () ->
     Result.join
     @@ with_jobs jobs
@@ -1228,50 +1336,136 @@ let serve_cmd =
     with_stats ~stats_every ~stats_file ~metrics_file
     @@ fun ~after_event ->
     let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
-    let session =
-      Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ()
+    install_drain ();
+    (* The session either lives bare in memory or behind a durable
+       store; everything downstream goes through [apply_event] so the
+       two modes share the outcome path. *)
+    let backend =
+      match wal with
+      | None ->
+        `Session (Dcn_serve.Session.create ~pool ~graph ~power ~policy ~seed ())
+      | Some dir -> (
+        match
+          Dcn_durable.Store.open_ ~pool ~dir ~checkpoint_every ~graph ~power
+            ~policy ~seed ()
+        with
+        | Error m -> failwith ("serve: " ^ m)
+        | Ok (store, recovery) ->
+          if recovery.Dcn_durable.Store.recovered then
+            Printf.eprintf "[serve] recovered %s: %s\n%!" dir
+              (Json.to_string (Dcn_durable.Store.recovery_to_json recovery));
+          `Store (store, recovery))
     in
-    let outcome = ref (0, None) in
-    Observe.run ~command:"serve" ~trace ~report (fun () ->
-        let on_outcome ~seq event out =
-          print_endline
-            (Json.to_string
-               (Json.Obj
-                  (("seq", Json.Int seq)
-                   :: ( "uptime_ms",
-                        Json.float (Dcn_serve.Session.uptime_ms session) )
-                   :: ("event", Json.Str (Dcn_serve.Event.kind event))
-                   ::
-                   (match Dcn_serve.Session.outcome_to_json out with
-                   | Json.Obj fields -> fields
-                   | j -> [ ("outcome", j) ]))));
-          after_event ()
-        in
-        outcome := serve_stream ~session ~strict ~on_outcome stdin;
-        let parse_errors, _ = !outcome in
-        [ ("serve", serve_section ~strict ~parse_errors session) ]);
-    let parse_errors, fatal = !outcome in
-    serve_session_result ~command:"serve" ~strict ~parse_errors ~fatal session
+    let session =
+      match backend with
+      | `Session s -> s
+      | `Store (st, _) -> Dcn_durable.Store.session st
+    in
+    let apply_event =
+      match backend with
+      | `Session s -> Dcn_serve.Session.apply s
+      | `Store (st, _) -> Dcn_durable.Store.apply st
+    in
+    let close_backend () =
+      match backend with
+      | `Session _ -> ()
+      | `Store (st, _) -> Dcn_durable.Store.close st
+    in
+    let recovery_section () =
+      match backend with
+      | `Session _ -> []
+      | `Store (_, r) -> [ ("recovery", Dcn_durable.Store.recovery_to_json r) ]
+    in
+    let outcome_line ~seq event out =
+      Json.Obj
+        (("seq", Json.Int seq)
+         :: ("uptime_ms", Json.float (Dcn_serve.Session.uptime_ms session))
+         :: ("event", Json.Str (Dcn_serve.Event.kind event))
+         ::
+         (match Dcn_serve.Session.outcome_to_json out with
+         | Json.Obj fields -> fields
+         | j -> [ ("outcome", j) ]))
+    in
+    (* [close_backend] writes the final checkpoint — on every clean
+       path including drain, but not on a forced (second-signal) exit:
+       the WAL alone still recovers the committed state. *)
+    Fun.protect ~finally:close_backend @@ fun () ->
+    match socket with
+    | None ->
+      let outcome = ref (0, None) in
+      Observe.run ~command:"serve" ~trace ~report (fun () ->
+          let on_outcome ~seq event out =
+            print_endline (Json.to_string (outcome_line ~seq event out));
+            after_event ()
+          in
+          outcome :=
+            serve_stream
+              ~stop:(fun () -> Atomic.get drain_requested)
+              ~apply:apply_event ~strict ~on_outcome stdin;
+          finish_drain ();
+          let parse_errors, _ = !outcome in
+          [ ("serve", serve_section ~strict ~parse_errors session) ]
+          @ recovery_section ());
+      let parse_errors, fatal = !outcome in
+      serve_session_result ~command:"serve" ~strict ~parse_errors ~fatal
+        session
+    | Some path ->
+      let tstats = ref None in
+      Observe.run ~command:"serve" ~trace ~report (fun () ->
+          let stats =
+            Dcn_durable.Transport.serve ~idle_timeout ~queue_capacity:queue
+              ~shed_policy ~socket:path
+              ~drain:(fun () -> Atomic.get drain_requested)
+              ~apply:(fun ~seq event ->
+                let out = apply_event event in
+                let line = outcome_line ~seq event out in
+                after_event ();
+                line)
+              ()
+          in
+          finish_drain ();
+          tstats := Some stats;
+          [
+            ( "serve",
+              serve_section ~strict
+                ~parse_errors:stats.Dcn_durable.Transport.parse_errors session
+            );
+            ("transport", Dcn_durable.Transport.stats_to_json stats);
+          ]
+          @ recovery_section ());
+      let parse_errors =
+        match !tstats with
+        | Some s -> s.Dcn_durable.Transport.parse_errors
+        | None -> 0
+      in
+      serve_session_result ~command:"serve" ~strict ~parse_errors ~fatal:None
+        session
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a long-lived scheduler session: newline-delimited JSON events \
-          (arrival, cancel, advance) on stdin, one JSON outcome (schedule \
-          delta, drops, certification) per event on stdout.  Arrivals are \
-          admitted under --policy; each event re-solves only the timeline \
-          intervals its flow's span overlaps, warm-started from the previous \
-          fractional solution; every committed epoch is independently \
-          re-certified.  Bit-identical for a given event stream and --seed at \
-          every --jobs level (outcome lines carry a wall-clock uptime_ms \
+          (arrival, cancel, advance) on stdin — or on a Unix-domain socket \
+          with $(b,--socket), serving any number of clients — one JSON \
+          outcome (schedule delta, drops, certification) per event.  \
+          Arrivals are admitted under --policy; each event re-solves only \
+          the timeline intervals its flow's span overlaps, warm-started from \
+          the previous fractional solution; every committed epoch is \
+          independently re-certified.  $(b,--wal) makes the session \
+          crash-safe (write-ahead log + checkpoints; recovery is \
+          bit-identical).  Bit-identical for a given event stream and --seed \
+          at every --jobs level (outcome lines carry a wall-clock uptime_ms \
           field, which is the one exception); non-zero exit if any epoch \
           fails certification.  --stats-every/--stats/--metrics stream live \
           telemetry (see $(b,dcn stats)); SIGUSR1 forces a snapshot at the \
-          next event.")
+          next event; SIGTERM/SIGINT drain gracefully (finish in-flight \
+          events, final checkpoint, exit 0 — a second signal forces exit \
+          130).")
     Term.(
       term_result
         (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
-       $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t
+       $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t $ socket_t
+       $ wal_t $ checkpoint_every_t $ queue_t $ shed_policy_t $ idle_timeout_t
        $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 let replay_cmd =
@@ -1310,7 +1504,11 @@ let replay_cmd =
         let ic = open_in events_file in
         Fun.protect
           ~finally:(fun () -> close_in ic)
-          (fun () -> outcome := serve_stream ~session ~strict ~on_outcome ic);
+          (fun () ->
+            outcome :=
+              serve_stream
+                ~apply:(Dcn_serve.Session.apply session)
+                ~strict ~on_outcome ic);
         let parse_errors, _ = !outcome in
         Printf.printf
           "replay: %d committed, %d degraded, %d rejected, %d malformed \
@@ -1335,6 +1533,122 @@ let replay_cmd =
       term_result
         (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
        $ strict_t $ stats_every_t $ stats_file_t $ metrics_file_t $ events_t
+       $ Observe.trace_t $ Observe.report_t $ jobs_t))
+
+(* ------------------------------ crash ----------------------------- *)
+
+let crash_cmd =
+  let events_t =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"EVENTS"
+          ~doc:"An event log: one JSON event per line (see $(b,dcn serve)).")
+  in
+  let kills_t =
+    Arg.(
+      value
+      & opt int 25
+      & info [ "kills" ]
+          ~doc:"Number of crash points to inject (clamped to the log length)."
+          ~docv:"N")
+  in
+  let window_t =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "window" ]
+          ~doc:
+            "Events redelivered after each recovery and compared \
+             byte-for-byte to the reference outcome stream."
+          ~docv:"N")
+  in
+  let crash_every_t =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "checkpoint-every" ]
+          ~doc:"Checkpoint cadence of the durable store under test." ~docv:"N")
+  in
+  let dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ]
+          ~doc:
+            "Scratch directory for the campaign's store directories \
+             (default: under the system temp dir, keyed by --seed)."
+          ~docv:"DIR")
+  in
+  let run graph alpha sigma cap policy seed kills window checkpoint_every dir
+      events_file trace report jobs =
+    guard @@ fun () ->
+    Result.join
+    @@ with_jobs jobs
+    @@ fun pool ->
+    let module C = Dcn_durable.Crash in
+    let power = Dcn_power.Model.make ~sigma ~mu:1. ~alpha ~cap () in
+    let events =
+      read_text events_file |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.mapi (fun i line ->
+             match Json.parse line with
+             | Error e ->
+               failwith
+                 (Printf.sprintf "%s: line %d, byte %d: %s" events_file (i + 1)
+                    e.Json.offset e.Json.message)
+             | Ok j -> (
+               match Dcn_serve.Event.of_json j with
+               | Error m ->
+                 failwith
+                   (Printf.sprintf "%s: line %d: %s" events_file (i + 1) m)
+               | Ok e -> e))
+    in
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dcn-crash-%d" seed)
+    in
+    let result = ref None in
+    Observe.run ~command:"crash" ~trace ~report (fun () ->
+        let c =
+          C.run ~pool ~window ~checkpoint_every ~dir ~graph ~power ~policy
+            ~seed ~kills events
+        in
+        result := Some c;
+        List.iter (fun r -> Format.printf "%a@." C.pp_row r) c.C.rows;
+        let survived =
+          List.length (List.filter (fun (r : C.row) -> r.C.ok) c.C.rows)
+        in
+        Printf.printf
+          "crash: %d/%d kills recovered bit-identical and re-certified over \
+           %d events (seed %d, checkpoint every %d, window %d)\n"
+          survived c.C.kills c.C.events seed c.C.checkpoint_every c.C.window;
+        [ ("crash", C.to_json c) ]);
+    match !result with
+    | Some c when not c.C.ok ->
+      Error (`Msg "crash: some kills failed to recover bit-identically")
+    | _ -> Ok ()
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Crash-injection campaign against the durable serving store: replay \
+          $(i,EVENTS) through a write-ahead-logged session, kill it at \
+          --kills seeded event boundaries (some with torn or bit-flipped WAL \
+          tails), recover each from checkpoint + log tail, and verify the \
+          recovered state is bit-identical to an uninterrupted run, the \
+          recovered schedule re-certifies clean, and redelivered events \
+          produce byte-identical outcomes.  Deterministic for a given log, \
+          --seed and flags, at every --jobs level; non-zero exit if any kill \
+          fails.")
+    Term.(
+      term_result
+        (const run $ topo_t $ alpha_t $ sigma_t $ cap_t $ policy_t $ seed_t
+       $ kills_t $ window_t $ crash_every_t $ dir_t $ events_t
        $ Observe.trace_t $ Observe.report_t $ jobs_t))
 
 (* ------------------------------ coflow ---------------------------- *)
@@ -1535,7 +1849,11 @@ let coflow_replay_cmd =
         let ic = open_in events_file in
         Fun.protect
           ~finally:(fun () -> close_in ic)
-          (fun () -> outcome := serve_stream ~session ~strict ~on_outcome ic);
+          (fun () ->
+            outcome :=
+              serve_stream
+                ~apply:(Dcn_serve.Session.apply session)
+                ~strict ~on_outcome ic);
         let parse_errors, _ = !outcome in
         let report_json = Dcn_serve.Session.report session in
         let live = Dcn_serve.Session.active_coflows session in
@@ -1777,6 +2095,7 @@ let () =
             resilience_cmd;
             serve_cmd;
             replay_cmd;
+            crash_cmd;
             coflow_cmd;
             stats_cmd;
           ]))

@@ -43,23 +43,10 @@ let report_t =
         ~doc:"Write a machine-readable run report (JSON) to $(docv)."
         ~docv:"FILE")
 
-(* Atomic: write to a temp file in the target's directory, then rename,
-   so an interrupted run never leaves a truncated JSON for `dcn trace`
-   or the bench gate to choke on. *)
+(* Atomic, so an interrupted run never leaves a truncated JSON for
+   `dcn trace` or the bench gate to choke on. *)
 let write_file path text =
-  let tmp =
-    Filename.temp_file ~temp_dir:(Filename.dirname path)
-      ("." ^ Filename.basename path ^ ".") ".tmp"
-  in
-  (try
-     let oc = open_out tmp in
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc text)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path;
+  Dcn_util.Atomic_file.write ~path text;
   Printf.eprintf "wrote %s\n%!" path
 
 (* Counter totals, one object keyed by counter name. *)

@@ -1,0 +1,64 @@
+module Json = Dcn_engine.Json
+
+let obs_seq =
+  Dcn_obs.Registry.gauge ~help:"committed event seq of the last checkpoint"
+    "serve.checkpoint_seq"
+
+let obs_bytes =
+  Dcn_obs.Registry.gauge ~help:"size of the last checkpoint (bytes)"
+    "serve.checkpoint_bytes"
+
+let path ~dir = Filename.concat dir "checkpoint.json"
+
+let version = 1
+
+let write ~dir ~seq state =
+  let body = Json.to_string state in
+  let envelope =
+    Json.to_string
+      (Json.Obj
+         [
+           ("version", Json.Int version);
+           ("seq", Json.Int seq);
+           ("crc", Json.Str (Crc.to_hex (Crc.string body)));
+           ("state", state);
+         ])
+  in
+  Dcn_util.Atomic_file.write ~fsync:true ~path:(path ~dir) envelope;
+  Dcn_obs.Registry.set obs_seq (float_of_int seq);
+  Dcn_obs.Registry.set obs_bytes (float_of_int (String.length envelope))
+
+type loaded =
+  | Absent
+  | Invalid of string
+  | Loaded of { seq : int; state : Json.t }
+
+let load ~dir =
+  let file = path ~dir in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> Absent
+  | raw -> (
+    match Json.parse raw with
+    | Error e -> Invalid (Json.parse_error_to_string e)
+    | Ok j -> (
+      match
+        ( Json.member "version" j,
+          Json.member "seq" j,
+          Json.member "crc" j,
+          Json.member "state" j )
+      with
+      | Some (Json.Int v), Some (Json.Int seq), Some (Json.Str crc), Some state
+        ->
+        if v <> version then Invalid (Printf.sprintf "unsupported version %d" v)
+        else if seq < 0 then Invalid "negative seq"
+        else
+          let body = Json.to_string state in
+          if Crc.to_hex (Crc.string body) <> String.lowercase_ascii crc then
+            Invalid "state checksum mismatch"
+          else Loaded { seq; state }
+      | _ -> Invalid "missing envelope field"))

@@ -1,0 +1,284 @@
+module Json = Dcn_engine.Json
+module Prng = Dcn_util.Prng
+module Session = Dcn_serve.Session
+module Instance = Dcn_core.Instance
+module Certify = Dcn_check.Certify
+
+type tear_kind = Clean | Chop | Flip
+
+let tear_kind_to_string = function
+  | Clean -> "clean"
+  | Chop -> "chop"
+  | Flip -> "flip"
+
+type row = {
+  kill : int;
+  tear : tear_kind;
+  checkpoint_seq : int;
+  replayed : int;
+  tear_detected : bool;
+  state_match : bool;
+  certified : bool;
+  window : int;
+  outcomes_match : bool;
+  ok : bool;
+}
+
+type t = {
+  events : int;
+  kills : int;
+  seed : int;
+  window : int;
+  checkpoint_every : int;
+  rows : row list;
+  ok : bool;
+}
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let mkdir_p dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let read_file_opt path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | content -> Some content
+  | exception Sys_error _ -> None
+
+(* The recovered schedule, re-certified from scratch against an
+   instance rebuilt from the recovered flows — the independent check
+   that bit-identical state is also still a *valid* state. *)
+let recertify ~graph ~power session =
+  match Session.schedule session with
+  | None -> true
+  | Some sched -> (
+    match
+      Instance.make_result ~graph ~power ~flows:(Session.active_flows session)
+    with
+    | Error _ -> false
+    | Ok inst -> Certify.schedule inst sched = [])
+
+let outcome_line o = Json.to_string (Session.outcome_to_json o)
+
+let run ?config ?pool ?(window = 5) ?(checkpoint_every = 10) ~dir ~graph ~power
+    ~policy ~seed ~kills events =
+  if events = [] then invalid_arg "Crash.run: empty event list";
+  let events = Array.of_list events in
+  let n = Array.length events in
+  let kills = max 1 (min kills n) in
+  mkdir_p dir;
+
+  (* Reference pass: the uninterrupted session, snapshot + outcome line
+     at every boundary.  Index i = state after events 1..i. *)
+  let ref_snap = Array.make (n + 1) "" in
+  let ref_out = Array.make (n + 1) "" in
+  let reference = Session.create ?config ?pool ~graph ~power ~policy ~seed () in
+  ref_snap.(0) <- Json.to_string (Session.snapshot reference);
+  for i = 1 to n do
+    ref_out.(i) <- outcome_line (Session.apply reference events.(i - 1));
+    ref_snap.(i) <- Json.to_string (Session.snapshot reference)
+  done;
+
+  (* Durable pass: same log through a Store, capturing the WAL length
+     and checkpoint bytes at every boundary so any crash point can be
+     reconstructed from slices of the final log. *)
+  let full_dir = Filename.concat dir "full" in
+  rm_rf full_dir;
+  let wal_len = Array.make (n + 1) 0 in
+  let ckpt = Array.make (n + 1) None in
+  let full_wal =
+    match
+      Store.open_ ?config ?pool ~dir:full_dir ~checkpoint_every ~graph ~power
+        ~policy ~seed ()
+    with
+    | Error m -> failwith ("Crash.run: durable pass failed to open: " ^ m)
+    | Ok (store, _) ->
+      let wal_path = Filename.concat full_dir "wal.log" in
+      let ckpt_path = Checkpoint.path ~dir:full_dir in
+      for i = 1 to n do
+        let out = outcome_line (Store.apply store events.(i - 1)) in
+        if out <> ref_out.(i) then
+          failwith
+            (Printf.sprintf
+               "Crash.run: durable pass diverged from reference at event %d" i);
+        wal_len.(i) <- (Unix.stat wal_path).Unix.st_size;
+        ckpt.(i) <- read_file_opt ckpt_path
+      done;
+      let bytes = Option.value ~default:"" (read_file_opt wal_path) in
+      Store.close store;
+      bytes
+  in
+
+  (* Seeded kill schedule: distinct boundaries, tear kinds, chop sizes
+     — all from pre-split streams so the campaign is reproducible. *)
+  let root = Prng.create seed in
+  let boundary_rng = Prng.split root in
+  let kind_rng = Prng.split root in
+  let mangle_rng = Prng.split root in
+  let boundaries = Array.init n (fun i -> i + 1) in
+  Prng.shuffle boundary_rng boundaries;
+  let chosen = Array.sub boundaries 0 kills in
+  Array.sort compare chosen;
+  let rows =
+    Array.to_list chosen
+    |> List.map (fun kill ->
+           let tear =
+             if kill >= n then Clean
+             else
+               match Prng.int kind_rng 3 with
+               | 0 -> Chop
+               | 1 -> Flip
+               | _ -> Clean
+           in
+           let kill_dir = Filename.concat dir (Printf.sprintf "kill-%d" kill) in
+           rm_rf kill_dir;
+           mkdir_p kill_dir;
+           (* The store directory exactly as the crash leaves it: the
+              committed prefix, plus (for torn kills) the next record's
+              bytes damaged mid-append. *)
+           let prefix = String.sub full_wal 0 wal_len.(kill) in
+           let tail =
+             match tear with
+             | Clean -> ""
+             | Chop | Flip ->
+               let record =
+                 String.sub full_wal wal_len.(kill)
+                   (wal_len.(kill + 1) - wal_len.(kill))
+               in
+               let len = String.length record in
+               (match tear with
+               | Chop ->
+                 let keep = 1 + Prng.int mangle_rng (len - 1) in
+                 String.sub record 0 keep
+               | Flip ->
+                 let at = Prng.int mangle_rng (len - 1) in
+                 let b = Bytes.of_string record in
+                 Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0x01));
+                 Bytes.to_string b
+               | Clean -> assert false)
+           in
+           write_file (Filename.concat kill_dir "wal.log") (prefix ^ tail);
+           (match ckpt.(kill) with
+           | Some bytes -> write_file (Checkpoint.path ~dir:kill_dir) bytes
+           | None -> ());
+           let row =
+             match
+               Store.open_ ?config ?pool ~dir:kill_dir ~checkpoint_every ~graph
+                 ~power ~policy ~seed ()
+             with
+             | Error _ ->
+               {
+                 kill;
+                 tear;
+                 checkpoint_seq = 0;
+                 replayed = 0;
+                 tear_detected = false;
+                 state_match = false;
+                 certified = false;
+                 window = 0;
+                 outcomes_match = false;
+                 ok = false;
+               }
+             | Ok (store, recovery) ->
+               let tear_detected = recovery.Store.tear <> None in
+               let state_match =
+                 Store.seq store = kill
+                 && Json.to_string (Session.snapshot (Store.session store))
+                    = ref_snap.(kill)
+               in
+               let certified = recertify ~graph ~power (Store.session store) in
+               let upto = min n (kill + window) in
+               let outcomes_match = ref true in
+               for j = kill + 1 to upto do
+                 let out = outcome_line (Store.apply store events.(j - 1)) in
+                 if out <> ref_out.(j) then outcomes_match := false
+               done;
+               Store.close store;
+               let ok =
+                 recovery.Store.recovered
+                 && tear_detected = (tear <> Clean)
+                 && state_match && certified && !outcomes_match
+               in
+               {
+                 kill;
+                 tear;
+                 checkpoint_seq = recovery.Store.checkpoint_seq;
+                 replayed = recovery.Store.replayed;
+                 tear_detected;
+                 state_match;
+                 certified;
+                 window = upto - kill;
+                 outcomes_match = !outcomes_match;
+                 ok;
+               }
+           in
+           rm_rf kill_dir;
+           row)
+  in
+  rm_rf full_dir;
+  {
+    events = n;
+    kills;
+    seed;
+    window;
+    checkpoint_every;
+    rows;
+    ok = List.for_all (fun (r : row) -> r.ok) rows;
+  }
+
+let row_to_json (r : row) =
+  Json.Obj
+    [
+      ("kill", Json.Int r.kill);
+      ("tear", Json.Str (tear_kind_to_string r.tear));
+      ("checkpoint_seq", Json.Int r.checkpoint_seq);
+      ("replayed", Json.Int r.replayed);
+      ("tear_detected", Json.Bool r.tear_detected);
+      ("state_match", Json.Bool r.state_match);
+      ("certified", Json.Bool r.certified);
+      ("window", Json.Int r.window);
+      ("outcomes_match", Json.Bool r.outcomes_match);
+      ("ok", Json.Bool r.ok);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("events", Json.Int t.events);
+      ("kills", Json.Int t.kills);
+      ("seed", Json.Int t.seed);
+      ("window", Json.Int t.window);
+      ("checkpoint_every", Json.Int t.checkpoint_every);
+      ("rows", Json.List (List.map row_to_json t.rows));
+      ("ok", Json.Bool t.ok);
+    ]
+
+let pp_row ppf (r : row) =
+  Format.fprintf ppf
+    "kill@%-3d %-5s ckpt %-3d +%-2d replayed  %s%s%s%s  window %d"
+    r.kill
+    (tear_kind_to_string r.tear)
+    r.checkpoint_seq r.replayed
+    (if r.tear_detected then "tear-detected " else "")
+    (if r.state_match then "state-ok " else "STATE-MISMATCH ")
+    (if r.certified then "certified " else "UNCERTIFIED ")
+    (if r.outcomes_match then "outcomes-ok" else "OUTCOME-MISMATCH")
+    r.window

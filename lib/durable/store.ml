@@ -1,0 +1,155 @@
+module Json = Dcn_engine.Json
+module Session = Dcn_serve.Session
+module Event = Dcn_serve.Event
+
+let obs_recoveries =
+  Dcn_obs.Registry.counter ~help:"store recoveries (checkpoint and/or WAL replay)"
+    "serve.recoveries"
+
+let obs_replayed =
+  Dcn_obs.Registry.counter ~help:"WAL records replayed during recovery"
+    "serve.replayed_events"
+
+let obs_ckpt_age =
+  Dcn_obs.Registry.gauge ~help:"committed events since the last checkpoint"
+    "serve.checkpoint_age_events"
+
+type t = {
+  dir : string;
+  wal : Wal.writer;
+  session : Session.t;
+  checkpoint_every : int;
+  mutable seq : int;
+  mutable since_checkpoint : int;
+}
+
+type recovery = {
+  recovered : bool;
+  checkpoint_seq : int;
+  checkpoint_invalid : string option;
+  replayed : int;
+  tear : Wal.tear option;
+}
+
+let recovery_to_json r =
+  Json.Obj
+    [
+      ("recovered", Json.Bool r.recovered);
+      ("checkpoint_seq", Json.Int r.checkpoint_seq);
+      ( "checkpoint_invalid",
+        match r.checkpoint_invalid with
+        | None -> Json.Null
+        | Some m -> Json.Str m );
+      ("replayed", Json.Int r.replayed);
+      ( "tear",
+        match r.tear with
+        | None -> Json.Null
+        | Some tear -> Json.Str (Wal.tear_to_string tear) );
+    ]
+
+let wal_path dir = Filename.concat dir "wal.log"
+
+let ( let* ) = Result.bind
+
+let open_ ?config ?pool ~dir ~checkpoint_every ~graph ~power ~policy ~seed () =
+  if checkpoint_every < 1 then
+    Error "checkpoint_every must be >= 1"
+  else begin
+    (match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    (* Checkpoint first: a valid one short-circuits most of the replay. *)
+    let* restored, checkpoint_seq, checkpoint_invalid =
+      match Checkpoint.load ~dir with
+      | Checkpoint.Absent -> Ok (None, 0, None)
+      | Checkpoint.Invalid m -> Ok (None, 0, Some m)
+      | Checkpoint.Loaded { seq; state } -> (
+        match Session.restore ?config ?pool ~graph ~power ~policy state with
+        | Ok session -> Ok (Some session, seq, None)
+        | Error m ->
+          (* A fingerprint mismatch is not recoverable by replay either:
+             the WAL was committed under the mismatched parameters. *)
+          if String.length m >= 11 && String.sub m 0 11 = "fingerprint" then
+            Error m
+          else Ok (None, 0, Some m))
+    in
+    let scan = Wal.scan (wal_path dir) in
+    (match scan.Wal.tear with
+    | Some _ -> Wal.truncate (wal_path dir) scan.Wal.valid_bytes
+    | None -> ());
+    let last_seq =
+      match List.rev scan.Wal.records with
+      | [] -> 0
+      | r :: _ -> r.Wal.seq
+    in
+    if checkpoint_seq > last_seq then
+      Error
+        (Printf.sprintf
+           "store %s is inconsistent: checkpoint at seq %d but the WAL ends \
+            at %d (log bytes lost)"
+           dir checkpoint_seq last_seq)
+    else begin
+      let session =
+        match restored with
+        | Some s -> s
+        | None ->
+          Session.create ?config ?pool ~graph ~power ~policy ~seed ()
+      in
+      let replayed = ref 0 in
+      List.iter
+        (fun (r : Wal.record) ->
+          if r.seq > checkpoint_seq then begin
+            ignore (Session.apply session r.event);
+            incr replayed
+          end)
+        scan.Wal.records;
+      let recovered = last_seq > 0 || checkpoint_seq > 0 in
+      if recovered then begin
+        Dcn_obs.Registry.incr obs_recoveries;
+        Dcn_obs.Registry.add obs_replayed (float_of_int !replayed)
+      end;
+      let t =
+        {
+          dir;
+          wal = Wal.open_writer (wal_path dir);
+          session;
+          checkpoint_every;
+          seq = last_seq;
+          since_checkpoint = last_seq - checkpoint_seq;
+        }
+      in
+      Ok
+        ( t,
+          {
+            recovered;
+            checkpoint_seq;
+            checkpoint_invalid;
+            replayed = !replayed;
+            tear = scan.Wal.tear;
+          } )
+    end
+  end
+
+let session t = t.session
+let seq t = t.seq
+
+let checkpoint_now t =
+  Checkpoint.write ~dir:t.dir ~seq:t.seq (Session.snapshot t.session);
+  t.since_checkpoint <- 0;
+  Dcn_obs.Registry.set obs_ckpt_age 0.
+
+let apply t event =
+  let seq = t.seq + 1 in
+  (* Write-ahead: the event must be on stable storage before any state
+     it produces exists. *)
+  Wal.append t.wal ~seq event;
+  t.seq <- seq;
+  let outcome = Session.apply t.session event in
+  t.since_checkpoint <- t.since_checkpoint + 1;
+  Dcn_obs.Registry.set obs_ckpt_age (float_of_int t.since_checkpoint);
+  if t.since_checkpoint >= t.checkpoint_every then checkpoint_now t;
+  outcome
+
+let close t =
+  checkpoint_now t;
+  Wal.close t.wal

@@ -1,0 +1,75 @@
+(** A crash-safe serving session: {!Dcn_serve.Session} behind a
+    write-ahead log and periodic checkpoints.
+
+    Layout of a store directory:
+
+    {v
+      <dir>/wal.log          append-only event log (Wal)
+      <dir>/checkpoint.json  latest checkpoint (Checkpoint)
+    v}
+
+    {b Write-ahead invariant.}  {!apply} appends the event to the WAL
+    and [fsync]s {e before} handing it to [Session.apply].  A crash at
+    any byte boundary therefore loses at most an uncommitted suffix of
+    the log, never a committed event; because a session is a pure
+    function of [(seed, policy, config, event sequence)], replaying the
+    recovered log reproduces the committed state {e bit-identically} —
+    at-least-once redelivery is exact, not merely idempotent.
+
+    {b Recovery} ({!open_}) = latest valid checkpoint + WAL tail:
+    restore the checkpointed session if one loads cleanly (fall back to
+    a fresh session and a full replay when it is absent or corrupt),
+    truncate any torn WAL tail detected by checksum, then replay every
+    record past the checkpoint's sequence number.  The one
+    inconsistency that cannot be repaired — a checkpoint {e ahead} of
+    the log, meaning WAL bytes were lost after being synced — is
+    refused as an error. *)
+
+type t
+
+type recovery = {
+  recovered : bool;  (** the directory held prior state *)
+  checkpoint_seq : int;  (** 0 when no checkpoint was used *)
+  checkpoint_invalid : string option;
+      (** a checkpoint existed but failed validation; full replay used *)
+  replayed : int;  (** WAL records replayed past the checkpoint *)
+  tear : Wal.tear option;  (** torn tail truncated during recovery *)
+}
+
+val recovery_to_json : recovery -> Dcn_engine.Json.t
+
+val open_ :
+  ?config:Dcn_serve.Session.config ->
+  ?pool:Dcn_engine.Pool.t ->
+  dir:string ->
+  checkpoint_every:int ->
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  policy:Dcn_resilience.Repair.policy ->
+  seed:int ->
+  unit ->
+  (t * recovery, string) result
+(** Open (creating the directory if needed) and recover.  The session
+    parameters must match the ones the store was created with — the
+    checkpoint fingerprint is checked by [Session.restore], and a WAL
+    replayed under different parameters would diverge silently, so a
+    fingerprint mismatch surfaces as an [Error].  [checkpoint_every]
+    checkpoints every N committed events (>= 1); the final state is
+    also checkpointed by {!close}.  Counts [serve.recoveries] and
+    [serve.replayed_events]. *)
+
+val session : t -> Dcn_serve.Session.t
+val seq : t -> int
+(** Sequence number of the last committed event (0 = none yet). *)
+
+val apply : t -> Dcn_serve.Event.t -> Dcn_serve.Session.outcome
+(** WAL-append + fsync, then [Session.apply], then a checkpoint if due.
+    @raise Unix.Unix_error/[Failure] only on I/O failure of the log
+    itself — scheduling outcomes, including rejections, are values. *)
+
+val checkpoint_now : t -> unit
+(** Force a checkpoint of the current committed state. *)
+
+val close : t -> unit
+(** Final checkpoint + close the WAL.  The store must not be used
+    afterwards. *)

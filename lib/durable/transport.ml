@@ -1,0 +1,306 @@
+module Json = Dcn_engine.Json
+module Event = Dcn_serve.Event
+module Repair = Dcn_resilience.Repair
+
+type disconnect =
+  | Eof
+  | Mid_line
+  | Idle
+  | Write_failed
+  | Read_failed of string
+
+let disconnect_to_string = function
+  | Eof -> "eof"
+  | Mid_line -> "eof-mid-line"
+  | Idle -> "idle-timeout"
+  | Write_failed -> "write-failed"
+  | Read_failed m -> Printf.sprintf "read-failed (%s)" m
+
+type stats = {
+  accepted : int;
+  events : int;
+  replies : int;
+  parse_errors : int;
+  shed : int;
+  disconnects : (disconnect * int) list;
+  drained : bool;
+}
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("accepted", Json.Int s.accepted);
+      ("events", Json.Int s.events);
+      ("replies", Json.Int s.replies);
+      ("parse_errors", Json.Int s.parse_errors);
+      ("shed", Json.Int s.shed);
+      ( "disconnects",
+        Json.Obj
+          (List.map
+             (fun (d, n) -> (disconnect_to_string d, Json.Int n))
+             s.disconnects) );
+      ("drained", Json.Bool s.drained);
+    ]
+
+exception Stop
+
+let obs_connections =
+  Dcn_obs.Registry.counter ~help:"socket connections accepted"
+    "serve.connections"
+
+let now () = Dcn_engine.Deadline.now ()
+
+(* One client: its fd, the unterminated tail of its input, and the
+   per-connection positions that make parse errors reportable. *)
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  mutable line_no : int;  (** lines completed so far on this connection *)
+  mutable base : int;  (** stream offset of the first buffered byte *)
+  mutable last_active : float;
+  mutable alive : bool;
+}
+
+(* An event parsed off a connection, waiting its turn at the session. *)
+type pending_event = { conn : conn; event : Event.t }
+
+type loop = {
+  listen_fd : Unix.file_descr;
+  socket : string;
+  idle_timeout : float;
+  mutable conns : conn list;
+  queue : pending_event Pending.t;
+  mutable next_conn : int;
+  (* tallies *)
+  mutable accepted : int;
+  mutable events : int;
+  mutable replies : int;
+  mutable parse_errors : int;
+  mutable shed_count : int;
+  mutable disconnects : (disconnect * int) list;
+}
+
+let tally t kind =
+  let n = try List.assoc kind t.disconnects with Not_found -> 0 in
+  t.disconnects <- (kind, n + 1) :: List.remove_assoc kind t.disconnects
+
+let drop t conn kind =
+  if conn.alive then begin
+    conn.alive <- false;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c.id <> conn.id) t.conns;
+    tally t kind
+  end
+
+(* A reply is one JSON line.  A client that died under the write is
+   dropped; queued events it already submitted still apply (they are
+   committed work), only their replies go nowhere. *)
+let reply t conn json =
+  if conn.alive then begin
+    let line = Json.to_string json ^ "\n" in
+    let bytes = Bytes.of_string line in
+    match Unix.write conn.fd bytes 0 (Bytes.length bytes) with
+    | n when n = Bytes.length bytes -> t.replies <- t.replies + 1
+    | _ -> drop t conn Write_failed
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      drop t conn Write_failed
+  end
+
+let parse_error_reply ~line ~byte ~offset message =
+  Json.Obj
+    [
+      ("error", Json.Str "parse");
+      ("line", Json.Int line);
+      ("byte", Json.Int byte);
+      ("offset", Json.Int offset);
+      ("message", Json.Str message);
+    ]
+
+let shed_reply policy event =
+  Json.Obj
+    [
+      ("shed", Json.Bool true);
+      ("policy", Json.Str (Repair.shed_policy_to_string policy));
+      ("event", Json.Str (Event.kind event));
+    ]
+
+(* One complete line from [conn]: parse, then enqueue — or answer the
+   parse error / shed verdict right away. *)
+let handle_line t conn ~line_base line =
+  conn.line_no <- conn.line_no + 1;
+  if String.trim line <> "" then begin
+    let bad ~byte msg =
+      t.parse_errors <- t.parse_errors + 1;
+      reply t conn
+        (parse_error_reply ~line:conn.line_no ~byte ~offset:(line_base + byte)
+           msg)
+    in
+    match Json.parse line with
+    | Error e -> bad ~byte:e.Json.offset e.Json.message
+    | Ok json -> (
+      match Event.of_json json with
+      | Error m -> bad ~byte:0 m
+      | Ok event -> (
+        match Pending.offer t.queue { conn; event } with
+        | Pending.Enqueued -> ()
+        | Pending.Shed victim ->
+          t.shed_count <- t.shed_count + 1;
+          reply t victim.conn
+            (shed_reply (Pending.policy t.queue) victim.event)))
+  end
+
+(* Split every complete line out of the connection buffer, keeping the
+   unterminated tail (and its stream offset) for the next read. *)
+let drain_buffer t conn =
+  let data = Buffer.contents conn.buf in
+  Buffer.clear conn.buf;
+  let n = String.length data in
+  let off = ref 0 in
+  while
+    conn.alive
+    &&
+    match String.index_from_opt data !off '\n' with
+    | None -> false
+    | Some nl ->
+      let line = String.sub data !off (nl - !off) in
+      let line_base = conn.base in
+      conn.base <- conn.base + (nl - !off) + 1;
+      off := nl + 1;
+      handle_line t conn ~line_base line;
+      true
+  do
+    ()
+  done;
+  if conn.alive && !off < n then
+    Buffer.add_substring conn.buf data !off (n - !off)
+
+let read_chunk = Bytes.create 4096
+
+let handle_readable t conn =
+  match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 ->
+    (* EOF.  A non-empty buffer means the client died mid-line: the
+       fragment is dropped (it was never committed), typed as such. *)
+    drop t conn (if Buffer.length conn.buf > 0 then Mid_line else Eof)
+  | n ->
+    conn.last_active <- now ();
+    Buffer.add_subbytes conn.buf read_chunk 0 n;
+    drain_buffer t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error (e, _, _) ->
+    drop t conn (Read_failed (Unix.error_message e))
+
+let accept t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _ ->
+    t.accepted <- t.accepted + 1;
+    Dcn_obs.Registry.incr obs_connections;
+    t.next_conn <- t.next_conn + 1;
+    t.conns <-
+      {
+        id = t.next_conn;
+        fd;
+        buf = Buffer.create 256;
+        line_no = 0;
+        base = 0;
+        last_active = now ();
+        alive = true;
+      }
+      :: t.conns
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    ()
+
+let sweep_idle t =
+  if t.idle_timeout > 0. then begin
+    let deadline = now () -. t.idle_timeout in
+    List.iter
+      (fun c -> if c.last_active < deadline then drop t c Idle)
+      t.conns
+  end
+
+(* Apply exactly one queued event; returns false when the queue was
+   empty.  This is the only place [apply] runs, so WAL order = reply
+   order = the one global sequence. *)
+let apply_one t ~seq ~apply =
+  match Pending.pop t.queue with
+  | None -> false
+  | Some { conn; event } ->
+    incr seq;
+    let out = apply ~seq:!seq event in
+    t.events <- t.events + 1;
+    reply t conn out;
+    true
+
+let serve ?(idle_timeout = 30.) ?(queue_capacity = 64)
+    ?(shed_policy = Repair.Shed_newest) ?(backlog = 8) ~socket ~drain ~apply ()
+    =
+  (* A stale socket file from a dead server would make bind fail. *)
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd backlog;
+  let t =
+    {
+      listen_fd;
+      socket;
+      idle_timeout;
+      conns = [];
+      queue = Pending.create ~capacity:queue_capacity ~policy:shed_policy;
+      next_conn = 0;
+      accepted = 0;
+      events = 0;
+      replies = 0;
+      parse_errors = 0;
+      shed_count = 0;
+      disconnects = [];
+    }
+  in
+  let seq = ref 0 in
+  let drained = ref false in
+  let cleanup () =
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
+    t.conns <- [];
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink t.socket with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      while not !drained do
+        if drain () then begin
+          (* Graceful drain: no new connections, no new reads; finish
+             the in-flight backlog so every accepted event is answered,
+             then let the caller checkpoint. *)
+          while apply_one t ~seq ~apply do
+            ()
+          done;
+          drained := true
+        end
+        else begin
+          let timeout = if Pending.length t.queue > 0 then 0. else 0.2 in
+          let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+          (match Unix.select fds [] [] timeout with
+          | readable, _, _ ->
+            if List.memq t.listen_fd readable then accept t;
+            List.iter
+              (fun c -> if List.memq c.fd readable then handle_readable t c)
+              t.conns
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          sweep_idle t;
+          ignore (apply_one t ~seq ~apply)
+        end
+      done;
+      {
+        accepted = t.accepted;
+        events = t.events;
+        replies = t.replies;
+        parse_errors = t.parse_errors;
+        shed = t.shed_count;
+        disconnects =
+          List.sort
+            (fun (a, _) (b, _) -> compare a b)
+            t.disconnects;
+        drained = true;
+      })

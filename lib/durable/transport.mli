@@ -1,0 +1,75 @@
+(** The Unix-domain-socket transport behind [dcn serve --socket]: one
+    single-threaded accept/read/apply loop multiplexed with
+    [Unix.select], serving the same newline-delimited JSON event
+    protocol as the stdin loop — concurrently, to any number of
+    clients, without threads.
+
+    Framing and replies are {e per connection}: each client writes one
+    JSON event per line and reads one JSON reply line per event, in
+    order.  A malformed line earns a positioned error reply
+    ([{"error":"parse","line":L,"byte":B,"offset":O,"message":...}] —
+    line numbers and stream offsets are counted per connection, byte
+    offsets come from {!Dcn_engine.Json.parse}) and the connection
+    stays up; a client that disconnects — cleanly, mid-line, or by
+    dying under a write — is dropped with its typed {!disconnect}
+    recorded, and never takes the session down with it.
+
+    Parsed events flow through a bounded {!Pending} queue between the
+    read phase and the apply phase; when it overflows, the configured
+    {!Dcn_resilience.Repair.shed_policy} picks a victim whose client
+    is answered with a typed [{"shed":...}] reply instead of the heap
+    growing without bound.  One event is applied per loop turn, so
+    accepts and reads stay responsive under a heavy client; the select
+    timeout drops to zero while the queue is non-empty, so a backlog
+    still drains at full speed.
+
+    The loop polls [drain] at every turn: once it returns [true] the
+    listener closes, reading stops, the queued backlog is applied and
+    answered, and {!serve} returns — the graceful half of SIGTERM
+    handling, with the final checkpoint left to the caller. *)
+
+type disconnect =
+  | Eof  (** clean shutdown, buffer empty *)
+  | Mid_line  (** EOF with an unterminated line still buffered *)
+  | Idle  (** no traffic for [idle_timeout] seconds *)
+  | Write_failed  (** client vanished under a reply ([EPIPE]/reset) *)
+  | Read_failed of string  (** read(2) error other than EOF *)
+
+val disconnect_to_string : disconnect -> string
+
+type stats = {
+  accepted : int;  (** connections accepted over the loop's lifetime *)
+  events : int;  (** events applied *)
+  replies : int;  (** reply lines written (outcomes, sheds and errors) *)
+  parse_errors : int;  (** malformed lines answered with an error reply *)
+  shed : int;  (** events refused by the pending queue *)
+  disconnects : (disconnect * int) list;  (** tally by kind *)
+  drained : bool;  (** the loop exited through [drain], not [Stop] *)
+}
+
+val stats_to_json : stats -> Dcn_engine.Json.t
+
+exception Stop
+(** Raise from [apply] to abort the loop immediately (fatal condition;
+    queued events are dropped).  Prefer [drain] for an orderly exit. *)
+
+val serve :
+  ?idle_timeout:float ->
+  ?queue_capacity:int ->
+  ?shed_policy:Dcn_resilience.Repair.shed_policy ->
+  ?backlog:int ->
+  socket:string ->
+  drain:(unit -> bool) ->
+  apply:(seq:int -> Dcn_serve.Event.t -> Dcn_engine.Json.t) ->
+  unit ->
+  stats
+(** Bind [socket] (an existing socket file is replaced), accept and
+    serve until [drain] reports true, then finish the backlog and
+    return.  [apply] is called with a global 1-based sequence number
+    and must return the reply object for that event — it is the only
+    place session (or {!Store}) state is touched, and calls are strictly
+    sequential.  [idle_timeout] (default 30 s, [<= 0] disables) bounds
+    silence per connection; [queue_capacity] (default 64) bounds the
+    pending queue under [shed_policy] (default [Shed_newest]).  The
+    socket file is unlinked on exit.
+    @raise Unix.Unix_error if the socket cannot be bound. *)

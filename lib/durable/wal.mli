@@ -1,0 +1,76 @@
+(** The write-ahead event log of durable serving.
+
+    One record per line, append-only:
+
+    {v
+      w1 <crc32> <seq> <event-json>\n
+    v}
+
+    where [<crc32>] is {!Crc.to_hex} of the bytes
+    ["<seq> <event-json>"], [<seq>] is the 1-based position of the
+    event in the session's committed sequence (consecutive from 1),
+    and [<event-json>] is the {e canonical}
+    {!Dcn_serve.Event.to_json} encoding (re-serialised on append, so
+    the log is byte-reproducible regardless of how clients formatted
+    the event).  Every append is flushed and [fsync]'d before the
+    caller may commit the event — the write-ahead invariant: a
+    committed event is always recoverable.
+
+    A crash can leave a {e torn tail}: a final record missing its
+    newline, or with bytes garbled between write and sync.  {!scan}
+    detects this with the per-record checksum and reports the longest
+    valid prefix; recovery truncates the file there ({!truncate}) and
+    replays the prefix.  Corruption is never an exception — a WAL is
+    read after a crash, when raising would turn a survivable tear into
+    an unrecoverable store. *)
+
+type record = {
+  seq : int;
+  event : Dcn_serve.Event.t;
+  json : string;  (** the canonical event JSON exactly as logged *)
+}
+
+type tear =
+  | Partial_line  (** final record missing its newline (torn append) *)
+  | Bad_header  (** malformed framing or out-of-sequence [seq] *)
+  | Bad_checksum  (** record bytes do not match their CRC *)
+  | Bad_event of string
+      (** checksum valid but the JSON no longer parses as an event —
+          only reachable if the log was edited, kept for totality *)
+
+val tear_to_string : tear -> string
+
+type scan = {
+  records : record list;  (** the longest valid prefix, in order *)
+  valid_bytes : int;  (** byte length of that prefix in the file *)
+  tear : tear option;
+      (** why scanning stopped before the end of the file, if it did *)
+}
+
+val scan : string -> scan
+(** Scan a WAL file.  A missing file is an empty log.  Scanning stops
+    at the first invalid record; everything after it is suspect (the
+    crash-consistency note in DESIGN.md) and excluded from
+    [valid_bytes].  Records must carry consecutive sequence numbers
+    starting at 1 — a gap stops the scan like any other tear. *)
+
+val truncate : string -> int -> unit
+(** [truncate path valid_bytes] chops a torn tail off, after which
+    {!scan} returns a clean log.  Recovery calls this before the writer
+    re-opens the file for append. *)
+
+val encode : seq:int -> Dcn_serve.Event.t -> string
+(** The full record line including the trailing newline — exposed so
+    tests and fixtures are built from the one authoritative encoder. *)
+
+type writer
+
+val open_writer : string -> writer
+(** Open (creating if needed) for append.  The caller is responsible
+    for scanning/truncating first; the writer never reads. *)
+
+val append : writer -> seq:int -> Dcn_serve.Event.t -> unit
+(** Append one record and [fsync].  Returns only once the record is on
+    stable storage.  Counts [serve.wal_appends]/[serve.wal_bytes]. *)
+
+val close : writer -> unit

@@ -27,6 +27,12 @@ type t
 exception Expired
 (** Raised by {!check} (and {!check_t}) when the deadline has passed. *)
 
+val now : unit -> float
+(** The clamped process clock: [Unix.gettimeofday] made non-decreasing
+    per domain.  Anything deriving durations from wall-clock samples
+    (session uptime, drain timing) should read this instead of the raw
+    clock so an NTP step can never produce a negative elapsed time. *)
+
 val after : ms:float -> t
 (** A deadline [ms] milliseconds from now.  Non-positive budgets yield
     an already-expired deadline (the watchdog's 0 ms determinism case).

@@ -208,14 +208,7 @@ let validate_prometheus payload =
 
 (* --------------------------- file writing ------------------------- *)
 
-let write_atomic ~path content =
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir "dcn-metrics" ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc content);
-  Sys.rename tmp path
+let write_atomic ~path content = Dcn_util.Atomic_file.write ~path content
 
 (* ---------------------------- live table -------------------------- *)
 

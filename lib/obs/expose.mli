@@ -27,9 +27,9 @@ val validate_prometheus : string -> (unit, string) result
     first offending line. *)
 
 val write_atomic : path:string -> string -> unit
-(** Write via a temp file in the target directory and [rename], so a
-    concurrent scraper never observes a torn file.  Silent (called once
-    per snapshot). *)
+(** {!Dcn_util.Atomic_file.write}: temp file in the target directory
+    plus [rename], so a concurrent scraper never observes a torn file.
+    Silent (called once per snapshot). *)
 
 val render_table : ?top:int -> Snapshot.t -> string
 (** The [dcn stats] rendering: a snapshot header, the {!Slo.rows}

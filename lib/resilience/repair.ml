@@ -24,6 +24,17 @@ let policy_of_string = function
   | "reject-new" -> Some Reject_new
   | _ -> None
 
+type shed_policy = Shed_newest | Shed_oldest
+
+let shed_policy_to_string = function
+  | Shed_newest -> "shed-newest"
+  | Shed_oldest -> "shed-oldest"
+
+let shed_policy_of_string = function
+  | "shed-newest" -> Some Shed_newest
+  | "shed-oldest" -> Some Shed_oldest
+  | _ -> None
+
 type detail = {
   residual : Instance.t option;
   solution : Solution.t option;

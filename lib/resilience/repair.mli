@@ -35,6 +35,25 @@ type policy =
 val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 
+type shed_policy =
+  | Shed_newest
+      (** refuse the arriving event when the queue is full — committed
+          work is never displaced (the overload analogue of
+          [Reject_new]) *)
+  | Shed_oldest
+      (** evict the oldest queued (not yet committed) event to make
+          room — freshest traffic wins under sustained overload *)
+(** Overload shedding for the serving layer's bounded pending-event
+    queue ([Dcn_durable.Pending]): when arrivals outpace the
+    incremental re-solve, the transport must refuse {e some} event with
+    a typed [Shed] outcome rather than queue without bound.  Lives here
+    beside the admission {!policy} vocabulary so both degradation axes
+    — not enough capacity, not enough solver throughput — are chosen
+    from one place. *)
+
+val shed_policy_to_string : shed_policy -> string
+val shed_policy_of_string : string -> shed_policy option
+
 val next_casualty :
   policy -> is_new:(int -> bool) -> Dcn_flow.Flow.t list -> Dcn_flow.Flow.t option
 (** The policy's next victim among the given flows — the admission

@@ -142,7 +142,7 @@ let create ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
     pool;
     rng = Prng.create seed;
     workspace = Dcn_mcf.Kernel.Workspace.create ();
-    created = Unix.gettimeofday ();
+    created = Deadline.now ();
     clock = 0.;
     flows = [];
     paths = [];
@@ -221,7 +221,11 @@ let outcome_to_json o =
     Json.Obj [ ("outcome", Json.Str "rejected"); ("reason", Json.Str reason) ]
 
 let clock t = t.clock
-let uptime_ms t = 1e3 *. (Unix.gettimeofday () -. t.created)
+
+(* The clamped clock ([Deadline.now]) is non-decreasing per domain, so
+   uptime cannot go negative when NTP steps the wall clock backwards;
+   the max is belt-and-braces for a snapshot taken on another domain. *)
+let uptime_ms t = Float.max 0. (1e3 *. (Deadline.now () -. t.created))
 let active_flows t = t.flows
 let active_coflows t = t.coflows
 let schedule t = t.schedule
@@ -879,3 +883,266 @@ let report t =
       ("coflows_rejected", Json.Int s.coflows_rejected);
       ("ok", Json.Bool (s.uncertified_epochs = 0));
     ]
+
+(* ------------------------- snapshot / restore ---------------------- *)
+
+(* The committed state as JSON, for durable-serving checkpoints.  Two
+   requirements shape the encoding:
+
+   - {b Bit-exactness.}  [Json.float] emits %.17g, so every float
+     round-trips exactly; the PRNG state is carried as a decimal int64
+     string.  [restore] therefore resumes the exact stream: subsequent
+     events produce byte-identical outcomes to the uninterrupted
+     session.
+
+   - {b Minimality.}  Only state that is not a pure function of the
+     rest is serialised.  The timeline is recomputed from the flows
+     ([Instance.timeline]); the committed schedule is rebuilt from the
+     committed paths ([build_schedule]); interval {e solutions} are
+     stored verbatim because a cold re-solve would not reproduce the
+     warm-started fractional paths the next [resolve] reuses.
+
+   A fingerprint of everything the session was created with guards
+   [restore]: resuming under a different topology, power model, policy
+   or solver configuration would silently diverge, so it is refused. *)
+
+let snapshot_version = 1
+
+let flow_to_json (f : Flow.t) =
+  Json.Obj
+    [
+      ("id", Json.Int f.id);
+      ("src", Json.Int f.src);
+      ("dst", Json.Int f.dst);
+      ("volume", Json.float f.volume);
+      ("release", Json.float f.release);
+      ("deadline", Json.float f.deadline);
+    ]
+
+let weighted_path_to_json (wp : Dcn_mcf.Decompose.weighted_path) =
+  Json.Obj
+    [
+      ("weight", Json.float wp.weight);
+      ("links", Json.List (List.map (fun l -> Json.Int l) wp.links));
+    ]
+
+let interval_to_json (s : Relaxation.interval_solution) =
+  let lo, hi = s.bounds in
+  Json.Obj
+    [
+      ("index", Json.Int s.index);
+      ("lo", Json.float lo);
+      ("hi", Json.float hi);
+      ("cost", Json.float s.cost);
+      ("lb", Json.float s.lb);
+      ("max_overload", Json.float s.max_overload);
+      ( "flow_paths",
+        Json.List
+          (List.map
+             (fun (id, wps) ->
+               Json.Obj
+                 [
+                   ("flow", Json.Int id);
+                   ("paths", Json.List (List.map weighted_path_to_json wps));
+                 ])
+             s.flow_paths) );
+    ]
+
+let fingerprint t =
+  Json.Obj
+    [
+      ("nodes", Json.Int (Graph.num_nodes t.graph));
+      ("links", Json.Int (Graph.num_links t.graph));
+      ("policy", Json.Str (Repair.policy_to_string t.policy));
+      ("sigma", Json.float t.power.Model.sigma);
+      ("mu", Json.float t.power.Model.mu);
+      ("alpha", Json.float t.power.Model.alpha);
+      ("cap", Json.float t.power.Model.cap);
+      ("attempts", Json.Int t.config.attempts);
+      ("certify", Json.Bool t.config.certify);
+      ("fw_max_iters", Json.Int t.config.fw_config.Fw.max_iters);
+      ("fw_gap_tol", Json.float t.config.fw_config.Fw.gap_tol);
+    ]
+
+let snapshot t =
+  let s = t.stats in
+  Json.Obj
+    [
+      ("version", Json.Int snapshot_version);
+      ("fingerprint", fingerprint t);
+      ("clock", Json.float t.clock);
+      ("rng", Json.Str (Int64.to_string (Prng.state t.rng)));
+      ("flows", Json.List (List.map flow_to_json t.flows));
+      ( "paths",
+        Json.List
+          (List.map
+             (fun (id, links) ->
+               Json.Obj
+                 [
+                   ("flow", Json.Int id);
+                   ("links", Json.List (List.map (fun l -> Json.Int l) links));
+                 ])
+             t.paths) );
+      ( "coflows",
+        Json.List
+          (List.map
+             (fun (cid, ms) ->
+               Json.Obj
+                 [
+                   ("coflow", Json.Int cid);
+                   ("members", Json.List (List.map (fun m -> Json.Int m) ms));
+                 ])
+             t.coflows) );
+      ( "stats",
+        Json.Obj
+          [
+            ("events", Json.Int s.events);
+            ("committed", Json.Int s.committed);
+            ("degraded", Json.Int s.degraded);
+            ("rejected", Json.Int s.rejected);
+            ("admitted", Json.Int s.admitted);
+            ("cancelled", Json.Int s.cancelled);
+            ("retired", Json.Int s.retired);
+            ("dropped", Json.Int s.dropped);
+            ("resolved_intervals", Json.Int s.resolved_intervals);
+            ("reused_intervals", Json.Int s.reused_intervals);
+            ("certified_epochs", Json.Int s.certified_epochs);
+            ("uncertified_epochs", Json.Int s.uncertified_epochs);
+            ("coflows_admitted", Json.Int s.coflows_admitted);
+            ("coflows_rejected", Json.Int s.coflows_rejected);
+          ] );
+      ( "relaxation",
+        match t.relaxation with
+        | None -> Json.Null
+        | Some r ->
+          Json.Obj
+            [
+              ("cost", Json.float r.Relaxation.cost);
+              ("lb", Json.float r.Relaxation.lb);
+              ( "intervals",
+                Json.List
+                  (Array.to_list (Array.map interval_to_json r.intervals)) );
+            ] );
+    ]
+
+let flow_of_json j =
+  Flow.make ~id:(Json.to_int (Json.get "id" j))
+    ~src:(Json.to_int (Json.get "src" j))
+    ~dst:(Json.to_int (Json.get "dst" j))
+    ~volume:(Json.to_float (Json.get "volume" j))
+    ~release:(Json.to_float (Json.get "release" j))
+    ~deadline:(Json.to_float (Json.get "deadline" j))
+
+let weighted_path_of_json j : Dcn_mcf.Decompose.weighted_path =
+  {
+    weight = Json.to_float (Json.get "weight" j);
+    links = List.map Json.to_int (Json.to_list (Json.get "links" j));
+  }
+
+let interval_of_json j : Relaxation.interval_solution =
+  {
+    index = Json.to_int (Json.get "index" j);
+    bounds = (Json.to_float (Json.get "lo" j), Json.to_float (Json.get "hi" j));
+    cost = Json.to_float (Json.get "cost" j);
+    lb = Json.to_float (Json.get "lb" j);
+    max_overload = Json.to_float (Json.get "max_overload" j);
+    flow_paths =
+      List.map
+        (fun p ->
+          ( Json.to_int (Json.get "flow" p),
+            List.map weighted_path_of_json (Json.to_list (Json.get "paths" p))
+          ))
+        (Json.to_list (Json.get "flow_paths" j));
+  }
+
+let check_fingerprint t j =
+  let expected = fingerprint t in
+  let actual = Json.get "fingerprint" j in
+  List.iter
+    (fun (name, want) ->
+      let got = Json.get name actual in
+      (* Compare serialized forms: a parsed snapshot reads [1] back as
+         [Int] where the live fingerprint holds [Float 1.]. *)
+      if Json.to_string got <> Json.to_string want then
+        failwith
+          (Printf.sprintf "fingerprint mismatch on %S: snapshot %s, session %s"
+             name (Json.to_string got) (Json.to_string want)))
+    (Json.to_obj expected)
+
+let restore ?(config = default_config) ?(pool = Pool.sequential) ~graph ~power
+    ~policy json =
+  match
+    let version = Json.to_int (Json.get "version" json) in
+    if version <> snapshot_version then
+      failwith (Printf.sprintf "unsupported snapshot version %d" version);
+    let t = create ~config ~pool ~graph ~power ~policy ~seed:0 () in
+    check_fingerprint t json;
+    t.clock <- Json.to_float (Json.get "clock" json);
+    (match Int64.of_string_opt (Json.to_str (Json.get "rng" json)) with
+    | Some s -> Prng.set_state t.rng s
+    | None -> failwith "rng state is not an int64");
+    t.flows <-
+      List.sort by_id
+        (List.map flow_of_json (Json.to_list (Json.get "flows" json)));
+    t.paths <-
+      List.map
+        (fun p ->
+          ( Json.to_int (Json.get "flow" p),
+            List.map Json.to_int (Json.to_list (Json.get "links" p)) ))
+        (Json.to_list (Json.get "paths" json));
+    t.coflows <-
+      List.map
+        (fun c ->
+          ( Json.to_int (Json.get "coflow" c),
+            List.map Json.to_int (Json.to_list (Json.get "members" c)) ))
+        (Json.to_list (Json.get "coflows" json));
+    let s = t.stats and sj = Json.get "stats" json in
+    let stat name = Json.to_int (Json.get name sj) in
+    s.events <- stat "events";
+    s.committed <- stat "committed";
+    s.degraded <- stat "degraded";
+    s.rejected <- stat "rejected";
+    s.admitted <- stat "admitted";
+    s.cancelled <- stat "cancelled";
+    s.retired <- stat "retired";
+    s.dropped <- stat "dropped";
+    s.resolved_intervals <- stat "resolved_intervals";
+    s.reused_intervals <- stat "reused_intervals";
+    s.certified_epochs <- stat "certified_epochs";
+    s.uncertified_epochs <- stat "uncertified_epochs";
+    s.coflows_admitted <- stat "coflows_admitted";
+    s.coflows_rejected <- stat "coflows_rejected";
+    (* Flows committed => paths committed for each, and a relaxation to
+       warm the next re-solve; a drained session has neither. *)
+    List.iter
+      (fun (f : Flow.t) ->
+        if not (List.mem_assoc f.id t.paths) then
+          failwith (Printf.sprintf "flow %d has no committed path" f.id))
+      t.flows;
+    (match (t.flows, Json.get "relaxation" json) with
+    | [], Json.Null -> ()
+    | [], _ -> failwith "snapshot has a relaxation but no flows"
+    | _ :: _, Json.Null -> failwith "snapshot has flows but no relaxation"
+    | flows, rj -> (
+      match Instance.make_result ~graph ~power ~flows with
+      | Error e -> failwith (Instance.error_to_string e)
+      | Ok inst ->
+        let intervals =
+          Array.of_list
+            (List.map interval_of_json (Json.to_list (Json.get "intervals" rj)))
+        in
+        let timeline = Instance.timeline inst in
+        t.relaxation <-
+          Some
+            {
+              Relaxation.timeline;
+              intervals;
+              cost = Json.to_float (Json.get "cost" rj);
+              lb = Json.to_float (Json.get "lb" rj);
+            };
+        t.schedule <- Some (build_schedule t inst t.paths)));
+    t
+  with
+  | t -> Ok t
+  | exception Failure m -> Error m
+  | exception Invalid_argument m -> Error m

@@ -127,3 +127,32 @@ val report : t -> Dcn_engine.Json.t
 
 val ok : t -> bool
 (** Every committed epoch so far certified clean. *)
+
+val snapshot : t -> Dcn_engine.Json.t
+(** The committed state as JSON, for durable-serving checkpoints
+    ([Dcn_durable]): clock, PRNG state, flows, committed paths, coflow
+    membership, stats, and the per-interval fractional solutions of the
+    committed relaxation (verbatim — a cold re-solve would not
+    reproduce the warm starts).  Floats are emitted at full precision,
+    so {!restore} resumes the exact session: subsequent events yield
+    byte-identical outcomes to the uninterrupted run.  Deterministic —
+    wall-clock fields like {!uptime_ms} never enter the snapshot — and
+    prefixed by a fingerprint of the session's topology, power model,
+    policy and solver configuration. *)
+
+val restore :
+  ?config:config ->
+  ?pool:Dcn_engine.Pool.t ->
+  graph:Dcn_topology.Graph.t ->
+  power:Dcn_power.Model.t ->
+  policy:Dcn_resilience.Repair.policy ->
+  Dcn_engine.Json.t ->
+  (t, string) result
+(** Rebuild a session from a {!snapshot}.  The caller supplies the same
+    graph/power/policy/config the original session was created with;
+    the snapshot's fingerprint is checked against them and a mismatch
+    is an [Error] (resuming under different parameters would silently
+    diverge instead of continuing the committed timeline).  The
+    committed schedule and breakpoint timeline are recomputed from the
+    restored flows and paths — they are pure functions of them — and
+    [uptime_ms] restarts at the moment of restore. *)

@@ -6,6 +6,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy g = { state = g.state }
 
+let state g = g.state
+
+let of_state s = { state = s }
+
+let set_state g s = g.state <- s
+
 (* splitmix64 finaliser: mixes the incremented counter into an output. *)
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -17,6 +17,18 @@ val copy : t -> t
 (** [copy g] is an independent generator that will produce the same
     future stream as [g]. *)
 
+val state : t -> int64
+(** The full 64-bit internal state.  Together with {!of_state} this
+    makes a generator checkpointable: persisting [state g] and later
+    resuming from [of_state] continues the exact stream, which durable
+    serving relies on for bit-identical crash recovery. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a persisted {!state}. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite [g]'s state in place (restore into an existing handle). *)
+
 val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     statistically independent of the remainder of [g]'s stream.  Used to

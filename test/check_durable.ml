@@ -1,0 +1,210 @@
+(* End-to-end smoke test for durable serving, run from the root
+   `check-durable` alias (itself a `runtest` dependency):
+
+   1. serve the corpus over `dcn serve --socket` (with a WAL) and over
+      plain stdin, and require the outcome streams byte-identical
+      modulo uptime_ms — the one wall-clock field — even at different
+      --jobs levels;
+   2. kill a client mid-line and prove the server survives it;
+   3. SIGTERM the server and require a clean drain: exit status 0 and a
+      final checkpoint covering every committed event.
+
+   Usage: check_durable.exe DCN_BINARY EVENTS_FILE *)
+
+module Json = Dcn_engine.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("check-durable: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let event_lines path =
+  String.split_on_char '\n' (read_file path)
+  |> List.filter (fun l -> String.trim l <> "")
+
+(* Both serving modes share the session parameters; only the transport
+   and --jobs differ, so equality of the outcome streams checks the
+   socket path end to end *and* jobs-invariance through the socket. *)
+let topo_args = [ "--topology"; "line:5"; "--cap"; "6"; "--sigma"; "1" ]
+
+let strip_uptime line =
+  match Json.of_string line with
+  | exception Failure m -> fail "unparseable outcome line %S: %s" line m
+  | Json.Obj fields ->
+    Json.to_string
+      (Json.Obj (List.filter (fun (k, _) -> k <> "uptime_ms") fields))
+  | _ -> fail "outcome line is not an object: %S" line
+
+let status_to_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stop %d" s
+
+(* ------------------------- stdin reference ------------------------ *)
+
+let run_stdin ~dcn ~events ~jobs =
+  let out_path = Filename.temp_file "dcn-durable-stdin" ".out" in
+  let in_fd = Unix.openfile events [ Unix.O_RDONLY ] 0 in
+  let out_fd =
+    Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
+  in
+  let argv =
+    Array.of_list
+      ((dcn :: "serve" :: topo_args) @ [ "--jobs"; string_of_int jobs ])
+  in
+  let pid = Unix.create_process dcn argv in_fd out_fd Unix.stderr in
+  Unix.close in_fd;
+  Unix.close out_fd;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, st -> fail "stdin serve died with %s" (status_to_string st));
+  let lines = event_lines out_path in
+  Sys.remove out_path;
+  lines
+
+(* --------------------------- socket mode -------------------------- *)
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let send_line fd line =
+  let bytes = Bytes.of_string (line ^ "\n") in
+  let n = Unix.write fd bytes 0 (Bytes.length bytes) in
+  if n <> Bytes.length bytes then fail "short write to the server socket"
+
+let recv_line fd =
+  let buf = Buffer.create 256 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> fail "server closed the connection mid-reply"
+    | _ ->
+      if Bytes.get byte 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get byte 0);
+        go ()
+      end
+  in
+  go ()
+
+let wait_for_socket sock =
+  let rec go n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then fail "server never bound %s" sock
+    else begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 100
+
+let () =
+  let dcn, events =
+    match Sys.argv with
+    | [| _; dcn; events |] -> (dcn, events)
+    | _ ->
+      prerr_endline "usage: check_durable.exe DCN_BINARY EVENTS_FILE";
+      exit 2
+  in
+  let lines = event_lines events in
+  let n = List.length lines in
+  if n < 100 then fail "%s: %d event(s), the gate wants >= 100" events n;
+
+  (* Reference stream: stdin mode, sequential. *)
+  let reference = run_stdin ~dcn ~events ~jobs:1 in
+  if List.length reference <> n then
+    fail "stdin serve answered %d line(s) for %d events"
+      (List.length reference) n;
+
+  (* Socket server: WAL'd, parallel. *)
+  let scratch =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dcn-check-durable-%d" (Unix.getpid ()))
+  in
+  let rec rm_rf path =
+    match Sys.is_directory path with
+    | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    | false -> Sys.remove path
+    | exception Sys_error _ -> ()
+  in
+  rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let sock = Filename.concat scratch "serve.sock" in
+  let wal_dir = Filename.concat scratch "wal" in
+  let argv =
+    Array.of_list
+      ((dcn :: "serve" :: topo_args)
+      @ [ "--socket"; sock; "--wal"; wal_dir; "--jobs"; "2" ])
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let server = Unix.create_process dcn argv Unix.stdin null Unix.stderr in
+  Unix.close null;
+  wait_for_socket sock;
+
+  (* 1: the full corpus, lock-step, must match the stdin stream. *)
+  let client = connect sock in
+  List.iteri
+    (fun i line ->
+      send_line client line;
+      let reply = recv_line client in
+      let want = strip_uptime (List.nth reference i) in
+      let got = strip_uptime reply in
+      if got <> want then
+        fail "socket outcome %d diverges from stdin mode:\n  stdin:  %s\n  socket: %s"
+          (i + 1) want got)
+    lines;
+
+  (* 2: a client dying mid-line must not take the server down. *)
+  let doomed = connect sock in
+  let fragment = Bytes.of_string {|{"event":"adva|} in
+  ignore (Unix.write doomed fragment 0 (Bytes.length fragment));
+  Unix.close doomed;
+
+  (* The first client still gets served after the crash next door; the
+     malformed-line path answers with a positioned error reply. *)
+  send_line client {|{"event":"advance","to":|};
+  (match Json.of_string (recv_line client) with
+  | Json.Obj fields
+    when List.assoc_opt "error" fields = Some (Json.Str "parse") ->
+    if not (List.mem_assoc "line" fields && List.mem_assoc "offset" fields)
+    then fail "parse-error reply lacks its position fields"
+  | _ -> fail "malformed line did not earn a parse-error reply");
+  send_line client {|{"event":"advance","to":99}|};
+  (match Json.of_string (recv_line client) with
+  | Json.Obj fields when List.mem_assoc "outcome" fields -> ()
+  | json ->
+    fail "server unresponsive after a mid-line disconnect: %s"
+      (Json.to_string json));
+  Unix.close client;
+
+  (* 3: graceful drain — exit 0 and a final checkpoint at seq n+1. *)
+  Unix.kill server Sys.sigterm;
+  (match Unix.waitpid [] server with
+  | _, Unix.WEXITED 0 -> ()
+  | _, st -> fail "SIGTERM drain ended with %s, expected exit 0"
+               (status_to_string st));
+  let checkpoint = Filename.concat wal_dir "checkpoint.json" in
+  if not (Sys.file_exists checkpoint) then
+    fail "no final checkpoint after the drain";
+  (match Json.member "seq" (Json.of_string (read_file checkpoint)) with
+  | Some (Json.Int seq) when seq = n + 1 -> ()
+  | Some (Json.Int seq) ->
+    fail "final checkpoint at seq %d, expected %d" seq (n + 1)
+  | _ -> fail "final checkpoint carries no seq");
+  rm_rf scratch;
+  Printf.printf
+    "check-durable: socket stream matches stdin (%d events, --jobs 2 vs 1), \
+     mid-line disconnect survived, SIGTERM drained cleanly\n"
+    n

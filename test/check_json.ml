@@ -442,6 +442,71 @@ let check_stats snapshots prom =
       "dcn_relaxation_intervals_reused_total";
     ]
 
+(* Report of `dcn crash EVENTS --report FILE` (the @check-durable
+   alias): a crash-injection campaign against the durable store — the
+   gate demands a real campaign (>= 25 kills over a >= 100-event log),
+   every row bit-identical, re-certified and with matching redelivered
+   outcomes, every torn tail detected, and the recovery arithmetic
+   (checkpoint seq + replayed records = kill point) consistent. *)
+let check_durable path =
+  let json = parse path in
+  (match Json.member "command" json with
+  | Some (Json.Str "crash") -> ()
+  | _ -> fail "%s: command is not \"crash\"" path);
+  let crash = get path "crash" json in
+  let events = Json.to_int (get path "events" crash) in
+  if events < 100 then
+    fail "%s: campaign log has %d event(s), the gate wants >= 100" path events;
+  let kills = Json.to_int (get path "kills" crash) in
+  if kills < 25 then
+    fail "%s: %d kill(s), the gate wants >= 25" path kills;
+  ignore (Json.to_int (get path "seed" crash));
+  if Json.to_int (get path "checkpoint_every" crash) < 1 then
+    fail "%s: checkpoint_every < 1" path;
+  let rows = Json.to_list (get path "rows" crash) in
+  if List.length rows <> kills then
+    fail "%s: %d row(s), expected %d" path (List.length rows) kills;
+  let tears = ref 0 in
+  List.iter
+    (fun r ->
+      let kill = Json.to_int (get path "kill" r) in
+      if kill < 1 || kill > events then
+        fail "%s: kill boundary %d outside [1, %d]" path kill events;
+      let tear = Json.to_str (get path "tear" r) in
+      if not (List.mem tear [ "clean"; "chop"; "flip" ]) then
+        fail "%s: unknown tear kind %S" path tear;
+      let detected =
+        match get path "tear_detected" r with
+        | Json.Bool b -> b
+        | _ -> fail "%s: tear_detected is not a bool" path
+      in
+      if detected <> (tear <> "clean") then
+        fail "%s: kill %d: tear %S but tear_detected %b" path kill tear detected;
+      if tear <> "clean" then incr tears;
+      let checkpoint_seq = Json.to_int (get path "checkpoint_seq" r) in
+      let replayed = Json.to_int (get path "replayed" r) in
+      if checkpoint_seq < 0 || checkpoint_seq > kill then
+        fail "%s: kill %d: checkpoint seq %d out of range" path kill
+          checkpoint_seq;
+      if checkpoint_seq + replayed <> kill then
+        fail "%s: kill %d: checkpoint %d + replayed %d != kill point" path kill
+          checkpoint_seq replayed;
+      List.iter
+        (fun k ->
+          match get path k r with
+          | Json.Bool true -> ()
+          | _ -> fail "%s: kill %d: %s is not true" path kill k)
+        [ "state_match"; "certified"; "outcomes_match"; "ok" ])
+    rows;
+  if !tears < 1 then
+    fail "%s: no torn-tail kills — the seeded tear injection went dark" path;
+  (match Json.member "ok" crash with
+  | Some (Json.Bool true) -> ()
+  | _ -> fail "%s: crash campaign did not certify (crash.ok != true)" path);
+  match get path "counters" json with
+  | Json.Obj _ -> ()
+  | _ -> fail "%s: counters is not an object" path
+
 (* The Chrome export of the same trace must pass the strict shape check
    (known phases, balanced B/E per tid, monotone timestamps, ...). *)
 let check_chrome path =
@@ -472,6 +537,9 @@ let () =
   | [| _; "--stats"; snapshots; prom |] ->
     check_stats snapshots prom;
     print_endline "check-json: stats stream and Prometheus exposition OK"
+  | [| _; "--durable"; report |] ->
+    check_durable report;
+    print_endline "check-json: crash campaign report OK"
   | [| _; trace; report |] ->
     check_trace trace;
     check_report report;
@@ -489,5 +557,6 @@ let () =
       \       check_json.exe --resilience RESILIENCE-REPORT.json\n\
       \       check_json.exe --serve SERVE-REPORT.json\n\
       \       check_json.exe --kernel KERNEL-TRACE.json\n\
-      \       check_json.exe --stats SNAPSHOTS.jsonl METRICS.prom";
+      \       check_json.exe --stats SNAPSHOTS.jsonl METRICS.prom\n\
+      \       check_json.exe --durable CRASH-REPORT.json";
     exit 2

@@ -1,0 +1,461 @@
+(* Dcn_durable: CRC vectors, WAL round-trip and tear handling, session
+   snapshot/restore, checkpoint+replay equivalence, recovery
+   jobs-invariance, the bounded pending queue, and a small seeded crash
+   campaign. *)
+
+module Json = Dcn_engine.Json
+module Pool = Dcn_engine.Pool
+module Builders = Dcn_topology.Builders
+module Model = Dcn_power.Model
+module Event = Dcn_serve.Event
+module Session = Dcn_serve.Session
+module Repair = Dcn_resilience.Repair
+module Crc = Dcn_durable.Crc
+module Wal = Dcn_durable.Wal
+module Checkpoint = Dcn_durable.Checkpoint
+module Pending = Dcn_durable.Pending
+module Store = Dcn_durable.Store
+module Crash = Dcn_durable.Crash
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_events ?limit name =
+  let lines =
+    String.split_on_char '\n' (read_file ("corpus/" ^ name))
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let lines =
+    match limit with
+    | None -> lines
+    | Some n -> List.filteri (fun i _ -> i < n) lines
+  in
+  List.map
+    (fun line ->
+      match Event.of_json (Json.of_string line) with
+      | Ok e -> e
+      | Error m -> Alcotest.failf "corpus line rejected: %s" m)
+    lines
+
+let graph = Builders.line 5
+let power = Model.make ~sigma:1. ~mu:1. ~alpha:2. ~cap:6. ()
+let policy = Repair.Drop_latest_deadline
+
+let session ?(pool = Pool.sequential) ?(seed = 42) () =
+  Session.create ~pool ~graph ~power ~policy ~seed ()
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dcn-durable-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    (match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let events20 = lazy (corpus_events ~limit:20 "serve-100.events")
+
+(* -------------------------------- crc ------------------------------ *)
+
+let test_crc_vectors () =
+  (* The standard CRC-32 check value, cross-checkable with zlib. *)
+  Alcotest.(check string) "check value" "cbf43926"
+    (Crc.to_hex (Crc.string "123456789"));
+  Alcotest.(check string) "empty" "00000000" (Crc.to_hex (Crc.string ""));
+  Alcotest.(check bool) "hex round trip" true
+    (Crc.of_hex (Crc.to_hex (Crc.string "wal")) = Some (Crc.string "wal"));
+  Alcotest.(check bool) "reject short" true (Crc.of_hex "abc" = None);
+  Alcotest.(check bool) "reject non-hex" true (Crc.of_hex "xyzxyzxy" = None)
+
+(* ---------------------------- atomic file -------------------------- *)
+
+let test_atomic_file () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "out.json" in
+  Dcn_util.Atomic_file.write ~path "first";
+  Alcotest.(check string) "written" "first" (read_file path);
+  Dcn_util.Atomic_file.write ~fsync:true ~path "second";
+  Alcotest.(check string) "replaced" "second" (read_file path);
+  (* No temp litter left behind. *)
+  Alcotest.(check (list string)) "only the target" [ "out.json" ]
+    (Array.to_list (Sys.readdir dir))
+
+(* -------------------------------- wal ------------------------------ *)
+
+let wal_events =
+  lazy
+    [
+      Event.Advance_clock { clock = 1. };
+      Event.Flow_arrival
+        (Dcn_flow.Flow.make ~id:1 ~src:0 ~dst:4 ~volume:6. ~release:1.
+           ~deadline:5.);
+      Event.Flow_cancel { flow = 1 };
+      Event.Advance_clock { clock = 2. };
+    ]
+
+let write_wal dir events =
+  let path = Filename.concat dir "wal.log" in
+  let w = Wal.open_writer path in
+  List.iteri (fun i e -> Wal.append w ~seq:(i + 1) e) events;
+  Wal.close w;
+  path
+
+let test_wal_round_trip () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let events = Lazy.force wal_events in
+  let path = write_wal dir events in
+  let scan = Wal.scan path in
+  Alcotest.(check bool) "no tear" true (scan.Wal.tear = None);
+  Alcotest.(check int) "all records" (List.length events)
+    (List.length scan.Wal.records);
+  Alcotest.(check int) "valid_bytes covers the file"
+    (String.length (read_file path))
+    scan.Wal.valid_bytes;
+  List.iteri
+    (fun i (r : Wal.record) ->
+      Alcotest.(check int) "seq" (i + 1) r.Wal.seq;
+      Alcotest.(check string) "event round trip"
+        (Json.to_string (Event.to_json (List.nth events i)))
+        (Json.to_string (Event.to_json r.Wal.event)))
+    scan.Wal.records;
+  (* A missing file is an empty log, not an error. *)
+  let empty = Wal.scan (Filename.concat dir "absent.log") in
+  Alcotest.(check int) "absent = empty" 0 (List.length empty.Wal.records)
+
+let test_wal_flipped_byte () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let events = Lazy.force wal_events in
+  let path = write_wal dir events in
+  let raw = read_file path in
+  (* Flip one byte inside the *second* record's JSON. *)
+  let first_len = String.length (Wal.encode ~seq:1 (List.nth events 0)) in
+  let at = first_len + 30 in
+  let b = Bytes.of_string raw in
+  Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0x01));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  let scan = Wal.scan path in
+  (* The scan stops at the flipped record: everything after a corrupt
+     record is suspect. *)
+  Alcotest.(check int) "only the first record survives" 1
+    (List.length scan.Wal.records);
+  Alcotest.(check int) "valid prefix" first_len scan.Wal.valid_bytes;
+  match scan.Wal.tear with
+  | Some (Wal.Bad_checksum | Wal.Bad_header) -> ()
+  | other ->
+    Alcotest.failf "expected checksum/header tear, got %s"
+      (match other with
+      | None -> "no tear"
+      | Some t -> Wal.tear_to_string t)
+
+let test_wal_torn_tail_truncation () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let events = Lazy.force wal_events in
+  let path = write_wal dir events in
+  let raw = read_file path in
+  (* Chop the last record mid-line (a torn append). *)
+  let keep = String.length raw - 7 in
+  let oc = open_out_bin path in
+  output_string oc (String.sub raw 0 keep);
+  close_out oc;
+  let scan = Wal.scan path in
+  Alcotest.(check int) "prefix survives"
+    (List.length events - 1)
+    (List.length scan.Wal.records);
+  Alcotest.(check bool) "partial-line tear" true
+    (scan.Wal.tear = Some Wal.Partial_line);
+  (* Truncation repairs the log in place. *)
+  Wal.truncate path scan.Wal.valid_bytes;
+  let rescan = Wal.scan path in
+  Alcotest.(check bool) "clean after truncate" true (rescan.Wal.tear = None);
+  Alcotest.(check int) "same records"
+    (List.length events - 1)
+    (List.length rescan.Wal.records)
+
+(* The committed fixture: three valid records then a chopped fourth —
+   scanned through the same reader the recovery path uses, and checked
+   against the authoritative encoder. *)
+let test_wal_torn_fixture () =
+  let scan = Wal.scan "corpus/wal-torn.events" in
+  Alcotest.(check int) "three valid records" 3 (List.length scan.Wal.records);
+  Alcotest.(check bool) "partial-line tear" true
+    (scan.Wal.tear = Some Wal.Partial_line);
+  let raw = read_file "corpus/wal-torn.events" in
+  Alcotest.(check bool) "tear strictly inside the file" true
+    (scan.Wal.valid_bytes < String.length raw);
+  (* Each fixture record is byte-identical to the encoder's output. *)
+  let off = ref 0 in
+  List.iter
+    (fun (r : Wal.record) ->
+      let line = Wal.encode ~seq:r.Wal.seq r.Wal.event in
+      Alcotest.(check string) "fixture bytes = encoder bytes" line
+        (String.sub raw !off (String.length line));
+      off := !off + String.length line)
+    scan.Wal.records;
+  Alcotest.(check int) "valid_bytes = sum of record lines" !off
+    scan.Wal.valid_bytes
+
+(* -------------------------- snapshot/restore ----------------------- *)
+
+let test_snapshot_restore_round_trip () =
+  let events = Lazy.force events20 in
+  let s = session () in
+  List.iter (fun e -> ignore (Session.apply s e)) events;
+  let snap = Session.snapshot s in
+  match Session.restore ~graph ~power ~policy snap with
+  | Error m -> Alcotest.failf "restore failed: %s" m
+  | Ok s' ->
+    Alcotest.(check string) "snapshot fixed point"
+      (Json.to_string snap)
+      (Json.to_string (Session.snapshot s'));
+    Alcotest.(check string) "report identical"
+      (Json.to_string (Session.report s))
+      (Json.to_string (Session.report s'));
+    (* The restored session continues the exact stream. *)
+    let more = corpus_events ~limit:30 "serve-100.events" in
+    let tail = List.filteri (fun i _ -> i >= 20) more in
+    List.iter
+      (fun e ->
+        Alcotest.(check string) "same outcome after restore"
+          (Json.to_string (Session.outcome_to_json (Session.apply s e)))
+          (Json.to_string (Session.outcome_to_json (Session.apply s' e))))
+      tail
+
+let test_restore_rejects_mismatch () =
+  let s = session () in
+  List.iter (fun e -> ignore (Session.apply s e)) (Lazy.force events20);
+  let snap = Session.snapshot s in
+  (match
+     Session.restore ~graph:(Builders.line 4) ~power ~policy snap
+   with
+  | Error m ->
+    Alcotest.(check bool) "names the fingerprint" true
+      (String.length m >= 11 && String.sub m 0 11 = "fingerprint")
+  | Ok _ -> Alcotest.fail "restored under a different topology");
+  (match Session.restore ~graph ~power ~policy:Repair.Reject_new snap with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restored under a different policy");
+  match
+    Session.restore ~graph
+      ~power:(Model.make ~sigma:2. ~mu:1. ~alpha:2. ~cap:6. ())
+      ~policy snap
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restored under a different power model"
+
+let test_uptime_monotone_nonnegative () =
+  let s = session () in
+  let a = Session.uptime_ms s in
+  let b = Session.uptime_ms s in
+  Alcotest.(check bool) "non-negative" true (a >= 0.);
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+(* ------------------------------- store ----------------------------- *)
+
+let store_dir_with ?(checkpoint_every = 7) events =
+  let dir = temp_dir () in
+  (match
+     Store.open_ ~dir ~checkpoint_every ~graph ~power ~policy ~seed:42 ()
+   with
+  | Error m -> Alcotest.failf "store open failed: %s" m
+  | Ok (store, recovery) ->
+    Alcotest.(check bool) "fresh store" false recovery.Store.recovered;
+    List.iter (fun e -> ignore (Store.apply store e)) events;
+    Store.close store);
+  dir
+
+let test_store_checkpoint_replay_equals_full_replay () =
+  let events = Lazy.force events20 in
+  let dir = store_dir_with events in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Uninterrupted reference. *)
+  let reference = session () in
+  List.iter (fun e -> ignore (Session.apply reference e)) events;
+  (* Recover from checkpoint + WAL tail. *)
+  match Store.open_ ~dir ~checkpoint_every:7 ~graph ~power ~policy ~seed:42 ()
+  with
+  | Error m -> Alcotest.failf "recovery failed: %s" m
+  | Ok (store, recovery) ->
+    Alcotest.(check bool) "recovered" true recovery.Store.recovered;
+    Alcotest.(check int) "seq" 20 (Store.seq store);
+    (* close wrote a final checkpoint at seq 20: nothing to replay. *)
+    Alcotest.(check int) "checkpoint at close" 20 recovery.Store.checkpoint_seq;
+    Alcotest.(check int) "no tail to replay" 0 recovery.Store.replayed;
+    Alcotest.(check string) "state = uninterrupted replay"
+      (Json.to_string (Session.snapshot reference))
+      (Json.to_string (Session.snapshot (Store.session store)));
+    Store.close store
+
+let test_store_recovers_without_checkpoint () =
+  let events = Lazy.force events20 in
+  let dir = store_dir_with events in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Delete the checkpoint: recovery must fall back to full replay. *)
+  Sys.remove (Checkpoint.path ~dir);
+  let reference = session () in
+  List.iter (fun e -> ignore (Session.apply reference e)) events;
+  match Store.open_ ~dir ~checkpoint_every:7 ~graph ~power ~policy ~seed:42 ()
+  with
+  | Error m -> Alcotest.failf "recovery failed: %s" m
+  | Ok (store, recovery) ->
+    Alcotest.(check int) "no checkpoint" 0 recovery.Store.checkpoint_seq;
+    Alcotest.(check int) "whole log replayed" 20 recovery.Store.replayed;
+    Alcotest.(check string) "state = uninterrupted replay"
+      (Json.to_string (Session.snapshot reference))
+      (Json.to_string (Session.snapshot (Store.session store)));
+    Store.close store
+
+let test_store_recovery_jobs_invariant () =
+  let events = Lazy.force events20 in
+  let dir = store_dir_with events in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let recover pool =
+    (* Recovery must not advance the durable state: copy the dir. *)
+    let copy = temp_dir () in
+    Array.iter
+      (fun e ->
+        let src = Filename.concat dir e in
+        let oc = open_out_bin (Filename.concat copy e) in
+        output_string oc (read_file src);
+        close_out oc)
+      (Sys.readdir dir);
+    Fun.protect ~finally:(fun () -> rm_rf copy) @@ fun () ->
+    match
+      Store.open_ ?pool ~dir:copy ~checkpoint_every:7 ~graph ~power ~policy
+        ~seed:42 ()
+    with
+    | Error m -> Alcotest.failf "recovery failed: %s" m
+    | Ok (store, _) ->
+      let tail = [ Event.Advance_clock { clock = 3. } ] in
+      let outs =
+        List.map
+          (fun e ->
+            Json.to_string (Session.outcome_to_json (Store.apply store e)))
+          tail
+      in
+      let snap = Json.to_string (Session.snapshot (Store.session store)) in
+      Store.close store;
+      (snap, outs)
+  in
+  let seq = recover None in
+  let par = Pool.with_pool ~jobs:4 (fun pool -> recover (Some pool)) in
+  Alcotest.(check string) "snapshot byte-identical at --jobs 1 vs 4"
+    (fst seq) (fst par);
+  List.iter2
+    (Alcotest.(check string) "outcome byte-identical at --jobs 1 vs 4")
+    (snd seq) (snd par)
+
+(* ------------------------------ pending ---------------------------- *)
+
+let test_pending_shed_newest () =
+  let q = Pending.create ~capacity:2 ~policy:Repair.Shed_newest in
+  Alcotest.(check bool) "enq a" true (Pending.offer q "a" = Pending.Enqueued);
+  Alcotest.(check bool) "enq b" true (Pending.offer q "b" = Pending.Enqueued);
+  Alcotest.(check bool) "shed the arrival" true
+    (Pending.offer q "c" = Pending.Shed "c");
+  Alcotest.(check (option string)) "fifo" (Some "a") (Pending.pop q);
+  Alcotest.(check bool) "room again" true
+    (Pending.offer q "d" = Pending.Enqueued);
+  Alcotest.(check (option string)) "b" (Some "b") (Pending.pop q);
+  Alcotest.(check (option string)) "d" (Some "d") (Pending.pop q);
+  Alcotest.(check (option string)) "empty" None (Pending.pop q)
+
+let test_pending_shed_oldest () =
+  let q = Pending.create ~capacity:2 ~policy:Repair.Shed_oldest in
+  ignore (Pending.offer q "a");
+  ignore (Pending.offer q "b");
+  Alcotest.(check bool) "evict the oldest" true
+    (Pending.offer q "c" = Pending.Shed "a");
+  Alcotest.(check (option string)) "b first" (Some "b") (Pending.pop q);
+  Alcotest.(check (option string)) "then c" (Some "c") (Pending.pop q);
+  Alcotest.(check bool) "capacity floor" true
+    (match Pending.create ~capacity:0 ~policy:Repair.Shed_newest with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_shed_policy_strings () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "round trip" true
+        (Repair.shed_policy_of_string (Repair.shed_policy_to_string p) = Some p))
+    [ Repair.Shed_newest; Repair.Shed_oldest ];
+  Alcotest.(check bool) "unknown" true
+    (Repair.shed_policy_of_string "drop-table" = None)
+
+(* --------------------------- crash campaign ------------------------ *)
+
+let test_crash_campaign () =
+  let events = corpus_events ~limit:40 "serve-100.events" in
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let t =
+    Crash.run ~window:3 ~checkpoint_every:5 ~dir ~graph ~power ~policy ~seed:7
+      ~kills:6 events
+  in
+  Alcotest.(check int) "six kills" 6 (List.length t.Crash.rows);
+  Alcotest.(check bool) "campaign ok" true t.Crash.ok;
+  List.iter
+    (fun (r : Crash.row) ->
+      Alcotest.(check bool) "row ok" true r.Crash.ok;
+      Alcotest.(check bool) "state bit-identical" true r.Crash.state_match;
+      Alcotest.(check bool) "re-certified" true r.Crash.certified)
+    t.Crash.rows;
+  (* Determinism: the same seed reproduces the identical report. *)
+  let t' =
+    Crash.run ~window:3 ~checkpoint_every:5 ~dir ~graph ~power ~policy ~seed:7
+      ~kills:6 events
+  in
+  Alcotest.(check string) "seeded campaign reproducible"
+    (Json.to_string (Crash.to_json t))
+    (Json.to_string (Crash.to_json t'))
+
+let suite =
+  [
+    ( "durable",
+      [
+        Alcotest.test_case "crc vectors" `Quick test_crc_vectors;
+        Alcotest.test_case "atomic file" `Quick test_atomic_file;
+        Alcotest.test_case "wal round trip" `Quick test_wal_round_trip;
+        Alcotest.test_case "wal flipped byte" `Quick test_wal_flipped_byte;
+        Alcotest.test_case "wal torn tail truncation" `Quick
+          test_wal_torn_tail_truncation;
+        Alcotest.test_case "wal torn fixture" `Quick test_wal_torn_fixture;
+        Alcotest.test_case "snapshot restore round trip" `Quick
+          test_snapshot_restore_round_trip;
+        Alcotest.test_case "restore rejects mismatch" `Quick
+          test_restore_rejects_mismatch;
+        Alcotest.test_case "uptime monotone" `Quick
+          test_uptime_monotone_nonnegative;
+        Alcotest.test_case "checkpoint+replay = full replay" `Quick
+          test_store_checkpoint_replay_equals_full_replay;
+        Alcotest.test_case "recovery without checkpoint" `Quick
+          test_store_recovers_without_checkpoint;
+        Alcotest.test_case "recovery jobs-invariant" `Quick
+          test_store_recovery_jobs_invariant;
+        Alcotest.test_case "pending shed-newest" `Quick test_pending_shed_newest;
+        Alcotest.test_case "pending shed-oldest" `Quick test_pending_shed_oldest;
+        Alcotest.test_case "shed policy strings" `Quick test_shed_policy_strings;
+        Alcotest.test_case "crash campaign" `Quick test_crash_campaign;
+      ] );
+  ]
