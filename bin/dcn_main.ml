@@ -1411,10 +1411,18 @@ let serve_cmd =
         session
     | Some path ->
       let tstats = ref None in
+      (* After a recovery the reply seq must continue the durable
+         sequence, not restart from 1 — clients correlate replies with
+         WAL/checkpoint state by it. *)
+      let initial_seq =
+        match backend with
+        | `Session _ -> 0
+        | `Store (st, _) -> Dcn_durable.Store.seq st
+      in
       Observe.run ~command:"serve" ~trace ~report (fun () ->
           let stats =
             Dcn_durable.Transport.serve ~idle_timeout ~queue_capacity:queue
-              ~shed_policy ~socket:path
+              ~shed_policy ~initial_seq ~socket:path
               ~drain:(fun () -> Atomic.get drain_requested)
               ~apply:(fun ~seq event ->
                 let out = apply_event event in

@@ -97,35 +97,33 @@ let run ?config ?pool ?(window = 5) ?(checkpoint_every = 10) ~dir ~graph ~power
     ref_snap.(i) <- Json.to_string (Session.snapshot reference)
   done;
 
-  (* Durable pass: same log through a Store, capturing the WAL length
+  (* Durable pass: same log through a Store, capturing the WAL bytes
      and checkpoint bytes at every boundary so any crash point can be
-     reconstructed from slices of the final log. *)
+     reconstructed exactly.  (Byte snapshots, not length slices: the
+     WAL rotates at each checkpoint, so the final file is only the last
+     segment.) *)
   let full_dir = Filename.concat dir "full" in
   rm_rf full_dir;
-  let wal_len = Array.make (n + 1) 0 in
+  let wal_snap = Array.make (n + 1) "" in
   let ckpt = Array.make (n + 1) None in
-  let full_wal =
-    match
-      Store.open_ ?config ?pool ~dir:full_dir ~checkpoint_every ~graph ~power
-        ~policy ~seed ()
-    with
-    | Error m -> failwith ("Crash.run: durable pass failed to open: " ^ m)
-    | Ok (store, _) ->
-      let wal_path = Filename.concat full_dir "wal.log" in
-      let ckpt_path = Checkpoint.path ~dir:full_dir in
-      for i = 1 to n do
-        let out = outcome_line (Store.apply store events.(i - 1)) in
-        if out <> ref_out.(i) then
-          failwith
-            (Printf.sprintf
-               "Crash.run: durable pass diverged from reference at event %d" i);
-        wal_len.(i) <- (Unix.stat wal_path).Unix.st_size;
-        ckpt.(i) <- read_file_opt ckpt_path
-      done;
-      let bytes = Option.value ~default:"" (read_file_opt wal_path) in
-      Store.close store;
-      bytes
-  in
+  (match
+     Store.open_ ?config ?pool ~dir:full_dir ~checkpoint_every ~graph ~power
+       ~policy ~seed ()
+   with
+  | Error m -> failwith ("Crash.run: durable pass failed to open: " ^ m)
+  | Ok (store, _) ->
+    let wal_path = Filename.concat full_dir "wal.log" in
+    let ckpt_path = Checkpoint.path ~dir:full_dir in
+    for i = 1 to n do
+      let out = outcome_line (Store.apply store events.(i - 1)) in
+      if out <> ref_out.(i) then
+        failwith
+          (Printf.sprintf
+             "Crash.run: durable pass diverged from reference at event %d" i);
+      wal_snap.(i) <- Option.value ~default:"" (read_file_opt wal_path);
+      ckpt.(i) <- read_file_opt ckpt_path
+    done;
+    Store.close store);
 
   (* Seeded kill schedule: distinct boundaries, tear kinds, chop sizes
      — all from pre-split streams so the campaign is reproducible. *)
@@ -152,17 +150,16 @@ let run ?config ?pool ?(window = 5) ?(checkpoint_every = 10) ~dir ~graph ~power
            rm_rf kill_dir;
            mkdir_p kill_dir;
            (* The store directory exactly as the crash leaves it: the
-              committed prefix, plus (for torn kills) the next record's
-              bytes damaged mid-append. *)
-           let prefix = String.sub full_wal 0 wal_len.(kill) in
+              committed WAL segment, plus (for torn kills) the next
+              record's bytes damaged mid-append — [Wal.append] writes
+              exactly [Wal.encode], so the synthesized tail is
+              byte-identical to a real torn append. *)
+           let prefix = wal_snap.(kill) in
            let tail =
              match tear with
              | Clean -> ""
              | Chop | Flip ->
-               let record =
-                 String.sub full_wal wal_len.(kill)
-                   (wal_len.(kill + 1) - wal_len.(kill))
-               in
+               let record = Wal.encode ~seq:(kill + 1) events.(kill) in
                let len = String.length record in
                (match tear with
                | Chop ->

@@ -77,12 +77,32 @@ let open_ ?config ?pool ~dir ~checkpoint_every ~graph ~power ~policy ~seed () =
     (match scan.Wal.tear with
     | Some _ -> Wal.truncate (wal_path dir) scan.Wal.valid_bytes
     | None -> ());
+    let first_seq =
+      match scan.Wal.records with
+      | [] -> 0
+      | r :: _ -> r.Wal.seq
+    in
     let last_seq =
       match List.rev scan.Wal.records with
       | [] -> 0
       | r :: _ -> r.Wal.seq
     in
-    if checkpoint_seq > last_seq then
+    (* The WAL is a segment rotated at each checkpoint, so an empty log
+       (or one ending exactly at the checkpoint) is the normal
+       post-checkpoint state.  What cannot be repaired: a segment whose
+       first record is past what the checkpoint covers (the rotated-away
+       history is gone and this checkpoint cannot stand in for it), or a
+       segment that ends before the checkpoint (synced bytes lost). *)
+    if first_seq > checkpoint_seq + 1 then
+      Error
+        (Printf.sprintf
+           "store %s is inconsistent: the WAL segment begins at seq %d but \
+            the %s covers only seq %d (log bytes lost)"
+           dir first_seq
+           (if checkpoint_seq = 0 then "(absent or invalid) checkpoint"
+            else "checkpoint")
+           checkpoint_seq)
+    else if first_seq > 0 && last_seq < checkpoint_seq then
       Error
         (Printf.sprintf
            "store %s is inconsistent: checkpoint at seq %d but the WAL ends \
@@ -103,7 +123,8 @@ let open_ ?config ?pool ~dir ~checkpoint_every ~graph ~power ~policy ~seed () =
             incr replayed
           end)
         scan.Wal.records;
-      let recovered = last_seq > 0 || checkpoint_seq > 0 in
+      let seq = max last_seq checkpoint_seq in
+      let recovered = seq > 0 in
       if recovered then begin
         Dcn_obs.Registry.incr obs_recoveries;
         Dcn_obs.Registry.add obs_replayed (float_of_int !replayed)
@@ -114,8 +135,8 @@ let open_ ?config ?pool ~dir ~checkpoint_every ~graph ~power ~policy ~seed () =
           wal = Wal.open_writer (wal_path dir);
           session;
           checkpoint_every;
-          seq = last_seq;
-          since_checkpoint = last_seq - checkpoint_seq;
+          seq;
+          since_checkpoint = seq - checkpoint_seq;
         }
       in
       Ok
@@ -135,6 +156,11 @@ let seq t = t.seq
 
 let checkpoint_now t =
   Checkpoint.write ~dir:t.dir ~seq:t.seq (Session.snapshot t.session);
+  (* Every logged record is now redundant with the checkpoint: rotate
+     so the WAL stays bounded by the checkpoint interval.  A crash
+     between the two leaves records <= checkpoint_seq, which recovery
+     skips — the rotation is advisory, never load-bearing. *)
+  Wal.reset t.wal;
   t.since_checkpoint <- 0;
   Dcn_obs.Registry.set obs_ckpt_age 0.
 

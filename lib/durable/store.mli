@@ -4,7 +4,10 @@
     Layout of a store directory:
 
     {v
-      <dir>/wal.log          append-only event log (Wal)
+      <dir>/wal.log          current WAL segment (Wal); rotated — reset
+                             to empty — at every checkpoint, so it holds
+                             only records past the checkpoint and stays
+                             bounded by [checkpoint_every]
       <dir>/checkpoint.json  latest checkpoint (Checkpoint)
     v}
 
@@ -20,10 +23,13 @@
     restore the checkpointed session if one loads cleanly (fall back to
     a fresh session and a full replay when it is absent or corrupt),
     truncate any torn WAL tail detected by checksum, then replay every
-    record past the checkpoint's sequence number.  The one
-    inconsistency that cannot be repaired — a checkpoint {e ahead} of
-    the log, meaning WAL bytes were lost after being synced — is
-    refused as an error. *)
+    record past the checkpoint's sequence number.  Two inconsistencies
+    cannot be repaired and are refused as errors: a WAL segment
+    beginning {e past} what the checkpoint covers (the rotated-away
+    history cannot be replayed and the checkpoint cannot stand in for
+    it — e.g. a deleted or corrupted checkpoint next to a rotated
+    log), and a non-empty segment ending {e before} the checkpoint
+    (synced log bytes lost). *)
 
 type t
 

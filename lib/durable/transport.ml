@@ -7,6 +7,7 @@ type disconnect =
   | Mid_line
   | Idle
   | Write_failed
+  | Write_stalled
   | Read_failed of string
 
 let disconnect_to_string = function
@@ -14,6 +15,7 @@ let disconnect_to_string = function
   | Mid_line -> "eof-mid-line"
   | Idle -> "idle-timeout"
   | Write_failed -> "write-failed"
+  | Write_stalled -> "write-stalled"
   | Read_failed m -> Printf.sprintf "read-failed (%s)" m
 
 type stats = {
@@ -50,12 +52,14 @@ let obs_connections =
 
 let now () = Dcn_engine.Deadline.now ()
 
-(* One client: its fd, the unterminated tail of its input, and the
+(* One client: its (non-blocking) fd, the unterminated tail of its
+   input, replies not yet accepted by its socket buffer, and the
    per-connection positions that make parse errors reportable. *)
 type conn = {
   id : int;
   fd : Unix.file_descr;
   buf : Buffer.t;
+  out : Buffer.t;  (** reply bytes waiting for the fd to be writable *)
   mutable line_no : int;  (** lines completed so far on this connection *)
   mutable base : int;  (** stream offset of the first buffered byte *)
   mutable last_active : float;
@@ -93,18 +97,48 @@ let drop t conn kind =
     tally t kind
   end
 
-(* A reply is one JSON line.  A client that died under the write is
-   dropped; queued events it already submitted still apply (they are
-   committed work), only their replies go nowhere. *)
+(* A client that never reads its replies may not hold reply bytes — and
+   with them the whole single-threaded loop — hostage forever: past this
+   many buffered bytes it is dropped as stalled. *)
+let max_out_bytes = 1 lsl 20
+
+(* Push as much buffered output as the (non-blocking) fd will take;
+   what it refuses waits for the next writable-fd round of the select
+   loop.  A client that died under the write is dropped; queued events
+   it already submitted still apply (they are committed work), only
+   their replies go nowhere. *)
+let flush_out t conn =
+  if conn.alive && Buffer.length conn.out > 0 then begin
+    let data = Buffer.contents conn.out in
+    Buffer.clear conn.out;
+    let len = String.length data in
+    let off = ref 0 in
+    let blocked = ref false in
+    while conn.alive && (not !blocked) && !off < len do
+      match Unix.write_substring conn.fd data !off (len - !off) with
+      | n -> off := !off + n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        blocked := true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ ->
+        (* EPIPE/ECONNRESET and anything else fatal: the client is gone
+           (SIGPIPE itself is ignored by [serve]). *)
+        drop t conn Write_failed
+    done;
+    if conn.alive && !off < len then begin
+      Buffer.add_substring conn.out data !off (len - !off);
+      if Buffer.length conn.out > max_out_bytes then drop t conn Write_stalled
+    end
+  end
+
+(* A reply is one JSON line, buffered then flushed opportunistically —
+   a stalled client's full socket buffer must never block the loop. *)
 let reply t conn json =
   if conn.alive then begin
-    let line = Json.to_string json ^ "\n" in
-    let bytes = Bytes.of_string line in
-    match Unix.write conn.fd bytes 0 (Bytes.length bytes) with
-    | n when n = Bytes.length bytes -> t.replies <- t.replies + 1
-    | _ -> drop t conn Write_failed
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-      drop t conn Write_failed
+    Buffer.add_string conn.out (Json.to_string json);
+    Buffer.add_char conn.out '\n';
+    t.replies <- t.replies + 1;
+    flush_out t conn
   end
 
 let parse_error_reply ~line ~byte ~offset message =
@@ -196,6 +230,7 @@ let handle_readable t conn =
 let accept t =
   match Unix.accept ~cloexec:true t.listen_fd with
   | fd, _ ->
+    Unix.set_nonblock fd;
     t.accepted <- t.accepted + 1;
     Dcn_obs.Registry.incr obs_connections;
     t.next_conn <- t.next_conn + 1;
@@ -204,6 +239,7 @@ let accept t =
         id = t.next_conn;
         fd;
         buf = Buffer.create 256;
+        out = Buffer.create 256;
         line_no = 0;
         base = 0;
         last_active = now ();
@@ -236,13 +272,19 @@ let apply_one t ~seq ~apply =
     true
 
 let serve ?(idle_timeout = 30.) ?(queue_capacity = 64)
-    ?(shed_policy = Repair.Shed_newest) ?(backlog = 8) ~socket ~drain ~apply ()
-    =
+    ?(shed_policy = Repair.Shed_newest) ?(backlog = 8) ?(initial_seq = 0)
+    ~socket ~drain ~apply () =
+  (* A client that closes before reading its reply must surface as
+     EPIPE from write(2), not as a SIGPIPE whose default disposition
+     kills the whole server.  Guarded for platforms without it. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   (* A stale socket file from a dead server would make bind fail. *)
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket);
   Unix.listen listen_fd backlog;
+  Unix.set_nonblock listen_fd;
   let t =
     {
       listen_fd;
@@ -259,7 +301,7 @@ let serve ?(idle_timeout = 30.) ?(queue_capacity = 64)
       disconnects = [];
     }
   in
-  let seq = ref 0 in
+  let seq = ref initial_seq in
   let drained = ref false in
   let cleanup () =
     List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.conns;
@@ -267,23 +309,56 @@ let serve ?(idle_timeout = 30.) ?(queue_capacity = 64)
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     try Unix.unlink t.socket with Unix.Unix_error _ -> ()
   in
+  (* Give clients with undelivered replies a bounded window of
+     writability rounds, then cut the stragglers loose as stalled —
+     drain must terminate even against a client that never reads. *)
+  let flush_pending_out ?(window = 5.) t =
+    let deadline = now () +. window in
+    let rec go () =
+      match List.filter (fun c -> Buffer.length c.out > 0) t.conns with
+      | [] -> ()
+      | laggards ->
+        if now () >= deadline then
+          List.iter (fun c -> drop t c Write_stalled) laggards
+        else begin
+          let wfds = List.map (fun c -> c.fd) laggards in
+          (match Unix.select [] wfds [] 0.2 with
+          | _, writable, _ ->
+            List.iter
+              (fun c -> if List.memq c.fd writable then flush_out t c)
+              laggards
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+        end
+    in
+    go ()
+  in
   Fun.protect ~finally:cleanup (fun () ->
       while not !drained do
         if drain () then begin
           (* Graceful drain: no new connections, no new reads; finish
-             the in-flight backlog so every accepted event is answered,
-             then let the caller checkpoint. *)
+             the in-flight backlog so every accepted event is answered
+             and its reply handed off, then let the caller checkpoint. *)
           while apply_one t ~seq ~apply do
             ()
           done;
+          flush_pending_out t;
           drained := true
         end
         else begin
           let timeout = if Pending.length t.queue > 0 then 0. else 0.2 in
           let fds = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-          (match Unix.select fds [] [] timeout with
-          | readable, _, _ ->
+          let wfds =
+            List.filter_map
+              (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+              t.conns
+          in
+          (match Unix.select fds wfds [] timeout with
+          | readable, writable, _ ->
             if List.memq t.listen_fd readable then accept t;
+            List.iter
+              (fun c -> if List.memq c.fd writable then flush_out t c)
+              t.conns;
             List.iter
               (fun c -> if List.memq c.fd readable then handle_readable t c)
               t.conns

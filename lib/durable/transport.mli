@@ -33,6 +33,9 @@ type disconnect =
   | Mid_line  (** EOF with an unterminated line still buffered *)
   | Idle  (** no traffic for [idle_timeout] seconds *)
   | Write_failed  (** client vanished under a reply ([EPIPE]/reset) *)
+  | Write_stalled
+      (** client stopped reading: its buffered replies outgrew the cap,
+          or it never took its final replies during drain *)
   | Read_failed of string  (** read(2) error other than EOF *)
 
 val disconnect_to_string : disconnect -> string
@@ -40,7 +43,10 @@ val disconnect_to_string : disconnect -> string
 type stats = {
   accepted : int;  (** connections accepted over the loop's lifetime *)
   events : int;  (** events applied *)
-  replies : int;  (** reply lines written (outcomes, sheds and errors) *)
+  replies : int;
+      (** reply lines produced (outcomes, sheds and errors) — queued to
+          the connection, though a client dropped before its buffer
+          flushed may never have read the tail of them *)
   parse_errors : int;  (** malformed lines answered with an error reply *)
   shed : int;  (** events refused by the pending queue *)
   disconnects : (disconnect * int) list;  (** tally by kind *)
@@ -58,6 +64,7 @@ val serve :
   ?queue_capacity:int ->
   ?shed_policy:Dcn_resilience.Repair.shed_policy ->
   ?backlog:int ->
+  ?initial_seq:int ->
   socket:string ->
   drain:(unit -> bool) ->
   apply:(seq:int -> Dcn_serve.Event.t -> Dcn_engine.Json.t) ->
@@ -65,11 +72,21 @@ val serve :
   stats
 (** Bind [socket] (an existing socket file is replaced), accept and
     serve until [drain] reports true, then finish the backlog and
-    return.  [apply] is called with a global 1-based sequence number
-    and must return the reply object for that event — it is the only
-    place session (or {!Store}) state is touched, and calls are strictly
-    sequential.  [idle_timeout] (default 30 s, [<= 0] disables) bounds
-    silence per connection; [queue_capacity] (default 64) bounds the
-    pending queue under [shed_policy] (default [Shed_newest]).  The
-    socket file is unlinked on exit.
+    return.  [SIGPIPE] is set to ignore for the process (where the
+    signal exists), so a client closing under a reply surfaces as a
+    typed disconnect instead of killing the server.  Connection fds
+    are non-blocking: replies are buffered per connection and flushed
+    as the fd accepts them, so a stalled client cannot freeze the
+    loop — past 1 MiB of undelivered replies (or a bounded grace
+    window at drain) it is dropped as [Write_stalled].
+
+    [apply] is called with a global 1-based sequence number counting
+    up from [initial_seq] (default 0 — pass {!Store.seq} so replies
+    resume the durable sequence after recovery) and must return the
+    reply object for that event — it is the only place session (or
+    {!Store}) state is touched, and calls are strictly sequential.
+    [idle_timeout] (default 30 s, [<= 0] disables) bounds silence per
+    connection; [queue_capacity] (default 64) bounds the pending queue
+    under [shed_policy] (default [Shed_newest]).  The socket file is
+    unlinked on exit.
     @raise Unix.Unix_error if the socket cannot be bound. *)

@@ -34,7 +34,8 @@ let encode ~seq event =
 (* One record starting at [off] in [buf] (the whole file).  Returns the
    parsed record and the offset one past its newline, or the tear that
    stops the scan.  [expected] is the sequence number this record must
-   carry. *)
+   carry — [None] for the first record of a segment, which may start
+   anywhere after a rotation. *)
 let parse_record buf ~off ~expected =
   match String.index_from_opt buf off '\n' with
   | None -> Error Partial_line
@@ -46,7 +47,8 @@ let parse_record buf ~off ~expected =
       match (Crc.of_hex crc_hex, int_of_string_opt seq_str) with
       | None, _ | _, None -> Error Bad_header
       | Some crc, Some seq ->
-        if seq <> expected then Error Bad_header
+        if seq < 1 || (match expected with Some e -> seq <> e | None -> false)
+        then Error Bad_header
         else
           let body_off = String.length magic + 1 + 8 + 1 in
           let body = String.sub line body_off (String.length line - body_off) in
@@ -76,11 +78,11 @@ let scan path =
       if off >= n then { records = List.rev acc; valid_bytes = off; tear = None }
       else
         match parse_record buf ~off ~expected with
-        | Ok (r, off') -> go (r :: acc) off' (expected + 1)
+        | Ok (r, off') -> go (r :: acc) off' (Some (r.seq + 1))
         | Error tear ->
           { records = List.rev acc; valid_bytes = off; tear = Some tear }
     in
-    go [] 0 1
+    go [] 0 None
 
 let truncate path valid_bytes = Unix.truncate path valid_bytes
 
@@ -89,15 +91,24 @@ type writer = { fd : Unix.file_descr }
 let open_writer path =
   { fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 }
 
+(* write(2) may write less than asked (quota boundary, signal after a
+   partial transfer); a short write is a loop iteration, not an error. *)
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
 let append w ~seq event =
   let line = encode ~seq event in
-  let bytes = Bytes.of_string line in
-  let len = Bytes.length bytes in
-  let written = Unix.write w.fd bytes 0 len in
-  if written <> len then
-    failwith (Printf.sprintf "Wal.append: short write (%d of %d)" written len);
+  let len = String.length line in
+  write_all w.fd line 0 len;
   Unix.fsync w.fd;
   Dcn_obs.Registry.incr obs_appends;
   Dcn_obs.Registry.add obs_bytes (float_of_int len)
+
+let reset w =
+  Unix.ftruncate w.fd 0;
+  Unix.fsync w.fd
 
 let close w = Unix.close w.fd

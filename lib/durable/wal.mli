@@ -8,8 +8,10 @@
 
     where [<crc32>] is {!Crc.to_hex} of the bytes
     ["<seq> <event-json>"], [<seq>] is the 1-based position of the
-    event in the session's committed sequence (consecutive from 1),
-    and [<event-json>] is the {e canonical}
+    event in the session's committed sequence (consecutive within the
+    file; the first record may start past 1, because the log is
+    {!reset} to a fresh segment at every checkpoint), and
+    [<event-json>] is the {e canonical}
     {!Dcn_serve.Event.to_json} encoding (re-serialised on append, so
     the log is byte-reproducible regardless of how clients formatted
     the event).  Every append is flushed and [fsync]'d before the
@@ -51,8 +53,11 @@ val scan : string -> scan
 (** Scan a WAL file.  A missing file is an empty log.  Scanning stops
     at the first invalid record; everything after it is suspect (the
     crash-consistency note in DESIGN.md) and excluded from
-    [valid_bytes].  Records must carry consecutive sequence numbers
-    starting at 1 — a gap stops the scan like any other tear. *)
+    [valid_bytes].  Records must carry consecutive sequence numbers —
+    a gap stops the scan like any other tear.  The first record may
+    carry any positive [seq]: whether the segment's start is
+    consistent with the checkpoint is the caller's ({!Store}'s)
+    judgement, not the scanner's. *)
 
 val truncate : string -> int -> unit
 (** [truncate path valid_bytes] chops a torn tail off, after which
@@ -71,6 +76,16 @@ val open_writer : string -> writer
 
 val append : writer -> seq:int -> Dcn_serve.Event.t -> unit
 (** Append one record and [fsync].  Returns only once the record is on
-    stable storage.  Counts [serve.wal_appends]/[serve.wal_bytes]. *)
+    stable storage; short writes and [EINTR] are retried until the
+    whole record is down.  Counts
+    [serve.wal_appends]/[serve.wal_bytes]. *)
+
+val reset : writer -> unit
+(** Truncate the log to an empty segment — called right after a
+    checkpoint has made every logged record redundant, so a long-lived
+    session's WAL stays bounded by the checkpoint interval instead of
+    growing (and being re-scanned on recovery) without limit.  The
+    next {!append} starts the new segment at the caller's current
+    sequence number. *)
 
 val close : writer -> unit

@@ -5,7 +5,9 @@
       plain stdin, and require the outcome streams byte-identical
       modulo uptime_ms — the one wall-clock field — even at different
       --jobs levels;
-   2. kill a client mid-line and prove the server survives it;
+   2. kill a client mid-line — and another one between submitting an
+      event and reading its reply (the SIGPIPE path) — and prove the
+      server survives both;
    3. SIGTERM the server and require a clean drain: exit status 0 and a
       final checkpoint covering every committed event.
 
@@ -189,7 +191,23 @@ let () =
       (Json.to_string json));
   Unix.close client;
 
-  (* 3: graceful drain — exit 0 and a final checkpoint at seq n+1. *)
+  (* 2b: a client that submits a valid event and vanishes without
+     reading its reply costs the server an EPIPE, which must be a typed
+     disconnect — not a SIGPIPE death. *)
+  let ghost = connect sock in
+  send_line ghost {|{"event":"advance","to":100}|};
+  Unix.close ghost;
+  let probe = connect sock in
+  send_line probe {|{"event":"advance","to":101}|};
+  (match Json.of_string (recv_line probe) with
+  | Json.Obj fields when List.mem_assoc "outcome" fields -> ()
+  | json ->
+    fail "server unresponsive after a reply to a dead client: %s"
+      (Json.to_string json));
+  Unix.close probe;
+
+  (* 3: graceful drain — exit 0 and a final checkpoint covering every
+     committed event (n corpus + the three probes above). *)
   Unix.kill server Sys.sigterm;
   (match Unix.waitpid [] server with
   | _, Unix.WEXITED 0 -> ()
@@ -199,12 +217,13 @@ let () =
   if not (Sys.file_exists checkpoint) then
     fail "no final checkpoint after the drain";
   (match Json.member "seq" (Json.of_string (read_file checkpoint)) with
-  | Some (Json.Int seq) when seq = n + 1 -> ()
+  | Some (Json.Int seq) when seq = n + 3 -> ()
   | Some (Json.Int seq) ->
-    fail "final checkpoint at seq %d, expected %d" seq (n + 1)
+    fail "final checkpoint at seq %d, expected %d" seq (n + 3)
   | _ -> fail "final checkpoint carries no seq");
   rm_rf scratch;
   Printf.printf
     "check-durable: socket stream matches stdin (%d events, --jobs 2 vs 1), \
-     mid-line disconnect survived, SIGTERM drained cleanly\n"
+     mid-line disconnect and reply-to-dead-client survived, SIGTERM drained \
+     cleanly\n"
     n

@@ -308,11 +308,13 @@ let test_store_checkpoint_replay_equals_full_replay () =
     Store.close store
 
 let test_store_recovers_without_checkpoint () =
+  (* A WAL reaching back to seq 1 with no checkpoint at all — the state
+     of a session that crashed before its first checkpoint.  Recovery
+     must fall back to a full replay. *)
   let events = Lazy.force events20 in
-  let dir = store_dir_with events in
+  let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
-  (* Delete the checkpoint: recovery must fall back to full replay. *)
-  Sys.remove (Checkpoint.path ~dir);
+  let _ = write_wal dir events in
   let reference = session () in
   List.iter (fun e -> ignore (Session.apply reference e)) events;
   match Store.open_ ~dir ~checkpoint_every:7 ~graph ~power ~policy ~seed:42 ()
@@ -325,6 +327,56 @@ let test_store_recovers_without_checkpoint () =
       (Json.to_string (Session.snapshot reference))
       (Json.to_string (Session.snapshot (Store.session store)));
     Store.close store
+
+let test_store_wal_rotation () =
+  let events = Lazy.force events20 in
+  let dir = store_dir_with events in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let wal_path = Filename.concat dir "wal.log" in
+  (* close checkpointed at seq 20 and rotated: the segment is empty, so
+     a long-lived session's log is bounded by the checkpoint interval. *)
+  Alcotest.(check int) "wal empty after checkpoint" 0
+    (Unix.stat wal_path).Unix.st_size;
+  (* A crash between checkpoint write and rotation leaves a stale
+     segment of already-checkpointed records; recovery skips them. *)
+  let w = Wal.open_writer wal_path in
+  List.iteri
+    (fun i e -> if i >= 14 then Wal.append w ~seq:(i + 1) e)
+    events;
+  Wal.close w;
+  let scan = Wal.scan wal_path in
+  Alcotest.(check bool) "segment may start past seq 1" true
+    (scan.Wal.tear = None
+    && List.length scan.Wal.records = 6
+    && (List.hd scan.Wal.records).Wal.seq = 15);
+  (match
+     Store.open_ ~dir ~checkpoint_every:7 ~graph ~power ~policy ~seed:42 ()
+   with
+  | Error m -> Alcotest.failf "recovery over a stale segment failed: %s" m
+  | Ok (store, recovery) ->
+    Alcotest.(check int) "nothing replayed" 0 recovery.Store.replayed;
+    Alcotest.(check int) "seq from the checkpoint" 20 (Store.seq store);
+    Store.close store);
+  (* A segment starting past what the checkpoint covers is lost
+     history: recovery must refuse rather than silently diverge. *)
+  Sys.remove (Checkpoint.path ~dir);
+  Sys.remove wal_path;
+  let w = Wal.open_writer wal_path in
+  List.iteri
+    (fun i e -> if i >= 14 then Wal.append w ~seq:(i + 1) e)
+    events;
+  Wal.close w;
+  match Store.open_ ~dir ~checkpoint_every:7 ~graph ~power ~policy ~seed:42 ()
+  with
+  | Error m ->
+    let contains_loss =
+      let needle = "log bytes lost" in
+      let n = String.length needle and h = String.length m in
+      let rec go i = i + n <= h && (String.sub m i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the loss" true contains_loss
+  | Ok _ -> Alcotest.fail "recovered across rotated-away history"
 
 let test_store_recovery_jobs_invariant () =
   let events = Lazy.force events20 in
@@ -451,6 +503,8 @@ let suite =
           test_store_checkpoint_replay_equals_full_replay;
         Alcotest.test_case "recovery without checkpoint" `Quick
           test_store_recovers_without_checkpoint;
+        Alcotest.test_case "wal rotation at checkpoints" `Quick
+          test_store_wal_rotation;
         Alcotest.test_case "recovery jobs-invariant" `Quick
           test_store_recovery_jobs_invariant;
         Alcotest.test_case "pending shed-newest" `Quick test_pending_shed_newest;
